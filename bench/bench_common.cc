@@ -1,0 +1,172 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <map>
+
+#include "vsj/util/env.h"
+#include "vsj/util/hash.h"
+#include "vsj/util/timer.h"
+
+namespace vsj::bench {
+
+Scale LoadScale(size_t default_n, uint32_t default_k, size_t default_trials) {
+  Scale scale;
+  scale.n = static_cast<size_t>(
+      EnvInt64("VSJ_N", static_cast<int64_t>(default_n)));
+  scale.trials = static_cast<size_t>(
+      EnvInt64("VSJ_TRIALS", static_cast<int64_t>(default_trials)));
+  scale.seed = static_cast<uint64_t>(EnvInt64("VSJ_SEED", 1));
+  scale.k = static_cast<uint32_t>(EnvInt64("VSJ_K", default_k));
+  return scale;
+}
+
+Workbench BuildWorkbench(CorpusConfig config, uint32_t k, uint32_t tables,
+                         std::vector<double> taus) {
+  Workbench bench;
+  bench.config = config;
+  Timer timer;
+  bench.dataset = GenerateCorpus(config);
+  const double gen_seconds = timer.ElapsedSeconds();
+
+  bench.family = std::make_unique<SimHashFamily>(config.seed ^ 0x5eedULL);
+  timer.Reset();
+  bench.index =
+      std::make_unique<LshIndex>(*bench.family, bench.dataset, k, tables);
+  bench.index_build_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  bench.truth = std::make_unique<GroundTruth>(
+      bench.dataset, SimilarityMeasure::kCosine, std::move(taus));
+  bench.ground_truth_seconds = timer.ElapsedSeconds();
+
+  const DatasetStats stats = bench.dataset.ComputeStats();
+  std::cout << "# corpus " << config.name << ": n = " << stats.num_vectors
+            << ", dims = " << stats.num_dimensions
+            << ", avg features = " << stats.avg_features << " ["
+            << stats.min_features << ", " << stats.max_features << "]\n"
+            << "# generated in " << TablePrinter::Fmt(gen_seconds, 2)
+            << "s; LSH index (k = " << k << ", tables = " << tables
+            << ") built in "
+            << TablePrinter::Fmt(bench.index_build_seconds, 2)
+            << "s; exact ground truth in "
+            << TablePrinter::Fmt(bench.ground_truth_seconds, 2) << "s\n";
+  return bench;
+}
+
+EstimatorContext MakeContext(const Workbench& bench) {
+  EstimatorContext context;
+  context.dataset = &bench.dataset;
+  context.index = bench.index.get();
+  context.measure = SimilarityMeasure::kCosine;
+  return context;
+}
+
+std::vector<AccuracyCell> RunAccuracyGrid(
+    const Workbench& bench, const EstimatorContext& context,
+    const std::vector<std::string>& estimator_names,
+    const std::vector<double>& taus, size_t trials, uint64_t seed) {
+  std::vector<AccuracyCell> cells;
+  for (const std::string& name : estimator_names) {
+    auto estimator = CreateEstimator(name, context);
+    for (double tau : taus) {
+      const uint64_t true_j = bench.truth->JoinSize(tau);
+      if (true_j == 0) continue;  // relative error undefined
+      const TrialSeries series = RunTrials(
+          *estimator, tau, trials, HashCombine(seed, std::hash<std::string>{}(name)));
+      AccuracyCell cell;
+      cell.estimator = name;
+      cell.tau = tau;
+      cell.true_size = static_cast<double>(true_j);
+      cell.stats = ComputeErrorStats(series.estimates, cell.true_size);
+      cell.mean_runtime_ms = series.mean_runtime_ms;
+      cell.num_unguaranteed = series.num_unguaranteed;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+/// cells grouped as tau → estimator → cell.
+std::map<double, std::map<std::string, const AccuracyCell*>> GroupCells(
+    const std::vector<AccuracyCell>& cells,
+    std::vector<std::string>* estimator_order) {
+  std::map<double, std::map<std::string, const AccuracyCell*>> grouped;
+  for (const AccuracyCell& cell : cells) {
+    grouped[cell.tau][cell.estimator] = &cell;
+    if (std::find(estimator_order->begin(), estimator_order->end(),
+                  cell.estimator) == estimator_order->end()) {
+      estimator_order->push_back(cell.estimator);
+    }
+  }
+  return grouped;
+}
+
+}  // namespace
+
+void PrintAccuracyFigure(const std::string& figure_title,
+                         const std::vector<AccuracyCell>& cells) {
+  std::vector<std::string> estimators;
+  const auto grouped = GroupCells(cells, &estimators);
+
+  auto print_panel = [&](const std::string& panel,
+                         auto value_of) {
+    TablePrinter table(figure_title + " — " + panel);
+    std::vector<std::string> header = {"tau", "true J"};
+    header.insert(header.end(), estimators.begin(), estimators.end());
+    table.SetHeader(std::move(header));
+    for (const auto& [tau, row] : grouped) {
+      std::vector<std::string> cells_out = {
+          TablePrinter::Fmt(tau, 1),
+          TablePrinter::Count(row.begin()->second->true_size)};
+      for (const std::string& est : estimators) {
+        auto it = row.find(est);
+        cells_out.push_back(it == row.end() ? "-" : value_of(*it->second));
+      }
+      table.AddRow(std::move(cells_out));
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  };
+
+  print_panel("(a) relative error, overestimation (%)",
+              [](const AccuracyCell& c) {
+                return c.stats.num_overestimates == 0
+                           ? std::string("0.0%")
+                           : TablePrinter::Pct(c.stats.mean_overestimation);
+              });
+  print_panel("(b) relative error, underestimation (%)",
+              [](const AccuracyCell& c) {
+                return c.stats.num_underestimates == 0
+                           ? std::string("0.0%")
+                           : TablePrinter::Pct(c.stats.mean_underestimation);
+              });
+  print_panel("(c) STD of estimates",
+              [](const AccuracyCell& c) {
+                return TablePrinter::Sci(c.stats.std_dev, 1);
+              });
+}
+
+void PrintRuntimeSummary(const std::vector<AccuracyCell>& cells) {
+  std::map<std::string, std::pair<double, size_t>> sums;
+  std::vector<std::string> order;
+  for (const AccuracyCell& cell : cells) {
+    auto [it, inserted] = sums.try_emplace(cell.estimator);
+    if (inserted) order.push_back(cell.estimator);
+    it->second.first += cell.mean_runtime_ms;
+    it->second.second += 1;
+  }
+  TablePrinter table("Mean estimation runtime");
+  table.SetHeader({"estimator", "mean runtime (ms)"});
+  for (const std::string& est : order) {
+    const auto& [total, count] = sums[est];
+    table.AddRow({est, TablePrinter::Fmt(total / count, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace vsj::bench

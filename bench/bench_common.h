@@ -1,0 +1,92 @@
+// Shared harness of the reproduction benches (one binary per paper
+// table/figure; see DESIGN.md §4).
+//
+// Every bench follows the same protocol as the paper's §6: build a corpus
+// and a pre-built LSH index, compute exact ground truth once, run each
+// estimator for R independent trials per threshold, and report
+// over/under relative errors, STD and runtime. Scale knobs come from the
+// environment:
+//   VSJ_N       dataset size           (default: per-bench laptop scale)
+//   VSJ_TRIALS  trials per data point  (default 50; paper: 100)
+//   VSJ_SEED    corpus / RNG seed      (default 1)
+//   VSJ_K       LSH functions per table (default: per-bench, usually 20)
+
+#ifndef VSJ_BENCH_BENCH_COMMON_H_
+#define VSJ_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vsj/core/estimator_registry.h"
+#include "vsj/eval/experiment.h"
+#include "vsj/eval/ground_truth.h"
+#include "vsj/gen/workloads.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/lsh/simhash.h"
+#include "vsj/util/table_printer.h"
+
+namespace vsj::bench {
+
+/// Scale parameters resolved from the environment.
+struct Scale {
+  size_t n;
+  size_t trials;
+  uint64_t seed;
+  uint32_t k;
+};
+
+/// Reads VSJ_N / VSJ_TRIALS / VSJ_SEED / VSJ_K with the given defaults.
+Scale LoadScale(size_t default_n, uint32_t default_k = 20,
+                size_t default_trials = 50);
+
+/// Everything a bench needs for one corpus.
+struct Workbench {
+  CorpusConfig config;
+  VectorDataset dataset;
+  std::unique_ptr<SimHashFamily> family;
+  std::unique_ptr<LshIndex> index;
+  std::unique_ptr<GroundTruth> truth;
+  double index_build_seconds = 0.0;
+  double ground_truth_seconds = 0.0;
+};
+
+/// Generates the corpus, builds `tables` LSH tables with `k` functions and
+/// computes exact ground truth at the standard thresholds. Prints a short
+/// provenance banner (dataset stats, timings) to stdout.
+Workbench BuildWorkbench(CorpusConfig config, uint32_t k,
+                         uint32_t tables = 1,
+                         std::vector<double> taus = StandardThresholds());
+
+/// Per-(estimator, τ) aggregation used by the accuracy figures.
+struct AccuracyCell {
+  std::string estimator;
+  double tau = 0.0;
+  double true_size = 0.0;
+  ErrorStats stats;
+  double mean_runtime_ms = 0.0;
+  size_t num_unguaranteed = 0;
+};
+
+/// Runs `trials` independent estimates per (estimator, τ) and aggregates.
+/// Thresholds where the true join size is 0 are skipped (relative error is
+/// undefined there), mirroring the paper's protocol.
+std::vector<AccuracyCell> RunAccuracyGrid(
+    const Workbench& bench, const EstimatorContext& context,
+    const std::vector<std::string>& estimator_names,
+    const std::vector<double>& taus, size_t trials, uint64_t seed);
+
+/// Prints the three panels of a paper accuracy figure (e.g. Figure 2):
+/// (a) relative error of overestimation, (b) of underestimation, (c) STD.
+void PrintAccuracyFigure(const std::string& figure_title,
+                         const std::vector<AccuracyCell>& cells);
+
+/// Prints mean estimation runtime per estimator (the §6.2 runtime text).
+void PrintRuntimeSummary(const std::vector<AccuracyCell>& cells);
+
+/// Default estimator context for a workbench.
+EstimatorContext MakeContext(const Workbench& bench);
+
+}  // namespace vsj::bench
+
+#endif  // VSJ_BENCH_BENCH_COMMON_H_

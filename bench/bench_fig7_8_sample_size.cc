@@ -1,0 +1,91 @@
+// Figures 7 and 8 (Appendix C.2.2): impact of the sample size m, with
+// δ fixed at log n.
+//   m ∈ {√n, n/log n, 0.5n, n, 2n, n log n} for LSH-SS (and m_R = 1.5m for
+//   RS(pop), as in the paper's protocol).
+//   Figure 7: average absolute relative error; Figure 8: # τ with big error.
+//
+// Paper signatures: m < 0.5n causes serious underestimation in both
+// algorithms; LSH-SS with m = n log n gives no large errors.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "vsj/util/hash.h"
+
+int main() {
+  using namespace vsj;
+  using namespace vsj::bench;
+
+  const Scale scale = LoadScale(/*default_n=*/20000);
+  Workbench bench =
+      BuildWorkbench(DblpLikeConfig(scale.n, scale.seed), scale.k);
+  const double n = static_cast<double>(bench.dataset.size());
+  const double log_n = std::log2(n);
+
+  struct Variant {
+    std::string label;
+    uint64_t m;
+  };
+  const std::vector<Variant> variants = {
+      {"sqrt(n)", static_cast<uint64_t>(std::sqrt(n))},
+      {"n/logn", static_cast<uint64_t>(n / log_n)},
+      {"0.5n", static_cast<uint64_t>(0.5 * n)},
+      {"n", static_cast<uint64_t>(n)},
+      {"2n", static_cast<uint64_t>(2 * n)},
+      {"nlogn", static_cast<uint64_t>(n * log_n)},
+  };
+
+  TablePrinter fig7("Figure 7: average relative error varying m (delta = logn)");
+  fig7.SetHeader({"m", "LSH-SS", "RS(pop)"});
+  TablePrinter fig8("Figure 8: # tau with big error (x10) varying m");
+  fig8.SetHeader(
+      {"m", "LSH-SS under", "LSH-SS over", "RS under", "RS over"});
+
+  for (const Variant& variant : variants) {
+    double err[2] = {0.0, 0.0};
+    size_t big_under[2] = {0, 0};
+    size_t big_over[2] = {0, 0};
+    size_t defined = 0;
+
+    EstimatorContext context = MakeContext(bench);
+    context.lsh_ss.sample_size_h = variant.m;
+    context.lsh_ss.sample_size_l = variant.m;
+    context.random_pair.sample_size =
+        static_cast<uint64_t>(1.5 * static_cast<double>(variant.m));
+    auto lsh_ss = CreateEstimator("LSH-SS", context);
+    auto rs = CreateEstimator("RS(pop)", context);
+    const JoinSizeEstimator* estimators[2] = {lsh_ss.get(), rs.get()};
+
+    for (double tau : StandardThresholds()) {
+      const uint64_t true_j = bench.truth->JoinSize(tau);
+      if (true_j == 0) continue;
+      ++defined;
+      for (int e = 0; e < 2; ++e) {
+        const TrialSeries series =
+            RunTrials(*estimators[e], tau, scale.trials,
+                      HashCombine(scale.seed, variant.m * 17 + e));
+        const ErrorStats stats = ComputeErrorStats(
+            series.estimates, static_cast<double>(true_j));
+        err[e] += stats.mean_absolute_relative_error;
+        if (stats.mean_estimate == 0.0 ||
+            static_cast<double>(true_j) / stats.mean_estimate >= 10.0) {
+          ++big_under[e];
+        }
+        if (stats.mean_estimate / static_cast<double>(true_j) >= 10.0) {
+          ++big_over[e];
+        }
+      }
+    }
+    const double denom = std::max<size_t>(defined, 1);
+    fig7.AddRow({variant.label, TablePrinter::Fmt(err[0] / denom, 3),
+                 TablePrinter::Fmt(err[1] / denom, 3)});
+    fig8.AddRow({variant.label, std::to_string(big_under[0]),
+                 std::to_string(big_over[0]), std::to_string(big_under[1]),
+                 std::to_string(big_over[1])});
+  }
+  fig7.Print(std::cout);
+  std::cout << "\n";
+  fig8.Print(std::cout);
+  return 0;
+}

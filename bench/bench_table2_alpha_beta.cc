@@ -1,0 +1,53 @@
+// Table 2 (Appendix C): α = P(T|H) and β = P(T|L) per threshold on the
+// NYT-like and PUBMED-like corpora, with the high/low-threshold reference
+// levels of the §5.2 analysis.
+//
+// Paper signatures: α stays orders of magnitude above log n/n on NYT
+// (α ≈ 0.7 across the range) and PUBMED (α ≈ 1e-4), while β drops below
+// 1/n at high thresholds.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "vsj/eval/probability_profile.h"
+
+namespace {
+
+void ProfileCorpus(const vsj::CorpusConfig& config, uint32_t k) {
+  using namespace vsj;
+  using namespace vsj::bench;
+  Workbench bench = BuildWorkbench(config, k);
+  const auto rows =
+      ComputeProbabilityProfile(bench.dataset, bench.index->table(0),
+                                SimilarityMeasure::kCosine, *bench.truth);
+  const TheoremThresholds limits =
+      ComputeTheoremThresholds(bench.dataset.size());
+
+  TablePrinter table("Table 2: alpha/beta on " + bench.config.name +
+                     " (k = " + std::to_string(k) + ")");
+  table.SetHeader({"tau", "alpha=P(T|H)", "beta=P(T|L)", "J"});
+  for (const ProbabilityRow& row : rows) {
+    table.AddRow({TablePrinter::Fmt(row.tau, 1),
+                  TablePrinter::Sci(row.p_true_given_h),
+                  TablePrinter::Sci(row.p_true_given_l),
+                  TablePrinter::Count(static_cast<double>(row.join_size))});
+  }
+  table.AddRow({"high th. levels", TablePrinter::Sci(limits.alpha_floor),
+                TablePrinter::Sci(limits.beta_high_ceiling), ""});
+  table.AddRow({"low th. levels", TablePrinter::Sci(limits.alpha_floor),
+                TablePrinter::Sci(limits.alpha_floor), ""});
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace vsj;
+  using namespace vsj::bench;
+  const Scale scale = LoadScale(/*default_n=*/6000, /*default_k=*/20);
+  ProfileCorpus(NytLikeConfig(scale.n, scale.seed), scale.k);
+  // Appendix C.4 runs PUBMED with k = 5.
+  ProfileCorpus(PubmedLikeConfig(scale.n, scale.seed + 1), 5);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Threshold exploration: sweep τ and compare every estimator in the
+// library against the exact join size — a compact tour of the public API
+// (registry, ground truth, experiment runner).
+//
+//   $ ./threshold_explorer [n]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "vsj/core/estimator_registry.h"
+#include "vsj/eval/experiment.h"
+#include "vsj/eval/ground_truth.h"
+#include "vsj/gen/workloads.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/lsh/simhash.h"
+#include "vsj/util/table_printer.h"
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+
+  vsj::VectorDataset docs = vsj::GenerateCorpus(vsj::DblpLikeConfig(n));
+  vsj::SimHashFamily family(1);
+  // Two tables so the multi-table estimators (median, virtual bucket) have
+  // something to work with.
+  vsj::LshIndex index(family, docs, /*k=*/16, /*num_tables=*/2);
+
+  vsj::EstimatorContext context;
+  context.dataset = &docs;
+  context.index = &index;
+
+  vsj::GroundTruth truth(docs, vsj::SimilarityMeasure::kCosine,
+                         vsj::StandardThresholds());
+
+  vsj::TablePrinter table("Mean estimate over 10 trials vs exact join size "
+                          "(n = " + std::to_string(n) + ")");
+  std::vector<std::string> header = {"tau", "exact"};
+  const auto names = vsj::AllEstimatorNames();
+  for (const auto& name : names) header.push_back(name);
+  table.SetHeader(header);
+
+  std::vector<std::unique_ptr<vsj::JoinSizeEstimator>> estimators;
+  for (const auto& name : names) {
+    estimators.push_back(vsj::CreateEstimator(name, context));
+  }
+
+  for (double tau : vsj::StandardThresholds()) {
+    std::vector<std::string> row = {
+        vsj::TablePrinter::Fmt(tau, 1),
+        vsj::TablePrinter::Count(
+            static_cast<double>(truth.JoinSize(tau)))};
+    for (const auto& estimator : estimators) {
+      const vsj::TrialSeries series =
+          vsj::RunTrials(*estimator, tau, /*trials=*/10, /*seed=*/17);
+      double mean = 0.0;
+      for (double e : series.estimates) mean += e;
+      mean /= static_cast<double>(series.estimates.size());
+      row.push_back(vsj::TablePrinter::Count(mean));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\n(LC and J_U are model-based; LSH-S degrades at high tau; "
+               "LSH-SS variants track the exact sizes — see the paper's "
+               "Figure 2 and the bench/ binaries for full error metrics)\n";
+  return 0;
+}

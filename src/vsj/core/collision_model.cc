@@ -1,0 +1,62 @@
+#include "vsj/core/collision_model.h"
+
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+namespace {
+
+constexpr int kSimpsonIntervals = 2048;  // even; plenty for smooth f
+
+}  // namespace
+
+CollisionModel::CollisionModel(const LshFamily& family, uint32_t k)
+    : family_(&family), k_(k) {
+  VSJ_CHECK(k > 0);
+}
+
+double CollisionModel::BandProbability(double similarity) const {
+  return family_->BandCollisionProbability(similarity, k_);
+}
+
+double CollisionModel::IntegralBelow(double tau) const {
+  if (tau <= 0.0) return 0.0;
+  const double hi = std::min(tau, 1.0);
+  // Composite Simpson over [0, hi].
+  const double h = hi / kSimpsonIntervals;
+  double sum = BandProbability(0.0) + BandProbability(hi);
+  for (int i = 1; i < kSimpsonIntervals; ++i) {
+    sum += BandProbability(i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double CollisionModel::IntegralAbove(double tau) const {
+  if (tau >= 1.0) return 0.0;
+  // Defined as total − below so that the two areas of Figure 1 partition
+  // the total mass exactly regardless of quadrature error.
+  return std::max(0.0, IntegralBelow(1.0) - IntegralBelow(tau));
+}
+
+double CollisionModel::ConditionalHGivenTrue(double tau) const {
+  constexpr double kEps = 1e-12;
+  if (tau >= 1.0 - kEps) return BandProbability(1.0);
+  return IntegralAbove(tau) / (1.0 - tau);
+}
+
+double CollisionModel::ConditionalHGivenFalse(double tau) const {
+  constexpr double kEps = 1e-12;
+  if (tau <= kEps) return BandProbability(0.0);
+  return IntegralBelow(tau) / tau;
+}
+
+bool CollisionModel::IsIdentityCurve() const {
+  for (double s : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    if (std::fabs(family_->CollisionProbability(s) - s) > 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace vsj

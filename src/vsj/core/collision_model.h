@@ -1,0 +1,53 @@
+// Collision-probability model of a k-function LSH band (paper §4.2, Fig. 1).
+//
+// For g = (h_1, ..., h_k), f(s) = p(s)^k is the probability that two vectors
+// at similarity s share a bucket. The areas of Figure 1 and the conditional
+// probabilities of Equations (2)/(3) are integrals of f. The paper derives
+// closed forms for the idealized p(s) = s (Appendix A.1, Eqs. 8/9); this
+// model evaluates the same quantities for *any* family curve by adaptive
+// Simpson quadrature, so Charikar SimHash (p(s) = 1 − arccos(s)/π) is
+// handled exactly rather than approximated by Def. 3.
+
+#ifndef VSJ_CORE_COLLISION_MODEL_H_
+#define VSJ_CORE_COLLISION_MODEL_H_
+
+#include <cstdint>
+
+#include "vsj/lsh/lsh_family.h"
+
+namespace vsj {
+
+/// Integrals and conditionals of f(s) = p(s)^k over s ∈ [0, 1].
+class CollisionModel {
+ public:
+  CollisionModel(const LshFamily& family, uint32_t k);
+
+  uint32_t k() const { return k_; }
+
+  /// f(s) = p(s)^k.
+  double BandProbability(double similarity) const;
+
+  /// P(H ∩ F) = ∫_0^τ f(s) ds  (under the uniform-similarity model).
+  double IntegralBelow(double tau) const;
+
+  /// P(H ∩ T) = ∫_τ^1 f(s) ds.
+  double IntegralAbove(double tau) const;
+
+  /// P(H|T) = (1/(1−τ)) ∫_τ^1 f(s) ds; the τ → 1 limit is f(1). [Eq. 8]
+  double ConditionalHGivenTrue(double tau) const;
+
+  /// P(H|F) = (1/τ) ∫_0^τ f(s) ds; the τ → 0 limit is f(0). [Eq. 9]
+  double ConditionalHGivenFalse(double tau) const;
+
+  /// True when the family satisfies Definition 3 exactly (p(s) = s), in
+  /// which case the paper's closed forms (Eq. 4) apply verbatim.
+  bool IsIdentityCurve() const;
+
+ private:
+  const LshFamily* family_;
+  uint32_t k_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_COLLISION_MODEL_H_

@@ -1,0 +1,11 @@
+#include "vsj/core/estimator.h"
+
+#include <algorithm>
+
+namespace vsj {
+
+double ClampEstimate(double estimate, uint64_t max_pairs) {
+  return std::clamp(estimate, 0.0, static_cast<double>(max_pairs));
+}
+
+}  // namespace vsj

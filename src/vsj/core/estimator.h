@@ -1,0 +1,56 @@
+// Common interface of all join-size estimators (the VSJ problem, Def. 1).
+//
+// An estimator is constructed over a dataset (and whatever auxiliary
+// structure it needs — an LSH table, signatures, nothing) and then queried
+// for any similarity threshold τ. `Estimate` is const and takes the RNG by
+// reference, so one estimator instance supports repeated independent trials,
+// matching how a query optimizer would hold a long-lived statistics object.
+
+#ifndef VSJ_CORE_ESTIMATOR_H_
+#define VSJ_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "vsj/util/rng.h"
+
+namespace vsj {
+
+/// Outcome of one estimation call.
+struct EstimationResult {
+  /// The join size estimate Ĵ.
+  double estimate = 0.0;
+
+  /// Number of pair similarity evaluations performed (the sampling cost
+  /// model of the paper: similarity joins must actually compare pairs).
+  uint64_t pairs_evaluated = 0;
+
+  /// False when the estimator knowingly returned a conservative value, e.g.
+  /// LSH-SS's safe lower bound when SampleL could not meet the answer-size
+  /// threshold δ (paper §5.1.2), or LSH-S when no true pair was sampled.
+  bool guaranteed = true;
+
+  /// Diagnostics for stratified estimators: Ĵ_H and Ĵ_L of Equation (7).
+  /// Zero for non-stratified estimators.
+  double stratum_h_estimate = 0.0;
+  double stratum_l_estimate = 0.0;
+};
+
+/// Abstract join-size estimator.
+class JoinSizeEstimator {
+ public:
+  virtual ~JoinSizeEstimator() = default;
+
+  /// Estimates J(τ). Implementations must clamp to [0, M].
+  virtual EstimationResult Estimate(double tau, Rng& rng) const = 0;
+
+  /// Display name, e.g. "LSH-SS", "RS(pop)".
+  virtual std::string name() const = 0;
+};
+
+/// Clamps a raw estimate into the feasible range [0, max_pairs].
+double ClampEstimate(double estimate, uint64_t max_pairs);
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_ESTIMATOR_H_

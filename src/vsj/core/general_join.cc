@@ -1,0 +1,164 @@
+#include "vsj/core/general_join.h"
+
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+GeneralLshSsEstimator::GeneralLshSsEstimator(
+    const VectorDataset& left, const VectorDataset& right,
+    const LshTable& left_table, const LshTable& right_table,
+    SimilarityMeasure measure, GeneralLshSsOptions options)
+    : left_(&left),
+      right_(&right),
+      left_table_(&left_table),
+      right_table_(&right_table),
+      measure_(measure),
+      dampening_(options.dampening),
+      dampening_factor_(options.dampening_factor) {
+  VSJ_CHECK(!left.empty() && !right.empty());
+  VSJ_CHECK(left_table.num_vectors() == left.size());
+  VSJ_CHECK(right_table.num_vectors() == right.size());
+  VSJ_CHECK(left_table.k() == right_table.k());
+  const auto n = static_cast<uint64_t>(std::max(left.size(), right.size()));
+  sample_size_h_ = options.sample_size_h != 0 ? options.sample_size_h : n;
+  sample_size_l_ = options.sample_size_l != 0 ? options.sample_size_l : n;
+  delta_ = options.delta != 0
+               ? options.delta
+               : static_cast<uint64_t>(
+                     std::max(1.0, std::log2(static_cast<double>(n))));
+
+  // Align buckets of the two tables by their g value.
+  std::vector<double> weights;
+  const auto& right_keys = right_table.key_to_bucket();
+  for (size_t b = 0; b < left_table.num_buckets(); ++b) {
+    auto it = right_keys.find(left_table.BucketKey(b));
+    if (it == right_keys.end()) continue;
+    const uint64_t weight =
+        static_cast<uint64_t>(left_table.bucket_count(b)) *
+        right_table.bucket_count(it->second);
+    num_same_bucket_pairs_ += weight;
+    matches_.push_back(
+        MatchedBuckets{static_cast<uint32_t>(b), it->second});
+    weights.push_back(static_cast<double>(weight));
+  }
+  if (!weights.empty()) {
+    match_picker_ = std::make_unique<AliasTable>(weights);
+  }
+}
+
+uint64_t GeneralLshSsEstimator::NumTotalPairs() const {
+  return static_cast<uint64_t>(left_->size()) * right_->size();
+}
+
+EstimationResult GeneralLshSsEstimator::Estimate(double tau,
+                                                 Rng& rng) const {
+  EstimationResult result;
+  const uint64_t total_pairs = NumTotalPairs();
+  if (tau <= 0.0) {
+    result.estimate = static_cast<double>(total_pairs);
+    return result;
+  }
+
+  // --- SampleH: matched bucket pair ∝ b_j·c_i, one member per side. ---
+  double estimate_h = 0.0;
+  if (match_picker_ != nullptr) {
+    uint64_t hits = 0;
+    for (uint64_t s = 0; s < sample_size_h_; ++s) {
+      const MatchedBuckets& m = matches_[match_picker_->Sample(rng)];
+      const auto& lhs = left_table_->bucket(m.left_bucket);
+      const auto& rhs = right_table_->bucket(m.right_bucket);
+      const VectorId u = lhs[rng.Below(lhs.size())];
+      const VectorId v = rhs[rng.Below(rhs.size())];
+      if (Similarity(measure_, (*left_)[u], (*right_)[v]) >= tau) ++hits;
+    }
+    result.pairs_evaluated += sample_size_h_;
+    estimate_h = static_cast<double>(hits) *
+                 static_cast<double>(num_same_bucket_pairs_) /
+                 static_cast<double>(sample_size_h_);
+  }
+
+  // --- SampleL: uniform (u, v), rejected when g(u) = g(v). ---
+  const uint64_t n_pairs_l = total_pairs - num_same_bucket_pairs_;
+  double estimate_l = 0.0;
+  bool reliable = true;
+  if (n_pairs_l > 0) {
+    uint64_t hits = 0;
+    uint64_t samples = 0;
+    while (hits < delta_ && samples < sample_size_l_) {
+      VectorId u, v;
+      do {
+        u = static_cast<VectorId>(rng.Below(left_->size()));
+        v = static_cast<VectorId>(rng.Below(right_->size()));
+      } while (left_table_->BucketKey(left_table_->BucketOf(u)) ==
+               right_table_->BucketKey(right_table_->BucketOf(v)));
+      if (Similarity(measure_, (*left_)[u], (*right_)[v]) >= tau) ++hits;
+      ++samples;
+    }
+    result.pairs_evaluated += samples;
+    if (samples >= sample_size_l_ && hits < delta_) {
+      reliable = false;
+      switch (dampening_) {
+        case DampeningMode::kSafeLowerBound:
+          estimate_l = static_cast<double>(hits);
+          break;
+        case DampeningMode::kFixedFactor:
+          estimate_l = static_cast<double>(hits) * dampening_factor_ *
+                       static_cast<double>(n_pairs_l) /
+                       static_cast<double>(sample_size_l_);
+          break;
+        case DampeningMode::kAdaptiveNlOverDelta:
+          estimate_l = static_cast<double>(hits) *
+                       (static_cast<double>(hits) /
+                        static_cast<double>(delta_)) *
+                       static_cast<double>(n_pairs_l) /
+                       static_cast<double>(sample_size_l_);
+          break;
+      }
+    } else {
+      estimate_l = static_cast<double>(hits) *
+                   static_cast<double>(n_pairs_l) /
+                   static_cast<double>(samples);
+    }
+  }
+
+  result.stratum_h_estimate = estimate_h;
+  result.stratum_l_estimate = estimate_l;
+  result.guaranteed = reliable;
+  result.estimate = ClampEstimate(estimate_h + estimate_l, total_pairs);
+  return result;
+}
+
+GeneralRandomPairSampling::GeneralRandomPairSampling(
+    const VectorDataset& left, const VectorDataset& right,
+    SimilarityMeasure measure, uint64_t sample_size)
+    : left_(&left), right_(&right), measure_(measure) {
+  VSJ_CHECK(!left.empty() && !right.empty());
+  sample_size_ =
+      sample_size != 0
+          ? sample_size
+          : static_cast<uint64_t>(
+                std::llround(1.5 * std::max(left.size(), right.size())));
+}
+
+EstimationResult GeneralRandomPairSampling::Estimate(double tau,
+                                                     Rng& rng) const {
+  uint64_t hits = 0;
+  for (uint64_t s = 0; s < sample_size_; ++s) {
+    const auto u = static_cast<VectorId>(rng.Below(left_->size()));
+    const auto v = static_cast<VectorId>(rng.Below(right_->size()));
+    if (Similarity(measure_, (*left_)[u], (*right_)[v]) >= tau) ++hits;
+  }
+  const uint64_t total_pairs =
+      static_cast<uint64_t>(left_->size()) * right_->size();
+  EstimationResult result;
+  result.pairs_evaluated = sample_size_;
+  result.estimate = ClampEstimate(static_cast<double>(hits) *
+                                      static_cast<double>(total_pairs) /
+                                      static_cast<double>(sample_size_),
+                                  total_pairs);
+  return result;
+}
+
+}  // namespace vsj

@@ -1,0 +1,94 @@
+// Non-self (general) join estimation (paper Appendix B.2.2, Definition 5).
+//
+// Two collections U, V are hashed by the *same* g into tables D_g and E_g.
+// Stratum H becomes {(u, v) : g(u) = g(v)} with
+// N_H = Σ_{g(B_j) = g(C_i)} b_j · c_i; sampling from H draws a matched
+// bucket pair with weight b_j · c_i and one member from each side. Stratum L
+// is sampled by rejection on g(u) ≠ g(v). The estimator mirrors Algorithm 1.
+
+#ifndef VSJ_CORE_GENERAL_JOIN_H_
+#define VSJ_CORE_GENERAL_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "vsj/core/estimator.h"
+#include "vsj/core/lsh_ss_estimator.h"
+#include "vsj/lsh/lsh_table.h"
+#include "vsj/util/alias_table.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Options of the general-join LSH-SS (defaults use n = max(|U|, |V|)).
+struct GeneralLshSsOptions {
+  uint64_t sample_size_h = 0;  // 0 → n
+  uint64_t sample_size_l = 0;  // 0 → n
+  uint64_t delta = 0;          // 0 → log₂ n
+  DampeningMode dampening = DampeningMode::kSafeLowerBound;
+  double dampening_factor = 1.0;
+};
+
+/// LSH-SS for J = |{(u, v) ∈ U × V : sim(u, v) ≥ τ}| (ordered pairs).
+class GeneralLshSsEstimator final : public JoinSizeEstimator {
+ public:
+  /// `left_table` / `right_table` must be built over `left` / `right` with
+  /// the same family, k, and function offset (identical g).
+  GeneralLshSsEstimator(const VectorDataset& left, const VectorDataset& right,
+                        const LshTable& left_table,
+                        const LshTable& right_table,
+                        SimilarityMeasure measure,
+                        GeneralLshSsOptions options = {});
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override { return "LSH-SS(general)"; }
+
+  /// N_H = Σ over matched buckets of b_j · c_i.
+  uint64_t NumSameBucketPairs() const { return num_same_bucket_pairs_; }
+
+  /// Total pairs |U| · |V|.
+  uint64_t NumTotalPairs() const;
+
+ private:
+  struct MatchedBuckets {
+    uint32_t left_bucket;
+    uint32_t right_bucket;
+  };
+
+  const VectorDataset* left_;
+  const VectorDataset* right_;
+  const LshTable* left_table_;
+  const LshTable* right_table_;
+  SimilarityMeasure measure_;
+  uint64_t sample_size_h_;
+  uint64_t sample_size_l_;
+  uint64_t delta_;
+  DampeningMode dampening_;
+  double dampening_factor_;
+  uint64_t num_same_bucket_pairs_ = 0;
+  std::vector<MatchedBuckets> matches_;
+  std::unique_ptr<AliasTable> match_picker_;  // weight b_j · c_i
+};
+
+/// RS(pop) for general joins: uniform (u, v) ∈ U × V with replacement.
+class GeneralRandomPairSampling final : public JoinSizeEstimator {
+ public:
+  GeneralRandomPairSampling(const VectorDataset& left,
+                            const VectorDataset& right,
+                            SimilarityMeasure measure,
+                            uint64_t sample_size = 0);  // 0 → 1.5·max(n1,n2)
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override { return "RS(pop,general)"; }
+
+ private:
+  const VectorDataset* left_;
+  const VectorDataset* right_;
+  SimilarityMeasure measure_;
+  uint64_t sample_size_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_GENERAL_JOIN_H_

@@ -1,0 +1,54 @@
+// LSH-S: sampling-weighted conditional probabilities (paper §4.3).
+//
+// Removes Ĵ_U's uniformity assumption: a uniform pair sample S is split into
+// true pairs S_T and false pairs S_F at threshold τ, and the conditionals of
+// Equation (1) are estimated by weighting the band collision curve with the
+// *observed* similarity values:
+//
+//     P̂(H|T) = Σ_{(u,v)∈S_T} f(sim(u,v)) / |S_T|          [Eq. 5]
+//     P̂(H|F) = Σ_{(u,v)∈S_F} f(sim(u,v)) / |S_F|          [Eq. 6]
+//
+// At high thresholds S_T is usually empty and the estimate becomes
+// unreliable — the failure mode the paper reports in §6.2 and that motivates
+// LSH-SS. When a stratum of the sample is empty this implementation falls
+// back to the uniform-model conditional for that stratum and marks the
+// result `guaranteed = false`.
+
+#ifndef VSJ_CORE_LSH_S_ESTIMATOR_H_
+#define VSJ_CORE_LSH_S_ESTIMATOR_H_
+
+#include "vsj/core/collision_model.h"
+#include "vsj/core/estimator.h"
+#include "vsj/lsh/lsh_table.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Options of LSH-S.
+struct LshSOptions {
+  /// Pair sample size m; 0 means n.
+  uint64_t sample_size = 0;
+};
+
+/// The LSH-S estimator of §4.3.
+class LshSEstimator final : public JoinSizeEstimator {
+ public:
+  /// `table` must be built over `dataset` with functions of `family`; the
+  /// join predicate uses `family.measure()`.
+  LshSEstimator(const VectorDataset& dataset, const LshFamily& family,
+                const LshTable& table, LshSOptions options = {});
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override { return "LSH-S"; }
+
+ private:
+  const VectorDataset* dataset_;
+  const LshFamily* family_;
+  const LshTable* table_;
+  CollisionModel model_;
+  uint64_t sample_size_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_LSH_S_ESTIMATOR_H_

@@ -1,0 +1,89 @@
+// LSH-SS: stratified sampling over an LSH table (paper §5, Algorithm 1 —
+// the paper's main contribution).
+//
+// The table partitions the M pairs into stratum H (same bucket) and stratum
+// L (different buckets); Ĵ = Ĵ_H + Ĵ_L (Eq. 7).
+//
+//   SampleH — uniform random sampling in H: draw a bucket with weight
+//     C(b_j, 2), then a uniform pair inside it; Ĵ_H = n_H · N_H / m_H.
+//     P(T|H) stays ≳ log n / n even at τ = 0.9 (Table 1), so m_H = n
+//     samples give the Chernoff guarantee of Lemma 1.
+//
+//   SampleL — adaptive sampling in L: draw uniform cross-bucket pairs until
+//     δ true pairs are found (reliable: Ĵ_L = n_L · N_L / i) or the budget
+//     m_L is exhausted. In the latter case the scaled-up estimate is NOT
+//     trustworthy and the algorithm returns a *safe lower bound* Ĵ_L = n_L
+//     (paper's novelty), or optionally a dampened scale-up
+//     Ĵ_L = n_L · c_s · N_L / m_L — the LSH-SS(D) variant of Theorem 2.
+//
+// Defaults follow §5.1: m_H = m_L = n, δ = log₂ n, c_s = n_L/δ for D.
+
+#ifndef VSJ_CORE_LSH_SS_ESTIMATOR_H_
+#define VSJ_CORE_LSH_SS_ESTIMATOR_H_
+
+#include "vsj/core/estimator.h"
+#include "vsj/lsh/lsh_table.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// How SampleL scales its count when the answer-size threshold δ was not
+/// reached within the sample budget m_L.
+enum class DampeningMode {
+  /// Return the safe lower bound Ĵ_L = n_L (plain LSH-SS, Theorem 1).
+  kSafeLowerBound,
+  /// Ĵ_L = n_L · c_s · (N_L / m_L) with fixed c_s (Theorem 2).
+  kFixedFactor,
+  /// c_s = n_L / δ, the adaptive choice used for LSH-SS(D) in §6.
+  kAdaptiveNlOverDelta,
+};
+
+/// Options of LSH-SS.
+struct LshSsOptions {
+  /// Sample size m_H for stratum H; 0 means n.
+  uint64_t sample_size_h = 0;
+  /// Maximum sample size m_L for stratum L; 0 means n.
+  uint64_t sample_size_l = 0;
+  /// Answer-size threshold δ; 0 means log₂ n.
+  uint64_t delta = 0;
+  DampeningMode dampening = DampeningMode::kSafeLowerBound;
+  /// c_s for DampeningMode::kFixedFactor (must be in (0, 1]).
+  double dampening_factor = 1.0;
+};
+
+/// Algorithm 1 (LSH-SS / LSH-SS(D)).
+class LshSsEstimator final : public JoinSizeEstimator {
+ public:
+  /// `table` must be built over `dataset`; the join predicate is `measure`.
+  LshSsEstimator(const VectorDataset& dataset, const LshTable& table,
+                 SimilarityMeasure measure, LshSsOptions options = {});
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override;
+
+  uint64_t sample_size_h() const { return sample_size_h_; }
+  uint64_t sample_size_l() const { return sample_size_l_; }
+  uint64_t delta() const { return delta_; }
+
+ private:
+  /// SampleH of Algorithm 1.
+  double SampleStratumH(double tau, Rng& rng, uint64_t* evaluated) const;
+  /// SampleL of Algorithm 1; sets `*reliable` to false on the safe-lower-
+  /// bound / dampened path.
+  double SampleStratumL(double tau, Rng& rng, uint64_t* evaluated,
+                        bool* reliable) const;
+
+  const VectorDataset* dataset_;
+  const LshTable* table_;
+  SimilarityMeasure measure_;
+  uint64_t sample_size_h_;
+  uint64_t sample_size_l_;
+  uint64_t delta_;
+  DampeningMode dampening_;
+  double dampening_factor_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_LSH_SS_ESTIMATOR_H_

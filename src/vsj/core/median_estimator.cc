@@ -1,0 +1,44 @@
+#include "vsj/core/median_estimator.h"
+
+#include <algorithm>
+
+namespace vsj {
+
+MedianEstimator::MedianEstimator(const VectorDataset& dataset,
+                                 const LshIndex& index,
+                                 SimilarityMeasure measure,
+                                 LshSsOptions options) {
+  per_table_.reserve(index.num_tables());
+  for (uint32_t t = 0; t < index.num_tables(); ++t) {
+    per_table_.push_back(std::make_unique<LshSsEstimator>(
+        dataset, index.table(t), measure, options));
+  }
+}
+
+EstimationResult MedianEstimator::Estimate(double tau, Rng& rng) const {
+  std::vector<double> estimates;
+  estimates.reserve(per_table_.size());
+  EstimationResult combined;
+  combined.guaranteed = true;
+  for (const auto& estimator : per_table_) {
+    const EstimationResult r = estimator->Estimate(tau, rng);
+    estimates.push_back(r.estimate);
+    combined.pairs_evaluated += r.pairs_evaluated;
+    combined.guaranteed = combined.guaranteed && r.guaranteed;
+  }
+  const size_t mid = estimates.size() / 2;
+  std::nth_element(estimates.begin(), estimates.begin() + mid,
+                   estimates.end());
+  double median = estimates[mid];
+  if (estimates.size() % 2 == 0) {
+    // Even ℓ: average the two central order statistics.
+    const double upper = median;
+    std::nth_element(estimates.begin(), estimates.begin() + (mid - 1),
+                     estimates.begin() + mid);
+    median = 0.5 * (estimates[mid - 1] + upper);
+  }
+  combined.estimate = median;
+  return combined;
+}
+
+}  // namespace vsj

@@ -1,0 +1,43 @@
+// Median estimator over multiple LSH tables (paper Appendix B.2.1).
+//
+// Runs LSH-SS independently against each of the ℓ tables of an LSH index and
+// returns the median of the ℓ estimates. By the standard Chernoff argument,
+// if each per-table estimate is within (1+ε)J with probability ≥ 1 − 2/n,
+// the median deviates with probability at most 2^(−ℓ/2).
+
+#ifndef VSJ_CORE_MEDIAN_ESTIMATOR_H_
+#define VSJ_CORE_MEDIAN_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "vsj/core/estimator.h"
+#include "vsj/core/lsh_ss_estimator.h"
+#include "vsj/lsh/lsh_index.h"
+
+namespace vsj {
+
+/// Median of per-table LSH-SS estimates.
+class MedianEstimator final : public JoinSizeEstimator {
+ public:
+  /// Builds one LSH-SS estimator per table of `index`. `options` applies to
+  /// every per-table estimator; the per-table sample size defaults are
+  /// unchanged, so the total sample budget grows by a factor of ℓ — pass
+  /// explicit sizes to split a fixed budget (App. B.2.1 discussion).
+  MedianEstimator(const VectorDataset& dataset, const LshIndex& index,
+                  SimilarityMeasure measure, LshSsOptions options = {});
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override { return "LSH-SS(median)"; }
+
+  uint32_t num_tables() const {
+    return static_cast<uint32_t>(per_table_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<LshSsEstimator>> per_table_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_MEDIAN_ESTIMATOR_H_

@@ -1,0 +1,63 @@
+#include "vsj/core/optimal_k.h"
+
+#include <cmath>
+
+#include "vsj/lsh/lsh_table.h"
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+double PrecisionFloor(double epsilon, double probability, size_t n) {
+  VSJ_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  VSJ_CHECK(probability > 0.0 && probability < 1.0);
+  VSJ_CHECK(n >= 2);
+  // Chernoff: with m_H = n samples at hit rate α, the relative error of
+  // Ĵ_H exceeds ε with probability ≤ 2·exp(−ε²·α·n/4). Solving
+  // 2·exp(−ε²·ρ·n/4) = 1 − p for ρ:
+  const double failure = 1.0 - probability;
+  const double rho =
+      4.0 * std::log(2.0 / failure) / (epsilon * epsilon *
+                                       static_cast<double>(n));
+  return std::min(rho, 1.0);
+}
+
+OptimalKResult FindOptimalK(const VectorDataset& dataset,
+                            const LshFamily& family, double tau, double rho,
+                            Rng& rng, OptimalKOptions options) {
+  VSJ_CHECK(options.min_k >= 1);
+  VSJ_CHECK(options.min_k <= options.max_k);
+  VSJ_CHECK(options.step >= 1);
+  VSJ_CHECK(options.samples_per_k > 0);
+  const SimilarityMeasure measure = family.measure();
+
+  OptimalKResult result;
+  for (uint32_t k = options.min_k; k <= options.max_k; k += options.step) {
+    LshTable table(family, dataset, k);
+    KCandidate candidate;
+    candidate.k = k;
+    candidate.same_bucket_pairs = table.NumSameBucketPairs();
+    if (candidate.same_bucket_pairs > 0) {
+      uint64_t hits = 0;
+      for (uint64_t s = 0; s < options.samples_per_k; ++s) {
+        const VectorPair pair = table.SampleSameBucketPair(rng);
+        if (Similarity(measure, dataset[pair.first], dataset[pair.second]) >=
+            tau) {
+          ++hits;
+        }
+      }
+      candidate.alpha = static_cast<double>(hits) /
+                        static_cast<double>(options.samples_per_k);
+    }
+    result.probed.push_back(candidate);
+    // α grows with k (larger k → more selective g); stop at the first
+    // k that meets the floor — it is the minimum on the probed grid.
+    if (result.best_k == 0 && candidate.alpha >= rho &&
+        candidate.same_bucket_pairs > 0) {
+      result.best_k = k;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace vsj

@@ -1,0 +1,61 @@
+// The Optimal-k Problem (paper Appendix B.1, Definition 4).
+//
+// Given a desired error bound ε and probabilistic guarantee p (together
+// defining a precision floor ρ = ρ(ε, p)), find the minimum k such that
+// P(T|H) ≥ ρ. Smaller k grows stratum H (higher recall P(H|T), more of the
+// join caught by the reliable SampleH procedure, cheaper hashing); larger k
+// sharpens precision P(T|H). Since P(T|H) is data dependent there is no
+// closed form; this module searches k by building candidate tables and
+// estimating α = P(T|H) by uniform sampling from stratum H.
+
+#ifndef VSJ_CORE_OPTIMAL_K_H_
+#define VSJ_CORE_OPTIMAL_K_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vsj/lsh/lsh_family.h"
+#include "vsj/util/rng.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Search options.
+struct OptimalKOptions {
+  uint32_t min_k = 2;
+  uint32_t max_k = 40;
+  /// Same-bucket pair samples used to estimate α per candidate k.
+  uint64_t samples_per_k = 2000;
+  /// Geometric step of the scan (1 = test every k).
+  uint32_t step = 2;
+};
+
+/// One probed configuration.
+struct KCandidate {
+  uint32_t k = 0;
+  double alpha = 0.0;           // estimated P(T|H)
+  uint64_t same_bucket_pairs = 0;  // N_H of the candidate table
+};
+
+/// Search outcome.
+struct OptimalKResult {
+  /// Smallest probed k with α ≥ rho; 0 if none qualifies.
+  uint32_t best_k = 0;
+  std::vector<KCandidate> probed;
+};
+
+/// Converts an (ε, p) target into the precision floor ρ of Definition 4
+/// via the Chernoff sample-size heuristic used in the paper's analysis:
+/// with m_H = n samples, α ≥ ρ keeps Pr(|Ĵ_H − J_H| > εJ_H) ≤ 1 − p.
+double PrecisionFloor(double epsilon, double probability, size_t n);
+
+/// Probes k = min_k, min_k + step, ... and returns the smallest k whose
+/// estimated α = P(T|H) at threshold `tau` reaches `rho`.
+OptimalKResult FindOptimalK(const VectorDataset& dataset,
+                            const LshFamily& family, double tau, double rho,
+                            Rng& rng, OptimalKOptions options = {});
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_OPTIMAL_K_H_

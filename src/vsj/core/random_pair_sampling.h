@@ -1,0 +1,44 @@
+// RS(pop): uniform random pair sampling (paper §3.1, first baseline).
+//
+// Draw m pairs of vectors uniformly at random with replacement from the
+// M = C(n,2) population, count the pairs meeting τ, and scale by M/m. The
+// estimator is unbiased but its relative error explodes when the selectivity
+// J/M drops below ~1/m — exactly the high-threshold regime the paper targets.
+
+#ifndef VSJ_CORE_RANDOM_PAIR_SAMPLING_H_
+#define VSJ_CORE_RANDOM_PAIR_SAMPLING_H_
+
+#include "vsj/core/estimator.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Options of RS(pop).
+struct RandomPairSamplingOptions {
+  /// Absolute sample size m; 0 means `sample_size_factor · n`.
+  uint64_t sample_size = 0;
+  /// The paper compares at m_R = 1.5 n ("roughly the same runtime").
+  double sample_size_factor = 1.5;
+};
+
+/// Uniform with-replacement pair sampling over the cross product.
+class RandomPairSampling final : public JoinSizeEstimator {
+ public:
+  RandomPairSampling(const VectorDataset& dataset, SimilarityMeasure measure,
+                     RandomPairSamplingOptions options = {});
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override { return "RS(pop)"; }
+
+  uint64_t sample_size() const { return sample_size_; }
+
+ private:
+  const VectorDataset* dataset_;
+  SimilarityMeasure measure_;
+  uint64_t sample_size_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_RANDOM_PAIR_SAMPLING_H_

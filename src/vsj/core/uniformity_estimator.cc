@@ -1,0 +1,55 @@
+#include "vsj/core/uniformity_estimator.h"
+
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+UniformityEstimator::UniformityEstimator(const LshTable& table,
+                                         const LshFamily& family)
+    : table_(&table), model_(family, table.k()) {}
+
+EstimationResult UniformityEstimator::Estimate(double tau, Rng& rng) const {
+  (void)rng;  // deterministic: no sampling involved
+  EstimationResult result;
+  const uint64_t n = table_->num_vectors();
+  const uint64_t total_pairs = n * (n - 1) / 2;
+  if (tau <= 0.0) {
+    result.estimate = static_cast<double>(total_pairs);
+    return result;
+  }
+
+  const double p_h_given_t = model_.ConditionalHGivenTrue(tau);
+  const double p_h_given_f = model_.ConditionalHGivenFalse(tau);
+  const double denom = p_h_given_t - p_h_given_f;
+  const double n_h = static_cast<double>(table_->NumSameBucketPairs());
+  const double m = static_cast<double>(total_pairs);
+  if (denom <= 0.0) {
+    result.guaranteed = false;
+    result.estimate = 0.0;
+    return result;
+  }
+  result.estimate = ClampEstimate((n_h - m * p_h_given_f) / denom,
+                                  total_pairs);
+  return result;
+}
+
+double UniformityEstimator::ClosedFormIdealized(
+    uint64_t num_same_bucket_pairs, uint64_t total_pairs, uint32_t k,
+    double tau) {
+  VSJ_CHECK(k > 0);
+  // Σ_{i=0}^{k-1} τ^i
+  double geo = 0.0;
+  double power = 1.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    geo += power;
+    power *= tau;
+  }
+  // After the loop `power` is τ^k.
+  return ((k + 1.0) * static_cast<double>(num_same_bucket_pairs) -
+          power * static_cast<double>(total_pairs)) /
+         geo;
+}
+
+}  // namespace vsj

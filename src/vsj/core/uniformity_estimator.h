@@ -1,0 +1,48 @@
+// Ĵ_U: the estimator with the uniformity assumption (paper §4.2, Eq. 4).
+//
+// From Bayes' rule, N_H = N_T·P(H|T) + N_F·P(H|F), so
+//
+//     Ĵ_U = (N_H − M·P̂(H|F)) / (P̂(H|T) − P̂(H|F)).            [Eq. 1]
+//
+// Assuming pair similarities are uniform on [0, 1], the conditionals are the
+// normalized areas of Figure 1; for the idealized f(s) = s^k this collapses
+// to the closed form
+//
+//     Ĵ_U = ((k+1)·N_H − τ^k·M) / Σ_{i=0}^{k-1} τ^i.           [Eq. 4]
+//
+// This estimator samples nothing: it reads N_H off the bucket counts. Its
+// bias is exactly the uniformity assumption, which real corpora violate
+// badly — it is included as the stepping stone to LSH-S, as in the paper.
+
+#ifndef VSJ_CORE_UNIFORMITY_ESTIMATOR_H_
+#define VSJ_CORE_UNIFORMITY_ESTIMATOR_H_
+
+#include "vsj/core/collision_model.h"
+#include "vsj/core/estimator.h"
+#include "vsj/lsh/lsh_table.h"
+
+namespace vsj {
+
+/// Sampling-free estimator under the uniform-similarity assumption.
+class UniformityEstimator final : public JoinSizeEstimator {
+ public:
+  /// `table` must have been built with `k` functions of `family`.
+  UniformityEstimator(const LshTable& table, const LshFamily& family);
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override { return "J_U"; }
+
+  /// The closed form of Eq. 4; only meaningful for identity-curve families
+  /// (exposed separately for tests and for the paper's formula).
+  static double ClosedFormIdealized(uint64_t num_same_bucket_pairs,
+                                    uint64_t total_pairs, uint32_t k,
+                                    double tau);
+
+ private:
+  const LshTable* table_;
+  CollisionModel model_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_UNIFORMITY_ESTIMATOR_H_

@@ -1,0 +1,160 @@
+#include "vsj/core/virtual_bucket_estimator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+namespace {
+
+inline uint64_t PackPair(VectorId u, VectorId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+VirtualBucketEstimator::VirtualBucketEstimator(const VectorDataset& dataset,
+                                               const LshIndex& index,
+                                               SimilarityMeasure measure,
+                                               LshSsOptions options)
+    : dataset_(&dataset),
+      index_(&index),
+      measure_(measure),
+      dampening_(options.dampening),
+      dampening_factor_(options.dampening_factor) {
+  VSJ_CHECK(dataset.size() >= 2);
+  const auto n = static_cast<uint64_t>(dataset.size());
+  sample_size_h_ = options.sample_size_h != 0 ? options.sample_size_h : n;
+  sample_size_l_ = options.sample_size_l != 0 ? options.sample_size_l : n;
+  delta_ = options.delta != 0
+               ? options.delta
+               : static_cast<uint64_t>(
+                     std::max(1.0, std::log2(static_cast<double>(n))));
+
+  // Exact |∪_t SH_t| by deduplication; the per-table totals are small by
+  // LSH design (Σ_t N_H^t ≈ ℓ·n in any healthy index).
+  std::unordered_set<uint64_t> distinct;
+  std::vector<double> table_weights;
+  for (uint32_t t = 0; t < index.num_tables(); ++t) {
+    const LshTable& table = index.table(t);
+    table_weights.push_back(static_cast<double>(table.NumSameBucketPairs()));
+    for (size_t b = 0; b < table.num_buckets(); ++b) {
+      const auto& members = table.bucket(b);
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          distinct.insert(PackPair(members[i], members[j]));
+        }
+      }
+    }
+  }
+  num_virtual_pairs_ = distinct.size();
+  bool any_positive = false;
+  for (double w : table_weights) any_positive |= w > 0.0;
+  if (any_positive) {
+    table_picker_ = std::make_unique<AliasTable>(table_weights);
+  }
+}
+
+uint32_t VirtualBucketEstimator::Multiplicity(VectorId u, VectorId v) const {
+  uint32_t count = 0;
+  for (uint32_t t = 0; t < index_->num_tables(); ++t) {
+    if (index_->table(t).SameBucket(u, v)) ++count;
+  }
+  return count;
+}
+
+VectorPair VirtualBucketEstimator::SampleVirtualPair(Rng& rng) const {
+  // Multiplicity rejection makes the draw uniform over the union.
+  while (true) {
+    const auto t = static_cast<uint32_t>(table_picker_->Sample(rng));
+    const VectorPair pair = index_->table(t).SampleSameBucketPair(rng);
+    const uint32_t mult = Multiplicity(pair.first, pair.second);
+    VSJ_DCHECK(mult >= 1);
+    if (mult == 1 || rng.NextDouble() < 1.0 / mult) return pair;
+  }
+}
+
+EstimationResult VirtualBucketEstimator::Estimate(double tau,
+                                                  Rng& rng) const {
+  EstimationResult result;
+  const uint64_t total_pairs = dataset_->NumPairs();
+  if (tau <= 0.0) {
+    result.estimate = static_cast<double>(total_pairs);
+    return result;
+  }
+
+  // --- SampleH over the virtual stratum. ---
+  double estimate_h = 0.0;
+  if (num_virtual_pairs_ > 0 && table_picker_ != nullptr) {
+    uint64_t hits = 0;
+    for (uint64_t s = 0; s < sample_size_h_; ++s) {
+      const VectorPair pair = SampleVirtualPair(rng);
+      if (Similarity(measure_, (*dataset_)[pair.first],
+                     (*dataset_)[pair.second]) >= tau) {
+        ++hits;
+      }
+    }
+    result.pairs_evaluated += sample_size_h_;
+    estimate_h = static_cast<double>(hits) *
+                 static_cast<double>(num_virtual_pairs_) /
+                 static_cast<double>(sample_size_h_);
+  }
+
+  // --- SampleL over pairs outside every table's buckets. ---
+  const uint64_t n_pairs_l = total_pairs - num_virtual_pairs_;
+  double estimate_l = 0.0;
+  bool reliable = true;
+  if (n_pairs_l > 0) {
+    const size_t n = dataset_->size();
+    uint64_t hits = 0;
+    uint64_t samples = 0;
+    while (hits < delta_ && samples < sample_size_l_) {
+      VectorId u, v;
+      do {
+        u = static_cast<VectorId>(rng.Below(n));
+        v = static_cast<VectorId>(rng.Below(n - 1));
+        if (v >= u) ++v;
+      } while (index_->SameBucketInAnyTable(u, v));
+      if (Similarity(measure_, (*dataset_)[u], (*dataset_)[v]) >= tau) {
+        ++hits;
+      }
+      ++samples;
+    }
+    result.pairs_evaluated += samples;
+    if (samples >= sample_size_l_ && hits < delta_) {
+      reliable = false;
+      switch (dampening_) {
+        case DampeningMode::kSafeLowerBound:
+          estimate_l = static_cast<double>(hits);
+          break;
+        case DampeningMode::kFixedFactor:
+          estimate_l = static_cast<double>(hits) * dampening_factor_ *
+                       static_cast<double>(n_pairs_l) /
+                       static_cast<double>(sample_size_l_);
+          break;
+        case DampeningMode::kAdaptiveNlOverDelta:
+          estimate_l = static_cast<double>(hits) *
+                       (static_cast<double>(hits) /
+                        static_cast<double>(delta_)) *
+                       static_cast<double>(n_pairs_l) /
+                       static_cast<double>(sample_size_l_);
+          break;
+      }
+    } else {
+      estimate_l = static_cast<double>(hits) *
+                   static_cast<double>(n_pairs_l) /
+                   static_cast<double>(samples);
+    }
+  }
+
+  result.stratum_h_estimate = estimate_h;
+  result.stratum_l_estimate = estimate_l;
+  result.guaranteed = reliable;
+  result.estimate = ClampEstimate(estimate_h + estimate_l, total_pairs);
+  return result;
+}
+
+}  // namespace vsj

@@ -1,0 +1,58 @@
+// Virtual-bucket estimator over multiple LSH tables (paper Appendix B.2.1).
+//
+// A pair is "in the same (virtual) bucket" iff it shares a bucket in ANY of
+// the ℓ tables, which relaxes an overly selective g (large k): stratum H
+// becomes the union ∪_t SH_t, capturing more true pairs. Algorithm 1 then
+// runs unchanged against the virtual strata:
+//   * N_H is computed exactly by deduplicating the same-bucket pairs of all
+//     tables (their total count is Σ_t N_H^t, small by LSH design).
+//   * Uniform sampling from the union uses multiplicity rejection: draw a
+//     table ∝ N_H^t, a pair within it, and accept with probability
+//     1/multiplicity(pair) where multiplicity counts the tables in which the
+//     pair shares a bucket.
+
+#ifndef VSJ_CORE_VIRTUAL_BUCKET_ESTIMATOR_H_
+#define VSJ_CORE_VIRTUAL_BUCKET_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "vsj/core/estimator.h"
+#include "vsj/core/lsh_ss_estimator.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/util/alias_table.h"
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+
+/// LSH-SS over virtual buckets (union of per-table strata H).
+class VirtualBucketEstimator final : public JoinSizeEstimator {
+ public:
+  VirtualBucketEstimator(const VectorDataset& dataset, const LshIndex& index,
+                         SimilarityMeasure measure, LshSsOptions options = {});
+
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+  std::string name() const override { return "LSH-SS(vbucket)"; }
+
+  /// |∪_t SH_t|: the exact virtual stratum-H size.
+  uint64_t NumVirtualSameBucketPairs() const { return num_virtual_pairs_; }
+
+ private:
+  VectorPair SampleVirtualPair(Rng& rng) const;
+  uint32_t Multiplicity(VectorId u, VectorId v) const;
+
+  const VectorDataset* dataset_;
+  const LshIndex* index_;
+  SimilarityMeasure measure_;
+  uint64_t sample_size_h_;
+  uint64_t sample_size_l_;
+  uint64_t delta_;
+  DampeningMode dampening_;
+  double dampening_factor_;
+  uint64_t num_virtual_pairs_ = 0;
+  std::unique_ptr<AliasTable> table_picker_;  // weight N_H^t per table
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_VIRTUAL_BUCKET_ESTIMATOR_H_

@@ -1,0 +1,38 @@
+// Trial runner: repeats an estimator R times with independent RNG streams
+// and aggregates accuracy and runtime, the protocol behind every figure of
+// the paper's §6 ("we report figures over 100 experiments").
+
+#ifndef VSJ_EVAL_EXPERIMENT_H_
+#define VSJ_EVAL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vsj/core/estimator.h"
+#include "vsj/eval/metrics.h"
+
+namespace vsj {
+
+/// Raw outcome of R repeated estimates at one threshold.
+struct TrialSeries {
+  double tau = 0.0;
+  std::vector<double> estimates;
+  std::vector<uint64_t> pairs_evaluated;
+  size_t num_unguaranteed = 0;  // trials flagged `guaranteed = false`
+  double mean_runtime_ms = 0.0;
+};
+
+/// Runs `trials` independent estimates of J(tau). Trial t uses the RNG
+/// stream derived from (seed, t) so results are reproducible and adding
+/// trials never perturbs earlier ones.
+TrialSeries RunTrials(const JoinSizeEstimator& estimator, double tau,
+                      size_t trials, uint64_t seed);
+
+/// Convenience: RunTrials + ComputeErrorStats against the true size.
+ErrorStats RunAndScore(const JoinSizeEstimator& estimator, double tau,
+                       size_t trials, uint64_t seed, double true_size);
+
+}  // namespace vsj
+
+#endif  // VSJ_EVAL_EXPERIMENT_H_

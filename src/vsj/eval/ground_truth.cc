@@ -1,0 +1,20 @@
+#include "vsj/eval/ground_truth.h"
+
+namespace vsj {
+
+std::vector<double> StandardThresholds() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+GroundTruth::GroundTruth(const VectorDataset& dataset,
+                         SimilarityMeasure measure,
+                         std::vector<double> thresholds)
+    : histogram_(dataset, measure, std::move(thresholds)) {}
+
+double GroundTruth::Selectivity(double tau) const {
+  const uint64_t total = TotalPairs();
+  if (total == 0) return 0.0;
+  return static_cast<double>(JoinSize(tau)) / static_cast<double>(total);
+}
+
+}  // namespace vsj

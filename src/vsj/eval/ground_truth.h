@@ -1,0 +1,42 @@
+// Ground-truth oracle: exact J(τ) for a dataset at a set of thresholds.
+
+#ifndef VSJ_EVAL_GROUND_TRUTH_H_
+#define VSJ_EVAL_GROUND_TRUTH_H_
+
+#include <memory>
+#include <vector>
+
+#include "vsj/join/similarity_histogram.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// The paper's standard threshold grid {0.1, 0.2, ..., 1.0}.
+std::vector<double> StandardThresholds();
+
+/// Wraps the exact similarity histogram with join-size accessors.
+class GroundTruth {
+ public:
+  /// Computes exact join sizes for every τ in `thresholds` (one parallel
+  /// pass over the inverted index regardless of the number of thresholds).
+  GroundTruth(const VectorDataset& dataset, SimilarityMeasure measure,
+              std::vector<double> thresholds);
+
+  /// Exact J(τ) for a registered threshold.
+  uint64_t JoinSize(double tau) const { return histogram_.CountAtLeast(tau); }
+
+  /// J(τ) / M.
+  double Selectivity(double tau) const;
+
+  uint64_t TotalPairs() const { return histogram_.NumTotalPairs(); }
+
+  const SimilarityHistogram& histogram() const { return histogram_; }
+
+ private:
+  SimilarityHistogram histogram_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_EVAL_GROUND_TRUTH_H_

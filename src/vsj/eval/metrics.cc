@@ -1,0 +1,59 @@
+#include "vsj/eval/metrics.h"
+
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+ErrorStats ComputeErrorStats(const std::vector<double>& estimates,
+                             double true_size) {
+  VSJ_CHECK(!estimates.empty());
+  VSJ_CHECK_MSG(true_size > 0.0, "relative error undefined for J = 0");
+  ErrorStats stats;
+  stats.num_trials = estimates.size();
+  stats.true_size = true_size;
+
+  double sum = 0.0;
+  double over_sum = 0.0;
+  double under_sum = 0.0;
+  double abs_sum = 0.0;
+  for (double estimate : estimates) {
+    sum += estimate;
+    const double rel = (estimate - true_size) / true_size;
+    abs_sum += std::fabs(rel);
+    if (estimate > true_size) {
+      over_sum += rel;
+      ++stats.num_overestimates;
+      if (estimate / true_size >= 10.0) ++stats.num_big_overestimates;
+    } else if (estimate < true_size) {
+      under_sum += rel;
+      ++stats.num_underestimates;
+      if (estimate <= 0.0 || true_size / estimate >= 10.0) {
+        ++stats.num_big_underestimates;
+      }
+    }
+  }
+  const double n = static_cast<double>(stats.num_trials);
+  stats.mean_estimate = sum / n;
+  stats.mean_absolute_relative_error = abs_sum / n;
+  if (stats.num_overestimates > 0) {
+    stats.mean_overestimation =
+        over_sum / static_cast<double>(stats.num_overestimates);
+  }
+  if (stats.num_underestimates > 0) {
+    stats.mean_underestimation =
+        under_sum / static_cast<double>(stats.num_underestimates);
+  }
+
+  double sq_sum = 0.0;
+  for (double estimate : estimates) {
+    const double d = estimate - stats.mean_estimate;
+    sq_sum += d * d;
+  }
+  // Population STD, as in reporting the spread of repeated experiments.
+  stats.std_dev = std::sqrt(sq_sum / n);
+  return stats;
+}
+
+}  // namespace vsj

@@ -1,0 +1,49 @@
+// Accuracy metrics matching the paper's evaluation protocol (§6.1):
+// relative errors reported separately for over- and underestimation, the
+// standard deviation of the estimates across trials, and the "big error"
+// counts (Ĵ/J ≥ 10 or J/Ĵ ≥ 10) of Appendix C.2.
+
+#ifndef VSJ_EVAL_METRICS_H_
+#define VSJ_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vsj {
+
+/// Aggregated accuracy of a set of independent estimates of one true value.
+struct ErrorStats {
+  size_t num_trials = 0;
+  double true_size = 0.0;
+
+  double mean_estimate = 0.0;
+  double std_dev = 0.0;  // STD σ of the estimates (paper's variance plots)
+
+  /// Mean signed relative error (Ĵ − J)/J over overestimating trials, as a
+  /// fraction (0.5 = +50%); 0 when no trial overestimates.
+  double mean_overestimation = 0.0;
+  size_t num_overestimates = 0;
+
+  /// Mean signed relative error over underestimating trials (negative).
+  double mean_underestimation = 0.0;
+  size_t num_underestimates = 0;
+
+  /// Mean |Ĵ − J| / J over all trials (App. C.2's "average relative error").
+  double mean_absolute_relative_error = 0.0;
+
+  /// Trials with Ĵ/J ≥ 10 resp. J/Ĵ ≥ 10 (Ĵ = 0 with J > 0 counts as a big
+  /// underestimation).
+  size_t num_big_overestimates = 0;
+  size_t num_big_underestimates = 0;
+};
+
+/// Computes ErrorStats for `estimates` of the true value `true_size`.
+/// `true_size` must be positive (callers skip thresholds with J = 0, as the
+/// paper's relative-error metric is undefined there).
+ErrorStats ComputeErrorStats(const std::vector<double>& estimates,
+                             double true_size);
+
+}  // namespace vsj
+
+#endif  // VSJ_EVAL_METRICS_H_

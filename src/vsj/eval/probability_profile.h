@@ -1,0 +1,47 @@
+// Exact stratification probabilities P(T), P(T|H), P(H|T), P(T|L) per
+// threshold — Tables 1 and 2 of the paper, and the quantities (α, β) whose
+// assumed ranges drive Theorems 1-3.
+
+#ifndef VSJ_EVAL_PROBABILITY_PROFILE_H_
+#define VSJ_EVAL_PROBABILITY_PROFILE_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "vsj/eval/ground_truth.h"
+#include "vsj/lsh/lsh_table.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// One row of Table 1 / Table 2.
+struct ProbabilityRow {
+  double tau = 0.0;
+  uint64_t join_size = 0;      // J = N_T
+  uint64_t true_in_h = 0;      // J_H: true pairs that share a bucket
+  double p_true = 0.0;         // P(T)
+  double p_true_given_h = 0.0; // α = P(T|H)
+  double p_h_given_true = 0.0; // P(H|T)
+  double p_true_given_l = 0.0; // β = P(T|L)
+};
+
+/// Computes exact rows for every threshold of `truth` (which must have been
+/// built over `dataset` with `measure`). Cost: O(N_H) pair similarity
+/// evaluations inside buckets plus the ground truth already computed.
+std::vector<ProbabilityRow> ComputeProbabilityProfile(
+    const VectorDataset& dataset, const LshTable& table,
+    SimilarityMeasure measure, const GroundTruth& truth);
+
+/// The theorem assumptions for reference: at high thresholds LSH-SS assumes
+/// α ≥ log₂(n)/n and β < 1/n; at low thresholds β ≥ log₂(n)/n (§5.2).
+struct TheoremThresholds {
+  double alpha_floor = 0.0;  // log₂(n)/n
+  double beta_high_ceiling = 0.0;  // 1/n
+};
+TheoremThresholds ComputeTheoremThresholds(size_t n);
+
+}  // namespace vsj
+
+#endif  // VSJ_EVAL_PROBABILITY_PROFILE_H_

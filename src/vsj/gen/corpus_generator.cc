@@ -1,0 +1,152 @@
+#include "vsj/gen/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "vsj/gen/zipf.h"
+#include "vsj/util/check.h"
+#include "vsj/util/rng.h"
+
+namespace vsj {
+
+namespace {
+
+/// Draws a document length from the configured lognormal.
+size_t DrawLength(const CorpusConfig& config, Rng& rng) {
+  const double sigma = config.length_sigma;
+  const double mu = std::log(config.mean_length) - sigma * sigma / 2.0;
+  const double raw = std::exp(mu + sigma * rng.NextGaussian());
+  auto len = static_cast<size_t>(std::lround(raw));
+  return std::clamp(len, config.min_length, config.max_length);
+}
+
+/// Samples `count` distinct word ids from the Zipf background.
+std::vector<DimId> DrawDistinctWords(const ZipfSampler& words, size_t count,
+                                     Rng& rng) {
+  std::unordered_set<DimId> seen;
+  std::vector<DimId> out;
+  out.reserve(count);
+  // Rejection: with vocab >> doc length the expected number of retries per
+  // word is tiny except for the few most popular words.
+  size_t attempts = 0;
+  const size_t max_attempts = count * 64 + 256;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    DimId word = words.Sample(rng);
+    if (seen.insert(word).second) out.push_back(word);
+  }
+  // Pathological configs (count close to vocab size): fill sequentially.
+  DimId next = 0;
+  while (out.size() < count) {
+    if (seen.insert(next).second) out.push_back(next);
+    ++next;
+  }
+  return out;
+}
+
+/// tf·idf-style weight for a word, with multiplicative lognormal jitter.
+float TfIdfWeight(const ZipfSampler& words, DimId word, Rng& rng) {
+  // idf from the generating distribution itself: rare words weigh more.
+  const double idf = std::log(1.0 + 1.0 / words.Probability(word));
+  const double tf = 1.0 + rng.Below(3);  // term frequency 1..3
+  const double jitter = std::exp(0.2 * rng.NextGaussian());
+  return static_cast<float>(tf * idf * jitter);
+}
+
+/// Builds the feature list for a fresh (base) document.
+std::vector<Feature> MakeBaseDoc(const CorpusConfig& config,
+                                 const ZipfSampler& words, Rng& rng) {
+  const size_t len = DrawLength(config, rng);
+  std::vector<DimId> dims = DrawDistinctWords(words, len, rng);
+  std::vector<Feature> features;
+  features.reserve(dims.size());
+  for (DimId d : dims) {
+    const float w = config.weights == WeightScheme::kBinary
+                        ? 1.0f
+                        : TfIdfWeight(words, d, rng);
+    features.push_back(Feature{d, w});
+  }
+  return features;
+}
+
+/// Perturbs a base document into a near-duplicate copy.
+std::vector<Feature> Mutate(const CorpusConfig& config,
+                            const ZipfSampler& words,
+                            const std::vector<Feature>& base, Rng& rng) {
+  if (rng.NextBool(config.exact_copy_fraction)) return base;
+  const double rate =
+      config.min_mutation +
+      rng.NextDouble() * (config.max_mutation - config.min_mutation);
+  std::vector<Feature> features;
+  features.reserve(base.size() + 4);
+  std::unordered_set<DimId> present;
+  for (const Feature& f : base) {
+    if (rng.NextBool(rate)) continue;  // drop
+    Feature copy = f;
+    if (config.weights == WeightScheme::kTfIdf && rng.NextBool(rate)) {
+      copy.weight *= static_cast<float>(std::exp(0.15 * rng.NextGaussian()));
+    }
+    features.push_back(copy);
+    present.insert(copy.dim);
+  }
+  // Add ~rate·len fresh words.
+  const auto additions = static_cast<size_t>(
+      std::lround(rate * static_cast<double>(base.size())));
+  for (size_t a = 0; a < additions; ++a) {
+    DimId word = words.Sample(rng);
+    if (!present.insert(word).second) continue;
+    const float w = config.weights == WeightScheme::kBinary
+                        ? 1.0f
+                        : TfIdfWeight(words, word, rng);
+    features.push_back(Feature{word, w});
+  }
+  if (features.empty()) features = base;  // never emit an empty document
+  return features;
+}
+
+}  // namespace
+
+VectorDataset GenerateCorpus(const CorpusConfig& config) {
+  VSJ_CHECK(config.num_vectors > 0);
+  VSJ_CHECK(config.vocab_size >= config.max_length);
+  VSJ_CHECK(config.min_length > 0 && config.min_length <= config.max_length);
+  VSJ_CHECK(config.min_mutation >= 0.0 &&
+            config.min_mutation <= config.max_mutation);
+  VSJ_CHECK(config.cluster_fraction >= 0.0 && config.cluster_fraction <= 1.0);
+  VSJ_CHECK(config.exact_copy_fraction >= 0.0 &&
+            config.exact_copy_fraction <= 1.0);
+  VSJ_CHECK(config.mean_cluster_size >= 2.0);
+
+  Rng rng(config.seed);
+  ZipfSampler words(config.vocab_size, config.zipf_exponent);
+  VectorDataset dataset(config.name);
+
+  // A cluster of size c contributes c documents, of which c-1 are copies;
+  // to make the *document* fraction in clusters ≈ cluster_fraction, start a
+  // cluster with probability cluster_fraction / mean_cluster_size per
+  // emitted base document.
+  const double cluster_start_prob =
+      config.cluster_fraction / config.mean_cluster_size;
+  // Geometric offset: size = 2 + Geom(p) has mean 2 + (1-p)/p.
+  const double extra = std::max(0.0, config.mean_cluster_size - 2.0);
+  const double geom_p = 1.0 / (1.0 + extra);
+
+  while (dataset.size() < config.num_vectors) {
+    std::vector<Feature> base = MakeBaseDoc(config, words, rng);
+    dataset.Add(SparseVector(base));
+    if (dataset.size() >= config.num_vectors) break;
+    if (!rng.NextBool(cluster_start_prob)) continue;
+
+    size_t cluster_size = 2;
+    while (!rng.NextBool(geom_p)) ++cluster_size;
+    for (size_t c = 1; c < cluster_size; ++c) {
+      if (dataset.size() >= config.num_vectors) break;
+      dataset.Add(SparseVector(Mutate(config, words, base, rng)));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace vsj

@@ -1,0 +1,77 @@
+#include "vsj/gen/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vsj {
+
+namespace {
+
+size_t HeapsVocab(size_t n, double paper_vocab, double paper_n,
+                  size_t min_vocab) {
+  const double scaled =
+      paper_vocab * std::pow(static_cast<double>(n) / paper_n, 0.7);
+  return std::max(min_vocab, static_cast<size_t>(std::lround(scaled)));
+}
+
+}  // namespace
+
+CorpusConfig DblpLikeConfig(size_t num_vectors, uint64_t seed) {
+  CorpusConfig config;
+  config.name = "dblp-like";
+  config.num_vectors = num_vectors;
+  config.vocab_size = HeapsVocab(num_vectors, 56000.0, 794016.0, 3000);
+  config.zipf_exponent = 0.9;
+  config.mean_length = 14.0;
+  config.length_sigma = 0.45;
+  config.min_length = 3;
+  config.max_length = std::min<size_t>(220, config.vocab_size);
+  config.weights = WeightScheme::kBinary;
+  config.cluster_fraction = 0.03;
+  config.mean_cluster_size = 2.5;
+  config.min_mutation = 0.02;
+  config.max_mutation = 0.6;
+  config.seed = seed;
+  return config;
+}
+
+CorpusConfig NytLikeConfig(size_t num_vectors, uint64_t seed) {
+  CorpusConfig config;
+  config.name = "nyt-like";
+  config.num_vectors = num_vectors;
+  config.vocab_size = HeapsVocab(num_vectors, 100000.0, 149649.0, 8000);
+  config.zipf_exponent = 0.85;
+  config.mean_length = 232.0;
+  config.length_sigma = 0.35;
+  config.min_length = 40;
+  config.max_length = std::min<size_t>(900, config.vocab_size);
+  config.weights = WeightScheme::kTfIdf;
+  config.cluster_fraction = 0.05;
+  config.mean_cluster_size = 2.5;
+  config.min_mutation = 0.02;
+  config.max_mutation = 0.85;
+  config.seed = seed;
+  return config;
+}
+
+CorpusConfig PubmedLikeConfig(size_t num_vectors, uint64_t seed) {
+  CorpusConfig config;
+  config.name = "pubmed-like";
+  config.num_vectors = num_vectors;
+  config.vocab_size = HeapsVocab(num_vectors, 140000.0, 400151.0, 8000);
+  config.zipf_exponent = 0.85;
+  config.mean_length = 120.0;
+  config.length_sigma = 0.4;
+  config.min_length = 20;
+  config.max_length = std::min<size_t>(600, config.vocab_size);
+  config.weights = WeightScheme::kTfIdf;
+  // The paper notes PUBMED is "largely dissimilar"; fewer, looser clusters.
+  config.cluster_fraction = 0.03;
+  config.mean_cluster_size = 2.2;
+  config.min_mutation = 0.05;
+  config.max_mutation = 0.85;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace vsj

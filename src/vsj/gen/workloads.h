@@ -1,0 +1,31 @@
+// Workload presets mirroring the paper's three corpora (Appendix C.1),
+// parameterized by scale n.
+//
+//   DBLP:   794,016 binary vectors, ~56k dims, avg 14 features (3..219)
+//   NYT:    149,649 TF-IDF vectors, ~100k dims, avg 232 features
+//   PUBMED: 400,151 TF-IDF vectors, ~140k dims
+//
+// Vocabulary size follows a Heaps-law scaling V(n) = V_paper · (n/n_paper)^0.7
+// so that down-scaled corpora keep a comparable token/type balance.
+
+#ifndef VSJ_GEN_WORKLOADS_H_
+#define VSJ_GEN_WORKLOADS_H_
+
+#include <cstddef>
+
+#include "vsj/gen/corpus_generator.h"
+
+namespace vsj {
+
+/// DBLP-like: binary bag-of-words over titles+authors.
+CorpusConfig DblpLikeConfig(size_t num_vectors, uint64_t seed = 1);
+
+/// NYT-like: TF-IDF news articles (long documents).
+CorpusConfig NytLikeConfig(size_t num_vectors, uint64_t seed = 2);
+
+/// PUBMED-like: TF-IDF abstracts; the paper runs this workload with k = 5.
+CorpusConfig PubmedLikeConfig(size_t num_vectors, uint64_t seed = 3);
+
+}  // namespace vsj
+
+#endif  // VSJ_GEN_WORKLOADS_H_

@@ -1,0 +1,26 @@
+#include "vsj/gen/zipf.h"
+
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+namespace {
+
+std::vector<double> ZipfWeights(size_t num_items, double exponent) {
+  VSJ_CHECK(num_items > 0);
+  VSJ_CHECK(exponent >= 0.0);
+  std::vector<double> weights(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return weights;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(size_t num_items, double exponent)
+    : exponent_(exponent), table_(ZipfWeights(num_items, exponent)) {}
+
+}  // namespace vsj

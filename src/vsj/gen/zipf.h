@@ -1,0 +1,43 @@
+// Bounded Zipfian sampler over word ids {0, ..., V-1}.
+//
+// Word frequencies in real corpora (DBLP titles, NYT articles, PubMed
+// abstracts) are Zipf-distributed; the corpus generators use this sampler as
+// the background word source. O(V) construction, O(1) sampling via the alias
+// method.
+
+#ifndef VSJ_GEN_ZIPF_H_
+#define VSJ_GEN_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vsj/util/alias_table.h"
+#include "vsj/util/rng.h"
+
+namespace vsj {
+
+/// P(word = i) ∝ 1 / (i + 1)^exponent for i in [0, num_items).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t num_items, double exponent);
+
+  size_t num_items() const { return table_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Draws one word id.
+  uint32_t Sample(Rng& rng) const {
+    return static_cast<uint32_t>(table_.Sample(rng));
+  }
+
+  /// Normalized probability of word `i`.
+  double Probability(size_t i) const { return table_.Probability(i); }
+
+ private:
+  double exponent_;
+  AliasTable table_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_GEN_ZIPF_H_

@@ -1,0 +1,97 @@
+#include "vsj/io/dataset_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace vsj {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'S', 'J', 'D'};
+constexpr uint32_t kVersion = 1;
+// Guards against allocating absurd sizes from corrupt headers.
+constexpr uint64_t kMaxReasonableCount = 1ULL << 40;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool WriteDataset(const VectorDataset& dataset, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  WritePod(os, kVersion);
+  const std::string& name = dataset.name();
+  WritePod(os, static_cast<uint64_t>(name.size()));
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  WritePod(os, static_cast<uint64_t>(dataset.size()));
+  for (const SparseVector& v : dataset.vectors()) {
+    WritePod(os, static_cast<uint32_t>(v.size()));
+    for (const Feature& f : v.features()) {
+      WritePod(os, f.dim);
+      WritePod(os, f.weight);
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+bool ReadDataset(std::istream& is, VectorDataset* dataset) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  uint32_t version = 0;
+  if (!ReadPod(is, &version) || version != kVersion) return false;
+  uint64_t name_length = 0;
+  if (!ReadPod(is, &name_length) || name_length > kMaxReasonableCount) {
+    return false;
+  }
+  std::string name(name_length, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(name_length));
+  if (!is) return false;
+
+  uint64_t num_vectors = 0;
+  if (!ReadPod(is, &num_vectors) || num_vectors > kMaxReasonableCount) {
+    return false;
+  }
+  *dataset = VectorDataset(std::move(name));
+  for (uint64_t i = 0; i < num_vectors; ++i) {
+    uint32_t num_features = 0;
+    if (!ReadPod(is, &num_features)) return false;
+    std::vector<Feature> features;
+    features.reserve(num_features);
+    for (uint32_t f = 0; f < num_features; ++f) {
+      Feature feature;
+      if (!ReadPod(is, &feature.dim) || !ReadPod(is, &feature.weight)) {
+        return false;
+      }
+      features.push_back(feature);
+    }
+    dataset->Add(SparseVector(std::move(features)));
+  }
+  return true;
+}
+
+bool SaveDatasetToFile(const VectorDataset& dataset,
+                       const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  return WriteDataset(dataset, os);
+}
+
+bool LoadDatasetFromFile(const std::string& path, VectorDataset* dataset) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return ReadDataset(is, dataset);
+}
+
+}  // namespace vsj

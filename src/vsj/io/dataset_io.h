@@ -1,0 +1,39 @@
+// Binary persistence for vector datasets.
+//
+// A pre-built LSH index is assumed by the paper ("we assume a pre-built LSH
+// index with parameters optimized for its similarity search", §6.3); in a
+// deployment the vectors live on disk and the index is rebuilt or memory-
+// mapped at startup. This module supplies the dataset half: a compact,
+// versioned little-endian format
+//
+//   magic "VSJD" | u32 version | u64 name length | name bytes |
+//   u64 num vectors | per vector: u32 num features | (u32 dim, f32 weight)*
+//
+// LSH tables are cheap to rebuild deterministically from (family seed, k),
+// so only the vectors are persisted.
+
+#ifndef VSJ_IO_DATASET_IO_H_
+#define VSJ_IO_DATASET_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Serializes `dataset` to `os`. Returns false on stream failure.
+bool WriteDataset(const VectorDataset& dataset, std::ostream& os);
+
+/// Deserializes a dataset from `is`. Returns false on malformed input or
+/// stream failure; `*dataset` is unspecified on failure.
+bool ReadDataset(std::istream& is, VectorDataset* dataset);
+
+/// File wrappers.
+bool SaveDatasetToFile(const VectorDataset& dataset,
+                       const std::string& path);
+bool LoadDatasetFromFile(const std::string& path, VectorDataset* dataset);
+
+}  // namespace vsj
+
+#endif  // VSJ_IO_DATASET_IO_H_

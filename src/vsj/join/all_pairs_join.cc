@@ -1,0 +1,133 @@
+#include "vsj/join/all_pairs_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vsj/join/inverted_index.h"
+#include "vsj/util/check.h"
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+
+namespace {
+
+/// A vector normalized to unit length with features reordered by decreasing
+/// global document frequency (most frequent first), as in All-Pairs.
+struct NormalizedVector {
+  std::vector<Feature> features;  // weights divided by the L2 norm
+};
+
+struct Candidate {
+  VectorId id;
+  double partial;  // accumulated dot product from indexed features
+};
+
+}  // namespace
+
+std::vector<JoinPair> AllPairsJoin(const VectorDataset& dataset, double tau,
+                                   AllPairsStats* stats) {
+  VSJ_CHECK_MSG(tau > 0.0, "All-Pairs requires a positive threshold");
+  const size_t n = dataset.size();
+  std::vector<JoinPair> result;
+  if (n < 2) return result;
+
+  // Global document frequencies -> feature order (decreasing df).
+  size_t num_dims = 0;
+  for (const SparseVector& v : dataset.vectors()) {
+    num_dims = std::max<size_t>(num_dims, v.dim_bound());
+  }
+  std::vector<uint32_t> df(num_dims, 0);
+  for (const SparseVector& v : dataset.vectors()) {
+    for (const Feature& f : v.features()) ++df[f.dim];
+  }
+
+  std::vector<NormalizedVector> docs(n);
+  for (VectorId id = 0; id < n; ++id) {
+    const SparseVector& v = dataset[id];
+    NormalizedVector& doc = docs[id];
+    doc.features.reserve(v.size());
+    const double norm = v.norm();
+    if (norm == 0.0) continue;
+    for (const Feature& f : v.features()) {
+      doc.features.push_back(
+          Feature{f.dim, static_cast<float>(f.weight / norm)});
+    }
+    std::sort(doc.features.begin(), doc.features.end(),
+              [&](const Feature& a, const Feature& b) {
+                if (df[a.dim] != df[b.dim]) return df[a.dim] > df[b.dim];
+                return a.dim < b.dim;
+              });
+  }
+
+  // Dynamic inverted index over already-processed vectors.
+  std::vector<std::vector<Posting>> index(num_dims);
+  // Dense accumulator + touched list for candidate scores.
+  std::vector<double> score(n, 0.0);
+  std::vector<char> admitted(n, 0);
+  std::vector<VectorId> touched;
+
+  AllPairsStats local_stats;
+  for (VectorId x = 0; x < n; ++x) {
+    const auto& xf = docs[x].features;
+    if (xf.empty()) continue;
+
+    // remscore: upper bound on the dot-product mass of unscanned features.
+    // cos(x, y) = Σ x_i y_i with both unit vectors, so each term is at most
+    // x_i (since y_i ≤ 1). Scanning rare features first makes remscore drop
+    // fastest for the features where new candidates are cheapest to admit.
+    double remscore = 0.0;
+    for (const Feature& f : xf) remscore += f.weight;
+
+    // Normalized weights are single-precision; keep a rounding margin so
+    // pruning and acceptance decisions at the exact threshold match the
+    // canonical double-precision CosineSimilarity.
+    constexpr double kFloatMargin = 1e-5;
+    touched.clear();
+    // Scan in reverse order: least-frequent features first.
+    for (auto it = xf.rbegin(); it != xf.rend(); ++it) {
+      const bool admit_new = remscore >= tau - kFloatMargin;
+      for (const Posting& p : index[it->dim]) {
+        if (!admitted[p.id]) {
+          if (!admit_new) continue;
+          admitted[p.id] = 1;
+          touched.push_back(p.id);
+          ++local_stats.candidates_admitted;
+        }
+        score[p.id] += static_cast<double>(it->weight) * p.weight;
+      }
+      remscore -= it->weight;
+    }
+
+    for (VectorId y : touched) {
+      ++local_stats.verifications;
+      // score[y] is the cosine up to float rounding of the normalized
+      // postings: every feature of x was scanned and the index holds all
+      // features of y. Candidates inside the rounding band of τ are
+      // re-verified with the canonical double-precision similarity.
+      double sim = SnapUnitSimilarity(std::min(score[y], 1.0));
+      if (std::fabs(sim - tau) < kFloatMargin) {
+        sim = CosineSimilarity(dataset[x], dataset[y]);
+      }
+      if (sim >= tau) {
+        result.push_back(JoinPair{std::min(x, y), std::max(x, y), sim});
+        ++local_stats.result_pairs;
+      }
+      score[y] = 0.0;
+      admitted[y] = 0;
+    }
+
+    for (const Feature& f : xf) {
+      index[f.dim].push_back(Posting{x, f.weight});
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+uint64_t AllPairsJoinSize(const VectorDataset& dataset, double tau,
+                          AllPairsStats* stats) {
+  return AllPairsJoin(dataset, tau, stats).size();
+}
+
+}  // namespace vsj

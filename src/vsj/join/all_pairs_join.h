@@ -1,0 +1,43 @@
+// Exact cosine similarity self-join with candidate pruning, in the style of
+// Bayardo, Ma & Srikant's All-Pairs (WWW 2007) — the join-processing
+// algorithm whose query-optimization needs motivate the paper.
+//
+// The algorithm streams vectors through a dynamically grown inverted index.
+// For the probe vector x it scans features in decreasing-document-frequency
+// order while maintaining `remscore`, an upper bound on the similarity
+// contribution of the not-yet-scanned features; new candidates stop being
+// admitted once remscore < τ (they could never reach the threshold through
+// the remaining features alone). Admitted candidates are verified with an
+// exact dot product. The result is exact.
+
+#ifndef VSJ_JOIN_ALL_PAIRS_JOIN_H_
+#define VSJ_JOIN_ALL_PAIRS_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vsj/join/brute_force_join.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Statistics of one All-Pairs run (for cost reporting and tests).
+struct AllPairsStats {
+  uint64_t candidates_admitted = 0;
+  uint64_t verifications = 0;
+  uint64_t result_pairs = 0;
+};
+
+/// Exact cosine self-join: all unordered pairs with cos(u, v) ≥ tau.
+/// `tau` must be positive (prefix pruning is meaningless at τ ≤ 0).
+/// Pairs are emitted with first < second; order is unspecified.
+std::vector<JoinPair> AllPairsJoin(const VectorDataset& dataset, double tau,
+                                   AllPairsStats* stats = nullptr);
+
+/// Size-only variant.
+uint64_t AllPairsJoinSize(const VectorDataset& dataset, double tau,
+                          AllPairsStats* stats = nullptr);
+
+}  // namespace vsj
+
+#endif  // VSJ_JOIN_ALL_PAIRS_JOIN_H_

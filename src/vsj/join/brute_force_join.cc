@@ -1,0 +1,46 @@
+#include "vsj/join/brute_force_join.h"
+
+namespace vsj {
+
+uint64_t BruteForceJoinSize(const VectorDataset& dataset,
+                            SimilarityMeasure measure, double tau) {
+  uint64_t count = 0;
+  const size_t n = dataset.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (Similarity(measure, dataset[i], dataset[j]) >= tau) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<JoinPair> BruteForceJoinPairs(const VectorDataset& dataset,
+                                          SimilarityMeasure measure,
+                                          double tau) {
+  std::vector<JoinPair> pairs;
+  const size_t n = dataset.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double sim = Similarity(measure, dataset[i], dataset[j]);
+      if (sim >= tau) {
+        pairs.push_back(JoinPair{static_cast<VectorId>(i),
+                                 static_cast<VectorId>(j), sim});
+      }
+    }
+  }
+  return pairs;
+}
+
+uint64_t BruteForceGeneralJoinSize(const VectorDataset& left,
+                                   const VectorDataset& right,
+                                   SimilarityMeasure measure, double tau) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (Similarity(measure, left[i], right[j]) >= tau) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace vsj

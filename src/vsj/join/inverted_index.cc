@@ -1,0 +1,27 @@
+#include "vsj/join/inverted_index.h"
+
+namespace vsj {
+
+InvertedIndex::InvertedIndex(const VectorDataset& dataset) {
+  size_t num_dims = 0;
+  for (const SparseVector& v : dataset.vectors()) {
+    num_dims = std::max<size_t>(num_dims, v.dim_bound());
+  }
+  postings_.resize(num_dims);
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    for (const Feature& f : dataset[id].features()) {
+      postings_[f.dim].push_back(Posting{id, f.weight});
+    }
+  }
+}
+
+uint64_t InvertedIndex::NumCandidateOperations() const {
+  uint64_t total = 0;
+  for (const auto& list : postings_) {
+    const uint64_t df = list.size();
+    total += df * (df - 1) / 2;
+  }
+  return total;
+}
+
+}  // namespace vsj

@@ -1,0 +1,145 @@
+#include "vsj/join/similarity_histogram.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "vsj/join/inverted_index.h"
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+namespace {
+
+/// Per-thread accumulation state.
+struct Worker {
+  std::vector<double> acc;          // shared-weight accumulator per partner
+  std::vector<VectorId> touched;    // partners with non-zero accumulator
+  std::vector<uint64_t> bins;
+  std::vector<uint64_t> exact_counts;
+  uint64_t positive_pairs = 0;
+};
+
+}  // namespace
+
+SimilarityHistogram::SimilarityHistogram(const VectorDataset& dataset,
+                                         SimilarityMeasure measure,
+                                         std::vector<double> exact_thresholds,
+                                         size_t num_bins,
+                                         unsigned num_threads)
+    : exact_thresholds_(std::move(exact_thresholds)) {
+  VSJ_CHECK(num_bins > 0);
+  std::sort(exact_thresholds_.begin(), exact_thresholds_.end());
+  for (double tau : exact_thresholds_) {
+    VSJ_CHECK_MSG(tau > 0.0 && tau <= 1.0,
+                  "exact thresholds must lie in (0, 1], got %f", tau);
+  }
+  exact_counts_.assign(exact_thresholds_.size(), 0);
+  bins_.assign(num_bins, 0);
+  const uint64_t n = dataset.size();
+  num_total_pairs_ = n * (n - 1) / 2;
+  if (n < 2) return;
+
+  const InvertedIndex index(dataset);
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min<unsigned>(num_threads, static_cast<unsigned>(n));
+
+  std::vector<Worker> workers(num_threads);
+  std::atomic<VectorId> next_probe{1};  // probe 0 has no smaller partners
+
+  auto run = [&](Worker& w) {
+    w.acc.assign(n, 0.0);
+    w.bins.assign(bins_.size(), 0);
+    w.exact_counts.assign(exact_thresholds_.size(), 0);
+    const double bin_scale = static_cast<double>(bins_.size());
+
+    while (true) {
+      const VectorId i = next_probe.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      const SparseVector& u = dataset[i];
+
+      // Accumulate, for every partner j < i sharing a dimension with u,
+      // the cosine numerator (dot product) or the Jaccard numerator
+      // (Σ min weights) in one pass over u's postings.
+      for (const Feature& f : u.features()) {
+        const auto& postings = index.postings(f.dim);
+        for (const Posting& p : postings) {
+          if (p.id >= i) break;  // postings are in increasing id order
+          double contribution;
+          if (measure == SimilarityMeasure::kCosine) {
+            contribution = static_cast<double>(f.weight) * p.weight;
+          } else {
+            contribution = std::min<double>(f.weight, p.weight);
+          }
+          if (contribution <= 0.0) continue;  // avoid re-pushing on underflow
+          if (w.acc[p.id] == 0.0) w.touched.push_back(p.id);
+          w.acc[p.id] += contribution;
+        }
+      }
+
+      for (VectorId j : w.touched) {
+        const SparseVector& v = dataset[j];
+        double sim;
+        if (measure == SimilarityMeasure::kCosine) {
+          const double denom = u.norm() * v.norm();
+          sim = denom > 0.0 ? std::min(w.acc[j] / denom, 1.0) : 0.0;
+        } else {
+          const double min_sum = w.acc[j];
+          const double union_sum = u.l1_norm() + v.l1_norm() - min_sum;
+          sim = union_sum > 0.0 ? std::min(min_sum / union_sum, 1.0) : 0.0;
+        }
+        sim = SnapUnitSimilarity(sim);
+        w.acc[j] = 0.0;
+        ++w.positive_pairs;
+        auto bin = static_cast<size_t>(sim * bin_scale);
+        if (bin >= w.bins.size()) bin = w.bins.size() - 1;
+        ++w.bins[bin];
+        // exact_thresholds_ is sorted: count how many thresholds sim meets.
+        auto it = std::upper_bound(exact_thresholds_.begin(),
+                                   exact_thresholds_.end(), sim);
+        for (size_t t = 0; t < static_cast<size_t>(
+                                   it - exact_thresholds_.begin());
+             ++t) {
+          ++w.exact_counts[t];
+        }
+      }
+      w.touched.clear();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (Worker& w : workers) threads.emplace_back(run, std::ref(w));
+  for (std::thread& t : threads) t.join();
+
+  for (const Worker& w : workers) {
+    num_positive_pairs_ += w.positive_pairs;
+    for (size_t b = 0; b < bins_.size(); ++b) bins_[b] += w.bins[b];
+    for (size_t t = 0; t < exact_counts_.size(); ++t) {
+      exact_counts_[t] += w.exact_counts[t];
+    }
+  }
+}
+
+uint64_t SimilarityHistogram::CountAtLeast(double tau) const {
+  if (tau <= 0.0) return num_total_pairs_;
+  auto it = std::lower_bound(exact_thresholds_.begin(),
+                             exact_thresholds_.end(), tau);
+  VSJ_CHECK_MSG(it != exact_thresholds_.end() && *it == tau,
+                "threshold %f was not registered for exact counting", tau);
+  return exact_counts_[it - exact_thresholds_.begin()];
+}
+
+uint64_t SimilarityHistogram::BinnedCountAtLeast(double tau) const {
+  if (tau <= 0.0) return num_total_pairs_;
+  const auto first_bin = static_cast<size_t>(
+      std::ceil(tau * static_cast<double>(bins_.size())));
+  uint64_t count = 0;
+  for (size_t b = first_bin; b < bins_.size(); ++b) count += bins_[b];
+  return count;
+}
+
+}  // namespace vsj

@@ -1,0 +1,67 @@
+// Exact pair-similarity histogram: the ground-truth oracle.
+//
+// One pass over an inverted index computes, for *every* unordered pair with
+// at least one shared dimension, its exact similarity, and folds it into
+//   * a fixed-bin histogram of the similarity distribution, and
+//   * exact counters |{pairs : sim ≥ τ}| for a caller-supplied threshold set.
+// Pairs sharing no dimension have similarity 0 under both cosine and Jaccard
+// and are accounted for implicitly. This yields the true join size J(τ) for
+// every experiment threshold in a single O(Σ_d C(df_d, 2)) computation,
+// parallelized over probe vectors.
+
+#ifndef VSJ_JOIN_SIMILARITY_HISTOGRAM_H_
+#define VSJ_JOIN_SIMILARITY_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Exact distribution of pairwise similarities of a dataset.
+class SimilarityHistogram {
+ public:
+  /// Computes the histogram. `exact_thresholds` are the τ values for which
+  /// exact "≥ τ" counts are kept (values must lie in (0, 1]); `num_threads`
+  /// 0 means hardware concurrency.
+  SimilarityHistogram(const VectorDataset& dataset, SimilarityMeasure measure,
+                      std::vector<double> exact_thresholds,
+                      size_t num_bins = 1000, unsigned num_threads = 0);
+
+  /// Exact join size J(τ) for τ in the exact threshold set; τ ≤ 0 returns M.
+  /// Aborts if τ > 0 was not registered (use BinnedCountAtLeast instead).
+  uint64_t CountAtLeast(double tau) const;
+
+  /// Bin-resolution approximation of J(τ) for arbitrary τ: counts all pairs
+  /// in bins whose *lower edge* is ≥ τ (bin width 1/num_bins).
+  uint64_t BinnedCountAtLeast(double tau) const;
+
+  /// Number of unordered pairs with at least one shared dimension.
+  uint64_t NumPositivePairs() const { return num_positive_pairs_; }
+
+  /// Total number of unordered pairs M = C(n, 2).
+  uint64_t NumTotalPairs() const { return num_total_pairs_; }
+
+  /// Histogram bin counts; bin b covers [b/num_bins, (b+1)/num_bins), with
+  /// similarity 1.0 folded into the last bin. Zero-similarity pairs that
+  /// share a dimension land in bin 0; pairs sharing none are not included.
+  const std::vector<uint64_t>& bins() const { return bins_; }
+
+  const std::vector<double>& exact_thresholds() const {
+    return exact_thresholds_;
+  }
+
+ private:
+  std::vector<double> exact_thresholds_;          // sorted ascending
+  std::vector<uint64_t> exact_counts_;            // count >= threshold[i]
+  std::vector<uint64_t> bins_;
+  uint64_t num_positive_pairs_ = 0;
+  uint64_t num_total_pairs_ = 0;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_JOIN_SIMILARITY_HISTOGRAM_H_

@@ -1,0 +1,44 @@
+#include "vsj/lsh/bit_sampling.h"
+
+#include <algorithm>
+
+#include "vsj/util/check.h"
+#include "vsj/util/hash.h"
+
+namespace vsj {
+
+double HammingSimilarity(const SparseVector& u, const SparseVector& v,
+                         uint32_t dimension) {
+  VSJ_CHECK(u.dim_bound() <= dimension && v.dim_bound() <= dimension);
+  // HD = |u| + |v| − 2·|u ∩ v| over set bits.
+  const size_t overlap = u.OverlapSize(v);
+  const size_t hamming = u.size() + v.size() - 2 * overlap;
+  return 1.0 - static_cast<double>(hamming) / dimension;
+}
+
+BitSamplingFamily::BitSamplingFamily(uint64_t seed, uint32_t dimension)
+    : seed_(Mix64(seed)), dimension_(dimension) {
+  VSJ_CHECK(dimension > 0);
+}
+
+void BitSamplingFamily::HashRange(const SparseVector& v,
+                                  uint32_t function_offset, uint32_t k,
+                                  uint64_t* out) const {
+  for (uint32_t j = 0; j < k; ++j) {
+    const uint64_t fn_seed = HashCombine(seed_, function_offset + j);
+    const auto coordinate =
+        static_cast<DimId>(fn_seed % dimension_);
+    // Binary lookup: is `coordinate` a set bit of v?
+    const auto& features = v.features();
+    const bool set = std::binary_search(
+        features.begin(), features.end(), Feature{coordinate, 0.0f},
+        [](const Feature& a, const Feature& b) { return a.dim < b.dim; });
+    out[j] = set ? 1 : 0;
+  }
+}
+
+double BitSamplingFamily::CollisionProbability(double similarity) const {
+  return std::clamp(similarity, 0.0, 1.0);
+}
+
+}  // namespace vsj

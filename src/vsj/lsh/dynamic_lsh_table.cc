@@ -1,0 +1,92 @@
+#include "vsj/lsh/dynamic_lsh_table.h"
+
+#include "vsj/util/check.h"
+#include "vsj/util/hash.h"
+
+namespace vsj {
+
+namespace {
+
+inline double PairWeight(size_t bucket_size) {
+  return 0.5 * static_cast<double>(bucket_size) *
+         static_cast<double>(bucket_size - 1);
+}
+
+}  // namespace
+
+DynamicLshTable::DynamicLshTable(const LshFamily& family, uint32_t k,
+                                 uint32_t function_offset)
+    : family_(&family), k_(k), function_offset_(function_offset) {
+  VSJ_CHECK(k > 0);
+}
+
+uint64_t DynamicLshTable::BucketKeyFor(const SparseVector& vector) const {
+  std::vector<uint64_t> signature(k_);
+  family_->HashRange(vector, function_offset_, k_, signature.data());
+  uint64_t key = 0x2545f4914f6cdd1dULL;
+  for (uint32_t j = 0; j < k_; ++j) key = HashCombine(key, signature[j]);
+  return key;
+}
+
+void DynamicLshTable::Insert(VectorId id, const SparseVector& vector) {
+  VSJ_CHECK_MSG(!Contains(id), "vector %u already present", id);
+  const uint64_t key = BucketKeyFor(vector);
+  auto [it, inserted] =
+      key_to_bucket_.try_emplace(key, static_cast<uint32_t>(buckets_.size()));
+  if (inserted) {
+    buckets_.emplace_back();
+    const size_t slot = pair_weights_.Append();
+    VSJ_DCHECK(slot == buckets_.size() - 1);
+    (void)slot;
+  }
+  std::vector<VectorId>& bucket = buckets_[it->second];
+  if (bucket.empty()) ++num_nonempty_buckets_;
+  num_same_bucket_pairs_ += bucket.size();  // new pairs with each member
+  members_[id] =
+      Membership{it->second, static_cast<uint32_t>(bucket.size())};
+  bucket.push_back(id);
+  pair_weights_.Set(it->second, PairWeight(bucket.size()));
+}
+
+void DynamicLshTable::Remove(VectorId id) {
+  auto it = members_.find(id);
+  VSJ_CHECK_MSG(it != members_.end(), "vector %u not present", id);
+  const Membership membership = it->second;
+  std::vector<VectorId>& bucket = buckets_[membership.bucket];
+  // Swap-pop within the bucket; fix the displaced member's position.
+  const VectorId last = bucket.back();
+  bucket[membership.position] = last;
+  bucket.pop_back();
+  if (last != id) members_[last].position = membership.position;
+  members_.erase(it);
+  num_same_bucket_pairs_ -= bucket.size();
+  if (bucket.empty()) --num_nonempty_buckets_;
+  pair_weights_.Set(membership.bucket, PairWeight(bucket.size()));
+  // The bucket slot and key mapping stay allocated: a reinserted vector
+  // with the same signature reuses them.
+}
+
+bool DynamicLshTable::SameBucket(VectorId u, VectorId v) const {
+  auto iu = members_.find(u);
+  auto iv = members_.find(v);
+  if (iu == members_.end() || iv == members_.end()) return false;
+  return iu->second.bucket == iv->second.bucket;
+}
+
+uint64_t DynamicLshTable::NumCrossBucketPairs() const {
+  const uint64_t n = members_.size();
+  return n * (n - 1) / 2 - num_same_bucket_pairs_;
+}
+
+VectorPair DynamicLshTable::SampleSameBucketPair(Rng& rng) const {
+  VSJ_CHECK_MSG(num_same_bucket_pairs_ > 0, "stratum H is empty");
+  const size_t b = pair_weights_.Sample(rng);
+  const auto& members = buckets_[b];
+  VSJ_DCHECK(members.size() >= 2);
+  const size_t i = rng.Below(members.size());
+  size_t j = rng.Below(members.size() - 1);
+  if (j >= i) ++j;
+  return VectorPair{members[i], members[j]};
+}
+
+}  // namespace vsj

@@ -1,0 +1,81 @@
+// Dynamic LSH table: the bucket-count extension of §4.1.1 under inserts and
+// deletes.
+//
+// The paper stresses that LSH-SS "only needs minimal addition to the
+// existing LSH index"; production LSH indexes are dynamic (documents arrive
+// and expire), so the estimator-facing quantities must stay maintainable
+// online. This table keeps, under Insert/Remove:
+//   * bucket membership with O(1) same-bucket tests,
+//   * N_H = Σ C(b_j, 2) incrementally,
+//   * weighted bucket sampling through a Fenwick tree over the pair
+//     weights C(b_j, 2) — O(log n) per update and per draw, replacing the
+//     static table's O(n) alias rebuild.
+
+#ifndef VSJ_LSH_DYNAMIC_LSH_TABLE_H_
+#define VSJ_LSH_DYNAMIC_LSH_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vsj/lsh/lsh_family.h"
+#include "vsj/lsh/lsh_table.h"
+#include "vsj/util/fenwick_tree.h"
+#include "vsj/util/rng.h"
+
+namespace vsj {
+
+/// Mutable LSH table with bucket counts and O(log n) stratum-H sampling.
+class DynamicLshTable {
+ public:
+  /// `family` must outlive the table; hash functions
+  /// [function_offset, function_offset + k) are used.
+  DynamicLshTable(const LshFamily& family, uint32_t k,
+                  uint32_t function_offset = 0);
+
+  uint32_t k() const { return k_; }
+  size_t num_vectors() const { return members_.size(); }
+  size_t num_buckets() const { return num_nonempty_buckets_; }
+
+  /// Inserts vector `id`; `id` must not be present.
+  void Insert(VectorId id, const SparseVector& vector);
+
+  /// Removes vector `id`; it must be present.
+  void Remove(VectorId id);
+
+  bool Contains(VectorId id) const { return members_.count(id) > 0; }
+
+  /// True iff both vectors are present and share a bucket.
+  bool SameBucket(VectorId u, VectorId v) const;
+
+  /// N_H over the currently present vectors.
+  uint64_t NumSameBucketPairs() const { return num_same_bucket_pairs_; }
+
+  /// N_L = C(n, 2) − N_H over present vectors.
+  uint64_t NumCrossBucketPairs() const;
+
+  /// Uniform random pair from stratum H. Requires N_H > 0.
+  VectorPair SampleSameBucketPair(Rng& rng) const;
+
+ private:
+  struct Membership {
+    uint32_t bucket;
+    uint32_t position;  // index within the bucket's member list
+  };
+
+  uint64_t BucketKeyFor(const SparseVector& vector) const;
+
+  const LshFamily* family_;
+  uint32_t k_;
+  uint32_t function_offset_;
+  std::vector<std::vector<VectorId>> buckets_;
+  std::unordered_map<uint64_t, uint32_t> key_to_bucket_;
+  std::unordered_map<VectorId, Membership> members_;
+  FenwickTree pair_weights_;  // slot per bucket, weight C(b, 2)
+  uint64_t num_same_bucket_pairs_ = 0;
+  size_t num_nonempty_buckets_ = 0;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_DYNAMIC_LSH_TABLE_H_

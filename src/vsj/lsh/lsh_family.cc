@@ -1,0 +1,12 @@
+#include "vsj/lsh/lsh_family.h"
+
+#include <cmath>
+
+namespace vsj {
+
+double LshFamily::BandCollisionProbability(double similarity,
+                                           uint32_t k) const {
+  return std::pow(CollisionProbability(similarity), static_cast<double>(k));
+}
+
+}  // namespace vsj

@@ -1,0 +1,62 @@
+// Locality-sensitive hash families (paper §4.1).
+//
+// A family H supplies an unbounded sequence of hash functions h_0, h_1, ...
+// (identified by index and derived deterministically from the family seed)
+// together with the family's *collision-probability curve*
+//
+//     p(s) = P(h(u) = h(v))   when sim(u, v) = s.
+//
+// The paper idealizes p(s) = s (Definition 3). MinHash achieves that exactly
+// for Jaccard similarity; Charikar's hyperplane SimHash — the scheme the
+// paper's evaluation uses for cosine — has p(s) = 1 − arccos(s)/π. Every
+// estimator that relies on the curve (J_U, LSH-S) queries it through this
+// interface, so both exact-Def.-3 and real cosine LSH are supported
+// (DESIGN.md §3.3).
+
+#ifndef VSJ_LSH_LSH_FAMILY_H_
+#define VSJ_LSH_LSH_FAMILY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/sparse_vector.h"
+
+namespace vsj {
+
+/// Abstract LSH family; implementations are stateless beyond their seed and
+/// safe to share across threads.
+class LshFamily {
+ public:
+  virtual ~LshFamily() = default;
+
+  /// Writes h_offset(v), ..., h_{offset+k-1}(v) into `out`. Batched because
+  /// implementations share one pass over the vector's features; an LSH index
+  /// with ℓ tables of k functions each gives table t the range
+  /// [t·k, (t+1)·k).
+  virtual void HashRange(const SparseVector& v, uint32_t function_offset,
+                         uint32_t k, uint64_t* out) const = 0;
+
+  /// Value of a single hash function on `v`.
+  uint64_t Hash(const SparseVector& v, uint32_t function_index) const {
+    uint64_t out;
+    HashRange(v, function_index, 1, &out);
+    return out;
+  }
+
+  /// p(s): single-function collision probability at similarity `s`.
+  virtual double CollisionProbability(double similarity) const = 0;
+
+  /// The similarity measure this family is locality-sensitive for.
+  virtual SimilarityMeasure measure() const = 0;
+
+  /// Short human-readable name ("simhash", "minhash").
+  virtual const char* name() const = 0;
+
+  /// P(g(u) = g(v)) for g = (h_1, ..., h_k): p(s)^k.
+  double BandCollisionProbability(double similarity, uint32_t k) const;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_LSH_FAMILY_H_

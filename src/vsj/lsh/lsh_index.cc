@@ -1,0 +1,30 @@
+#include "vsj/lsh/lsh_index.h"
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+LshIndex::LshIndex(const LshFamily& family, const VectorDataset& dataset,
+                   uint32_t k, uint32_t num_tables)
+    : family_(&family), dataset_(&dataset), k_(k) {
+  VSJ_CHECK(num_tables > 0);
+  tables_.reserve(num_tables);
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    tables_.push_back(std::make_unique<LshTable>(family, dataset, k, t * k));
+  }
+}
+
+bool LshIndex::SameBucketInAnyTable(VectorId u, VectorId v) const {
+  for (const auto& table : tables_) {
+    if (table->SameBucket(u, v)) return true;
+  }
+  return false;
+}
+
+size_t LshIndex::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& table : tables_) total += table->MemoryBytes();
+  return total;
+}
+
+}  // namespace vsj

@@ -1,0 +1,82 @@
+#include "vsj/lsh/lsh_table.h"
+
+#include <algorithm>
+
+#include "vsj/util/check.h"
+#include "vsj/util/hash.h"
+
+namespace vsj {
+
+LshTable::LshTable(const LshFamily& family, const VectorDataset& dataset,
+                   uint32_t k, uint32_t function_offset)
+    : k_(k) {
+  VSJ_CHECK(k > 0);
+  const size_t n = dataset.size();
+  bucket_of_.resize(n);
+  key_to_bucket_.reserve(n);
+
+  std::vector<uint64_t> signature(k);
+  for (VectorId id = 0; id < n; ++id) {
+    family.HashRange(dataset[id], function_offset, k, signature.data());
+    uint64_t key = 0x2545f4914f6cdd1dULL;
+    for (uint32_t j = 0; j < k; ++j) key = HashCombine(key, signature[j]);
+    auto [it, inserted] =
+        key_to_bucket_.try_emplace(key, static_cast<uint32_t>(buckets_.size()));
+    if (inserted) {
+      buckets_.emplace_back();
+      bucket_keys_.push_back(key);
+    }
+    buckets_[it->second].push_back(id);
+    bucket_of_[id] = it->second;
+  }
+
+  std::vector<double> weights;
+  weights.reserve(buckets_.size());
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const uint64_t size = buckets_[b].size();
+    const uint64_t pairs = size * (size - 1) / 2;
+    num_same_bucket_pairs_ += pairs;
+    if (pairs > 0) {
+      sampleable_buckets_.push_back(static_cast<uint32_t>(b));
+      weights.push_back(static_cast<double>(pairs));
+    }
+  }
+  if (!weights.empty()) {
+    pair_weighted_buckets_ = std::make_unique<AliasTable>(weights);
+  }
+}
+
+VectorPair LshTable::SampleSameBucketPair(Rng& rng) const {
+  VSJ_CHECK_MSG(pair_weighted_buckets_ != nullptr,
+                "stratum H is empty: no bucket holds two vectors");
+  const uint32_t b = sampleable_buckets_[pair_weighted_buckets_->Sample(rng)];
+  const auto& members = buckets_[b];
+  const size_t i = rng.Below(members.size());
+  size_t j = rng.Below(members.size() - 1);
+  if (j >= i) ++j;
+  return VectorPair{members[i], members[j]};
+}
+
+VectorPair LshTable::SampleCrossBucketPair(Rng& rng) const {
+  VSJ_CHECK_MSG(NumCrossBucketPairs() > 0, "stratum L is empty");
+  while (true) {
+    VectorPair pair = SamplePair(rng);
+    if (!SameBucket(pair.first, pair.second)) return pair;
+  }
+}
+
+VectorPair LshTable::SamplePair(Rng& rng) const {
+  const size_t n = bucket_of_.size();
+  VSJ_CHECK(n >= 2);
+  const auto u = static_cast<VectorId>(rng.Below(n));
+  auto v = static_cast<VectorId>(rng.Below(n - 1));
+  if (v >= u) ++v;
+  return VectorPair{u, v};
+}
+
+size_t LshTable::MemoryBytes() const {
+  return buckets_.size() * (sizeof(uint64_t) + sizeof(uint32_t)) +
+         bucket_of_.size() * sizeof(VectorId);
+}
+
+}  // namespace vsj

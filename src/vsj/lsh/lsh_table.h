@@ -1,0 +1,119 @@
+// A single LSH table D_g for g = (h_1, ..., h_k), extended with bucket
+// counts (paper §4.1.1).
+//
+// On top of the conventional bucket → {vector ids} map, the table maintains
+// everything the estimators of §4–§5 need:
+//   * the bucket count b_j of every bucket,
+//   * N_H = Σ_j C(b_j, 2): the number of same-bucket pairs (stratum H size),
+//   * O(1) same-bucket tests via a per-vector bucket index,
+//   * O(1) uniform sampling of a pair from stratum H, implemented as an
+//     alias-table draw of a bucket with weight C(b_j, 2) followed by a
+//     uniform pair draw inside the bucket (SampleH, Algorithm 1).
+
+#ifndef VSJ_LSH_LSH_TABLE_H_
+#define VSJ_LSH_LSH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vsj/lsh/lsh_family.h"
+#include "vsj/util/alias_table.h"
+#include "vsj/util/rng.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// An unordered pair of distinct vector ids.
+struct VectorPair {
+  VectorId first;
+  VectorId second;
+};
+
+/// Hash table D_g with bucket counts.
+class LshTable {
+ public:
+  /// Hashes every vector of `dataset` with functions
+  /// [function_offset, function_offset + k) of `family`.
+  ///
+  /// The bucket key is the 64-bit combination of the k hash values; for
+  /// SimHash (k one-bit values) the key is collision-free, for general
+  /// families a 64-bit key makes accidental key collisions negligible
+  /// (< M · 2^-64).
+  LshTable(const LshFamily& family, const VectorDataset& dataset, uint32_t k,
+           uint32_t function_offset = 0);
+
+  uint32_t k() const { return k_; }
+  size_t num_vectors() const { return bucket_of_.size(); }
+
+  /// Number of non-empty buckets n_g.
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Members of bucket `b`.
+  const std::vector<VectorId>& bucket(size_t b) const { return buckets_[b]; }
+
+  /// Bucket count b_j.
+  uint32_t bucket_count(size_t b) const {
+    return static_cast<uint32_t>(buckets_[b].size());
+  }
+
+  /// Index of the bucket containing vector `id` (B(v) in the paper).
+  uint32_t BucketOf(VectorId id) const { return bucket_of_[id]; }
+
+  /// Bucket key g(v) for the bucket index `b`.
+  uint64_t BucketKey(size_t b) const { return bucket_keys_[b]; }
+
+  /// True iff B(u) = B(v).
+  bool SameBucket(VectorId u, VectorId v) const {
+    return bucket_of_[u] == bucket_of_[v];
+  }
+
+  /// N_H = Σ_j C(b_j, 2); the number of pairs in stratum H.
+  uint64_t NumSameBucketPairs() const { return num_same_bucket_pairs_; }
+
+  /// N_L = M − N_H; the number of pairs in stratum L.
+  uint64_t NumCrossBucketPairs() const {
+    const uint64_t n = bucket_of_.size();
+    return n * (n - 1) / 2 - num_same_bucket_pairs_;
+  }
+
+  /// Uniform random pair from stratum H. Requires N_H > 0.
+  VectorPair SampleSameBucketPair(Rng& rng) const;
+
+  /// Uniform random pair from stratum L (rejection from all pairs; the
+  /// expected number of rejections is N_H / M « 1). Requires N_L > 0.
+  VectorPair SampleCrossBucketPair(Rng& rng) const;
+
+  /// Uniform random pair of distinct vectors. Requires n ≥ 2.
+  VectorPair SamplePair(Rng& rng) const;
+
+  /// Estimated size of the table following the paper's §6.3 accounting:
+  /// per bucket the g value (8 B) and the bucket count (4 B), plus one
+  /// vector id (4 B) per indexed vector. Implementation-dependent overheads
+  /// (the hash map itself) are excluded, as in the paper.
+  size_t MemoryBytes() const;
+
+  /// Map from bucket key to bucket index (used by general, non-self joins
+  /// to align buckets of two tables).
+  const std::unordered_map<uint64_t, uint32_t>& key_to_bucket() const {
+    return key_to_bucket_;
+  }
+
+ private:
+  uint32_t k_;
+  std::vector<std::vector<VectorId>> buckets_;
+  std::vector<uint64_t> bucket_keys_;
+  std::vector<uint32_t> bucket_of_;  // vector id -> bucket index
+  std::unordered_map<uint64_t, uint32_t> key_to_bucket_;
+  uint64_t num_same_bucket_pairs_ = 0;
+  // Alias table over buckets with >= 2 members, weight C(b_j, 2); null when
+  // no bucket has 2 members.
+  std::unique_ptr<AliasTable> pair_weighted_buckets_;
+  std::vector<uint32_t> sampleable_buckets_;  // alias index -> bucket index
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_LSH_TABLE_H_

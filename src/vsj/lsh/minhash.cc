@@ -1,0 +1,45 @@
+#include "vsj/lsh/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "vsj/util/check.h"
+#include "vsj/util/hash.h"
+#include "vsj/vector/set_embedding.h"
+
+namespace vsj {
+
+namespace {
+
+inline uint64_t ElementKey(DimId dim, uint32_t copy) {
+  return (static_cast<uint64_t>(dim) << 20) ^ copy;
+}
+
+}  // namespace
+
+MinHashFamily::MinHashFamily(uint64_t seed, double resolution)
+    : seed_(Mix64(seed)), resolution_(resolution) {
+  VSJ_CHECK(resolution > 0.0);
+}
+
+void MinHashFamily::HashRange(const SparseVector& v, uint32_t function_offset,
+                              uint32_t k, uint64_t* out) const {
+  std::vector<uint64_t> fn_seeds(k);
+  for (uint32_t j = 0; j < k; ++j) {
+    fn_seeds[j] = HashCombine(seed_, function_offset + j);
+  }
+  std::fill(out, out + k, std::numeric_limits<uint64_t>::max());
+  for (const SetElement& e : EmbedAsSet(v, resolution_)) {
+    const uint64_t key = ElementKey(e.dim, e.copy);
+    for (uint32_t j = 0; j < k; ++j) {
+      out[j] = std::min(out[j], HashCombine(key, fn_seeds[j]));
+    }
+  }
+}
+
+double MinHashFamily::CollisionProbability(double similarity) const {
+  return std::clamp(similarity, 0.0, 1.0);
+}
+
+}  // namespace vsj

@@ -1,0 +1,42 @@
+// MinHash: the LSH family for Jaccard similarity (Broder 1997).
+//
+//   h_j(A) = argmin_{e ∈ A} π_j(e)   for a random permutation π_j
+//   P(h(A) = h(B)) = |A∩B| / |A∪B|  — the paper's Definition 3, exactly.
+//
+// Weighted vectors are handled through the rounding set embedding of
+// vsj/vector/set_embedding.h: weight w contributes max(1, round(w/res))
+// multiset copies of the dimension, so the family is locality sensitive for
+// the embedded (≈ weighted) Jaccard similarity.
+
+#ifndef VSJ_LSH_MINHASH_H_
+#define VSJ_LSH_MINHASH_H_
+
+#include "vsj/lsh/lsh_family.h"
+
+namespace vsj {
+
+/// MinHash family over the rounding set embedding of a vector.
+class MinHashFamily final : public LshFamily {
+ public:
+  /// `resolution` is the weight quantum of the set embedding; 1.0 makes
+  /// binary vectors embed as plain sets.
+  explicit MinHashFamily(uint64_t seed = 0, double resolution = 1.0);
+
+  void HashRange(const SparseVector& v, uint32_t function_offset, uint32_t k,
+                 uint64_t* out) const override;
+  double CollisionProbability(double similarity) const override;
+  SimilarityMeasure measure() const override {
+    return SimilarityMeasure::kJaccard;
+  }
+  const char* name() const override { return "minhash"; }
+
+  double resolution() const { return resolution_; }
+
+ private:
+  uint64_t seed_;
+  double resolution_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_MINHASH_H_

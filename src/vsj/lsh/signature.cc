@@ -1,0 +1,27 @@
+#include "vsj/lsh/signature.h"
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+SignatureDatabase::SignatureDatabase(const LshFamily& family,
+                                     const VectorDataset& dataset, uint32_t k,
+                                     uint32_t function_offset)
+    : k_(k) {
+  VSJ_CHECK(k > 0);
+  values_.resize(static_cast<size_t>(dataset.size()) * k);
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    family.HashRange(dataset[id], function_offset, k,
+                     values_.data() + static_cast<size_t>(id) * k);
+  }
+}
+
+uint32_t SignatureDatabase::MatchCount(VectorId a, VectorId b) const {
+  auto sa = Of(a);
+  auto sb = Of(b);
+  uint32_t matches = 0;
+  for (uint32_t j = 0; j < k_; ++j) matches += sa[j] == sb[j] ? 1 : 0;
+  return matches;
+}
+
+}  // namespace vsj

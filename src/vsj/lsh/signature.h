@@ -1,0 +1,47 @@
+// Signature database: the k hash values of every vector under a family.
+//
+// The Lattice-Counting adaptation (paper §3.2) analyzes the signature
+// database sig(v) = (h_1(v), ..., h_k(v)); the LSH table also builds its
+// bucket keys from signatures.
+
+#ifndef VSJ_LSH_SIGNATURE_H_
+#define VSJ_LSH_SIGNATURE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vsj/lsh/lsh_family.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Row-major n × k matrix of hash values.
+class SignatureDatabase {
+ public:
+  /// Hashes every vector of `dataset` with functions offset..offset+k-1 of
+  /// `family`. `function_offset` lets multiple tables draw disjoint
+  /// functions from one family.
+  SignatureDatabase(const LshFamily& family, const VectorDataset& dataset,
+                    uint32_t k, uint32_t function_offset = 0);
+
+  uint32_t k() const { return k_; }
+  size_t num_vectors() const { return values_.size() / k_; }
+
+  /// Signature of vector `id` (k values).
+  std::span<const uint64_t> Of(VectorId id) const {
+    return {values_.data() + static_cast<size_t>(id) * k_, k_};
+  }
+
+  /// Number of positions where the signatures of `a` and `b` agree.
+  uint32_t MatchCount(VectorId a, VectorId b) const;
+
+ private:
+  uint32_t k_;
+  std::vector<uint64_t> values_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_SIGNATURE_H_

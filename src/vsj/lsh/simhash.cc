@@ -1,0 +1,35 @@
+#include "vsj/lsh/simhash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "vsj/util/hash.h"
+
+namespace vsj {
+
+SimHashFamily::SimHashFamily(uint64_t seed) : seed_(Mix64(seed)) {}
+
+void SimHashFamily::HashRange(const SparseVector& v, uint32_t function_offset,
+                              uint32_t k, uint64_t* out) const {
+  // One pass over the features, k running projections. This is the build
+  // hot path: each (feature, function) pair costs one hash-derived Gaussian.
+  std::vector<double> projections(k, 0.0);
+  std::vector<uint64_t> fn_seeds(k);
+  for (uint32_t j = 0; j < k; ++j) {
+    fn_seeds[j] = HashCombine(seed_, function_offset + j);
+  }
+  for (const Feature& f : v.features()) {
+    for (uint32_t j = 0; j < k; ++j) {
+      projections[j] += f.weight * GaussianFromHash(f.dim, fn_seeds[j]);
+    }
+  }
+  for (uint32_t j = 0; j < k; ++j) out[j] = projections[j] >= 0.0 ? 1 : 0;
+}
+
+double SimHashFamily::CollisionProbability(double similarity) const {
+  const double s = std::clamp(similarity, -1.0, 1.0);
+  return 1.0 - std::acos(s) / M_PI;
+}
+
+}  // namespace vsj

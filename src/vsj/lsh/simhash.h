@@ -1,0 +1,36 @@
+// SimHash: Charikar's random-hyperplane LSH for cosine similarity.
+//
+//   h_r(v) = sign(r · v),  r ~ N(0, I_d)
+//   P(h(u) = h(v)) = 1 − θ(u, v)/π,  θ = angle between u and v.
+//
+// The Gaussian entry r[d] for hash function j is derived on the fly from
+// Mix64(d, seed_j); no d-dimensional projection matrices are stored, so the
+// family supports 10^5+-dimensional vocabularies at zero memory cost.
+
+#ifndef VSJ_LSH_SIMHASH_H_
+#define VSJ_LSH_SIMHASH_H_
+
+#include "vsj/lsh/lsh_family.h"
+
+namespace vsj {
+
+/// Random-hyperplane family (Charikar, STOC 2002). Hash values are 0/1.
+class SimHashFamily final : public LshFamily {
+ public:
+  explicit SimHashFamily(uint64_t seed = 0);
+
+  void HashRange(const SparseVector& v, uint32_t function_offset, uint32_t k,
+                 uint64_t* out) const override;
+  double CollisionProbability(double similarity) const override;
+  SimilarityMeasure measure() const override {
+    return SimilarityMeasure::kCosine;
+  }
+  const char* name() const override { return "simhash"; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_SIMHASH_H_

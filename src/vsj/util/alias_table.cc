@@ -1,0 +1,54 @@
+#include "vsj/util/alias_table.h"
+
+#include <numeric>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  VSJ_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    VSJ_CHECK_MSG(w >= 0.0, "alias table weights must be non-negative");
+    total += w;
+  }
+  VSJ_CHECK_MSG(total > 0.0, "alias table needs at least one positive weight");
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's stable construction with two worklists.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * n;
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers all have probability 1.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t slot = rng.Below(prob_.size());
+  return rng.NextDouble() < prob_[slot] ? slot : alias_[slot];
+}
+
+}  // namespace vsj

@@ -1,0 +1,43 @@
+// Walker/Vose alias method for O(1) weighted sampling.
+//
+// Used on two hot paths: sampling LSH buckets proportionally to the number of
+// pairs they contain (SampleH of Algorithm 1) and drawing Zipfian words in
+// the corpus generators. Construction is O(n), each draw costs one uniform
+// 64-bit draw plus one comparison.
+
+#ifndef VSJ_UTIL_ALIAS_TABLE_H_
+#define VSJ_UTIL_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vsj/util/rng.h"
+
+namespace vsj {
+
+/// Immutable discrete distribution over {0, ..., n-1} with given weights.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights; at least one weight must be
+  /// positive. Weights need not be normalized.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Number of outcomes.
+  size_t size() const { return prob_.size(); }
+
+  /// Draws an index with probability proportional to its weight.
+  size_t Sample(Rng& rng) const;
+
+  /// Normalized probability of outcome `i` (for testing / introspection).
+  double Probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;    // acceptance probability per slot
+  std::vector<uint32_t> alias_; // alias outcome per slot
+  std::vector<double> normalized_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_ALIAS_TABLE_H_

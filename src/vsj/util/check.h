@@ -1,0 +1,45 @@
+// Lightweight runtime assertion macros.
+//
+// The library follows the convention of database engines such as RocksDB and
+// Arrow: programming errors (violated preconditions, broken invariants) abort
+// with a diagnostic instead of throwing. Estimation APIs themselves never
+// throw; statistical failure modes are reported through result structs.
+
+#ifndef VSJ_UTIL_CHECK_H_
+#define VSJ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic if `condition` is false. Always enabled.
+#define VSJ_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "VSJ_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+/// Like VSJ_CHECK but with a custom printf-style message appended.
+#define VSJ_CHECK_MSG(condition, ...)                                     \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "VSJ_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check; compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define VSJ_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define VSJ_DCHECK(condition) VSJ_CHECK(condition)
+#endif
+
+#endif  // VSJ_UTIL_CHECK_H_

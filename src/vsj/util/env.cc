@@ -1,0 +1,25 @@
+#include "vsj/util/env.h"
+
+#include <cstdlib>
+
+namespace vsj {
+
+int64_t EnvInt64(const std::string& name, int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int64_t>(value);
+}
+
+double EnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return value;
+}
+
+}  // namespace vsj

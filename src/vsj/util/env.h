@@ -1,0 +1,22 @@
+// Environment-variable overrides for experiment scale.
+//
+// The benches default to laptop-scale parameters (DESIGN.md §3.2). To run at
+// paper scale:  VSJ_N=800000 VSJ_TRIALS=100 ./bench_fig2_dblp
+
+#ifndef VSJ_UTIL_ENV_H_
+#define VSJ_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vsj {
+
+/// Returns the integer value of env var `name`, or `fallback` if unset/bad.
+int64_t EnvInt64(const std::string& name, int64_t fallback);
+
+/// Returns the double value of env var `name`, or `fallback` if unset/bad.
+double EnvDouble(const std::string& name, double fallback);
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_ENV_H_

@@ -1,0 +1,66 @@
+#include "vsj/util/fenwick_tree.h"
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+size_t FenwickTree::Append() {
+  values_.push_back(0.0);
+  // Rebuild-free append: extend the tree array; the new node's range sum
+  // is assembled from existing prefix sums.
+  const size_t i = values_.size();  // 1-based index of the new slot
+  double range_sum = 0.0;
+  // Node i covers (i - lowbit(i), i]; all previous entries in that range
+  // are already in the tree, and the new value is 0.
+  const size_t low = i - (i & (~i + 1));
+  range_sum = PrefixSum(i - 1) - PrefixSum(low);
+  tree_.push_back(range_sum);
+  return values_.size() - 1;
+}
+
+void FenwickTree::Set(size_t i, double weight) {
+  VSJ_DCHECK(i < values_.size());
+  VSJ_DCHECK(weight >= 0.0);
+  const double delta = weight - values_[i];
+  values_[i] = weight;
+  Add(i, delta);
+}
+
+void FenwickTree::Add(size_t i, double delta) {
+  for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+    tree_[j] += delta;
+  }
+}
+
+double FenwickTree::PrefixSum(size_t i) const {
+  double sum = 0.0;
+  for (size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+  return sum;
+}
+
+size_t FenwickTree::Sample(Rng& rng) const {
+  const double total = Total();
+  VSJ_CHECK_MSG(total > 0.0, "cannot sample from an all-zero tree");
+  double target = rng.NextDouble() * total;
+  // Descend the implicit tree: classic Fenwick lower_bound.
+  size_t pos = 0;
+  size_t mask = 1;
+  while (mask * 2 < tree_.size()) mask *= 2;
+  for (; mask > 0; mask /= 2) {
+    const size_t next = pos + mask;
+    if (next < tree_.size() && tree_[next] < target) {
+      target -= tree_[next];
+      pos = next;
+    }
+  }
+  // pos is the largest index with prefix sum < target → slot index pos.
+  if (pos >= values_.size()) pos = values_.size() - 1;
+  // Skip any zero-weight slot that floating-point rounding landed on.
+  size_t forward = pos;
+  while (forward < values_.size() && values_[forward] == 0.0) ++forward;
+  if (forward < values_.size()) return forward;
+  while (pos > 0 && values_[pos] == 0.0) --pos;
+  return pos;
+}
+
+}  // namespace vsj

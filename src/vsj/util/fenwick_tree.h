@@ -1,0 +1,56 @@
+// Fenwick (binary indexed) tree over non-negative double weights, with
+// weighted sampling by prefix-sum descent.
+//
+// Backs the dynamic LSH table: bucket pair-weights C(b_j, 2) change on
+// every insert/remove, and SampleH needs to draw a bucket proportionally to
+// its current weight — O(log n) for both update and draw, versus the O(n)
+// alias-table rebuild of the static table.
+
+#ifndef VSJ_UTIL_FENWICK_TREE_H_
+#define VSJ_UTIL_FENWICK_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "vsj/util/rng.h"
+
+namespace vsj {
+
+/// Dynamic prefix sums over a growable array of non-negative weights.
+class FenwickTree {
+ public:
+  // tree_ is 1-based; element 0 is a dummy root present even when empty.
+  FenwickTree() : tree_(1, 0.0) {}
+  explicit FenwickTree(size_t size) : tree_(size + 1, 0.0), values_(size, 0.0) {}
+
+  size_t size() const { return values_.size(); }
+
+  /// Appends a zero-weight slot and returns its index.
+  size_t Append();
+
+  /// Sets the weight of slot `i` (must be ≥ 0).
+  void Set(size_t i, double weight);
+
+  /// Current weight of slot `i`.
+  double Get(size_t i) const { return values_[i]; }
+
+  /// Sum of weights of slots [0, i).
+  double PrefixSum(size_t i) const;
+
+  /// Total weight.
+  double Total() const { return PrefixSum(values_.size()); }
+
+  /// Draws a slot with probability proportional to its weight. Requires
+  /// Total() > 0.
+  size_t Sample(Rng& rng) const;
+
+ private:
+  void Add(size_t i, double delta);
+
+  std::vector<double> tree_;    // 1-based implicit binary indexed tree
+  std::vector<double> values_;  // current weights (for Set deltas)
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_FENWICK_TREE_H_

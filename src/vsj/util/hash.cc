@@ -1,0 +1,36 @@
+#include "vsj/util/hash.h"
+
+#include <cmath>
+
+namespace vsj {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // Mix the first operand before combining so that small (a, b) pairs do
+  // not alias in the pre-mix value (the classic boost combine collides for
+  // small integers).
+  return Mix64(Mix64(a) + b * 0x9e3779b97f4a7c15ULL + 1);
+}
+
+double UniformFromHash(uint64_t key, uint64_t seed) {
+  return static_cast<double>(HashCombine(key, seed) >> 11) * 0x1.0p-53;
+}
+
+double GaussianFromHash(uint64_t key, uint64_t seed) {
+  // Two independent uniforms from distinct stream constants.
+  uint64_t h1 = HashCombine(key, seed);
+  uint64_t h2 = HashCombine(key, seed ^ 0xa0761d6478bd642fULL);
+  double u1 = 1.0 - static_cast<double>(h1 >> 11) * 0x1.0p-53;  // (0, 1]
+  double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;        // [0, 1)
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace vsj

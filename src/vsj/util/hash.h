@@ -1,0 +1,34 @@
+// 64-bit hashing primitives shared by the LSH substrate.
+//
+// LSH functions need cheap, high-quality, *stateless* hashing: a SimHash
+// hyperplane component for dimension d of function f must be a deterministic
+// function of (d, f's seed) so that no projection matrices have to be stored
+// for vocabularies with 10^5+ dimensions. Everything here is built on the
+// finalizer of MurmurHash3/SplitMix64, which passes the usual avalanche tests.
+
+#ifndef VSJ_UTIL_HASH_H_
+#define VSJ_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace vsj {
+
+/// Mixes the bits of `x` (SplitMix64/Murmur3 finalizer); bijective.
+uint64_t Mix64(uint64_t x);
+
+/// Hashes the pair (a, b) into 64 bits.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Deterministic standard-normal value derived from `key` and `seed`.
+///
+/// Two Mix64 outputs feed a Box-Muller transform. Used for SimHash
+/// hyperplanes: the value plays the role of the Gaussian entry
+/// r_f[dimension] without materializing r_f.
+double GaussianFromHash(uint64_t key, uint64_t seed);
+
+/// Deterministic uniform double in [0,1) derived from `key` and `seed`.
+double UniformFromHash(uint64_t key, uint64_t seed);
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_HASH_H_

@@ -1,0 +1,85 @@
+#include "vsj/util/rng.h"
+
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  VSJ_DCHECK(bound > 0);
+  // Lemire (2019): multiply-shift with rejection to remove modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  VSJ_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box-Muller on (0,1] uniforms; 1 - NextDouble() avoids log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Split() { return Rng(Next() ^ 0xd2b74407b1ce6e93ULL); }
+
+}  // namespace vsj

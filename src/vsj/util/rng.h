@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (samplers, LSH function seeds,
+// corpus generators) draw from `vsj::Rng`, a xoshiro256** generator seeded
+// through SplitMix64. Compared to std::mt19937_64 it is faster, has a tiny
+// state, and — more importantly for reproducible experiments — its behaviour
+// is fully specified here rather than delegated to the standard library
+// (std::uniform_int_distribution is not bit-reproducible across toolchains).
+
+#ifndef VSJ_UTIL_RNG_H_
+#define VSJ_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace vsj {
+
+/// xoshiro256** 1.0 (Blackman & Vigna) seeded via SplitMix64.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can also be
+/// plugged into <random> distributions when exact reproducibility across
+/// toolchains is not required.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless unbiased bounded generation.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble();
+
+  /// Standard normal variate (Box-Muller; caches the spare value).
+  double NextGaussian();
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBool(double p);
+
+  /// Derives an independent generator; useful for giving each LSH function
+  /// or trial its own stream.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+/// SplitMix64 step: advances `state` and returns the next output. Exposed
+/// because hash-derived values elsewhere (e.g. SimHash hyperplanes) reuse it.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_RNG_H_

@@ -1,0 +1,120 @@
+#include "vsj/util/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vsj {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << cell << std::string(width[i] - cell.size(), ' ');
+      if (i + 1 < cols) os << "  ";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i) total += width[i] + (i + 1 < cols ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << CsvEscape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Count(double value) {
+  char buf[64];
+  double v = std::fabs(value);
+  const char* suffix = "";
+  double div = 1.0;
+  if (v >= 1e9) {
+    suffix = "B";
+    div = 1e9;
+  } else if (v >= 1e6) {
+    suffix = "M";
+    div = 1e6;
+  } else if (v >= 1e3) {
+    suffix = "K";
+    div = 1e3;
+  }
+  double scaled = value / div;
+  if (div == 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", scaled);
+  } else if (std::fabs(scaled) >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", scaled, suffix);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", scaled, suffix);
+  }
+  return buf;
+}
+
+std::string TablePrinter::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace vsj

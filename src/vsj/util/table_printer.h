@@ -1,0 +1,55 @@
+// Aligned console tables and CSV output for the benchmark harness.
+//
+// Every bench binary reproduces a table or figure from the paper; this
+// printer renders the same rows/series as readable fixed-width text and can
+// additionally emit CSV for plotting.
+
+#ifndef VSJ_UTIL_TABLE_PRINTER_H_
+#define VSJ_UTIL_TABLE_PRINTER_H_
+
+#include <cstddef>
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vsj {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; ragged rows are allowed and padded on print.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  /// Emits header + rows as CSV (minimal quoting for commas/quotes).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // Cell formatting helpers used throughout the benches.
+  static std::string Fmt(double value, int precision = 3);
+  /// Scientific notation, e.g. 9.1e-08.
+  static std::string Sci(double value, int precision = 2);
+  /// Human-readable count, e.g. 105B / 267M / 11M / 103K.
+  static std::string Count(double value);
+  /// Percentage with sign, e.g. "-95.2%".
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch used by the evaluation harness.
+
+#ifndef VSJ_UTIL_TIMER_H_
+#define VSJ_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace vsj {
+
+/// Starts on construction; `ElapsedSeconds`/`ElapsedMillis` read the clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_TIMER_H_

@@ -1,0 +1,62 @@
+#include "vsj/vector/set_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+namespace {
+
+uint32_t NumCopies(float weight, double resolution) {
+  double copies = std::round(static_cast<double>(weight) / resolution);
+  return static_cast<uint32_t>(std::max(1.0, copies));
+}
+
+}  // namespace
+
+std::vector<SetElement> EmbedAsSet(const SparseVector& v, double resolution) {
+  VSJ_CHECK(resolution > 0.0);
+  std::vector<SetElement> elements;
+  elements.reserve(v.size());
+  for (const Feature& f : v.features()) {
+    const uint32_t copies = NumCopies(f.weight, resolution);
+    for (uint32_t c = 0; c < copies; ++c) {
+      elements.push_back(SetElement{f.dim, c});
+    }
+  }
+  return elements;
+}
+
+double EmbeddedJaccard(const SparseVector& u, const SparseVector& v,
+                       double resolution) {
+  VSJ_CHECK(resolution > 0.0);
+  // Multiset Jaccard of the embeddings: per shared dim, intersection is
+  // min(copies), union is max(copies); per unshared dim, union adds copies.
+  uint64_t inter = 0;
+  uint64_t uni = 0;
+  size_t i = 0, j = 0;
+  const auto& a = u.features();
+  const auto& b = v.features();
+  while (i < a.size() && j < b.size()) {
+    if (a[i].dim < b[j].dim) {
+      uni += NumCopies(a[i++].weight, resolution);
+    } else if (a[i].dim > b[j].dim) {
+      uni += NumCopies(b[j++].weight, resolution);
+    } else {
+      const uint32_t ca = NumCopies(a[i].weight, resolution);
+      const uint32_t cb = NumCopies(b[j].weight, resolution);
+      inter += std::min(ca, cb);
+      uni += std::max(ca, cb);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.size()) uni += NumCopies(a[i++].weight, resolution);
+  while (j < b.size()) uni += NumCopies(b[j++].weight, resolution);
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace vsj

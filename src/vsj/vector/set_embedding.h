@@ -1,0 +1,40 @@
+// Vector ↔ set embedding used when adapting SSJ techniques to the VSJ
+// problem (paper §1): a real-valued vector is converted to a multiset by
+// repeating each dimension round(weight / resolution) times, so set-based
+// machinery (e.g. MinHash over elements) can run on weighted data.
+
+#ifndef VSJ_VECTOR_SET_EMBEDDING_H_
+#define VSJ_VECTOR_SET_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vsj/vector/sparse_vector.h"
+
+namespace vsj {
+
+/// An embedded multiset element: (dimension, copy index).
+struct SetElement {
+  DimId dim;
+  uint32_t copy;
+
+  friend bool operator==(const SetElement&, const SetElement&) = default;
+};
+
+/// Embeds `v` into a multiset with the given weight resolution.
+///
+/// A weight w becomes max(1, round(w / resolution)) copies of the dimension
+/// (standard rounding embedding; Arasu et al. [2]). For binary vectors with
+/// resolution 1 this is the identity embedding.
+std::vector<SetElement> EmbedAsSet(const SparseVector& v, double resolution);
+
+/// Jaccard similarity of the embedded multisets of `u` and `v`.
+///
+/// Equals JaccardSimilarity(u, v) exactly for binary vectors with
+/// resolution 1, and converges to the weighted Jaccard as resolution → 0.
+double EmbeddedJaccard(const SparseVector& u, const SparseVector& v,
+                       double resolution);
+
+}  // namespace vsj
+
+#endif  // VSJ_VECTOR_SET_EMBEDDING_H_

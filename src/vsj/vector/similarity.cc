@@ -1,0 +1,61 @@
+#include "vsj/vector/similarity.h"
+
+#include <algorithm>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+double CosineSimilarity(const SparseVector& u, const SparseVector& v) {
+  const double denom = u.norm() * v.norm();
+  if (denom == 0.0) return 0.0;
+  return SnapUnitSimilarity(std::min(u.Dot(v) / denom, 1.0));
+}
+
+double JaccardSimilarity(const SparseVector& u, const SparseVector& v) {
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  size_t i = 0, j = 0;
+  const auto& a = u.features();
+  const auto& b = v.features();
+  while (i < a.size() && j < b.size()) {
+    if (a[i].dim < b[j].dim) {
+      max_sum += a[i++].weight;
+    } else if (a[i].dim > b[j].dim) {
+      max_sum += b[j++].weight;
+    } else {
+      min_sum += std::min(a[i].weight, b[j].weight);
+      max_sum += std::max(a[i].weight, b[j].weight);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.size()) max_sum += a[i++].weight;
+  while (j < b.size()) max_sum += b[j++].weight;
+  if (max_sum == 0.0) return 0.0;
+  return SnapUnitSimilarity(min_sum / max_sum);
+}
+
+double Similarity(SimilarityMeasure measure, const SparseVector& u,
+                  const SparseVector& v) {
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      return CosineSimilarity(u, v);
+    case SimilarityMeasure::kJaccard:
+      return JaccardSimilarity(u, v);
+  }
+  VSJ_CHECK(false);
+  return 0.0;
+}
+
+const char* SimilarityMeasureName(SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      return "cosine";
+    case SimilarityMeasure::kJaccard:
+      return "jaccard";
+  }
+  return "unknown";
+}
+
+}  // namespace vsj

@@ -1,0 +1,47 @@
+// Similarity measures over sparse vectors.
+//
+// The paper's evaluation uses cosine similarity; Jaccard is provided both for
+// the SSJ/Lattice-Counting adaptation (§3.2) and because MinHash satisfies the
+// paper's idealized LSH property (Def. 3) exactly for it.
+
+#ifndef VSJ_VECTOR_SIMILARITY_H_
+#define VSJ_VECTOR_SIMILARITY_H_
+
+#include "vsj/vector/sparse_vector.h"
+
+namespace vsj {
+
+/// Supported similarity measures.
+enum class SimilarityMeasure {
+  kCosine,
+  kJaccard,
+};
+
+/// Similarities within this distance of 1.0 are snapped to exactly 1.0, so
+/// that identical vectors reach similarity 1 despite floating-point rounding
+/// in Σw² / (√Σw²·√Σw²). All similarity computations in the library (direct,
+/// histogram, exact joins) apply the same snap, keeping them consistent.
+inline constexpr double kUnitSnapEpsilon = 1e-9;
+
+/// Clamps to [·, 1] and snaps values within kUnitSnapEpsilon of 1 to 1.
+inline double SnapUnitSimilarity(double sim) {
+  return sim >= 1.0 - kUnitSnapEpsilon ? 1.0 : sim;
+}
+
+/// cos(u, v) = u·v / (‖u‖‖v‖); 0 if either vector is empty.
+double CosineSimilarity(const SparseVector& u, const SparseVector& v);
+
+/// Weighted (generalized/multiset) Jaccard: Σ min(u_i, v_i) / Σ max(u_i, v_i).
+/// For binary vectors this is exactly set Jaccard |A∩B| / |A∪B|.
+double JaccardSimilarity(const SparseVector& u, const SparseVector& v);
+
+/// Dispatches on `measure`.
+double Similarity(SimilarityMeasure measure, const SparseVector& u,
+                  const SparseVector& v);
+
+/// Short lowercase name ("cosine", "jaccard") for reports.
+const char* SimilarityMeasureName(SimilarityMeasure measure);
+
+}  // namespace vsj
+
+#endif  // VSJ_VECTOR_SIMILARITY_H_

@@ -1,0 +1,80 @@
+// Immutable sparse vectors: the objects joined by the VSJ problem.
+//
+// A vector is stored as parallel arrays of strictly increasing dimension ids
+// and their (positive) weights, plus the cached L2 norm. Documents are the
+// motivating instance — a dimension is a vocabulary word and the weight is a
+// 0/1 presence flag (DBLP-like) or a TF-IDF score (NYT/PUBMED-like).
+
+#ifndef VSJ_VECTOR_SPARSE_VECTOR_H_
+#define VSJ_VECTOR_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vsj {
+
+/// Dimension identifier (vocabulary word id).
+using DimId = uint32_t;
+
+/// One (dimension, weight) pair.
+struct Feature {
+  DimId dim;
+  float weight;
+
+  friend bool operator==(const Feature&, const Feature&) = default;
+};
+
+/// Immutable sparse vector with sorted dimensions and cached L2 norm.
+class SparseVector {
+ public:
+  /// Empty vector (norm 0).
+  SparseVector() = default;
+
+  /// Builds from (dim, weight) pairs. Pairs are sorted by dimension;
+  /// duplicate dimensions have their weights summed; zero/negative-weight
+  /// features are dropped (cosine-similarity corpora carry non-negative
+  /// weights; see DESIGN.md).
+  explicit SparseVector(std::vector<Feature> features);
+
+  /// Convenience: binary vector over the given dimensions (weight 1 each).
+  static SparseVector FromDims(std::vector<DimId> dims);
+
+  /// Number of non-zero features.
+  size_t size() const { return features_.size(); }
+  bool empty() const { return features_.empty(); }
+
+  const Feature& operator[](size_t i) const { return features_[i]; }
+  const std::vector<Feature>& features() const { return features_; }
+
+  /// Cached Euclidean norm.
+  double norm() const { return norm_; }
+
+  /// Sum of weights (L1 norm); weights are non-negative by construction.
+  double l1_norm() const { return l1_norm_; }
+
+  /// Largest dimension id + 1, or 0 when empty.
+  DimId dim_bound() const {
+    return features_.empty() ? 0 : features_.back().dim + 1;
+  }
+
+  /// Inner product with `other` (merge join over sorted dims).
+  double Dot(const SparseVector& other) const;
+
+  /// Number of shared dimensions with `other`.
+  size_t OverlapSize(const SparseVector& other) const;
+
+  friend bool operator==(const SparseVector& a, const SparseVector& b) {
+    return a.features_ == b.features_;
+  }
+
+ private:
+  std::vector<Feature> features_;
+  double norm_ = 0.0;
+  double l1_norm_ = 0.0;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_VECTOR_SPARSE_VECTOR_H_

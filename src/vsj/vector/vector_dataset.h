@@ -1,0 +1,61 @@
+// The vector collection V of the VSJ problem, plus corpus statistics.
+
+#ifndef VSJ_VECTOR_VECTOR_DATASET_H_
+#define VSJ_VECTOR_VECTOR_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vsj/vector/sparse_vector.h"
+
+namespace vsj {
+
+/// Index of a vector within its dataset.
+using VectorId = uint32_t;
+
+/// Summary statistics of a dataset (compare against the corpora in App. C.1).
+struct DatasetStats {
+  size_t num_vectors = 0;
+  size_t num_dimensions = 0;  // max dim id + 1 over all vectors
+  size_t total_features = 0;
+  double avg_features = 0.0;
+  size_t min_features = 0;
+  size_t max_features = 0;
+};
+
+/// Owning, append-once collection of sparse vectors.
+class VectorDataset {
+ public:
+  VectorDataset() = default;
+  explicit VectorDataset(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a vector and returns its id.
+  VectorId Add(SparseVector vector);
+
+  size_t size() const { return vectors_.size(); }
+  bool empty() const { return vectors_.empty(); }
+
+  const SparseVector& operator[](VectorId id) const { return vectors_[id]; }
+  const std::vector<SparseVector>& vectors() const { return vectors_; }
+
+  const std::string& name() const { return name_; }
+
+  /// Total number of unordered pairs M = C(n, 2).
+  uint64_t NumPairs() const {
+    const uint64_t n = vectors_.size();
+    return n * (n - 1) / 2;
+  }
+
+  /// Computes summary statistics (O(total features)).
+  DatasetStats ComputeStats() const;
+
+ private:
+  std::string name_;
+  std::vector<SparseVector> vectors_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_VECTOR_VECTOR_DATASET_H_

@@ -1,0 +1,72 @@
+#include "vsj/core/adaptive_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/eval/experiment.h"
+#include "vsj/join/brute_force_join.h"
+
+namespace vsj {
+namespace {
+
+TEST(RunAdaptiveSamplingTest, StopsAtAnswerThreshold) {
+  int calls = 0;
+  const AdaptiveSamplingOutcome out =
+      RunAdaptiveSampling(3, 1000, [&]() {
+        ++calls;
+        return true;  // every sample is a hit
+      });
+  EXPECT_TRUE(out.reached_answer_threshold);
+  EXPECT_EQ(out.hits, 3u);
+  EXPECT_EQ(out.samples, 3u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RunAdaptiveSamplingTest, StopsAtSampleBudget) {
+  const AdaptiveSamplingOutcome out =
+      RunAdaptiveSampling(5, 50, []() { return false; });
+  EXPECT_FALSE(out.reached_answer_threshold);
+  EXPECT_EQ(out.hits, 0u);
+  EXPECT_EQ(out.samples, 50u);
+}
+
+TEST(RunAdaptiveSamplingTest, HitsNeverExceedDelta) {
+  int i = 0;
+  const AdaptiveSamplingOutcome out =
+      RunAdaptiveSampling(4, 1000, [&]() { return ++i % 2 == 0; });
+  EXPECT_EQ(out.hits, 4u);
+  EXPECT_EQ(out.samples, 8u);
+}
+
+TEST(AdaptiveSamplingEstimatorTest, ReliableAtLowThreshold) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(400, 3);
+  const double true_j = static_cast<double>(
+      BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, 0.1));
+  ASSERT_GT(true_j, 0.0);
+  AdaptiveSamplingEstimator est(dataset, SimilarityMeasure::kCosine,
+                                {.delta = 50, .max_samples = 100000});
+  const ErrorStats stats = RunAndScore(est, 0.1, 20, 11, true_j);
+  EXPECT_NEAR(stats.mean_estimate, true_j, true_j * 0.4);
+}
+
+TEST(AdaptiveSamplingEstimatorTest, FlagsUnreliableAtHighThreshold) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(400, 5);
+  AdaptiveSamplingEstimator est(dataset, SimilarityMeasure::kCosine,
+                                {.delta = 64, .max_samples = 200});
+  Rng rng(1);
+  const EstimationResult r = est.Estimate(0.95, rng);
+  EXPECT_FALSE(r.guaranteed);
+  EXPECT_LE(r.pairs_evaluated, 200u);
+}
+
+TEST(AdaptiveSamplingEstimatorTest, DefaultsDeriveFromN) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(1024, 7);
+  AdaptiveSamplingEstimator est(dataset, SimilarityMeasure::kCosine);
+  Rng rng(2);
+  const EstimationResult r = est.Estimate(0.99, rng);
+  // max_samples defaults to n = 1024.
+  EXPECT_LE(r.pairs_evaluated, 1024u);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,91 @@
+#include "vsj/core/collision_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "vsj/lsh/minhash.h"
+#include "vsj/lsh/simhash.h"
+
+namespace vsj {
+namespace {
+
+TEST(CollisionModelTest, MinHashIsIdentityCurve) {
+  MinHashFamily family(1);
+  CollisionModel model(family, 5);
+  EXPECT_TRUE(model.IsIdentityCurve());
+}
+
+TEST(CollisionModelTest, SimHashIsNotIdentityCurve) {
+  SimHashFamily family(1);
+  CollisionModel model(family, 5);
+  EXPECT_FALSE(model.IsIdentityCurve());
+}
+
+TEST(CollisionModelTest, BandProbabilityIsPthPower) {
+  MinHashFamily family(2);
+  CollisionModel model(family, 3);
+  EXPECT_NEAR(model.BandProbability(0.5), 0.125, 1e-12);
+}
+
+TEST(CollisionModelTest, IdentityIntegralsHaveClosedForm) {
+  MinHashFamily family(3);
+  const uint32_t k = 4;
+  CollisionModel model(family, k);
+  // ∫_0^τ s^k ds = τ^{k+1}/(k+1).
+  for (double tau : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(model.IntegralBelow(tau), std::pow(tau, k + 1) / (k + 1),
+                1e-9);
+    EXPECT_NEAR(model.IntegralAbove(tau),
+                (1.0 - std::pow(tau, k + 1)) / (k + 1), 1e-9);
+  }
+}
+
+TEST(CollisionModelTest, ConditionalsMatchPaperEquations89) {
+  // P(H|T) = Σ_{i=0}^{k} τ^i / (k+1); P(H|F) = τ^k / (k+1)  [Eqs. 8, 9]
+  MinHashFamily family(4);
+  const uint32_t k = 6;
+  CollisionModel model(family, k);
+  for (double tau : {0.1, 0.4, 0.7, 0.95}) {
+    double geo = 0.0;
+    for (uint32_t i = 0; i <= k; ++i) geo += std::pow(tau, i);
+    EXPECT_NEAR(model.ConditionalHGivenTrue(tau), geo / (k + 1), 1e-9);
+    EXPECT_NEAR(model.ConditionalHGivenFalse(tau),
+                std::pow(tau, k) / (k + 1), 1e-9);
+  }
+}
+
+TEST(CollisionModelTest, LimitsAtExtremes) {
+  MinHashFamily family(5);
+  CollisionModel model(family, 3);
+  EXPECT_NEAR(model.ConditionalHGivenTrue(1.0), 1.0, 1e-9);   // f(1)
+  EXPECT_NEAR(model.ConditionalHGivenFalse(0.0), 0.0, 1e-9);  // f(0)
+  EXPECT_DOUBLE_EQ(model.IntegralBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.IntegralAbove(1.0), 0.0);
+}
+
+TEST(CollisionModelTest, IntegralsPartitionTotal) {
+  SimHashFamily family(6);
+  CollisionModel model(family, 8);
+  const double total = model.IntegralBelow(1.0);
+  for (double tau : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(model.IntegralBelow(tau) + model.IntegralAbove(tau), total,
+                1e-12);
+  }
+}
+
+TEST(CollisionModelTest, SimHashConditionalsAreMonotoneInTau) {
+  SimHashFamily family(7);
+  CollisionModel model(family, 10);
+  double prev_hf = 0.0;
+  for (double tau = 0.05; tau <= 1.0; tau += 0.05) {
+    const double hf = model.ConditionalHGivenFalse(tau);
+    EXPECT_GE(hf, prev_hf - 1e-12);
+    prev_hf = hf;
+    // P(H|T) exceeds P(H|F): same-bucket mass concentrates above τ.
+    EXPECT_GE(model.ConditionalHGivenTrue(tau), hf);
+  }
+}
+
+}  // namespace
+}  // namespace vsj

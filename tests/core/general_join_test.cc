@@ -1,0 +1,111 @@
+#include "vsj/core/general_join.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/eval/experiment.h"
+#include "vsj/join/brute_force_join.h"
+
+namespace vsj {
+namespace {
+
+struct GeneralSetup {
+  VectorDataset left;
+  VectorDataset right;
+  std::unique_ptr<SimHashFamily> family;
+  std::unique_ptr<LshTable> left_table;
+  std::unique_ptr<LshTable> right_table;
+};
+
+GeneralSetup MakeGeneralSetup(size_t n_left, size_t n_right, uint32_t k,
+                              uint64_t seed) {
+  GeneralSetup setup;
+  setup.left = testing::SmallClusteredCorpus(n_left, seed);
+  // Overlapping distribution: same generator, different seed, so some
+  // cross-collection near-duplicates exist only by chance; add shared docs
+  // by reusing the same seed for a portion.
+  setup.right = testing::SmallClusteredCorpus(n_right, seed);
+  setup.family = std::make_unique<SimHashFamily>(seed ^ 0x777);
+  setup.left_table =
+      std::make_unique<LshTable>(*setup.family, setup.left, k);
+  setup.right_table =
+      std::make_unique<LshTable>(*setup.family, setup.right, k);
+  return setup;
+}
+
+uint64_t ExactSameKeyPairs(const GeneralSetup& setup) {
+  uint64_t count = 0;
+  for (VectorId u = 0; u < setup.left.size(); ++u) {
+    for (VectorId v = 0; v < setup.right.size(); ++v) {
+      const uint64_t ku =
+          setup.left_table->BucketKey(setup.left_table->BucketOf(u));
+      const uint64_t kv =
+          setup.right_table->BucketKey(setup.right_table->BucketOf(v));
+      count += ku == kv ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+TEST(GeneralLshSsTest, SameBucketPairCountMatchesBruteForce) {
+  GeneralSetup setup = MakeGeneralSetup(120, 150, 8, 1);
+  GeneralLshSsEstimator est(setup.left, setup.right, *setup.left_table,
+                            *setup.right_table, SimilarityMeasure::kCosine);
+  EXPECT_EQ(est.NumSameBucketPairs(), ExactSameKeyPairs(setup));
+  EXPECT_EQ(est.NumTotalPairs(), 120u * 150u);
+}
+
+TEST(GeneralLshSsTest, TauZeroReturnsTotalPairs) {
+  GeneralSetup setup = MakeGeneralSetup(80, 90, 8, 2);
+  GeneralLshSsEstimator est(setup.left, setup.right, *setup.left_table,
+                            *setup.right_table, SimilarityMeasure::kCosine);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(est.Estimate(0.0, rng).estimate, 80.0 * 90.0);
+}
+
+TEST(GeneralLshSsTest, AccurateAtModerateThreshold) {
+  GeneralSetup setup = MakeGeneralSetup(600, 600, 10, 3);
+  const double true_j = static_cast<double>(BruteForceGeneralJoinSize(
+      setup.left, setup.right, SimilarityMeasure::kCosine, 0.5));
+  ASSERT_GT(true_j, 0.0);
+  GeneralLshSsEstimator est(setup.left, setup.right, *setup.left_table,
+                            *setup.right_table, SimilarityMeasure::kCosine);
+  const ErrorStats stats = RunAndScore(est, 0.5, 25, 11, true_j);
+  EXPECT_GT(stats.mean_estimate, true_j * 0.25);
+  EXPECT_LT(stats.mean_estimate, true_j * 4.0);
+}
+
+TEST(GeneralLshSsTest, EstimateWithinBounds) {
+  GeneralSetup setup = MakeGeneralSetup(100, 200, 8, 4);
+  GeneralLshSsEstimator est(setup.left, setup.right, *setup.left_table,
+                            *setup.right_table, SimilarityMeasure::kCosine);
+  for (double tau : {0.1, 0.5, 0.9}) {
+    Rng rng(static_cast<uint64_t>(tau * 77) + 1);
+    const EstimationResult r = est.Estimate(tau, rng);
+    EXPECT_GE(r.estimate, 0.0);
+    EXPECT_LE(r.estimate, 100.0 * 200.0);
+  }
+}
+
+TEST(GeneralRandomPairSamplingTest, UnbiasedAtLowThreshold) {
+  GeneralSetup setup = MakeGeneralSetup(400, 400, 8, 5);
+  const double true_j = static_cast<double>(BruteForceGeneralJoinSize(
+      setup.left, setup.right, SimilarityMeasure::kCosine, 0.1));
+  ASSERT_GT(true_j, 0.0);
+  GeneralRandomPairSampling rs(setup.left, setup.right,
+                               SimilarityMeasure::kCosine, 30000);
+  const ErrorStats stats = RunAndScore(rs, 0.1, 20, 13, true_j);
+  EXPECT_NEAR(stats.mean_estimate, true_j, true_j * 0.3);
+}
+
+TEST(GeneralLshSsDeathTest, TablesMustShareK) {
+  GeneralSetup setup = MakeGeneralSetup(50, 50, 6, 6);
+  LshTable other_k(*setup.family, setup.right, 8);
+  EXPECT_DEATH(
+      GeneralLshSsEstimator(setup.left, setup.right, *setup.left_table,
+                            other_k, SimilarityMeasure::kCosine),
+      "CHECK");
+}
+
+}  // namespace
+}  // namespace vsj

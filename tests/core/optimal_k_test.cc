@@ -1,0 +1,88 @@
+#include "vsj/core/optimal_k.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/lsh/lsh_table.h"
+
+namespace vsj {
+namespace {
+
+TEST(PrecisionFloorTest, TightensWithEpsilonAndProbability) {
+  const size_t n = 100000;
+  // Smaller ε → larger required α.
+  EXPECT_GT(PrecisionFloor(0.1, 0.9, n), PrecisionFloor(0.5, 0.9, n));
+  // Higher probability target → larger required α.
+  EXPECT_GT(PrecisionFloor(0.2, 0.99, n), PrecisionFloor(0.2, 0.9, n));
+  // Larger n → smaller required α (more samples).
+  EXPECT_LT(PrecisionFloor(0.2, 0.9, 10 * n), PrecisionFloor(0.2, 0.9, n));
+  // Always in (0, 1].
+  EXPECT_LE(PrecisionFloor(0.01, 0.999, 100), 1.0);
+}
+
+TEST(OptimalKTest, AlphaIncreasesWithK) {
+  auto setup = testing::MakeCosineSetup(600, 6, 1, 17);
+  Rng rng(1);
+  OptimalKOptions options;
+  options.min_k = 2;
+  options.max_k = 24;
+  options.step = 4;
+  // rho = 2 disables early stop (no alpha can reach it) → probe all.
+  const OptimalKResult result =
+      FindOptimalK(setup.dataset, *setup.family, 0.7, 2.0, rng, options);
+  EXPECT_EQ(result.best_k, 0u);
+  ASSERT_GE(result.probed.size(), 3u);
+  // α trends upward in k (allow small sampling noise on neighbors).
+  EXPECT_GT(result.probed.back().alpha + 0.05,
+            result.probed.front().alpha);
+}
+
+TEST(OptimalKTest, FindsMinimalQualifyingK) {
+  auto setup = testing::MakeCosineSetup(600, 6, 1, 19);
+  Rng rng(2);
+  OptimalKOptions options;
+  options.min_k = 2;
+  options.max_k = 30;
+  options.step = 2;
+  const double rho = 0.01;
+  const OptimalKResult result =
+      FindOptimalK(setup.dataset, *setup.family, 0.8, rho, rng, options);
+  if (result.best_k != 0) {
+    // The returned k qualifies and is the last probed configuration.
+    EXPECT_GE(result.probed.back().alpha, rho);
+    EXPECT_EQ(result.probed.back().k, result.best_k);
+    // Every earlier probed k failed the floor.
+    for (size_t i = 0; i + 1 < result.probed.size(); ++i) {
+      EXPECT_LT(result.probed[i].alpha, rho);
+    }
+  }
+}
+
+TEST(OptimalKTest, ProbedCandidatesCarryTableSizes) {
+  auto setup = testing::MakeCosineSetup(300, 6, 1, 21);
+  Rng rng(3);
+  OptimalKOptions options;
+  options.min_k = 4;
+  options.max_k = 8;
+  options.step = 4;
+  const OptimalKResult result =
+      FindOptimalK(setup.dataset, *setup.family, 0.5, 2.0, rng, options);
+  for (const KCandidate& candidate : result.probed) {
+    LshTable table(*setup.family, setup.dataset, candidate.k);
+    EXPECT_EQ(candidate.same_bucket_pairs, table.NumSameBucketPairs());
+  }
+}
+
+TEST(OptimalKDeathTest, ValidatesOptions) {
+  auto setup = testing::MakeCosineSetup(100, 4);
+  Rng rng(4);
+  OptimalKOptions bad;
+  bad.min_k = 10;
+  bad.max_k = 5;
+  EXPECT_DEATH(
+      FindOptimalK(setup.dataset, *setup.family, 0.5, 0.1, rng, bad),
+      "CHECK");
+}
+
+}  // namespace
+}  // namespace vsj

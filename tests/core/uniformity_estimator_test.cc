@@ -1,0 +1,85 @@
+#include "vsj/core/uniformity_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/lsh/minhash.h"
+
+namespace vsj {
+namespace {
+
+TEST(UniformityEstimatorTest, ClosedFormMatchesPaperExample) {
+  // Eq. 4: Ĵ_U = ((k+1)·N_H − τ^k·M) / Σ_{i=0}^{k-1} τ^i, hand-computed.
+  const uint32_t k = 2;
+  const uint64_t n_h = 100;
+  const uint64_t m = 1000;
+  const double tau = 0.5;
+  // ((3)(100) − 0.25·1000) / (1 + 0.5) = (300 − 250)/1.5.
+  EXPECT_NEAR(UniformityEstimator::ClosedFormIdealized(n_h, m, k, tau),
+              50.0 / 1.5, 1e-9);
+}
+
+TEST(UniformityEstimatorTest, NumericMatchesClosedFormForMinHash) {
+  // The generalized (integral) estimator must reduce to Eq. 4 when the
+  // family satisfies Definition 3 exactly.
+  auto setup = testing::MakeJaccardSetup(400, 4);
+  const LshTable& table = setup.index->table(0);
+  UniformityEstimator est(table, *setup.family);
+  Rng rng(1);
+  const uint64_t m = setup.dataset.NumPairs();
+  for (double tau : {0.2, 0.5, 0.8}) {
+    const double closed = std::clamp(
+        UniformityEstimator::ClosedFormIdealized(
+            table.NumSameBucketPairs(), m, table.k(), tau),
+        0.0, static_cast<double>(m));
+    const double numeric = est.Estimate(tau, rng).estimate;
+    EXPECT_NEAR(numeric, closed, std::max(1.0, closed * 1e-4))
+        << "tau = " << tau;
+  }
+}
+
+TEST(UniformityEstimatorTest, TauZeroReturnsM) {
+  auto setup = testing::MakeCosineSetup(300, 8);
+  UniformityEstimator est(setup.index->table(0), *setup.family);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(est.Estimate(0.0, rng).estimate,
+                   static_cast<double>(setup.dataset.NumPairs()));
+}
+
+TEST(UniformityEstimatorTest, EstimateIsClamped) {
+  auto setup = testing::MakeCosineSetup(300, 8);
+  UniformityEstimator est(setup.index->table(0), *setup.family);
+  Rng rng(3);
+  for (double tau : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const EstimationResult r = est.Estimate(tau, rng);
+    EXPECT_GE(r.estimate, 0.0);
+    EXPECT_LE(r.estimate, static_cast<double>(setup.dataset.NumPairs()));
+  }
+}
+
+TEST(UniformityEstimatorTest, DeterministicAcrossCalls) {
+  auto setup = testing::MakeCosineSetup(200, 6);
+  UniformityEstimator est(setup.index->table(0), *setup.family);
+  Rng a(1), b(999);
+  EXPECT_DOUBLE_EQ(est.Estimate(0.5, a).estimate,
+                   est.Estimate(0.5, b).estimate);
+}
+
+TEST(UniformityEstimatorTest, ExactOnUniformSimilarityToy) {
+  // Construct a toy "dataset" whose pair similarities are uniform by
+  // checking the estimator's algebra directly: with f(s) = s^k and
+  // uniform similarities, N_H ≈ M·∫f = M/(k+1); then Ĵ_U(τ) ≈ (1−τ)·M.
+  const uint32_t k = 3;
+  const uint64_t m = 1000000;
+  const auto n_h = static_cast<uint64_t>(m / (k + 1.0));
+  for (double tau : {0.25, 0.5, 0.75}) {
+    const double est =
+        UniformityEstimator::ClosedFormIdealized(n_h, m, k, tau);
+    EXPECT_NEAR(est, (1.0 - tau) * m, m * 0.001) << "tau = " << tau;
+  }
+}
+
+}  // namespace
+}  // namespace vsj

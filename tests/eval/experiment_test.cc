@@ -1,0 +1,61 @@
+#include "vsj/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/core/random_pair_sampling.h"
+
+namespace vsj {
+namespace {
+
+TEST(ExperimentTest, RunsRequestedTrials) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(200, 1);
+  RandomPairSampling rs(dataset, SimilarityMeasure::kCosine,
+                        {.sample_size = 100});
+  const TrialSeries series = RunTrials(rs, 0.5, 12, 7);
+  EXPECT_EQ(series.estimates.size(), 12u);
+  EXPECT_EQ(series.pairs_evaluated.size(), 12u);
+  EXPECT_DOUBLE_EQ(series.tau, 0.5);
+  EXPECT_GE(series.mean_runtime_ms, 0.0);
+}
+
+TEST(ExperimentTest, ReproducibleForSameSeed) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(200, 2);
+  RandomPairSampling rs(dataset, SimilarityMeasure::kCosine,
+                        {.sample_size = 500});
+  const TrialSeries a = RunTrials(rs, 0.3, 5, 42);
+  const TrialSeries b = RunTrials(rs, 0.3, 5, 42);
+  EXPECT_EQ(a.estimates, b.estimates);
+}
+
+TEST(ExperimentTest, AddingTrialsKeepsPrefix) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(200, 3);
+  RandomPairSampling rs(dataset, SimilarityMeasure::kCosine,
+                        {.sample_size = 500});
+  const TrialSeries five = RunTrials(rs, 0.3, 5, 9);
+  const TrialSeries ten = RunTrials(rs, 0.3, 10, 9);
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(five.estimates[t], ten.estimates[t]);
+  }
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(300, 4);
+  RandomPairSampling rs(dataset, SimilarityMeasure::kCosine,
+                        {.sample_size = 200});
+  const TrialSeries a = RunTrials(rs, 0.2, 8, 1);
+  const TrialSeries b = RunTrials(rs, 0.2, 8, 2);
+  EXPECT_NE(a.estimates, b.estimates);
+}
+
+TEST(ExperimentTest, RunAndScoreWiresThrough) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(200, 5);
+  RandomPairSampling rs(dataset, SimilarityMeasure::kCosine,
+                        {.sample_size = 2000});
+  const ErrorStats stats = RunAndScore(rs, 0.1, 10, 3, 1000.0);
+  EXPECT_EQ(stats.num_trials, 10u);
+  EXPECT_DOUBLE_EQ(stats.true_size, 1000.0);
+}
+
+}  // namespace
+}  // namespace vsj

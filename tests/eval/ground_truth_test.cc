@@ -1,0 +1,50 @@
+#include "vsj/eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/join/brute_force_join.h"
+
+namespace vsj {
+namespace {
+
+TEST(GroundTruthTest, StandardThresholdGrid) {
+  const auto taus = StandardThresholds();
+  ASSERT_EQ(taus.size(), 10u);
+  EXPECT_DOUBLE_EQ(taus.front(), 0.1);
+  EXPECT_DOUBLE_EQ(taus.back(), 1.0);
+}
+
+TEST(GroundTruthTest, JoinSizesMatchBruteForce) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(250, 1);
+  GroundTruth truth(dataset, SimilarityMeasure::kCosine,
+                    StandardThresholds());
+  for (double tau : StandardThresholds()) {
+    EXPECT_EQ(truth.JoinSize(tau),
+              BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, tau))
+        << "tau = " << tau;
+  }
+}
+
+TEST(GroundTruthTest, SelectivityIsJoinSizeOverM) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(200, 2);
+  GroundTruth truth(dataset, SimilarityMeasure::kCosine, {0.5});
+  EXPECT_DOUBLE_EQ(truth.Selectivity(0.5),
+                   static_cast<double>(truth.JoinSize(0.5)) /
+                       static_cast<double>(dataset.NumPairs()));
+  EXPECT_EQ(truth.TotalPairs(), dataset.NumPairs());
+}
+
+TEST(GroundTruthTest, JoinSizeMonotoneInTau) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(300, 3);
+  GroundTruth truth(dataset, SimilarityMeasure::kCosine,
+                    StandardThresholds());
+  uint64_t prev = dataset.NumPairs();
+  for (double tau : StandardThresholds()) {
+    EXPECT_LE(truth.JoinSize(tau), prev);
+    prev = truth.JoinSize(tau);
+  }
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,58 @@
+#include "vsj/eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(MetricsTest, PerfectEstimatesHaveZeroErrors) {
+  const ErrorStats stats = ComputeErrorStats({100.0, 100.0, 100.0}, 100.0);
+  EXPECT_EQ(stats.num_trials, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_estimate, 100.0);
+  EXPECT_DOUBLE_EQ(stats.std_dev, 0.0);
+  EXPECT_EQ(stats.num_overestimates, 0u);
+  EXPECT_EQ(stats.num_underestimates, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_absolute_relative_error, 0.0);
+}
+
+TEST(MetricsTest, SeparatesOverAndUnderEstimation) {
+  // 150 (+50%), 50 (−50%), 100 (exact).
+  const ErrorStats stats = ComputeErrorStats({150.0, 50.0, 100.0}, 100.0);
+  EXPECT_EQ(stats.num_overestimates, 1u);
+  EXPECT_EQ(stats.num_underestimates, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_overestimation, 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_underestimation, -0.5);
+  EXPECT_NEAR(stats.mean_absolute_relative_error, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, BigErrorCounts) {
+  // 10× over, 10× under, zero estimate.
+  const ErrorStats stats =
+      ComputeErrorStats({1000.0, 10.0, 0.0, 100.0}, 100.0);
+  EXPECT_EQ(stats.num_big_overestimates, 1u);
+  EXPECT_EQ(stats.num_big_underestimates, 2u);  // 10.0 and 0.0
+}
+
+TEST(MetricsTest, StdDevMatchesHandComputation) {
+  const ErrorStats stats = ComputeErrorStats({90.0, 110.0}, 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean_estimate, 100.0);
+  EXPECT_DOUBLE_EQ(stats.std_dev, 10.0);
+}
+
+TEST(MetricsTest, UnderestimationCappedAtMinus100Percent) {
+  const ErrorStats stats = ComputeErrorStats({0.0}, 50.0);
+  EXPECT_DOUBLE_EQ(stats.mean_underestimation, -1.0);
+}
+
+TEST(MetricsDeathTest, RejectsEmptyEstimates) {
+  EXPECT_DEATH(ComputeErrorStats({}, 10.0), "CHECK");
+}
+
+TEST(MetricsDeathTest, RejectsZeroTrueSize) {
+  EXPECT_DEATH(ComputeErrorStats({1.0}, 0.0), "undefined");
+}
+
+}  // namespace
+}  // namespace vsj

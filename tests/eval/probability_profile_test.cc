@@ -1,0 +1,95 @@
+#include "vsj/eval/probability_profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vsj {
+namespace {
+
+class ProbabilityProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setup_ = testing::MakeCosineSetup(500, 8, 1, 3);
+    truth_ = std::make_unique<GroundTruth>(
+        setup_.dataset, SimilarityMeasure::kCosine, StandardThresholds());
+    rows_ = ComputeProbabilityProfile(setup_.dataset, setup_.index->table(0),
+                                      SimilarityMeasure::kCosine, *truth_);
+  }
+
+  testing::CosineSetup setup_;
+  std::unique_ptr<GroundTruth> truth_;
+  std::vector<ProbabilityRow> rows_;
+};
+
+TEST_F(ProbabilityProfileTest, OneRowPerThreshold) {
+  EXPECT_EQ(rows_.size(), StandardThresholds().size());
+}
+
+TEST_F(ProbabilityProfileTest, ProbabilitiesInRange) {
+  for (const ProbabilityRow& row : rows_) {
+    EXPECT_GE(row.p_true, 0.0);
+    EXPECT_LE(row.p_true, 1.0);
+    EXPECT_GE(row.p_true_given_h, 0.0);
+    EXPECT_LE(row.p_true_given_h, 1.0);
+    EXPECT_GE(row.p_h_given_true, 0.0);
+    EXPECT_LE(row.p_h_given_true, 1.0);
+    EXPECT_GE(row.p_true_given_l, 0.0);
+    EXPECT_LE(row.p_true_given_l, 1.0);
+  }
+}
+
+TEST_F(ProbabilityProfileTest, JoinSizeMatchesGroundTruth) {
+  for (const ProbabilityRow& row : rows_) {
+    EXPECT_EQ(row.join_size, truth_->JoinSize(row.tau));
+    EXPECT_LE(row.true_in_h, row.join_size);
+  }
+}
+
+TEST_F(ProbabilityProfileTest, BayesIdentityHolds) {
+  // J = J_H + J_L where J_L = β·N_L: check P(T) decomposition
+  // J = P(T|H)·N_H + P(T|L)·N_L exactly.
+  const LshTable& table = setup_.index->table(0);
+  const double n_h = static_cast<double>(table.NumSameBucketPairs());
+  const double n_l = static_cast<double>(table.NumCrossBucketPairs());
+  for (const ProbabilityRow& row : rows_) {
+    const double reconstructed =
+        row.p_true_given_h * n_h + row.p_true_given_l * n_l;
+    EXPECT_NEAR(reconstructed, static_cast<double>(row.join_size),
+                std::max(1e-6, row.join_size * 1e-9));
+  }
+}
+
+TEST_F(ProbabilityProfileTest, PHGivenTrueIncreasesWithTau) {
+  // The paper's Table 1 signature: at high τ most true pairs are in the
+  // same bucket. Check the trend between τ = 0.2 and τ = 0.9 when both are
+  // defined.
+  double low = -1.0, high = -1.0;
+  for (const ProbabilityRow& row : rows_) {
+    if (row.tau == 0.2 && row.join_size > 0) low = row.p_h_given_true;
+    if (row.tau == 0.9 && row.join_size > 0) high = row.p_h_given_true;
+  }
+  if (low >= 0.0 && high >= 0.0) {
+    EXPECT_GE(high, low);
+  }
+}
+
+TEST_F(ProbabilityProfileTest, AlphaExceedsBeta) {
+  // P(T|H) ≥ P(T|L): LSH groups similar pairs (whenever both defined).
+  for (const ProbabilityRow& row : rows_) {
+    if (row.join_size == 0) continue;
+    EXPECT_GE(row.p_true_given_h + 1e-12, row.p_true_given_l)
+        << "tau = " << row.tau;
+  }
+}
+
+TEST(TheoremThresholdsTest, MatchesFormulae) {
+  const TheoremThresholds t = ComputeTheoremThresholds(1024);
+  EXPECT_NEAR(t.alpha_floor, 10.0 / 1024.0, 1e-12);
+  EXPECT_NEAR(t.beta_high_ceiling, 1.0 / 1024.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,151 @@
+#include "vsj/gen/corpus_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "vsj/gen/workloads.h"
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+namespace {
+
+TEST(CorpusGeneratorTest, ProducesRequestedSize) {
+  CorpusConfig config;
+  config.num_vectors = 500;
+  config.vocab_size = 2000;
+  VectorDataset dataset = GenerateCorpus(config);
+  EXPECT_EQ(dataset.size(), 500u);
+}
+
+TEST(CorpusGeneratorTest, DeterministicInSeed) {
+  CorpusConfig config;
+  config.num_vectors = 100;
+  config.vocab_size = 1000;
+  config.seed = 42;
+  VectorDataset a = GenerateCorpus(config);
+  VectorDataset b = GenerateCorpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (VectorId id = 0; id < a.size(); ++id) EXPECT_EQ(a[id], b[id]);
+}
+
+TEST(CorpusGeneratorTest, DifferentSeedsDiffer) {
+  CorpusConfig config;
+  config.num_vectors = 100;
+  config.vocab_size = 1000;
+  config.seed = 1;
+  VectorDataset a = GenerateCorpus(config);
+  config.seed = 2;
+  VectorDataset b = GenerateCorpus(config);
+  bool any_diff = false;
+  for (VectorId id = 0; id < a.size(); ++id) any_diff |= !(a[id] == b[id]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CorpusGeneratorTest, NoEmptyDocuments) {
+  CorpusConfig config;
+  config.num_vectors = 400;
+  config.vocab_size = 1500;
+  config.max_mutation = 0.6;
+  VectorDataset dataset = GenerateCorpus(config);
+  for (const SparseVector& v : dataset.vectors()) EXPECT_FALSE(v.empty());
+}
+
+TEST(CorpusGeneratorTest, RespectsLengthBounds) {
+  CorpusConfig config;
+  config.num_vectors = 300;
+  config.vocab_size = 2000;
+  config.min_length = 5;
+  config.max_length = 30;
+  config.cluster_fraction = 0.0;  // mutation can shrink/grow copies
+  VectorDataset dataset = GenerateCorpus(config);
+  const DatasetStats stats = dataset.ComputeStats();
+  EXPECT_GE(stats.min_features, 5u);
+  EXPECT_LE(stats.max_features, 30u);
+}
+
+TEST(CorpusGeneratorTest, BinaryWeightsAreOne) {
+  CorpusConfig config;
+  config.num_vectors = 50;
+  config.vocab_size = 500;
+  config.weights = WeightScheme::kBinary;
+  VectorDataset dataset = GenerateCorpus(config);
+  for (const SparseVector& v : dataset.vectors()) {
+    for (const Feature& f : v.features()) EXPECT_FLOAT_EQ(f.weight, 1.0f);
+  }
+}
+
+TEST(CorpusGeneratorTest, TfIdfWeightsVary) {
+  CorpusConfig config;
+  config.num_vectors = 50;
+  config.vocab_size = 500;
+  config.weights = WeightScheme::kTfIdf;
+  VectorDataset dataset = GenerateCorpus(config);
+  bool varied = false;
+  float first = dataset[0][0].weight;
+  for (const SparseVector& v : dataset.vectors()) {
+    for (const Feature& f : v.features()) varied |= f.weight != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(CorpusGeneratorTest, ClustersCreateHighSimilarityPairs) {
+  CorpusConfig with;
+  with.num_vectors = 600;
+  with.vocab_size = 4000;
+  with.cluster_fraction = 0.3;
+  with.min_mutation = 0.02;
+  with.max_mutation = 0.1;
+  with.seed = 5;
+  CorpusConfig without = with;
+  without.cluster_fraction = 0.0;
+
+  auto count_high = [](const VectorDataset& d) {
+    int high = 0;
+    for (VectorId i = 0; i < d.size(); ++i) {
+      for (VectorId j = i + 1; j < d.size(); ++j) {
+        if (CosineSimilarity(d[i], d[j]) >= 0.8) ++high;
+      }
+    }
+    return high;
+  };
+  const int clustered = count_high(GenerateCorpus(with));
+  const int background = count_high(GenerateCorpus(without));
+  EXPECT_GT(clustered, background + 10);
+}
+
+TEST(WorkloadsTest, DblpLikeIsBinaryWithShortDocs) {
+  const CorpusConfig config = DblpLikeConfig(1000);
+  EXPECT_EQ(config.weights, WeightScheme::kBinary);
+  VectorDataset dataset = GenerateCorpus(config);
+  const DatasetStats stats = dataset.ComputeStats();
+  EXPECT_NEAR(stats.avg_features, 14.0, 5.0);
+  EXPECT_GE(stats.min_features, 3u);
+}
+
+TEST(WorkloadsTest, NytLikeIsTfIdfWithLongDocs) {
+  const CorpusConfig config = NytLikeConfig(200);
+  EXPECT_EQ(config.weights, WeightScheme::kTfIdf);
+  VectorDataset dataset = GenerateCorpus(config);
+  const DatasetStats stats = dataset.ComputeStats();
+  EXPECT_GT(stats.avg_features, 100.0);
+}
+
+TEST(WorkloadsTest, VocabScalesWithN) {
+  EXPECT_LT(DblpLikeConfig(1000).vocab_size, DblpLikeConfig(100000).vocab_size);
+}
+
+TEST(CorpusGeneratorDeathTest, RejectsZeroVectors) {
+  CorpusConfig config;
+  config.num_vectors = 0;
+  EXPECT_DEATH(GenerateCorpus(config), "CHECK");
+}
+
+TEST(CorpusGeneratorDeathTest, RejectsVocabSmallerThanMaxLength) {
+  CorpusConfig config;
+  config.num_vectors = 10;
+  config.vocab_size = 10;
+  config.max_length = 50;
+  EXPECT_DEATH(GenerateCorpus(config), "CHECK");
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,60 @@
+#include "vsj/gen/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesAreNormalized) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (size_t i = 0; i < 100; ++i) total += zipf.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ProbabilitiesAreDecreasing) {
+  ZipfSampler zipf(50, 0.9);
+  for (size_t i = 1; i < 50; ++i) {
+    EXPECT_LE(zipf.Probability(i), zipf.Probability(i - 1));
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.Probability(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilityRatioMatchesPowerLaw) {
+  const double s = 1.2;
+  ZipfSampler zipf(1000, s);
+  // p(i)/p(j) = (j+1/i+1)^s.
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(9), std::pow(10.0, s),
+              1e-9);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatch) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(1);
+  const int draws = 300000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, zipf.Probability(i),
+                0.005)
+        << "word " << i;
+  }
+}
+
+TEST(ZipfTest, SampleStaysInRange) {
+  ZipfSampler zipf(7, 1.5);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,91 @@
+#include "vsj/io/dataset_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vsj {
+namespace {
+
+void ExpectEqualDatasets(const VectorDataset& a, const VectorDataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  for (VectorId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a[id], b[id]) << "vector " << id;
+  }
+}
+
+TEST(DatasetIoTest, RoundTripThroughStream) {
+  VectorDataset original = testing::SmallClusteredCorpus(150, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDataset(original, buffer));
+  VectorDataset loaded;
+  ASSERT_TRUE(ReadDataset(buffer, &loaded));
+  ExpectEqualDatasets(original, loaded);
+}
+
+TEST(DatasetIoTest, RoundTripEmptyDataset) {
+  VectorDataset original("empty");
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDataset(original, buffer));
+  VectorDataset loaded;
+  ASSERT_TRUE(ReadDataset(buffer, &loaded));
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.name(), "empty");
+}
+
+TEST(DatasetIoTest, RoundTripPreservesWeights) {
+  VectorDataset original("weights");
+  original.Add(SparseVector({{1, 0.125f}, {1000000, 3.5f}}));
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDataset(original, buffer));
+  VectorDataset loaded;
+  ASSERT_TRUE(ReadDataset(buffer, &loaded));
+  ASSERT_EQ(loaded[0].size(), 2u);
+  EXPECT_FLOAT_EQ(loaded[0][0].weight, 0.125f);
+  EXPECT_EQ(loaded[0][1].dim, 1000000u);
+}
+
+TEST(DatasetIoTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTVSJDATA";
+  VectorDataset loaded;
+  EXPECT_FALSE(ReadDataset(buffer, &loaded));
+}
+
+TEST(DatasetIoTest, RejectsTruncatedStream) {
+  VectorDataset original = testing::SmallClusteredCorpus(50, 2);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDataset(original, buffer));
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  VectorDataset loaded;
+  EXPECT_FALSE(ReadDataset(truncated, &loaded));
+}
+
+TEST(DatasetIoTest, RejectsEmptyStream) {
+  std::stringstream buffer;
+  VectorDataset loaded;
+  EXPECT_FALSE(ReadDataset(buffer, &loaded));
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  VectorDataset original = testing::SmallClusteredCorpus(80, 3);
+  const std::string path = ::testing::TempDir() + "/vsj_dataset_io_test.bin";
+  ASSERT_TRUE(SaveDatasetToFile(original, path));
+  VectorDataset loaded;
+  ASSERT_TRUE(LoadDatasetFromFile(path, &loaded));
+  ExpectEqualDatasets(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileFailsGracefully) {
+  VectorDataset loaded;
+  EXPECT_FALSE(LoadDatasetFromFile("/nonexistent/path/ds.bin", &loaded));
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,110 @@
+#include "vsj/join/all_pairs_join.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "vsj/gen/workloads.h"
+#include "vsj/join/brute_force_join.h"
+
+namespace vsj {
+namespace {
+
+std::vector<std::pair<VectorId, VectorId>> Normalize(
+    std::vector<JoinPair> pairs) {
+  std::vector<std::pair<VectorId, VectorId>> out;
+  out.reserve(pairs.size());
+  for (const JoinPair& p : pairs) out.emplace_back(p.first, p.second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AllPairsJoinTest, TinyDatasetMatchesBruteForce) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1, 2}));
+  dataset.Add(SparseVector::FromDims({1, 2}));
+  dataset.Add(SparseVector::FromDims({2, 3}));
+  dataset.Add(SparseVector::FromDims({9}));
+  for (double tau : {0.3, 0.5, 0.9}) {
+    EXPECT_EQ(
+        Normalize(AllPairsJoin(dataset, tau)),
+        Normalize(BruteForceJoinPairs(dataset, SimilarityMeasure::kCosine,
+                                      tau)))
+        << "tau = " << tau;
+  }
+}
+
+TEST(AllPairsJoinTest, SimilaritiesAreExact) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector({{1, 2.0f}, {2, 1.0f}}));
+  dataset.Add(SparseVector({{1, 1.0f}, {2, 2.0f}}));
+  const auto pairs = AllPairsJoin(dataset, 0.5);
+  ASSERT_EQ(pairs.size(), 1u);
+  // Normalized weights are stored as float postings; tolerance reflects
+  // single-precision rounding of the per-feature quotients.
+  EXPECT_NEAR(pairs[0].similarity,
+              CosineSimilarity(dataset[0], dataset[1]), 1e-6);
+}
+
+TEST(AllPairsJoinTest, EmptyAndSingletonInputs) {
+  VectorDataset empty;
+  EXPECT_TRUE(AllPairsJoin(empty, 0.5).empty());
+  VectorDataset one;
+  one.Add(SparseVector::FromDims({1}));
+  EXPECT_TRUE(AllPairsJoin(one, 0.5).empty());
+}
+
+TEST(AllPairsJoinTest, ZeroVectorNeverJoins) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector());  // empty vector, norm 0
+  dataset.Add(SparseVector::FromDims({1}));
+  dataset.Add(SparseVector::FromDims({1}));
+  EXPECT_EQ(AllPairsJoinSize(dataset, 0.5), 1u);
+}
+
+TEST(AllPairsJoinTest, StatsAreConsistent) {
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(300, 11));
+  AllPairsStats stats;
+  const uint64_t size = AllPairsJoinSize(dataset, 0.6, &stats);
+  EXPECT_EQ(stats.result_pairs, size);
+  EXPECT_LE(stats.result_pairs, stats.verifications);
+  EXPECT_EQ(stats.candidates_admitted, stats.verifications);
+}
+
+TEST(AllPairsJoinTest, PruningNeverLosesPairs) {
+  // Higher thresholds prune more candidates but results stay exact.
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(250, 13));
+  AllPairsStats loose, tight;
+  const uint64_t j_low = AllPairsJoinSize(dataset, 0.4, &loose);
+  const uint64_t j_high = AllPairsJoinSize(dataset, 0.8, &tight);
+  EXPECT_GE(j_low, j_high);
+  EXPECT_GE(loose.candidates_admitted, tight.candidates_admitted);
+}
+
+TEST(AllPairsJoinDeathTest, RequiresPositiveThreshold) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1}));
+  dataset.Add(SparseVector::FromDims({2}));
+  EXPECT_DEATH(AllPairsJoin(dataset, 0.0), "positive threshold");
+}
+
+// Property sweep: random corpora at several thresholds vs brute force.
+class AllPairsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(AllPairsPropertyTest, MatchesBruteForce) {
+  const auto [seed, tau] = GetParam();
+  CorpusConfig config = DblpLikeConfig(200, seed);
+  config.cluster_fraction = 0.2;  // ensure some joining pairs
+  VectorDataset dataset = GenerateCorpus(config);
+  EXPECT_EQ(AllPairsJoinSize(dataset, tau),
+            BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, tau));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThresholds, AllPairsPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.3, 0.5, 0.7, 0.9)));
+
+}  // namespace
+}  // namespace vsj

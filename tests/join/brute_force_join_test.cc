@@ -1,0 +1,76 @@
+#include "vsj/join/brute_force_join.h"
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+VectorDataset TriangleDataset() {
+  // v0 == v1, v2 disjoint.
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1, 2}));
+  dataset.Add(SparseVector::FromDims({1, 2}));
+  dataset.Add(SparseVector::FromDims({8, 9}));
+  return dataset;
+}
+
+TEST(BruteForceJoinTest, CountsIdenticalPairs) {
+  VectorDataset dataset = TriangleDataset();
+  EXPECT_EQ(BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, 0.99), 1u);
+  EXPECT_EQ(BruteForceJoinSize(dataset, SimilarityMeasure::kJaccard, 0.99),
+            1u);
+}
+
+TEST(BruteForceJoinTest, ThresholdZeroCountsAllPairs) {
+  VectorDataset dataset = TriangleDataset();
+  EXPECT_EQ(BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, 0.0), 3u);
+}
+
+TEST(BruteForceJoinTest, MonotoneInThreshold) {
+  VectorDataset dataset = TriangleDataset();
+  uint64_t prev = dataset.NumPairs();
+  for (double tau : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const uint64_t j =
+        BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, tau);
+    EXPECT_LE(j, prev);
+    prev = j;
+  }
+}
+
+TEST(BruteForceJoinTest, PairsAreOrderedAndAboveThreshold) {
+  VectorDataset dataset = TriangleDataset();
+  const auto pairs =
+      BruteForceJoinPairs(dataset, SimilarityMeasure::kCosine, 0.5);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0u);
+  EXPECT_EQ(pairs[0].second, 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+TEST(BruteForceJoinTest, GeneralJoinCountsOrderedCrossPairs) {
+  VectorDataset left;
+  left.Add(SparseVector::FromDims({1, 2}));
+  left.Add(SparseVector::FromDims({5, 6}));
+  VectorDataset right;
+  right.Add(SparseVector::FromDims({1, 2}));
+  right.Add(SparseVector::FromDims({1, 2, 3}));
+  // (l0, r0) sim 1; (l0, r1) sim 2/sqrt(6) ≈ 0.816; l1 matches nothing.
+  EXPECT_EQ(BruteForceGeneralJoinSize(left, right,
+                                      SimilarityMeasure::kCosine, 0.9),
+            1u);
+  EXPECT_EQ(BruteForceGeneralJoinSize(left, right,
+                                      SimilarityMeasure::kCosine, 0.8),
+            2u);
+  EXPECT_EQ(BruteForceGeneralJoinSize(left, right,
+                                      SimilarityMeasure::kCosine, 0.0),
+            4u);
+}
+
+TEST(BruteForceJoinTest, SingleVectorHasNoPairs) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1}));
+  EXPECT_EQ(BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, 0.0), 0u);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,66 @@
+#include "vsj/join/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+VectorDataset SmallDataset() {
+  VectorDataset dataset;
+  dataset.Add(SparseVector({{0, 1.0f}, {2, 2.0f}}));
+  dataset.Add(SparseVector({{2, 3.0f}, {5, 1.0f}}));
+  dataset.Add(SparseVector({{0, 0.5f}, {5, 2.0f}}));
+  return dataset;
+}
+
+TEST(InvertedIndexTest, PostingsContainAllOccurrences) {
+  VectorDataset dataset = SmallDataset();
+  InvertedIndex index(dataset);
+  EXPECT_EQ(index.DocFrequency(0), 2u);
+  EXPECT_EQ(index.DocFrequency(2), 2u);
+  EXPECT_EQ(index.DocFrequency(5), 2u);
+  EXPECT_EQ(index.DocFrequency(1), 0u);
+}
+
+TEST(InvertedIndexTest, PostingsSortedByVectorId) {
+  VectorDataset dataset = SmallDataset();
+  InvertedIndex index(dataset);
+  for (DimId d = 0; d < 6; ++d) {
+    const auto& postings = index.postings(d);
+    for (size_t i = 1; i < postings.size(); ++i) {
+      EXPECT_LT(postings[i - 1].id, postings[i].id);
+    }
+  }
+}
+
+TEST(InvertedIndexTest, PostingsCarryWeights) {
+  VectorDataset dataset = SmallDataset();
+  InvertedIndex index(dataset);
+  const auto& postings = index.postings(2);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_FLOAT_EQ(postings[0].weight, 2.0f);
+  EXPECT_FLOAT_EQ(postings[1].weight, 3.0f);
+}
+
+TEST(InvertedIndexTest, OutOfRangeDimensionIsEmpty) {
+  VectorDataset dataset = SmallDataset();
+  InvertedIndex index(dataset);
+  EXPECT_TRUE(index.postings(1000).empty());
+}
+
+TEST(InvertedIndexTest, CandidateOperationCount) {
+  VectorDataset dataset = SmallDataset();
+  InvertedIndex index(dataset);
+  // df = 2 for dims 0, 2, 5 → 3 · C(2,2) = 3.
+  EXPECT_EQ(index.NumCandidateOperations(), 3u);
+}
+
+TEST(InvertedIndexTest, EmptyDataset) {
+  VectorDataset dataset;
+  InvertedIndex index(dataset);
+  EXPECT_EQ(index.num_dimensions(), 0u);
+  EXPECT_EQ(index.NumCandidateOperations(), 0u);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,112 @@
+#include "vsj/join/similarity_histogram.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "vsj/gen/workloads.h"
+#include "vsj/join/brute_force_join.h"
+
+namespace vsj {
+namespace {
+
+TEST(SimilarityHistogramTest, ExactCountsMatchBruteForce) {
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(300, 1));
+  const std::vector<double> taus = {0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+  SimilarityHistogram hist(dataset, SimilarityMeasure::kCosine, taus);
+  for (double tau : taus) {
+    EXPECT_EQ(hist.CountAtLeast(tau),
+              BruteForceJoinSize(dataset, SimilarityMeasure::kCosine, tau))
+        << "tau = " << tau;
+  }
+}
+
+TEST(SimilarityHistogramTest, JaccardExactCounts) {
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(200, 2));
+  const std::vector<double> taus = {0.2, 0.5, 0.8};
+  SimilarityHistogram hist(dataset, SimilarityMeasure::kJaccard, taus);
+  for (double tau : taus) {
+    EXPECT_EQ(hist.CountAtLeast(tau),
+              BruteForceJoinSize(dataset, SimilarityMeasure::kJaccard, tau));
+  }
+}
+
+TEST(SimilarityHistogramTest, ThresholdZeroReturnsAllPairs) {
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(100, 3));
+  SimilarityHistogram hist(dataset, SimilarityMeasure::kCosine, {0.5});
+  EXPECT_EQ(hist.CountAtLeast(0.0), dataset.NumPairs());
+  EXPECT_EQ(hist.NumTotalPairs(), dataset.NumPairs());
+}
+
+TEST(SimilarityHistogramTest, BinsSumToPositivePairs) {
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(150, 4));
+  SimilarityHistogram hist(dataset, SimilarityMeasure::kCosine, {0.5});
+  const uint64_t bin_total = std::accumulate(
+      hist.bins().begin(), hist.bins().end(), uint64_t{0});
+  EXPECT_EQ(bin_total, hist.NumPositivePairs());
+  EXPECT_LE(hist.NumPositivePairs(), hist.NumTotalPairs());
+}
+
+TEST(SimilarityHistogramTest, SingleThreadMatchesMultiThread) {
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(250, 5));
+  const std::vector<double> taus = {0.3, 0.6, 0.9};
+  SimilarityHistogram multi(dataset, SimilarityMeasure::kCosine, taus);
+  SimilarityHistogram single(dataset, SimilarityMeasure::kCosine, taus, 1000,
+                             1);
+  for (double tau : taus) {
+    EXPECT_EQ(multi.CountAtLeast(tau), single.CountAtLeast(tau));
+  }
+  EXPECT_EQ(multi.NumPositivePairs(), single.NumPositivePairs());
+  EXPECT_EQ(multi.bins(), single.bins());
+}
+
+TEST(SimilarityHistogramTest, BinnedCountApproximatesExact) {
+  VectorDataset dataset = GenerateCorpus(DblpLikeConfig(200, 6));
+  SimilarityHistogram hist(dataset, SimilarityMeasure::kCosine,
+                           {0.25, 0.5, 0.75});
+  for (double tau : {0.25, 0.5, 0.75}) {
+    const auto exact = static_cast<double>(hist.CountAtLeast(tau));
+    const auto binned = static_cast<double>(hist.BinnedCountAtLeast(tau));
+    // Bin edges align with multiples of 1/1000 so the only discrepancy is
+    // pairs exactly on the boundary bin.
+    EXPECT_NEAR(binned, exact, exact * 0.05 + 50);
+  }
+}
+
+TEST(SimilarityHistogramTest, IdenticalVectorsLandInLastBin) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1, 2}));
+  dataset.Add(SparseVector::FromDims({1, 2}));
+  SimilarityHistogram hist(dataset, SimilarityMeasure::kCosine, {1.0}, 10);
+  EXPECT_EQ(hist.bins().back(), 1u);
+  EXPECT_EQ(hist.CountAtLeast(1.0), 1u);
+}
+
+TEST(SimilarityHistogramTest, TinyDatasets) {
+  VectorDataset empty;
+  SimilarityHistogram h0(empty, SimilarityMeasure::kCosine, {0.5});
+  EXPECT_EQ(h0.NumTotalPairs(), 0u);
+  VectorDataset one;
+  one.Add(SparseVector::FromDims({1}));
+  SimilarityHistogram h1(one, SimilarityMeasure::kCosine, {0.5});
+  EXPECT_EQ(h1.CountAtLeast(0.5), 0u);
+}
+
+TEST(SimilarityHistogramDeathTest, UnregisteredThresholdAborts) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1}));
+  dataset.Add(SparseVector::FromDims({2}));
+  SimilarityHistogram hist(dataset, SimilarityMeasure::kCosine, {0.5});
+  EXPECT_DEATH(hist.CountAtLeast(0.6), "not registered");
+}
+
+TEST(SimilarityHistogramDeathTest, RejectsOutOfRangeThreshold) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1}));
+  EXPECT_DEATH(
+      SimilarityHistogram(dataset, SimilarityMeasure::kCosine, {1.5}),
+      "thresholds must lie");
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,88 @@
+#include "vsj/lsh/bit_sampling.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(HammingSimilarityTest, IdenticalVectors) {
+  SparseVector v = SparseVector::FromDims({1, 5, 9});
+  EXPECT_DOUBLE_EQ(HammingSimilarity(v, v, 16), 1.0);
+}
+
+TEST(HammingSimilarityTest, KnownDistance) {
+  // u = {1,2}, v = {2,3}: HD = 2, D = 8 → sim = 0.75.
+  SparseVector u = SparseVector::FromDims({1, 2});
+  SparseVector v = SparseVector::FromDims({2, 3});
+  EXPECT_DOUBLE_EQ(HammingSimilarity(u, v, 8), 0.75);
+}
+
+TEST(HammingSimilarityTest, EmptyVectorsFullyAgree) {
+  SparseVector a, b;
+  EXPECT_DOUBLE_EQ(HammingSimilarity(a, b, 4), 1.0);
+}
+
+TEST(HammingSimilarityTest, ComplementarySmallSpace) {
+  SparseVector u = SparseVector::FromDims({0, 1});
+  SparseVector v = SparseVector::FromDims({2, 3});
+  EXPECT_DOUBLE_EQ(HammingSimilarity(u, v, 4), 0.0);
+}
+
+TEST(BitSamplingTest, HashesAreBits) {
+  BitSamplingFamily family(1, 64);
+  SparseVector v = SparseVector::FromDims({3, 7, 21});
+  for (uint32_t j = 0; j < 64; ++j) {
+    const uint64_t h = family.Hash(v, j);
+    EXPECT_TRUE(h == 0 || h == 1);
+  }
+}
+
+TEST(BitSamplingTest, CollisionProbabilityIsIdentity) {
+  BitSamplingFamily family(2, 32);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(1.0), 1.0);
+}
+
+TEST(BitSamplingTest, Definition3HoldsEmpirically) {
+  // P(h(u) = h(v)) should equal HammingSimilarity(u, v, D).
+  const uint32_t dimension = 40;
+  BitSamplingFamily family(3, dimension);
+  struct Case {
+    std::vector<DimId> u, v;
+  };
+  const std::vector<Case> cases = {
+      {{0, 1, 2, 3}, {0, 1, 2, 3}},        // sim 1
+      {{0, 1, 2, 3}, {0, 1, 2, 4}},        // HD 2 → 0.95
+      {{0, 1, 2, 3, 4, 5}, {10, 11, 12}},  // HD 9 → 0.775
+      {{}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+  };
+  const uint32_t k = 6000;
+  std::vector<uint64_t> hu(k), hv(k);
+  for (const Case& c : cases) {
+    SparseVector u = SparseVector::FromDims(c.u);
+    SparseVector v = SparseVector::FromDims(c.v);
+    family.HashRange(u, 0, k, hu.data());
+    family.HashRange(v, 0, k, hv.data());
+    uint32_t collisions = 0;
+    for (uint32_t j = 0; j < k; ++j) collisions += hu[j] == hv[j] ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(collisions) / k,
+                HammingSimilarity(u, v, dimension), 0.02);
+  }
+}
+
+TEST(BitSamplingTest, DeterministicPerFunction) {
+  BitSamplingFamily family(4, 100);
+  SparseVector v = SparseVector::FromDims({5, 50, 99});
+  EXPECT_EQ(family.Hash(v, 7), family.Hash(v, 7));
+}
+
+TEST(BitSamplingDeathTest, VectorMustFitDimension) {
+  SparseVector v = SparseVector::FromDims({100});
+  SparseVector w = SparseVector::FromDims({1});
+  EXPECT_DEATH(HammingSimilarity(v, w, 50), "CHECK");
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,169 @@
+#include "vsj/lsh/dynamic_lsh_table.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vsj {
+namespace {
+
+/// Builds both a static and a dynamic table over the same data and checks
+/// the estimator-facing invariants agree.
+void ExpectMatchesStatic(const VectorDataset& dataset,
+                         const LshFamily& family, uint32_t k,
+                         const DynamicLshTable& dynamic) {
+  const LshTable expected(family, dataset, k);
+  EXPECT_EQ(dynamic.NumSameBucketPairs(), expected.NumSameBucketPairs());
+  EXPECT_EQ(dynamic.num_buckets(), expected.num_buckets());
+  for (VectorId u = 0; u < dataset.size(); ++u) {
+    for (VectorId v = u + 1; v < dataset.size(); ++v) {
+      EXPECT_EQ(dynamic.SameBucket(u, v), expected.SameBucket(u, v));
+    }
+  }
+}
+
+TEST(DynamicLshTableTest, InsertAllMatchesStaticBuild) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(200, 1);
+  SimHashFamily family(2);
+  DynamicLshTable dynamic(family, 8);
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    dynamic.Insert(id, dataset[id]);
+  }
+  EXPECT_EQ(dynamic.num_vectors(), dataset.size());
+  ExpectMatchesStatic(dataset, family, 8, dynamic);
+}
+
+TEST(DynamicLshTableTest, RemoveUndoesInsert) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(150, 3);
+  SimHashFamily family(4);
+  DynamicLshTable dynamic(family, 8);
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    dynamic.Insert(id, dataset[id]);
+  }
+  // Remove the second half; invariants must match a static table over the
+  // first half.
+  VectorDataset half;
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    if (id < dataset.size() / 2) {
+      half.Add(dataset[id]);
+    } else {
+      dynamic.Remove(id);
+    }
+  }
+  EXPECT_EQ(dynamic.num_vectors(), half.size());
+  const LshTable expected(family, half, 8);
+  EXPECT_EQ(dynamic.NumSameBucketPairs(), expected.NumSameBucketPairs());
+  for (VectorId u = 0; u < half.size(); ++u) {
+    for (VectorId v = u + 1; v < half.size(); ++v) {
+      EXPECT_EQ(dynamic.SameBucket(u, v), expected.SameBucket(u, v));
+    }
+  }
+}
+
+TEST(DynamicLshTableTest, RandomChurnKeepsInvariants) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(120, 5);
+  SimHashFamily family(6);
+  DynamicLshTable dynamic(family, 6);
+  Rng rng(7);
+  std::vector<bool> present(dataset.size(), false);
+  for (int op = 0; op < 2000; ++op) {
+    const auto id = static_cast<VectorId>(rng.Below(dataset.size()));
+    if (present[id]) {
+      dynamic.Remove(id);
+    } else {
+      dynamic.Insert(id, dataset[id]);
+    }
+    present[id] = !present[id];
+  }
+  // Rebuild the surviving subset statically and compare.
+  uint64_t expected_pairs = 0;
+  {
+    std::map<VectorId, VectorId> dense;  // original -> compact id
+    VectorDataset survivors;
+    for (VectorId id = 0; id < dataset.size(); ++id) {
+      if (present[id]) {
+        dense[id] = survivors.Add(dataset[id]);
+      }
+    }
+    const LshTable expected(family, survivors, 6);
+    expected_pairs = expected.NumSameBucketPairs();
+    for (const auto& [a, ca] : dense) {
+      for (const auto& [b, cb] : dense) {
+        if (a >= b) continue;
+        EXPECT_EQ(dynamic.SameBucket(a, b), expected.SameBucket(ca, cb));
+      }
+    }
+  }
+  EXPECT_EQ(dynamic.NumSameBucketPairs(), expected_pairs);
+}
+
+TEST(DynamicLshTableTest, SamplingIsUniformOverSameBucketPairs) {
+  // Two duplicate groups: sizes 3 and 2 → same-bucket pairs 3 + 1 = 4.
+  VectorDataset dataset;
+  for (int i = 0; i < 3; ++i) dataset.Add(SparseVector::FromDims({1, 2, 3}));
+  for (int i = 0; i < 2; ++i) {
+    dataset.Add(SparseVector::FromDims({50, 60, 70}));
+  }
+  MinHashFamily family(8);
+  DynamicLshTable dynamic(family, 16);
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    dynamic.Insert(id, dataset[id]);
+  }
+  ASSERT_EQ(dynamic.NumSameBucketPairs(), 4u);
+  Rng rng(9);
+  std::map<std::pair<VectorId, VectorId>, int> counts;
+  const int draws = 40000;
+  for (int d = 0; d < draws; ++d) {
+    const VectorPair pair = dynamic.SampleSameBucketPair(rng);
+    EXPECT_TRUE(dynamic.SameBucket(pair.first, pair.second));
+    auto key = std::minmax(pair.first, pair.second);
+    ++counts[{key.first, key.second}];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [pair, count] : counts) {
+    EXPECT_NEAR(count / static_cast<double>(draws), 0.25, 0.02);
+  }
+}
+
+TEST(DynamicLshTableTest, SamplingAdaptsAfterRemovals) {
+  VectorDataset dataset;
+  for (int i = 0; i < 3; ++i) dataset.Add(SparseVector::FromDims({1, 2, 3}));
+  for (int i = 0; i < 2; ++i) {
+    dataset.Add(SparseVector::FromDims({50, 60, 70}));
+  }
+  MinHashFamily family(10);
+  DynamicLshTable dynamic(family, 16);
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    dynamic.Insert(id, dataset[id]);
+  }
+  // Remove one member of the triple: both groups become pairs.
+  dynamic.Remove(0);
+  EXPECT_EQ(dynamic.NumSameBucketPairs(), 2u);
+  Rng rng(11);
+  int group_a = 0;
+  const int draws = 20000;
+  for (int d = 0; d < draws; ++d) {
+    const VectorPair pair = dynamic.SampleSameBucketPair(rng);
+    if (pair.first == 1 || pair.first == 2) ++group_a;
+  }
+  EXPECT_NEAR(group_a / static_cast<double>(draws), 0.5, 0.02);
+}
+
+TEST(DynamicLshTableDeathTest, DoubleInsertAborts) {
+  SimHashFamily family(12);
+  DynamicLshTable dynamic(family, 4);
+  dynamic.Insert(1, SparseVector::FromDims({1}));
+  EXPECT_DEATH(dynamic.Insert(1, SparseVector::FromDims({2})),
+               "already present");
+}
+
+TEST(DynamicLshTableDeathTest, RemoveMissingAborts) {
+  SimHashFamily family(13);
+  DynamicLshTable dynamic(family, 4);
+  EXPECT_DEATH(dynamic.Remove(5), "not present");
+}
+
+}  // namespace
+}  // namespace vsj

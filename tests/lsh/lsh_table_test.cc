@@ -1,0 +1,175 @@
+#include "vsj/lsh/lsh_table.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "vsj/lsh/minhash.h"
+#include "vsj/lsh/simhash.h"
+
+namespace vsj {
+namespace {
+
+VectorDataset ClusteredDataset() {
+  // Three exact-duplicate groups of sizes 3, 2, 1 → N_H ≥ 3 + 1 under any
+  // family (identical vectors always share a bucket).
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1, 2, 3}));
+  dataset.Add(SparseVector::FromDims({1, 2, 3}));
+  dataset.Add(SparseVector::FromDims({1, 2, 3}));
+  dataset.Add(SparseVector::FromDims({40, 50, 60}));
+  dataset.Add(SparseVector::FromDims({40, 50, 60}));
+  dataset.Add(SparseVector::FromDims({700, 800, 900}));
+  return dataset;
+}
+
+TEST(LshTableTest, EveryVectorAssignedToExactlyOneBucket) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(1);
+  LshTable table(family, dataset, 4);
+  size_t total_members = 0;
+  std::set<VectorId> seen;
+  for (size_t b = 0; b < table.num_buckets(); ++b) {
+    for (VectorId id : table.bucket(b)) {
+      EXPECT_TRUE(seen.insert(id).second) << "vector in two buckets";
+      EXPECT_EQ(table.BucketOf(id), b);
+      ++total_members;
+    }
+  }
+  EXPECT_EQ(total_members, dataset.size());
+}
+
+TEST(LshTableTest, DuplicatesShareBuckets) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(2);
+  LshTable table(family, dataset, 8);
+  EXPECT_TRUE(table.SameBucket(0, 1));
+  EXPECT_TRUE(table.SameBucket(1, 2));
+  EXPECT_TRUE(table.SameBucket(3, 4));
+}
+
+TEST(LshTableTest, NumSameBucketPairsMatchesBucketCounts) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(3);
+  LshTable table(family, dataset, 8);
+  uint64_t expected = 0;
+  for (size_t b = 0; b < table.num_buckets(); ++b) {
+    const uint64_t c = table.bucket_count(b);
+    expected += c * (c - 1) / 2;
+  }
+  EXPECT_EQ(table.NumSameBucketPairs(), expected);
+  EXPECT_EQ(table.NumSameBucketPairs() + table.NumCrossBucketPairs(),
+            dataset.NumPairs());
+}
+
+TEST(LshTableTest, SameBucketSamplingIsUniformOverPairs) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(4);
+  LshTable table(family, dataset, 16);
+  // With k=16 minhash on disjoint groups, buckets should be exactly the
+  // duplicate groups: N_H = C(3,2) + C(2,2) = 4.
+  ASSERT_EQ(table.NumSameBucketPairs(), 4u);
+
+  Rng rng(5);
+  std::map<std::pair<VectorId, VectorId>, int> counts;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    VectorPair p = table.SampleSameBucketPair(rng);
+    EXPECT_NE(p.first, p.second);
+    EXPECT_TRUE(table.SameBucket(p.first, p.second));
+    auto key = std::minmax(p.first, p.second);
+    ++counts[{key.first, key.second}];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [pair, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / draws, 0.25, 0.02);
+  }
+}
+
+TEST(LshTableTest, CrossBucketSamplingAvoidsSameBucket) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(6);
+  LshTable table(family, dataset, 16);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    VectorPair p = table.SampleCrossBucketPair(rng);
+    EXPECT_NE(p.first, p.second);
+    EXPECT_FALSE(table.SameBucket(p.first, p.second));
+  }
+}
+
+TEST(LshTableTest, SamplePairCoversAllPairs) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(8);
+  LshTable table(family, dataset, 4);
+  Rng rng(9);
+  std::set<std::pair<VectorId, VectorId>> seen;
+  for (int i = 0; i < 5000; ++i) {
+    VectorPair p = table.SamplePair(rng);
+    EXPECT_NE(p.first, p.second);
+    auto key = std::minmax(p.first, p.second);
+    seen.insert({key.first, key.second});
+  }
+  EXPECT_EQ(seen.size(), dataset.NumPairs());
+}
+
+TEST(LshTableTest, FunctionOffsetChangesBucketing) {
+  // Two tables over the same data with different offsets should be built
+  // from different hash functions (bucket keys differ in general).
+  VectorDataset dataset;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<DimId> dims;
+    for (int d = 0; d < 5; ++d) {
+      dims.push_back(static_cast<DimId>(rng.Below(40)));
+    }
+    dataset.Add(SparseVector::FromDims(dims));
+  }
+  SimHashFamily family(12);
+  LshTable t0(family, dataset, 6, 0);
+  LshTable t1(family, dataset, 6, 6);
+  // Partition must differ for at least one pair (near-certain).
+  bool differs = false;
+  for (VectorId u = 0; u < dataset.size() && !differs; ++u) {
+    for (VectorId v = u + 1; v < dataset.size() && !differs; ++v) {
+      differs = t0.SameBucket(u, v) != t1.SameBucket(u, v);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LshTableTest, MemoryAccountingFormula) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(13);
+  LshTable table(family, dataset, 8);
+  const size_t expected =
+      table.num_buckets() * 12 + dataset.size() * 4;
+  EXPECT_EQ(table.MemoryBytes(), expected);
+}
+
+TEST(LshTableTest, BucketKeyLookupRoundTrips) {
+  VectorDataset dataset = ClusteredDataset();
+  MinHashFamily family(14);
+  LshTable table(family, dataset, 8);
+  for (size_t b = 0; b < table.num_buckets(); ++b) {
+    auto it = table.key_to_bucket().find(table.BucketKey(b));
+    ASSERT_NE(it, table.key_to_bucket().end());
+    EXPECT_EQ(it->second, b);
+  }
+}
+
+TEST(LshTableDeathTest, SampleSameBucketRequiresNonEmptyStratum) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1}));
+  dataset.Add(SparseVector::FromDims({1000}));
+  MinHashFamily family(15);
+  LshTable table(family, dataset, 20);
+  if (table.NumSameBucketPairs() == 0) {
+    Rng rng(1);
+    EXPECT_DEATH(table.SampleSameBucketPair(rng), "stratum H is empty");
+  }
+}
+
+}  // namespace
+}  // namespace vsj

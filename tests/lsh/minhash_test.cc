@@ -1,0 +1,122 @@
+#include "vsj/lsh/minhash.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vsj/util/rng.h"
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+namespace {
+
+TEST(MinHashTest, DeterministicAcrossCalls) {
+  MinHashFamily family(1);
+  SparseVector v = SparseVector::FromDims({1, 5, 9});
+  EXPECT_EQ(family.Hash(v, 3), family.Hash(v, 3));
+}
+
+TEST(MinHashTest, HashRangeMatchesSingleHashes) {
+  MinHashFamily family(2);
+  SparseVector v = SparseVector::FromDims({2, 4, 6, 8});
+  std::vector<uint64_t> batch(8);
+  family.HashRange(v, 5, 8, batch.data());
+  for (uint32_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(batch[j], family.Hash(v, 5 + j));
+  }
+}
+
+TEST(MinHashTest, IdenticalSetsAlwaysCollide) {
+  MinHashFamily family(3);
+  SparseVector a = SparseVector::FromDims({1, 2, 3});
+  SparseVector b = SparseVector::FromDims({3, 2, 1});
+  for (uint32_t j = 0; j < 32; ++j) {
+    EXPECT_EQ(family.Hash(a, j), family.Hash(b, j));
+  }
+}
+
+TEST(MinHashTest, DisjointSetsRarelyCollide) {
+  MinHashFamily family(4);
+  SparseVector a = SparseVector::FromDims({1, 2, 3, 4, 5});
+  SparseVector b = SparseVector::FromDims({10, 11, 12, 13, 14});
+  int collisions = 0;
+  for (uint32_t j = 0; j < 256; ++j) {
+    collisions += family.Hash(a, j) == family.Hash(b, j) ? 1 : 0;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(MinHashTest, CollisionProbabilityIsIdentity) {
+  MinHashFamily family(0);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(0.37), 0.37);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(1.0), 1.0);
+  // Clamped outside [0, 1].
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(1.5), 1.0);
+}
+
+TEST(MinHashTest, MeasureAndName) {
+  MinHashFamily family(0);
+  EXPECT_EQ(family.measure(), SimilarityMeasure::kJaccard);
+  EXPECT_STREQ(family.name(), "minhash");
+  EXPECT_DOUBLE_EQ(family.resolution(), 1.0);
+}
+
+// Definition 3 of the paper, verified empirically: P(h(A)=h(B)) = J(A,B).
+class MinHashCollisionTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MinHashCollisionTest, EmpiricalRateMatchesJaccard) {
+  const auto [shared, extra_each] = GetParam();
+  std::vector<DimId> a_dims, b_dims;
+  for (int i = 0; i < shared; ++i) {
+    a_dims.push_back(i);
+    b_dims.push_back(i);
+  }
+  for (int i = 0; i < extra_each; ++i) {
+    a_dims.push_back(1000 + i);
+    b_dims.push_back(2000 + i);
+  }
+  SparseVector a = SparseVector::FromDims(a_dims);
+  SparseVector b = SparseVector::FromDims(b_dims);
+  const double jaccard = JaccardSimilarity(a, b);
+
+  MinHashFamily family(1234);
+  const uint32_t k = 4000;
+  std::vector<uint64_t> ha(k), hb(k);
+  family.HashRange(a, 0, k, ha.data());
+  family.HashRange(b, 0, k, hb.data());
+  uint32_t collisions = 0;
+  for (uint32_t j = 0; j < k; ++j) collisions += ha[j] == hb[j] ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(collisions) / k, jaccard, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, MinHashCollisionTest,
+                         ::testing::Values(std::pair{10, 0},   // J = 1
+                                           std::pair{8, 2},    // J = 2/3
+                                           std::pair{5, 5},    // J = 1/3
+                                           std::pair{2, 8},    // J = 1/9
+                                           std::pair{1, 20}));
+
+TEST(MinHashWeightedTest, WeightedCollisionTracksEmbeddedJaccard) {
+  // Weighted vectors via the 0.5-resolution embedding.
+  MinHashFamily family(7, 0.5);
+  SparseVector a({{1, 2.0f}, {2, 1.0f}});
+  SparseVector b({{1, 1.0f}, {2, 1.0f}});
+  const uint32_t k = 4000;
+  std::vector<uint64_t> ha(k), hb(k);
+  family.HashRange(a, 0, k, ha.data());
+  family.HashRange(b, 0, k, hb.data());
+  uint32_t collisions = 0;
+  for (uint32_t j = 0; j < k; ++j) collisions += ha[j] == hb[j] ? 1 : 0;
+  // Embedded multisets: a -> {1:4 copies, 2:2}, b -> {1:2, 2:2};
+  // intersection 4, union 6.
+  EXPECT_NEAR(static_cast<double>(collisions) / k, 4.0 / 6.0, 0.03);
+}
+
+TEST(MinHashDeathTest, RejectsNonPositiveResolution) {
+  EXPECT_DEATH(MinHashFamily(0, 0.0), "CHECK");
+}
+
+}  // namespace
+}  // namespace vsj

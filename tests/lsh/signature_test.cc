@@ -1,0 +1,76 @@
+#include "vsj/lsh/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "vsj/lsh/minhash.h"
+#include "vsj/lsh/simhash.h"
+
+namespace vsj {
+namespace {
+
+VectorDataset SmallDataset() {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1, 2, 3}));
+  dataset.Add(SparseVector::FromDims({1, 2, 3}));  // duplicate of 0
+  dataset.Add(SparseVector::FromDims({10, 20, 30}));
+  return dataset;
+}
+
+TEST(SignatureTest, DimensionsMatch) {
+  VectorDataset dataset = SmallDataset();
+  MinHashFamily family(1);
+  SignatureDatabase signatures(family, dataset, 16);
+  EXPECT_EQ(signatures.k(), 16u);
+  EXPECT_EQ(signatures.num_vectors(), 3u);
+  EXPECT_EQ(signatures.Of(0).size(), 16u);
+}
+
+TEST(SignatureTest, DuplicateVectorsHaveIdenticalSignatures) {
+  VectorDataset dataset = SmallDataset();
+  MinHashFamily family(2);
+  SignatureDatabase signatures(family, dataset, 32);
+  EXPECT_EQ(signatures.MatchCount(0, 1), 32u);
+}
+
+TEST(SignatureTest, DisjointVectorsRarelyMatch) {
+  VectorDataset dataset = SmallDataset();
+  MinHashFamily family(3);
+  SignatureDatabase signatures(family, dataset, 32);
+  EXPECT_EQ(signatures.MatchCount(0, 2), 0u);
+}
+
+TEST(SignatureTest, MatchCountIsSymmetric) {
+  VectorDataset dataset = SmallDataset();
+  SimHashFamily family(4);
+  SignatureDatabase signatures(family, dataset, 24);
+  EXPECT_EQ(signatures.MatchCount(0, 2), signatures.MatchCount(2, 0));
+}
+
+TEST(SignatureTest, FunctionOffsetSelectsDifferentFunctions) {
+  VectorDataset dataset = SmallDataset();
+  SimHashFamily family(5);
+  SignatureDatabase base(family, dataset, 8, 0);
+  SignatureDatabase offset(family, dataset, 8, 8);
+  // Signature of vector 2 under offset functions should differ somewhere
+  // (8 independent bits; chance of full agreement is 1/256 per vector).
+  bool any_diff = false;
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    auto a = base.Of(id);
+    auto b = offset.Of(id);
+    for (uint32_t j = 0; j < 8; ++j) any_diff |= a[j] != b[j];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SignatureTest, OffsetMatchesDirectHashRange) {
+  VectorDataset dataset = SmallDataset();
+  SimHashFamily family(6);
+  SignatureDatabase signatures(family, dataset, 4, 10);
+  std::vector<uint64_t> expected(4);
+  family.HashRange(dataset[1], 10, 4, expected.data());
+  auto actual = signatures.Of(1);
+  for (uint32_t j = 0; j < 4; ++j) EXPECT_EQ(actual[j], expected[j]);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,121 @@
+#include "vsj/lsh/simhash.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vsj/util/rng.h"
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+namespace {
+
+SparseVector RandomVector(Rng& rng, int dims, int len) {
+  std::vector<Feature> features;
+  for (int i = 0; i < len; ++i) {
+    features.push_back(
+        Feature{static_cast<DimId>(rng.Below(dims)),
+                static_cast<float>(0.1 + rng.NextDouble())});
+  }
+  return SparseVector(std::move(features));
+}
+
+TEST(SimHashTest, HashValuesAreBits) {
+  SimHashFamily family(1);
+  Rng rng(2);
+  SparseVector v = RandomVector(rng, 100, 10);
+  for (uint32_t j = 0; j < 50; ++j) {
+    const uint64_t h = family.Hash(v, j);
+    EXPECT_TRUE(h == 0 || h == 1);
+  }
+}
+
+TEST(SimHashTest, DeterministicAcrossCalls) {
+  SimHashFamily family(3);
+  Rng rng(4);
+  SparseVector v = RandomVector(rng, 100, 10);
+  EXPECT_EQ(family.Hash(v, 5), family.Hash(v, 5));
+}
+
+TEST(SimHashTest, HashRangeMatchesSingleHashes) {
+  SimHashFamily family(5);
+  Rng rng(6);
+  SparseVector v = RandomVector(rng, 200, 15);
+  std::vector<uint64_t> batch(10);
+  family.HashRange(v, 3, 10, batch.data());
+  for (uint32_t j = 0; j < 10; ++j) {
+    EXPECT_EQ(batch[j], family.Hash(v, 3 + j)) << "function " << j;
+  }
+}
+
+TEST(SimHashTest, ScaleInvariance) {
+  // sign(r·v) is invariant to positive scaling of v.
+  SimHashFamily family(7);
+  SparseVector v({{1, 1.0f}, {5, 2.0f}, {9, 0.5f}});
+  SparseVector w({{1, 3.0f}, {5, 6.0f}, {9, 1.5f}});
+  std::vector<uint64_t> hv(64), hw(64);
+  family.HashRange(v, 0, 64, hv.data());
+  family.HashRange(w, 0, 64, hw.data());
+  EXPECT_EQ(hv, hw);
+}
+
+TEST(SimHashTest, CollisionProbabilityCurve) {
+  SimHashFamily family(0);
+  EXPECT_NEAR(family.CollisionProbability(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(family.CollisionProbability(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(family.CollisionProbability(-1.0), 0.0, 1e-12);
+  // Monotone increasing.
+  double prev = -1.0;
+  for (double s = -1.0; s <= 1.0; s += 0.05) {
+    const double p = family.CollisionProbability(s);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SimHashTest, MeasureAndName) {
+  SimHashFamily family(0);
+  EXPECT_EQ(family.measure(), SimilarityMeasure::kCosine);
+  EXPECT_STREQ(family.name(), "simhash");
+}
+
+TEST(SimHashTest, DifferentSeedsGiveDifferentFunctions) {
+  SimHashFamily a(1), b(2);
+  Rng rng(8);
+  int diffs = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    SparseVector v = RandomVector(rng, 100, 8);
+    diffs += a.Hash(v, 0) != b.Hash(v, 0) ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 8);  // ~50% expected
+}
+
+// The defining LSH property: empirical collision rate ≈ 1 − θ/π.
+class SimHashCollisionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimHashCollisionTest, EmpiricalRateMatchesAngularSimilarity) {
+  const double target_cos = GetParam();
+  // Two 2-dense vectors with a controlled angle: u = (1, 0), v = (c, s).
+  const double angle = std::acos(target_cos);
+  SparseVector u({{0, 1.0f}});
+  SparseVector v({{0, static_cast<float>(std::cos(angle))},
+                  {1, static_cast<float>(std::sin(angle))}});
+  ASSERT_NEAR(CosineSimilarity(u, v), target_cos, 1e-5);
+
+  SimHashFamily family(99);
+  const uint32_t k = 4000;
+  std::vector<uint64_t> hu(k), hv(k);
+  family.HashRange(u, 0, k, hu.data());
+  family.HashRange(v, 0, k, hv.data());
+  uint32_t collisions = 0;
+  for (uint32_t j = 0; j < k; ++j) collisions += hu[j] == hv[j] ? 1 : 0;
+  const double empirical = static_cast<double>(collisions) / k;
+  EXPECT_NEAR(empirical, family.CollisionProbability(target_cos), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, SimHashCollisionTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.7, 0.9, 0.99));
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,65 @@
+// Shared fixtures for estimator tests: small clustered corpora where exact
+// join sizes are cheap to compute, plus canned LSH setups.
+
+#ifndef VSJ_TESTS_TEST_UTIL_H_
+#define VSJ_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "vsj/gen/corpus_generator.h"
+#include "vsj/gen/workloads.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/lsh/minhash.h"
+#include "vsj/lsh/simhash.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj::testing {
+
+/// A small DBLP-flavoured corpus with a fat near-duplicate tail so that
+/// high thresholds still have true pairs.
+inline VectorDataset SmallClusteredCorpus(size_t n = 800, uint64_t seed = 1) {
+  CorpusConfig config = DblpLikeConfig(n, seed);
+  config.cluster_fraction = 0.25;
+  config.mean_cluster_size = 3.0;
+  config.min_mutation = 0.02;
+  config.max_mutation = 0.25;
+  return GenerateCorpus(config);
+}
+
+/// Bundles a dataset with a SimHash index (cosine).
+struct CosineSetup {
+  VectorDataset dataset;
+  std::unique_ptr<SimHashFamily> family;
+  std::unique_ptr<LshIndex> index;
+};
+
+inline CosineSetup MakeCosineSetup(size_t n = 800, uint32_t k = 10,
+                                   uint32_t tables = 1, uint64_t seed = 1) {
+  CosineSetup setup;
+  setup.dataset = SmallClusteredCorpus(n, seed);
+  setup.family = std::make_unique<SimHashFamily>(seed ^ 0xabcdef);
+  setup.index = std::make_unique<LshIndex>(*setup.family, setup.dataset, k,
+                                           tables);
+  return setup;
+}
+
+/// Bundles a binary dataset with a MinHash index (Jaccard; exact Def. 3).
+struct JaccardSetup {
+  VectorDataset dataset;
+  std::unique_ptr<MinHashFamily> family;
+  std::unique_ptr<LshIndex> index;
+};
+
+inline JaccardSetup MakeJaccardSetup(size_t n = 800, uint32_t k = 6,
+                                     uint32_t tables = 1, uint64_t seed = 2) {
+  JaccardSetup setup;
+  setup.dataset = SmallClusteredCorpus(n, seed);
+  setup.family = std::make_unique<MinHashFamily>(seed ^ 0x123456);
+  setup.index = std::make_unique<LshIndex>(*setup.family, setup.dataset, k,
+                                           tables);
+  return setup;
+}
+
+}  // namespace vsj::testing
+
+#endif  // VSJ_TESTS_TEST_UTIL_H_

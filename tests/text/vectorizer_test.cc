@@ -1,0 +1,123 @@
+#include "vsj/text/vectorizer.h"
+
+#include <gtest/gtest.h>
+
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  const auto tokens = Tokenize("Hello, World! LSH-based Join");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "lsh");
+  EXPECT_EQ(tokens[3], "based");
+  EXPECT_EQ(tokens[4], "join");
+}
+
+TEST(TokenizeTest, DropsShortTokens) {
+  const auto tokens = Tokenize("a an the of to by", 3);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "the");
+}
+
+TEST(TokenizeTest, KeepsDigits) {
+  const auto tokens = Tokenize("vldb 2011 vol4");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "2011");
+  EXPECT_EQ(tokens[2], "vol4");
+}
+
+TEST(TokenizeTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ... ---").empty());
+}
+
+TEST(TextVectorizerTest, BinaryVectorsFromDocuments) {
+  TextVectorizer vectorizer({.tfidf = false});
+  const std::vector<std::string> docs = {
+      "similarity join size estimation",
+      "similarity search with hashing",
+  };
+  VectorDataset dataset = vectorizer.FitTransform(docs, "toy");
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset.name(), "toy");
+  // Vocabulary: estimation, hashing, join, search, similarity, size, with.
+  EXPECT_EQ(vectorizer.vocabulary_size(), 7u);
+  for (const SparseVector& v : dataset.vectors()) {
+    for (const Feature& f : v.features()) EXPECT_FLOAT_EQ(f.weight, 1.0f);
+  }
+  // Shared token "similarity" → nonzero cosine.
+  EXPECT_GT(CosineSimilarity(dataset[0], dataset[1]), 0.0);
+}
+
+TEST(TextVectorizerTest, IdenticalDocumentsHaveSimilarityOne) {
+  TextVectorizer vectorizer;
+  const std::vector<std::string> docs = {"alpha beta gamma",
+                                         "alpha beta gamma",
+                                         "delta epsilon zeta"};
+  VectorDataset dataset = vectorizer.FitTransform(docs);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(dataset[0], dataset[1]), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(dataset[0], dataset[2]), 0.0);
+}
+
+TEST(TextVectorizerTest, TfIdfDownweightsCommonTokens) {
+  TextVectorizer vectorizer;  // tfidf on
+  // "common" appears everywhere; "rare" once.
+  const std::vector<std::string> docs = {"common rare", "common other",
+                                         "common thing", "common stuff"};
+  VectorDataset dataset = vectorizer.FitTransform(docs);
+  const int64_t common_dim = vectorizer.DimOf("common");
+  const int64_t rare_dim = vectorizer.DimOf("rare");
+  ASSERT_GE(common_dim, 0);
+  ASSERT_GE(rare_dim, 0);
+  float common_weight = 0.0f, rare_weight = 0.0f;
+  for (const Feature& f : dataset[0].features()) {
+    if (f.dim == static_cast<DimId>(common_dim)) common_weight = f.weight;
+    if (f.dim == static_cast<DimId>(rare_dim)) rare_weight = f.weight;
+  }
+  EXPECT_GT(rare_weight, common_weight);
+}
+
+TEST(TextVectorizerTest, TermFrequencyCounts) {
+  TextVectorizer vectorizer;
+  const std::vector<std::string> docs = {"word word word other",
+                                         "unrelated text"};
+  VectorDataset dataset = vectorizer.FitTransform(docs);
+  const int64_t word_dim = vectorizer.DimOf("word");
+  const int64_t other_dim = vectorizer.DimOf("other");
+  float word_weight = 0.0f, other_weight = 0.0f;
+  for (const Feature& f : dataset[0].features()) {
+    if (f.dim == static_cast<DimId>(word_dim)) word_weight = f.weight;
+    if (f.dim == static_cast<DimId>(other_dim)) other_weight = f.weight;
+  }
+  EXPECT_NEAR(word_weight, 3.0f * other_weight, 1e-5);
+}
+
+TEST(TextVectorizerTest, MinDocumentFrequencyPrunes) {
+  TextVectorizer vectorizer({.tfidf = false, .min_document_frequency = 2});
+  const std::vector<std::string> docs = {"shared unique1", "shared unique2"};
+  vectorizer.FitTransform(docs);
+  EXPECT_EQ(vectorizer.vocabulary_size(), 1u);  // only "shared" survives
+  EXPECT_GE(vectorizer.DimOf("shared"), 0);
+  EXPECT_EQ(vectorizer.DimOf("unique1"), -1);
+}
+
+TEST(TextVectorizerTest, TransformUsesFittedVocabulary) {
+  TextVectorizer vectorizer({.tfidf = false});
+  vectorizer.FitTransform({"alpha beta", "beta gamma"});
+  const SparseVector v = vectorizer.Transform("beta delta");
+  // "delta" is out of vocabulary → only "beta" contributes.
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(static_cast<int64_t>(v[0].dim), vectorizer.DimOf("beta"));
+}
+
+TEST(TextVectorizerDeathTest, TransformBeforeFitAborts) {
+  TextVectorizer vectorizer;
+  EXPECT_DEATH(vectorizer.Transform("anything"), "fitted");
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,81 @@
+#include "vsj/util/alias_table.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(AliasTableTest, SingleOutcome) {
+  AliasTable table({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, NormalizedProbabilities) {
+  AliasTable table({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(table.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.Probability(1), 0.75);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 2.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const size_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 10.0};
+  AliasTable table(weights);
+  Rng rng(3);
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  double total = 0.0;
+  for (double w : weights) total += w;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected,
+                0.01)
+        << "outcome " << i;
+  }
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  AliasTable table({1e-9, 1.0});
+  Rng rng(4);
+  int zero_count = 0;
+  for (int i = 0; i < 100000; ++i) zero_count += table.Sample(rng) == 0;
+  EXPECT_LE(zero_count, 2);  // P ≈ 1e-9 per draw
+}
+
+TEST(AliasTableTest, ManyOutcomesUniform) {
+  const size_t n = 1000;
+  AliasTable table(std::vector<double>(n, 1.0));
+  Rng rng(5);
+  std::vector<int> counts(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[table.Sample(rng)];
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GT(counts[i], 0) << "outcome " << i << " never sampled";
+  }
+}
+
+TEST(AliasTableDeathTest, RejectsEmptyWeights) {
+  EXPECT_DEATH(AliasTable(std::vector<double>{}), "CHECK");
+}
+
+TEST(AliasTableDeathTest, RejectsNegativeWeight) {
+  EXPECT_DEATH(AliasTable({1.0, -0.5}), "non-negative");
+}
+
+TEST(AliasTableDeathTest, RejectsAllZeroWeights) {
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "positive");
+}
+
+}  // namespace
+}  // namespace vsj

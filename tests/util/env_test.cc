@@ -1,0 +1,40 @@
+#include "vsj/util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(EnvTest, FallbackWhenUnset) {
+  ::unsetenv("VSJ_TEST_UNSET");
+  EXPECT_EQ(EnvInt64("VSJ_TEST_UNSET", 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("VSJ_TEST_UNSET", 1.5), 1.5);
+}
+
+TEST(EnvTest, ParsesInteger) {
+  ::setenv("VSJ_TEST_INT", "12345", 1);
+  EXPECT_EQ(EnvInt64("VSJ_TEST_INT", 0), 12345);
+  ::setenv("VSJ_TEST_INT", "-7", 1);
+  EXPECT_EQ(EnvInt64("VSJ_TEST_INT", 0), -7);
+  ::unsetenv("VSJ_TEST_INT");
+}
+
+TEST(EnvTest, ParsesDouble) {
+  ::setenv("VSJ_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("VSJ_TEST_DBL", 0.0), 0.25);
+  ::unsetenv("VSJ_TEST_DBL");
+}
+
+TEST(EnvTest, FallbackOnGarbage) {
+  ::setenv("VSJ_TEST_BAD", "12abc", 1);
+  EXPECT_EQ(EnvInt64("VSJ_TEST_BAD", 9), 9);
+  EXPECT_DOUBLE_EQ(EnvDouble("VSJ_TEST_BAD", 2.5), 2.5);
+  ::setenv("VSJ_TEST_BAD", "", 1);
+  EXPECT_EQ(EnvInt64("VSJ_TEST_BAD", 9), 9);
+  ::unsetenv("VSJ_TEST_BAD");
+}
+
+}  // namespace
+}  // namespace vsj

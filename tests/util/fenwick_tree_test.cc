@@ -1,0 +1,91 @@
+#include "vsj/util/fenwick_tree.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(FenwickTreeTest, PrefixSumsMatchNaive) {
+  FenwickTree tree(10);
+  std::vector<double> values(10, 0.0);
+  Rng rng(1);
+  for (int round = 0; round < 200; ++round) {
+    const size_t i = rng.Below(10);
+    const double w = rng.NextDouble() * 5.0;
+    tree.Set(i, w);
+    values[i] = w;
+    double naive = 0.0;
+    for (size_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(tree.PrefixSum(j), naive, 1e-9);
+      naive += values[j];
+    }
+    EXPECT_NEAR(tree.Total(), naive, 1e-9);
+  }
+}
+
+TEST(FenwickTreeTest, AppendGrowsTree) {
+  FenwickTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(tree.Append(), i);
+    tree.Set(i, static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(tree.size(), 20u);
+  EXPECT_NEAR(tree.Total(), 210.0, 1e-9);  // 1 + 2 + ... + 20
+  EXPECT_NEAR(tree.PrefixSum(10), 55.0, 1e-9);
+}
+
+TEST(FenwickTreeTest, AppendAfterUpdatesKeepsSums) {
+  FenwickTree tree(3);
+  tree.Set(0, 1.0);
+  tree.Set(1, 2.0);
+  tree.Set(2, 3.0);
+  const size_t i = tree.Append();
+  EXPECT_EQ(i, 3u);
+  EXPECT_NEAR(tree.Total(), 6.0, 1e-9);
+  tree.Set(3, 4.0);
+  EXPECT_NEAR(tree.Total(), 10.0, 1e-9);
+  EXPECT_NEAR(tree.PrefixSum(3), 6.0, 1e-9);
+}
+
+TEST(FenwickTreeTest, SampleMatchesWeights) {
+  FenwickTree tree(4);
+  const std::vector<double> weights = {1.0, 0.0, 3.0, 6.0};
+  for (size_t i = 0; i < weights.size(); ++i) tree.Set(i, weights[i]);
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  const int draws = 100000;
+  for (int d = 0; d < draws; ++d) ++counts[tree.Sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(draws), 0.6, 0.01);
+}
+
+TEST(FenwickTreeTest, SampleAfterWeightChanges) {
+  FenwickTree tree(3);
+  tree.Set(0, 5.0);
+  tree.Set(1, 5.0);
+  tree.Set(2, 5.0);
+  tree.Set(0, 0.0);  // zero out slot 0
+  Rng rng(3);
+  for (int d = 0; d < 2000; ++d) EXPECT_NE(tree.Sample(rng), 0u);
+}
+
+TEST(FenwickTreeTest, SingleSlot) {
+  FenwickTree tree(1);
+  tree.Set(0, 0.5);
+  Rng rng(4);
+  for (int d = 0; d < 50; ++d) EXPECT_EQ(tree.Sample(rng), 0u);
+}
+
+TEST(FenwickTreeDeathTest, SampleFromEmptyAborts) {
+  FenwickTree tree(3);
+  Rng rng(5);
+  EXPECT_DEATH(tree.Sample(rng), "all-zero");
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,80 @@
+#include "vsj/util/hash.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSample) {
+  // A bijection cannot collide; check a decent sample.
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 10000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should flip ~half the output bits.
+  int total_flips = 0;
+  const int trials = 64;
+  for (int bit = 0; bit < trials; ++bit) {
+    const uint64_t a = Mix64(0x123456789abcdefULL);
+    const uint64_t b = Mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashTest, HashCombineNoObviousCollisions) {
+  std::set<uint64_t> outputs;
+  for (uint64_t a = 0; a < 100; ++a) {
+    for (uint64_t b = 0; b < 100; ++b) outputs.insert(HashCombine(a, b));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, UniformFromHashRangeAndMean) {
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = UniformFromHash(i, 99);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(HashTest, GaussianFromHashMoments) {
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = GaussianFromHash(i, 7);
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(HashTest, GaussianFromHashDeterministic) {
+  EXPECT_DOUBLE_EQ(GaussianFromHash(42, 7), GaussianFromHash(42, 7));
+  EXPECT_NE(GaussianFromHash(42, 7), GaussianFromHash(42, 8));
+  EXPECT_NE(GaussianFromHash(42, 7), GaussianFromHash(43, 7));
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,75 @@
+#include "vsj/util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table("My Table");
+  table.SetHeader({"tau", "value"});
+  table.AddRow({"0.1", "123456"});
+  table.AddRow({"0.95", "7"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("tau"), std::string::npos);
+  // Every data line has the same width of column one (padded).
+  EXPECT_NE(out.find("0.1 "), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RaggedRowsArePadded) {
+  TablePrinter table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesCommasAndQuotes) {
+  TablePrinter table;
+  table.SetHeader({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, SciNotation) {
+  EXPECT_EQ(TablePrinter::Sci(9.1e-08, 1), "9.1e-08");
+}
+
+TEST(TablePrinterTest, CountHumanReadable) {
+  EXPECT_EQ(TablePrinter::Count(105e9), "105B");
+  EXPECT_EQ(TablePrinter::Count(267e6), "267M");
+  EXPECT_EQ(TablePrinter::Count(11.2e6), "11.2M");
+  EXPECT_EQ(TablePrinter::Count(103e3), "103K");
+  EXPECT_EQ(TablePrinter::Count(42000), "42.0K");
+  EXPECT_EQ(TablePrinter::Count(42), "42");
+}
+
+TEST(TablePrinterTest, PctFormatsFraction) {
+  EXPECT_EQ(TablePrinter::Pct(-0.952), "-95.2%");
+  EXPECT_EQ(TablePrinter::Pct(0.3, 0), "30%");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter table;
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"x"});
+  table.AddRow({"y"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,75 @@
+#include "vsj/vector/set_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "vsj/util/rng.h"
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+namespace {
+
+TEST(SetEmbeddingTest, BinaryVectorIdentityEmbedding) {
+  SparseVector v = SparseVector::FromDims({3, 7});
+  const auto elements = EmbedAsSet(v, 1.0);
+  ASSERT_EQ(elements.size(), 2u);
+  EXPECT_EQ(elements[0].dim, 3u);
+  EXPECT_EQ(elements[0].copy, 0u);
+  EXPECT_EQ(elements[1].dim, 7u);
+}
+
+TEST(SetEmbeddingTest, WeightsRoundToCopies) {
+  SparseVector v({{1, 2.6f}, {2, 0.2f}});
+  const auto elements = EmbedAsSet(v, 1.0);
+  // 2.6 rounds to 3 copies; 0.2 rounds to 0 but is clamped to 1 copy.
+  ASSERT_EQ(elements.size(), 4u);
+  EXPECT_EQ(elements[0].dim, 1u);
+  EXPECT_EQ(elements[2].copy, 2u);
+  EXPECT_EQ(elements[3].dim, 2u);
+}
+
+TEST(SetEmbeddingTest, ResolutionScalesCopies) {
+  SparseVector v({{1, 1.0f}});
+  EXPECT_EQ(EmbedAsSet(v, 0.5).size(), 2u);
+  EXPECT_EQ(EmbedAsSet(v, 0.25).size(), 4u);
+}
+
+TEST(EmbeddedJaccardTest, MatchesSetJaccardOnBinary) {
+  SparseVector a = SparseVector::FromDims({1, 2, 3});
+  SparseVector b = SparseVector::FromDims({2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(EmbeddedJaccard(a, b, 1.0), JaccardSimilarity(a, b));
+}
+
+TEST(EmbeddedJaccardTest, IdenticalIsOne) {
+  SparseVector a({{1, 2.5f}, {4, 0.5f}});
+  EXPECT_DOUBLE_EQ(EmbeddedJaccard(a, a, 0.1), 1.0);
+}
+
+TEST(EmbeddedJaccardTest, ConvergesToWeightedJaccard) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Feature> fa, fb;
+    for (int i = 0; i < 6; ++i) {
+      fa.push_back(Feature{static_cast<DimId>(rng.Below(10)),
+                           static_cast<float>(0.2 + rng.NextDouble())});
+      fb.push_back(Feature{static_cast<DimId>(rng.Below(10)),
+                           static_cast<float>(0.2 + rng.NextDouble())});
+    }
+    SparseVector a(fa), b(fb);
+    const double weighted = JaccardSimilarity(a, b);
+    const double embedded = EmbeddedJaccard(a, b, 0.001);
+    EXPECT_NEAR(embedded, weighted, 0.01);
+  }
+}
+
+TEST(EmbeddedJaccardTest, EmptyVectors) {
+  SparseVector a;
+  EXPECT_DOUBLE_EQ(EmbeddedJaccard(a, a, 1.0), 0.0);
+}
+
+TEST(SetEmbeddingDeathTest, RejectsNonPositiveResolution) {
+  SparseVector v = SparseVector::FromDims({1});
+  EXPECT_DEATH(EmbedAsSet(v, 0.0), "CHECK");
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,121 @@
+#include "vsj/vector/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "vsj/util/rng.h"
+
+namespace vsj {
+namespace {
+
+SparseVector RandomVector(Rng& rng, int dims, int len) {
+  std::vector<Feature> features;
+  for (int i = 0; i < len; ++i) {
+    features.push_back(
+        Feature{static_cast<DimId>(rng.Below(dims)),
+                static_cast<float>(0.1 + rng.NextDouble() * 2.0)});
+  }
+  return SparseVector(std::move(features));
+}
+
+TEST(CosineTest, IdenticalVectorsHaveSimilarityOne) {
+  SparseVector v({{1, 2.0f}, {5, 3.0f}});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(v, v), 1.0);
+}
+
+TEST(CosineTest, ScalingInvariance) {
+  SparseVector v({{1, 2.0f}, {5, 3.0f}});
+  SparseVector w({{1, 4.0f}, {5, 6.0f}});
+  EXPECT_NEAR(CosineSimilarity(v, w), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalVectors) {
+  SparseVector a = SparseVector::FromDims({1, 2});
+  SparseVector b = SparseVector::FromDims({3, 4});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(CosineTest, KnownValue) {
+  // cos between (1,1,0) and (0,1,1) is 1/2.
+  SparseVector a = SparseVector::FromDims({0, 1});
+  SparseVector b = SparseVector::FromDims({1, 2});
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.5, 1e-12);
+}
+
+TEST(CosineTest, EmptyVectorGivesZero) {
+  SparseVector a;
+  SparseVector b = SparseVector::FromDims({1});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 0.0);
+}
+
+TEST(JaccardTest, BinaryVectorsMatchSetJaccard) {
+  SparseVector a = SparseVector::FromDims({1, 2, 3});
+  SparseVector b = SparseVector::FromDims({2, 3, 4, 5});
+  // |∩| = 2, |∪| = 5.
+  EXPECT_NEAR(JaccardSimilarity(a, b), 0.4, 1e-12);
+}
+
+TEST(JaccardTest, IdenticalIsOne) {
+  SparseVector a({{1, 0.5f}, {9, 2.0f}});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+}
+
+TEST(JaccardTest, DisjointIsZero) {
+  SparseVector a = SparseVector::FromDims({1});
+  SparseVector b = SparseVector::FromDims({2});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.0);
+}
+
+TEST(JaccardTest, WeightedMinOverMax) {
+  SparseVector a({{1, 2.0f}, {2, 1.0f}});
+  SparseVector b({{1, 1.0f}, {2, 3.0f}});
+  // min: 1 + 1 = 2, max: 2 + 3 = 5.
+  EXPECT_NEAR(JaccardSimilarity(a, b), 0.4, 1e-12);
+}
+
+TEST(JaccardTest, EmptyVectorsGiveZero) {
+  SparseVector a;
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 0.0);
+}
+
+TEST(SimilarityDispatchTest, MatchesDirectCalls) {
+  SparseVector a({{1, 2.0f}, {2, 1.0f}});
+  SparseVector b({{1, 1.0f}, {3, 3.0f}});
+  EXPECT_DOUBLE_EQ(Similarity(SimilarityMeasure::kCosine, a, b),
+                   CosineSimilarity(a, b));
+  EXPECT_DOUBLE_EQ(Similarity(SimilarityMeasure::kJaccard, a, b),
+                   JaccardSimilarity(a, b));
+}
+
+TEST(SimilarityDispatchTest, Names) {
+  EXPECT_STREQ(SimilarityMeasureName(SimilarityMeasure::kCosine), "cosine");
+  EXPECT_STREQ(SimilarityMeasureName(SimilarityMeasure::kJaccard), "jaccard");
+}
+
+// Property sweep: similarity axioms on random vectors.
+class SimilarityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityPropertyTest, RangeSymmetryAndSelfSimilarity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    SparseVector a = RandomVector(rng, 30, 8);
+    SparseVector b = RandomVector(rng, 30, 8);
+    for (auto measure :
+         {SimilarityMeasure::kCosine, SimilarityMeasure::kJaccard}) {
+      const double s_ab = Similarity(measure, a, b);
+      const double s_ba = Similarity(measure, b, a);
+      EXPECT_DOUBLE_EQ(s_ab, s_ba);
+      EXPECT_GE(s_ab, 0.0);
+      EXPECT_LE(s_ab, 1.0);
+      EXPECT_DOUBLE_EQ(Similarity(measure, a, a), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace vsj

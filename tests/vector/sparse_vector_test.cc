@@ -1,0 +1,100 @@
+#include "vsj/vector/sparse_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(SparseVectorTest, EmptyVector) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_DOUBLE_EQ(v.norm(), 0.0);
+  EXPECT_EQ(v.dim_bound(), 0u);
+}
+
+TEST(SparseVectorTest, SortsFeaturesByDimension) {
+  SparseVector v({{5, 1.0f}, {1, 2.0f}, {3, 3.0f}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].dim, 1u);
+  EXPECT_EQ(v[1].dim, 3u);
+  EXPECT_EQ(v[2].dim, 5u);
+}
+
+TEST(SparseVectorTest, CoalescesDuplicateDimensions) {
+  SparseVector v({{2, 1.0f}, {2, 2.5f}, {7, 1.0f}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].dim, 2u);
+  EXPECT_FLOAT_EQ(v[0].weight, 3.5f);
+}
+
+TEST(SparseVectorTest, DropsNonPositiveWeights) {
+  SparseVector v({{1, 0.0f}, {2, -1.0f}, {3, 2.0f}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].dim, 3u);
+}
+
+TEST(SparseVectorTest, DuplicatesCancellingToZeroAreDropped) {
+  SparseVector v({{4, 1.0f}, {4, -1.0f}, {5, 1.0f}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].dim, 5u);
+}
+
+TEST(SparseVectorTest, NormAndL1) {
+  SparseVector v({{0, 3.0f}, {1, 4.0f}});
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.l1_norm(), 7.0);
+}
+
+TEST(SparseVectorTest, FromDimsBuildsBinaryVector) {
+  SparseVector v = SparseVector::FromDims({9, 2, 5});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].dim, 2u);
+  EXPECT_FLOAT_EQ(v[0].weight, 1.0f);
+  EXPECT_DOUBLE_EQ(v.norm(), std::sqrt(3.0));
+  EXPECT_EQ(v.dim_bound(), 10u);
+}
+
+TEST(SparseVectorTest, DotDisjoint) {
+  SparseVector a = SparseVector::FromDims({1, 2});
+  SparseVector b = SparseVector::FromDims({3, 4});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+}
+
+TEST(SparseVectorTest, DotOverlapping) {
+  SparseVector a({{1, 2.0f}, {3, 1.0f}, {5, 4.0f}});
+  SparseVector b({{3, 3.0f}, {5, 0.5f}, {9, 7.0f}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0 * 3.0 + 4.0 * 0.5);
+}
+
+TEST(SparseVectorTest, DotIsSymmetric) {
+  SparseVector a({{1, 2.0f}, {3, 1.0f}});
+  SparseVector b({{1, 3.0f}, {2, 5.0f}, {3, 1.0f}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), b.Dot(a));
+}
+
+TEST(SparseVectorTest, DotWithSelfIsNormSquared) {
+  SparseVector a({{2, 1.5f}, {7, 2.0f}});
+  EXPECT_NEAR(a.Dot(a), a.norm() * a.norm(), 1e-12);
+}
+
+TEST(SparseVectorTest, OverlapSize) {
+  SparseVector a = SparseVector::FromDims({1, 2, 3, 4});
+  SparseVector b = SparseVector::FromDims({2, 4, 6});
+  EXPECT_EQ(a.OverlapSize(b), 2u);
+  EXPECT_EQ(b.OverlapSize(a), 2u);
+  EXPECT_EQ(a.OverlapSize(a), 4u);
+}
+
+TEST(SparseVectorTest, EqualityComparesFeatures) {
+  SparseVector a({{1, 1.0f}, {2, 2.0f}});
+  SparseVector b({{2, 2.0f}, {1, 1.0f}});  // same after sorting
+  SparseVector c({{1, 1.0f}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,52 @@
+#include "vsj/vector/vector_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(VectorDatasetTest, EmptyDataset) {
+  VectorDataset dataset("empty");
+  EXPECT_TRUE(dataset.empty());
+  EXPECT_EQ(dataset.NumPairs(), 0u);
+  const DatasetStats stats = dataset.ComputeStats();
+  EXPECT_EQ(stats.num_vectors, 0u);
+}
+
+TEST(VectorDatasetTest, AddReturnsSequentialIds) {
+  VectorDataset dataset;
+  EXPECT_EQ(dataset.Add(SparseVector::FromDims({1})), 0u);
+  EXPECT_EQ(dataset.Add(SparseVector::FromDims({2})), 1u);
+  EXPECT_EQ(dataset.size(), 2u);
+}
+
+TEST(VectorDatasetTest, NumPairsIsChoose2) {
+  VectorDataset dataset;
+  for (int i = 0; i < 10; ++i) dataset.Add(SparseVector::FromDims({1}));
+  EXPECT_EQ(dataset.NumPairs(), 45u);
+}
+
+TEST(VectorDatasetTest, StatsAggregation) {
+  VectorDataset dataset("stats");
+  dataset.Add(SparseVector::FromDims({0, 1, 2}));      // 3 features
+  dataset.Add(SparseVector::FromDims({5}));            // 1 feature
+  dataset.Add(SparseVector::FromDims({1, 9}));         // 2 features
+  const DatasetStats stats = dataset.ComputeStats();
+  EXPECT_EQ(stats.num_vectors, 3u);
+  EXPECT_EQ(stats.total_features, 6u);
+  EXPECT_DOUBLE_EQ(stats.avg_features, 2.0);
+  EXPECT_EQ(stats.min_features, 1u);
+  EXPECT_EQ(stats.max_features, 3u);
+  EXPECT_EQ(stats.num_dimensions, 10u);  // max dim 9 + 1
+  EXPECT_EQ(dataset.name(), "stats");
+}
+
+TEST(VectorDatasetTest, AccessByIndex) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({7}));
+  EXPECT_EQ(dataset[0].size(), 1u);
+  EXPECT_EQ(dataset[0][0].dim, 7u);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,169 @@
+// vsjoin_estimate: command-line join-size estimation.
+//
+//   vsjoin_estimate --dataset corpus.vsjd --tau 0.8 [--estimator LSH-SS]
+//                   [--k 20] [--tables 1] [--trials 1] [--seed 1]
+//   vsjoin_estimate --synthetic dblp --n 20000 --tau 0.8 [...]
+//
+// Loads a persisted dataset (vsj/io) or generates a synthetic corpus, builds
+// the LSH index, and prints the estimate (mean over --trials runs). With
+// --exact it also computes the exact join size for comparison (quadratic in
+// the worst case; intended for small datasets).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "vsj/core/estimator_registry.h"
+#include "vsj/eval/experiment.h"
+#include "vsj/gen/workloads.h"
+#include "vsj/io/dataset_io.h"
+#include "vsj/join/brute_force_join.h"
+#include "vsj/lsh/simhash.h"
+
+namespace {
+
+struct Args {
+  std::string dataset_path;
+  std::string synthetic;  // dblp | nyt | pubmed
+  std::string estimator = "LSH-SS";
+  size_t n = 20000;
+  double tau = 0.8;
+  uint32_t k = 20;
+  uint32_t tables = 1;
+  size_t trials = 1;
+  uint64_t seed = 1;
+  bool exact = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << name << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--dataset") {
+      const char* v = next("--dataset");
+      if (!v) return false;
+      args->dataset_path = v;
+    } else if (flag == "--synthetic") {
+      const char* v = next("--synthetic");
+      if (!v) return false;
+      args->synthetic = v;
+    } else if (flag == "--estimator") {
+      const char* v = next("--estimator");
+      if (!v) return false;
+      args->estimator = v;
+    } else if (flag == "--n") {
+      const char* v = next("--n");
+      if (!v) return false;
+      args->n = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--tau") {
+      const char* v = next("--tau");
+      if (!v) return false;
+      args->tau = std::strtod(v, nullptr);
+    } else if (flag == "--k") {
+      const char* v = next("--k");
+      if (!v) return false;
+      args->k = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--tables") {
+      const char* v = next("--tables");
+      if (!v) return false;
+      args->tables = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--trials") {
+      const char* v = next("--trials");
+      if (!v) return false;
+      args->trials = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--exact") {
+      args->exact = true;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return !args->dataset_path.empty() || !args->synthetic.empty();
+}
+
+void PrintUsage() {
+  std::cerr
+      << "usage: vsjoin_estimate (--dataset FILE | --synthetic "
+         "dblp|nyt|pubmed) --tau T\n"
+         "       [--estimator NAME] [--n N] [--k K] [--tables L]\n"
+         "       [--trials R] [--seed S] [--exact]\n"
+         "estimators: LSH-SS LSH-SS(D) RS(pop) RS(cross) LSH-S J_U LC\n"
+         "            Adaptive Bifocal LSH-SS(median) LSH-SS(vbucket)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+
+  vsj::VectorDataset dataset;
+  if (!args.dataset_path.empty()) {
+    if (!vsj::LoadDatasetFromFile(args.dataset_path, &dataset)) {
+      std::cerr << "failed to load dataset from " << args.dataset_path
+                << "\n";
+      return 1;
+    }
+  } else if (args.synthetic == "dblp") {
+    dataset = vsj::GenerateCorpus(vsj::DblpLikeConfig(args.n, args.seed));
+  } else if (args.synthetic == "nyt") {
+    dataset = vsj::GenerateCorpus(vsj::NytLikeConfig(args.n, args.seed));
+  } else if (args.synthetic == "pubmed") {
+    dataset = vsj::GenerateCorpus(vsj::PubmedLikeConfig(args.n, args.seed));
+  } else {
+    std::cerr << "unknown synthetic corpus: " << args.synthetic << "\n";
+    return 2;
+  }
+
+  const vsj::DatasetStats stats = dataset.ComputeStats();
+  std::cerr << "dataset: n = " << stats.num_vectors
+            << ", avg features = " << stats.avg_features << "\n";
+  if (stats.num_vectors < 2) {
+    std::cerr << "need at least two vectors\n";
+    return 1;
+  }
+
+  vsj::SimHashFamily family(args.seed ^ 0x5eedULL);
+  vsj::LshIndex index(family, dataset, args.k, args.tables);
+
+  vsj::EstimatorContext context;
+  context.dataset = &dataset;
+  context.index = &index;
+  auto estimator = vsj::CreateEstimator(args.estimator, context);
+
+  const vsj::TrialSeries series =
+      vsj::RunTrials(*estimator, args.tau, args.trials, args.seed);
+  double mean = 0.0;
+  for (double e : series.estimates) mean += e;
+  mean /= static_cast<double>(series.estimates.size());
+
+  std::cout << "estimate(" << args.estimator << ", tau=" << args.tau
+            << ") = " << mean;
+  if (args.trials > 1) {
+    std::cout << "  (mean of " << args.trials << " trials, "
+              << series.num_unguaranteed << " unguaranteed)";
+  }
+  std::cout << "\n";
+
+  if (args.exact) {
+    const uint64_t exact = vsj::BruteForceJoinSize(
+        dataset, vsj::SimilarityMeasure::kCosine, args.tau);
+    std::cout << "exact = " << exact << "\n";
+  }
+  return 0;
+}
