@@ -10,16 +10,20 @@
 // which can be executed as filter-then-join or join-then-filter. The right
 // choice depends on the join cardinality: at high τ the join output is tiny
 // and running the (indexed) join first is cheap; at low τ the join explodes
-// and filtering first wins. The example estimates J(τ) with LSH-SS, picks a
-// plan with a simple cost model, and validates against the exact sizes.
+// and filtering first wins.
+//
+// The optimizer-facing statistics object here is CardinalityProvider: a
+// facade over the EstimationService that owns the corpus and its LSH index,
+// answers EstimateJoin(τ) with a JoinSizeSummary (cardinality, selectivity,
+// error bar), and serves repeated probes at nearby thresholds from its
+// cache. The example costs both plans from the summaries and validates the
+// choices against exact join sizes.
 
 #include <iostream>
 
-#include "vsj/core/lsh_ss_estimator.h"
 #include "vsj/eval/ground_truth.h"
 #include "vsj/gen/workloads.h"
-#include "vsj/lsh/lsh_table.h"
-#include "vsj/lsh/simhash.h"
+#include "vsj/service/cardinality_provider.h"
 #include "vsj/util/table_printer.h"
 
 namespace {
@@ -49,27 +53,40 @@ int main() {
   const double filter_selectivity = 0.1;
 
   vsj::VectorDataset docs = vsj::GenerateCorpus(vsj::DblpLikeConfig(n));
-  vsj::SimHashFamily family(3);
-  vsj::LshTable table(family, docs, 20);
-  vsj::LshSsEstimator estimator(docs, table,
-                                vsj::SimilarityMeasure::kCosine);
   vsj::GroundTruth truth(docs, vsj::SimilarityMeasure::kCosine,
                          vsj::StandardThresholds());
 
+  // Long-lived statistics service: owns the corpus, builds the LSH index
+  // across 4 threads, caches responses for repeated optimizer probes.
+  vsj::EstimationServiceOptions service_options;
+  service_options.k = 20;
+  service_options.num_threads = 4;
+  service_options.family_seed = 3;
+  vsj::EstimationService service(std::move(docs), service_options);
+
+  vsj::CardinalityProviderOptions provider_options;
+  provider_options.estimator_name = "LSH-SS";
+  provider_options.trials = 3;
+  provider_options.seed = 99;
+  vsj::CardinalityProvider provider(service, provider_options);
+
   vsj::TablePrinter report("Plan choice per similarity threshold "
                            "(filter selectivity 10%)");
-  report.SetHeader({"tau", "estimated J", "true J", "chosen plan",
+  report.SetHeader({"tau", "estimated J", "±err", "true J", "chosen plan",
                     "oracle plan", "agreement"});
 
   int agreements = 0;
   int rows = 0;
-  vsj::Rng rng(99);
-  for (double tau : vsj::StandardThresholds()) {
-    const double estimate = estimator.Estimate(tau, rng).estimate;
-    const auto true_j = static_cast<double>(truth.JoinSize(tau));
+  // One batched probe for the whole threshold sweep; the service fans the
+  // requests out across its pool.
+  const std::vector<vsj::JoinSizeSummary> summaries =
+      provider.EstimateJoinBatch(vsj::StandardThresholds());
+  for (const vsj::JoinSizeSummary& summary : summaries) {
+    const auto true_j = static_cast<double>(truth.JoinSize(summary.tau));
 
-    const PlanCosts est_costs =
-        CostPlans(static_cast<double>(n), estimate, filter_selectivity);
+    const PlanCosts est_costs = CostPlans(static_cast<double>(n),
+                                          summary.cardinality,
+                                          filter_selectivity);
     const PlanCosts true_costs =
         CostPlans(static_cast<double>(n), true_j, filter_selectivity);
     const bool pick_filter_first =
@@ -79,8 +96,9 @@ int main() {
     agreements += pick_filter_first == oracle_filter_first ? 1 : 0;
     ++rows;
 
-    report.AddRow({vsj::TablePrinter::Fmt(tau, 1),
-                   vsj::TablePrinter::Count(estimate),
+    report.AddRow({vsj::TablePrinter::Fmt(summary.tau, 1),
+                   vsj::TablePrinter::Count(summary.cardinality),
+                   vsj::TablePrinter::Count(summary.std_error),
                    vsj::TablePrinter::Count(true_j),
                    pick_filter_first ? "filter->join" : "join->filter",
                    oracle_filter_first ? "filter->join" : "join->filter",
@@ -89,5 +107,15 @@ int main() {
   report.Print(std::cout);
   std::cout << "\nplan agreement with oracle: " << agreements << "/" << rows
             << " thresholds\n";
+
+  // A second sweep over the same thresholds is answered from the cache —
+  // the optimizer can re-cost plans for free.
+  const auto cached = provider.EstimateJoinBatch(vsj::StandardThresholds());
+  size_t cache_hits = 0;
+  for (const auto& summary : cached) cache_hits += summary.from_cache ? 1 : 0;
+  const vsj::EstimateCacheStats stats = service.cache().stats();
+  std::cout << "second sweep: " << cache_hits << "/" << cached.size()
+            << " summaries from cache (service hit rate "
+            << vsj::TablePrinter::Pct(stats.HitRate()) << ")\n";
   return 0;
 }

@@ -1,17 +1,47 @@
 #include "vsj/lsh/lsh_index.h"
 
+#include <utility>
+
 #include "vsj/util/check.h"
 
 namespace vsj {
 
 LshIndex::LshIndex(const LshFamily& family, const VectorDataset& dataset,
-                   uint32_t k, uint32_t num_tables)
+                   uint32_t k, uint32_t num_tables, ThreadPool* pool)
     : family_(&family), dataset_(&dataset), k_(k) {
   VSJ_CHECK(num_tables > 0);
   tables_.reserve(num_tables);
-  for (uint32_t t = 0; t < num_tables; ++t) {
-    tables_.push_back(std::make_unique<LshTable>(family, dataset, k, t * k));
+
+  if (pool == nullptr || pool->num_threads() == 0) {
+    for (uint32_t t = 0; t < num_tables; ++t) {
+      tables_.push_back(std::make_unique<LshTable>(family, dataset, k, t * k));
+    }
+    return;
   }
+
+  // Phase 1: hash every (table, vector) pair across the pool. The ℓ·n key
+  // computations are independent; chunk them in units of vectors so one
+  // parallel-for item is a contiguous slice of one table's key array.
+  const auto n = static_cast<VectorId>(dataset.size());
+  std::vector<std::vector<uint64_t>> keys(num_tables);
+  for (auto& table_keys : keys) table_keys.resize(n);
+
+  constexpr VectorId kChunk = 2048;
+  const size_t chunks_per_table =
+      n == 0 ? 0 : (n + kChunk - 1) / kChunk;
+  pool->ParallelFor(chunks_per_table * num_tables, [&](size_t item) {
+    const auto t = static_cast<uint32_t>(item / chunks_per_table);
+    const auto begin = static_cast<VectorId>((item % chunks_per_table) * kChunk);
+    const VectorId end = std::min<VectorId>(n, begin + kChunk);
+    LshTable::ComputeBucketKeys(family, dataset, k, t * k, begin, end,
+                                keys[t].data() + begin);
+  });
+
+  // Phase 2: group into buckets — sequential per table, tables in parallel.
+  tables_.resize(num_tables);
+  pool->ParallelFor(num_tables, [&](size_t t) {
+    tables_[t] = std::make_unique<LshTable>(dataset, k, keys[t]);
+  });
 }
 
 bool LshIndex::SameBucketInAnyTable(VectorId u, VectorId v) const {

@@ -15,6 +15,7 @@
 
 #include "vsj/lsh/lsh_family.h"
 #include "vsj/lsh/lsh_table.h"
+#include "vsj/util/thread_pool.h"
 #include "vsj/vector/vector_dataset.h"
 
 namespace vsj {
@@ -24,8 +25,14 @@ class LshIndex {
  public:
   /// Builds ℓ tables with k functions each. The family and dataset must
   /// outlive the index.
+  ///
+  /// When `pool` is non-null the signature computation — the dominant
+  /// O(ℓ·n·k·features) cost — is partitioned across the pool; bucket
+  /// grouping stays sequential per table, so the resulting index is
+  /// bit-identical to a single-threaded build of the same (family, k, ℓ).
+  /// The pool is only used during construction and not retained.
   LshIndex(const LshFamily& family, const VectorDataset& dataset, uint32_t k,
-           uint32_t num_tables);
+           uint32_t num_tables, ThreadPool* pool = nullptr);
 
   uint32_t k() const { return k_; }
   uint32_t num_tables() const { return static_cast<uint32_t>(tables_.size()); }

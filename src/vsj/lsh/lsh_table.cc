@@ -11,20 +11,46 @@ LshTable::LshTable(const LshFamily& family, const VectorDataset& dataset,
                    uint32_t k, uint32_t function_offset)
     : k_(k) {
   VSJ_CHECK(k > 0);
+  std::vector<uint64_t> keys(dataset.size());
+  ComputeBucketKeys(family, dataset, k, function_offset, 0,
+                    static_cast<VectorId>(dataset.size()), keys.data());
+  BuildFromKeys(dataset, keys);
+}
+
+LshTable::LshTable(const VectorDataset& dataset, uint32_t k,
+                   const std::vector<uint64_t>& keys)
+    : k_(k) {
+  VSJ_CHECK(k > 0);
+  VSJ_CHECK_MSG(keys.size() == dataset.size(),
+                "need one precomputed key per vector");
+  BuildFromKeys(dataset, keys);
+}
+
+void LshTable::ComputeBucketKeys(const LshFamily& family,
+                                 const VectorDataset& dataset, uint32_t k,
+                                 uint32_t function_offset, VectorId begin,
+                                 VectorId end, uint64_t* out) {
+  std::vector<uint64_t> signature(k);
+  for (VectorId id = begin; id < end; ++id) {
+    family.HashRange(dataset[id], function_offset, k, signature.data());
+    uint64_t key = 0x2545f4914f6cdd1dULL;
+    for (uint32_t j = 0; j < k; ++j) key = HashCombine(key, signature[j]);
+    out[id - begin] = key;
+  }
+}
+
+void LshTable::BuildFromKeys(const VectorDataset& dataset,
+                             const std::vector<uint64_t>& keys) {
   const size_t n = dataset.size();
   bucket_of_.resize(n);
   key_to_bucket_.reserve(n);
 
-  std::vector<uint64_t> signature(k);
   for (VectorId id = 0; id < n; ++id) {
-    family.HashRange(dataset[id], function_offset, k, signature.data());
-    uint64_t key = 0x2545f4914f6cdd1dULL;
-    for (uint32_t j = 0; j < k; ++j) key = HashCombine(key, signature[j]);
-    auto [it, inserted] =
-        key_to_bucket_.try_emplace(key, static_cast<uint32_t>(buckets_.size()));
+    auto [it, inserted] = key_to_bucket_.try_emplace(
+        keys[id], static_cast<uint32_t>(buckets_.size()));
     if (inserted) {
       buckets_.emplace_back();
-      bucket_keys_.push_back(key);
+      bucket_keys_.push_back(keys[id]);
     }
     buckets_[it->second].push_back(id);
     bucket_of_[id] = it->second;

@@ -45,6 +45,23 @@ class LshTable {
   LshTable(const LshFamily& family, const VectorDataset& dataset, uint32_t k,
            uint32_t function_offset = 0);
 
+  /// Builds the table from precomputed bucket keys (`keys[id]` = combined
+  /// key of vector id, as produced by `ComputeBucketKeys`). This is the
+  /// entry point of the parallel index build: key computation — the O(n·k·
+  /// features) part — parallelizes trivially, while the grouping done here
+  /// stays sequential and therefore identical to the single-threaded build.
+  LshTable(const VectorDataset& dataset, uint32_t k,
+           const std::vector<uint64_t>& keys);
+
+  /// Computes the combined 64-bit bucket key of vectors [begin, end) into
+  /// out[0 .. end-begin): the HashCombine fold of the k hash values
+  /// [function_offset, function_offset + k). Pure and thread-safe; disjoint
+  /// ranges may be computed concurrently.
+  static void ComputeBucketKeys(const LshFamily& family,
+                                const VectorDataset& dataset, uint32_t k,
+                                uint32_t function_offset, VectorId begin,
+                                VectorId end, uint64_t* out);
+
   uint32_t k() const { return k_; }
   size_t num_vectors() const { return bucket_of_.size(); }
 
@@ -102,6 +119,10 @@ class LshTable {
   }
 
  private:
+  /// Groups vectors into buckets by key and builds the sampling structures.
+  void BuildFromKeys(const VectorDataset& dataset,
+                     const std::vector<uint64_t>& keys);
+
   uint32_t k_;
   std::vector<std::vector<VectorId>> buckets_;
   std::vector<uint64_t> bucket_keys_;

@@ -1,0 +1,21 @@
+#include "vsj/service/dataset_fingerprint.h"
+
+#include <bit>
+
+#include "vsj/util/hash.h"
+
+namespace vsj {
+
+uint64_t DatasetFingerprint(const VectorDataset& dataset) {
+  uint64_t h = HashCombine(0x76736a6670ULL /* "vsjfp" */, dataset.size());
+  for (const SparseVector& v : dataset.vectors()) {
+    h = HashCombine(h, v.size());
+    for (const Feature& f : v.features()) {
+      h = HashCombine(h, f.dim);
+      h = HashCombine(h, std::bit_cast<uint32_t>(f.weight));
+    }
+  }
+  return h;
+}
+
+}  // namespace vsj

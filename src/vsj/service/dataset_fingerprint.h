@@ -1,0 +1,24 @@
+// Content fingerprint of a VectorDataset.
+//
+// The EstimateCache keys entries on the dataset identity; a pointer is not
+// enough (datasets are moved/copied around the service boundary) and a name
+// is not enough (two differently-sampled corpora can share one). The
+// fingerprint is a 64-bit hash over every (dimension, weight) feature of
+// every vector in order, so it changes whenever the joined content changes.
+
+#ifndef VSJ_SERVICE_DATASET_FINGERPRINT_H_
+#define VSJ_SERVICE_DATASET_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// 64-bit content hash of `dataset` (O(total features), deterministic
+/// across runs and platforms).
+uint64_t DatasetFingerprint(const VectorDataset& dataset);
+
+}  // namespace vsj
+
+#endif  // VSJ_SERVICE_DATASET_FINGERPRINT_H_

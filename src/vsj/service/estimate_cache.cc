@@ -1,0 +1,88 @@
+#include "vsj/service/estimate_cache.h"
+
+#include <cmath>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+EstimateCache::EstimateCache(double tau_bucket_width, size_t capacity)
+    : tau_bucket_width_(tau_bucket_width), capacity_(capacity) {
+  VSJ_CHECK(tau_bucket_width > 0.0);
+  VSJ_CHECK(capacity > 0);
+}
+
+int64_t EstimateCache::TauBucket(double tau) const {
+  return static_cast<int64_t>(std::floor(tau / tau_bucket_width_));
+}
+
+std::string EstimateCache::MakeKey(const EstimateRequest& request,
+                                   uint64_t fingerprint) const {
+  std::string key;
+  key.reserve(request.estimator_name.size() + 72);
+  key.append(request.estimator_name);
+  key.push_back('|');
+  key.append(std::to_string(TauBucket(request.tau)));
+  key.push_back('|');
+  key.append(std::to_string(fingerprint));
+  key.push_back('|');
+  key.append(std::to_string(request.trials));
+  key.push_back('|');
+  key.append(std::to_string(request.seed));
+  return key;
+}
+
+std::optional<EstimateResponse> EstimateCache::Lookup(
+    const EstimateRequest& request, uint64_t fingerprint) {
+  const std::string key = MakeKey(request, fingerprint);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  EstimateResponse response = it->second->response;
+  response.from_cache = true;
+  return response;
+}
+
+void EstimateCache::Insert(const EstimateRequest& request,
+                           uint64_t fingerprint,
+                           const EstimateResponse& response) {
+  std::string key = MakeKey(request, fingerprint);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.insertions;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->response = response;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, response});
+  index_.emplace(std::move(key), lru_.begin());
+}
+
+void EstimateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t EstimateCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+EstimateCacheStats EstimateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vsj

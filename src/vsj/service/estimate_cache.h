@@ -1,0 +1,98 @@
+// LRU cache of estimation responses for optimizer-style repeated probing.
+//
+// A query optimizer asks for J(τ) at many nearby thresholds while costing
+// plans (the threshold_explorer and query_optimizer examples show the
+// pattern). Estimates are statistics, not exact answers, so two probes whose
+// thresholds fall into the same narrow τ-bucket may share one sampled
+// response. The cache key is (estimator name, τ-bucket, dataset
+// fingerprint, trials, seed): changing the estimator, moving τ across a
+// bucket boundary, editing the dataset, or asking under a different
+// statistical policy (trial count or RNG seed) all miss, while re-probing
+// an already-answered question hits without re-sampling. Keying on trials
+// and seed keeps two invariants that a bare (estimator, τ) key would break:
+// a request for an 8-trial error bar is never served a cached single-trial
+// response with std_error = 0, and changing the seed really draws a fresh
+// sample instead of replaying another seed's result.
+//
+// Thread safety: all methods are mutex-guarded; the cache may be shared by
+// concurrent CardinalityProviders.
+
+#ifndef VSJ_SERVICE_ESTIMATE_CACHE_H_
+#define VSJ_SERVICE_ESTIMATE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "vsj/service/estimate_request.h"
+
+namespace vsj {
+
+/// Hit/miss counters of an EstimateCache.
+struct EstimateCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// Bounded LRU map from (estimator, τ-bucket, dataset fingerprint, trials,
+/// seed) to a previously computed EstimateResponse.
+class EstimateCache {
+ public:
+  /// `tau_bucket_width` controls how close two thresholds must be to share
+  /// a response; `capacity` bounds the number of cached responses (> 0).
+  explicit EstimateCache(double tau_bucket_width = 0.01,
+                         size_t capacity = 1024);
+
+  /// The bucket index of `tau` (floor(tau / width)).
+  int64_t TauBucket(double tau) const;
+
+  /// Returns the cached response for `request`'s key over the dataset with
+  /// `fingerprint`, refreshing its LRU position, or nullopt. Counts a hit
+  /// or a miss.
+  std::optional<EstimateResponse> Lookup(const EstimateRequest& request,
+                                         uint64_t fingerprint);
+
+  /// Inserts (or overwrites) the response under `request`'s key, evicting
+  /// the least recently used entry when full.
+  void Insert(const EstimateRequest& request, uint64_t fingerprint,
+              const EstimateResponse& response);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  double tau_bucket_width() const { return tau_bucket_width_; }
+  EstimateCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    EstimateResponse response;
+  };
+
+  std::string MakeKey(const EstimateRequest& request,
+                      uint64_t fingerprint) const;
+
+  double tau_bucket_width_;
+  size_t capacity_;
+
+  mutable std::mutex mutex_;
+  // Most recently used at the front; the map points into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  EstimateCacheStats stats_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_SERVICE_ESTIMATE_CACHE_H_

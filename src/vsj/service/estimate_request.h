@@ -1,0 +1,56 @@
+// Request/response types of the estimation service.
+//
+// A request names an estimator and a threshold; the service owns the
+// dataset and the LSH index, so callers never touch those directly. The
+// response aggregates the requested number of independent trials — mean,
+// spread, and sampling cost — which is the unit a query optimizer consumes
+// (one cardinality with an error bar), not a single noisy draw.
+
+#ifndef VSJ_SERVICE_ESTIMATE_REQUEST_H_
+#define VSJ_SERVICE_ESTIMATE_REQUEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vsj {
+
+/// One batched estimation question: "what is J(tau) according to
+/// `estimator_name`, averaged over `trials` independent runs?"
+struct EstimateRequest {
+  std::string estimator_name = "LSH-SS";
+  double tau = 0.8;
+  size_t trials = 1;
+  /// Base seed of this request's RNG streams. Two requests with the same
+  /// seed and the same position in a batch produce identical results
+  /// regardless of thread count (see EstimationService).
+  uint64_t seed = 1;
+};
+
+/// Aggregated outcome of one request.
+struct EstimateResponse {
+  double tau = 0.0;
+  std::string estimator_name;
+
+  /// Mean estimate over the trials.
+  double mean_estimate = 0.0;
+  /// Sample standard deviation of the per-trial estimates (0 for a single
+  /// trial).
+  double std_dev = 0.0;
+  /// Standard error of the mean: std_dev / sqrt(trials).
+  double std_error = 0.0;
+  /// Total pair-similarity evaluations across all trials (the paper's
+  /// sampling cost model).
+  uint64_t pairs_evaluated = 0;
+  size_t trials = 0;
+  /// Trials whose result the estimator flagged as not guaranteed (e.g.
+  /// LSH-SS's safe lower bound when SampleL ran dry).
+  size_t num_unguaranteed = 0;
+  /// True when the response was served from the EstimateCache rather than
+  /// computed.
+  bool from_cache = false;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_SERVICE_ESTIMATE_REQUEST_H_

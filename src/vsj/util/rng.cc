@@ -82,4 +82,17 @@ bool Rng::NextBool(double p) { return NextDouble() < p; }
 
 Rng Rng::Split() { return Rng(Next() ^ 0xd2b74407b1ce6e93ULL); }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Fold the four state words and the stream id through SplitMix64 so that
+  // nearby stream ids (0, 1, 2, ...) land on unrelated seeds. The parent's
+  // state is read, never advanced.
+  uint64_t sm = stream_id ^ 0xa0761d6478bd642fULL;
+  uint64_t seed = SplitMix64(sm);
+  for (uint64_t word : s_) {
+    sm = word ^ seed;
+    seed = SplitMix64(sm);
+  }
+  return Rng(seed);
+}
+
 }  // namespace vsj

@@ -53,8 +53,16 @@ class Rng {
   bool NextBool(double p);
 
   /// Derives an independent generator; useful for giving each LSH function
-  /// or trial its own stream.
+  /// or trial its own stream. Advances this generator.
   Rng Split();
+
+  /// Derives the `stream_id`-th independent stream of this generator
+  /// *without* advancing it: Fork(i) is a pure function of (state, i), so a
+  /// parent can hand out any number of streams in any order — or from
+  /// several threads — and stream i is always the same generator. This is
+  /// the facility behind deterministic parallel batch estimation: request i
+  /// of a batch draws from Fork(i) regardless of which thread runs it.
+  Rng Fork(uint64_t stream_id) const;
 
  private:
   uint64_t s_[4];

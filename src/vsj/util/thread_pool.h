@@ -1,0 +1,75 @@
+// A small fixed-size thread pool for data-parallel library work.
+//
+// Deliberately minimal — a mutex-guarded FIFO of std::function tasks, no
+// work stealing — because the library's parallel sections (LSH table
+// construction, batched estimation) partition their work up front into a
+// handful of coarse chunks; a deque per worker would buy nothing. The
+// blocking `ParallelFor` helper is the main entry point: it splits an index
+// range into roughly equal chunks, runs them across the pool (the calling
+// thread executes one share itself), and returns when every chunk finished.
+//
+// Determinism contract: the pool schedules *execution*, never *semantics*.
+// Callers that need scheduling-independent results must give each work item
+// its own RNG stream (see Rng::Fork) and write to pre-assigned output slots,
+// which is exactly what EstimationService and the parallel LshIndex build do.
+
+#ifndef VSJ_UTIL_THREAD_POOL_H_
+#define VSJ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vsj {
+
+/// Fixed-size worker pool. `num_threads == 0` or `1` degrades to inline
+/// execution on the calling thread (no workers are spawned), so a pool can
+/// be threaded through APIs unconditionally.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 when the pool runs inline).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Total concurrency including the caller participating in ParallelFor.
+  size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Enqueues `task` for asynchronous execution. With no workers the task
+  /// runs immediately on the calling thread.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(i)` for every i in [0, n), partitioned into contiguous
+  /// chunks across the workers and the calling thread; blocks until all
+  /// iterations completed. Safe to call concurrently from several threads
+  /// and reentrantly from inside a task: chunks are claimed from a shared
+  /// counter, so the calling thread can always finish its own call's work
+  /// even when every worker is busy (no deadlock). Note a nested call still
+  /// shares the one task queue — nested parallelism adds no concurrency and
+  /// serializes behind outstanding work, so prefer flattening loops.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// A sensible default thread count: hardware concurrency, at least 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_THREAD_POOL_H_

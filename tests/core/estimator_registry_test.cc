@@ -65,5 +65,57 @@ TEST_F(EstimatorRegistryTest, MissingIndexAborts) {
   EXPECT_DEATH(CreateEstimator("LSH-SS", no_index), "requires an LSH index");
 }
 
+TEST_F(EstimatorRegistryTest, MissingDatasetAborts) {
+  EstimatorContext empty;
+  EXPECT_DEATH(CreateEstimator("RS(pop)", empty), "dataset");
+}
+
+TEST_F(EstimatorRegistryTest, EveryIndexFreeEstimatorWorksWithoutIndex) {
+  // The pure sampling estimators must construct from a dataset alone.
+  EstimatorContext no_index;
+  no_index.dataset = &setup_.dataset;
+  no_index.measure = SimilarityMeasure::kCosine;
+  for (const char* name : {"RS(pop)", "RS(cross)", "Adaptive", "Bifocal"}) {
+    auto estimator = CreateEstimator(name, no_index);
+    ASSERT_NE(estimator, nullptr) << name;
+    Rng rng(3);
+    EXPECT_GE(estimator->Estimate(0.6, rng).estimate, 0.0) << name;
+  }
+}
+
+TEST_F(EstimatorRegistryTest, EveryLshEstimatorAbortsWithoutIndex) {
+  EstimatorContext no_index;
+  no_index.dataset = &setup_.dataset;
+  for (const char* name : {"LSH-SS", "LSH-SS(D)", "LSH-S", "J_U", "LC",
+                           "LSH-SS(median)", "LSH-SS(vbucket)"}) {
+    EXPECT_DEATH(CreateEstimator(name, no_index), "requires an LSH index")
+        << name;
+  }
+}
+
+TEST_F(EstimatorRegistryTest, EveryNameRoundTripsItsDisplayName) {
+  for (const std::string& name : AllEstimatorNames()) {
+    auto estimator = CreateEstimator(name, context_);
+    EXPECT_EQ(estimator->name(), name) << name;
+  }
+}
+
+TEST_F(EstimatorRegistryTest, CreatesUnderJaccardMeasureToo) {
+  auto jaccard = testing::MakeJaccardSetup(300, 6, 2);
+  EstimatorContext context;
+  context.dataset = &jaccard.dataset;
+  context.index = jaccard.index.get();
+  context.measure = SimilarityMeasure::kJaccard;
+  for (const std::string& name : AllEstimatorNames()) {
+    auto estimator = CreateEstimator(name, context);
+    ASSERT_NE(estimator, nullptr) << name;
+    Rng rng(1);
+    const EstimationResult r = estimator->Estimate(0.5, rng);
+    EXPECT_GE(r.estimate, 0.0) << name;
+    EXPECT_LE(r.estimate, static_cast<double>(jaccard.dataset.NumPairs()))
+        << name;
+  }
+}
+
 }  // namespace
 }  // namespace vsj

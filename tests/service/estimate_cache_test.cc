@@ -1,0 +1,130 @@
+#include "vsj/service/estimate_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+EstimateRequest MakeRequest(const char* estimator, double tau,
+                            size_t trials = 3, uint64_t seed = 1) {
+  EstimateRequest request;
+  request.estimator_name = estimator;
+  request.tau = tau;
+  request.trials = trials;
+  request.seed = seed;
+  return request;
+}
+
+EstimateResponse MakeResponse(double tau, double estimate) {
+  EstimateResponse response;
+  response.tau = tau;
+  response.estimator_name = "LSH-SS";
+  response.mean_estimate = estimate;
+  response.trials = 3;
+  return response;
+}
+
+TEST(EstimateCacheTest, MissThenHit) {
+  EstimateCache cache(0.01, 16);
+  const EstimateRequest request = MakeRequest("LSH-SS", 0.805);
+  EXPECT_FALSE(cache.Lookup(request, 111).has_value());
+  cache.Insert(request, 111, MakeResponse(0.805, 1234.0));
+  const auto hit = cache.Lookup(request, 111);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->mean_estimate, 1234.0);
+  EXPECT_TRUE(hit->from_cache);
+}
+
+TEST(EstimateCacheTest, NearbyTauSharesBucket) {
+  EstimateCache cache(0.01, 16);
+  cache.Insert(MakeRequest("LSH-SS", 0.802), 111, MakeResponse(0.802, 500.0));
+  // 0.802 and 0.808 fall into τ-bucket 80 at width 0.01.
+  const auto hit = cache.Lookup(MakeRequest("LSH-SS", 0.808), 111);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->mean_estimate, 500.0);
+  // 0.825 falls into bucket 82: miss.
+  EXPECT_FALSE(cache.Lookup(MakeRequest("LSH-SS", 0.825), 111).has_value());
+}
+
+TEST(EstimateCacheTest, KeyIncludesEstimatorAndFingerprint) {
+  EstimateCache cache(0.01, 16);
+  cache.Insert(MakeRequest("LSH-SS", 0.805), 111, MakeResponse(0.805, 500.0));
+  EXPECT_FALSE(cache.Lookup(MakeRequest("RS(pop)", 0.805), 111).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeRequest("LSH-SS", 0.805), 222).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeRequest("LSH-SS", 0.805), 111).has_value());
+}
+
+TEST(EstimateCacheTest, KeyIncludesTrialsAndSeed) {
+  EstimateCache cache(0.01, 16);
+  cache.Insert(MakeRequest("LSH-SS", 0.805, /*trials=*/1, /*seed=*/1), 111,
+               MakeResponse(0.805, 500.0));
+  // A request for an 8-trial error bar must not be served the single-trial
+  // response, and a different seed must draw fresh.
+  EXPECT_FALSE(
+      cache.Lookup(MakeRequest("LSH-SS", 0.805, 8, 1), 111).has_value());
+  EXPECT_FALSE(
+      cache.Lookup(MakeRequest("LSH-SS", 0.805, 1, 2), 111).has_value());
+  EXPECT_TRUE(
+      cache.Lookup(MakeRequest("LSH-SS", 0.805, 1, 1), 111).has_value());
+}
+
+TEST(EstimateCacheTest, HitMissAccounting) {
+  EstimateCache cache(0.01, 16);
+  const EstimateRequest request = MakeRequest("LSH-SS", 0.5);
+  cache.Lookup(request, 1);                            // miss
+  cache.Insert(request, 1, MakeResponse(0.5, 10.0));
+  cache.Lookup(request, 1);                            // hit
+  cache.Lookup(request, 1);                            // hit
+  cache.Lookup(MakeRequest("LSH-SS", 0.9), 1);         // miss
+  const EstimateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(EstimateCacheTest, EvictsLeastRecentlyUsed) {
+  EstimateCache cache(0.01, 2);
+  cache.Insert(MakeRequest("A", 0.5), 1, MakeResponse(0.5, 1.0));
+  cache.Insert(MakeRequest("B", 0.5), 1, MakeResponse(0.5, 2.0));
+  // Touch A so B becomes the LRU entry.
+  EXPECT_TRUE(cache.Lookup(MakeRequest("A", 0.5), 1).has_value());
+  cache.Insert(MakeRequest("C", 0.5), 1, MakeResponse(0.5, 3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(MakeRequest("A", 0.5), 1).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeRequest("B", 0.5), 1).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeRequest("C", 0.5), 1).has_value());
+}
+
+TEST(EstimateCacheTest, InsertOverwritesSameKey) {
+  EstimateCache cache(0.01, 4);
+  const EstimateRequest request = MakeRequest("LSH-SS", 0.5);
+  cache.Insert(request, 1, MakeResponse(0.5, 1.0));
+  cache.Insert(request, 1, MakeResponse(0.5, 2.0));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.Lookup(request, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->mean_estimate, 2.0);
+}
+
+TEST(EstimateCacheTest, ClearEmptiesButKeepsStats) {
+  EstimateCache cache(0.01, 4);
+  const EstimateRequest request = MakeRequest("LSH-SS", 0.5);
+  cache.Insert(request, 1, MakeResponse(0.5, 1.0));
+  cache.Lookup(request, 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(request, 1).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(EstimateCacheTest, TauBucketIsFloorDivision) {
+  EstimateCache cache(0.05, 4);
+  EXPECT_EQ(cache.TauBucket(0.52), cache.TauBucket(0.54));
+  EXPECT_NE(cache.TauBucket(0.52), cache.TauBucket(0.58));
+}
+
+}  // namespace
+}  // namespace vsj

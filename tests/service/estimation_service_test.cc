@@ -1,0 +1,228 @@
+// Tests of the concurrent estimation service: the determinism contract
+// (batch results independent of thread count), the parallel index build
+// being bit-identical to the serial build, cache behaviour across batches,
+// and the CardinalityProvider facade.
+
+#include "vsj/service/estimation_service.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/service/cardinality_provider.h"
+#include "vsj/service/dataset_fingerprint.h"
+
+namespace vsj {
+namespace {
+
+VectorDataset TestCorpus(size_t n = 600, uint64_t seed = 7) {
+  return testing::SmallClusteredCorpus(n, seed);
+}
+
+EstimationServiceOptions SmallOptions(size_t threads, bool cache = true) {
+  EstimationServiceOptions options;
+  options.k = 8;
+  options.num_tables = 2;
+  options.num_threads = threads;
+  options.family_seed = 0x5eed;
+  options.enable_cache = cache;
+  return options;
+}
+
+std::vector<EstimateRequest> MixedBatch() {
+  std::vector<EstimateRequest> batch;
+  for (double tau : {0.5, 0.6, 0.7, 0.8}) {
+    for (const char* name : {"LSH-SS", "RS(pop)", "LSH-S"}) {
+      EstimateRequest request;
+      request.estimator_name = name;
+      request.tau = tau;
+      request.trials = 3;
+      request.seed = 42;
+      batch.push_back(request);
+    }
+  }
+  return batch;
+}
+
+TEST(EstimationServiceTest, BatchIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<EstimateRequest> batch = MixedBatch();
+
+  std::vector<EstimateResponse> baseline;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    EstimationService service(TestCorpus(), SmallOptions(threads, false));
+    const std::vector<EstimateResponse> responses =
+        service.EstimateBatch(batch);
+    ASSERT_EQ(responses.size(), batch.size());
+    if (threads == 1) {
+      baseline = responses;
+      continue;
+    }
+    for (size_t i = 0; i < responses.size(); ++i) {
+      // Bit-identical, not approximately equal: the per-request RNG stream
+      // may not depend on scheduling.
+      EXPECT_EQ(responses[i].mean_estimate, baseline[i].mean_estimate)
+          << "threads=" << threads << " request=" << i;
+      EXPECT_EQ(responses[i].std_dev, baseline[i].std_dev)
+          << "threads=" << threads << " request=" << i;
+      EXPECT_EQ(responses[i].pairs_evaluated, baseline[i].pairs_evaluated)
+          << "threads=" << threads << " request=" << i;
+      EXPECT_EQ(responses[i].num_unguaranteed, baseline[i].num_unguaranteed)
+          << "threads=" << threads << " request=" << i;
+    }
+  }
+}
+
+TEST(EstimationServiceTest, RepeatedBatchesAreReproducible) {
+  EstimationService service(TestCorpus(), SmallOptions(4, false));
+  const std::vector<EstimateRequest> batch = MixedBatch();
+  const auto first = service.EstimateBatch(batch);
+  const auto second = service.EstimateBatch(batch);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].mean_estimate, second[i].mean_estimate) << i;
+  }
+}
+
+TEST(EstimationServiceTest, ParallelIndexBuildMatchesSerial) {
+  const VectorDataset dataset = TestCorpus(500);
+  SimHashFamily family(0xfeedULL);
+  const LshIndex serial(family, dataset, 10, 3);
+  ThreadPool pool(4);
+  const LshIndex parallel(family, dataset, 10, 3, &pool);
+
+  ASSERT_EQ(serial.num_tables(), parallel.num_tables());
+  for (uint32_t t = 0; t < serial.num_tables(); ++t) {
+    const LshTable& a = serial.table(t);
+    const LshTable& b = parallel.table(t);
+    ASSERT_EQ(a.num_buckets(), b.num_buckets()) << t;
+    EXPECT_EQ(a.NumSameBucketPairs(), b.NumSameBucketPairs()) << t;
+    for (size_t bucket = 0; bucket < a.num_buckets(); ++bucket) {
+      ASSERT_EQ(a.BucketKey(bucket), b.BucketKey(bucket)) << t;
+      ASSERT_EQ(a.bucket(bucket), b.bucket(bucket)) << t;
+    }
+    for (VectorId id = 0; id < dataset.size(); ++id) {
+      ASSERT_EQ(a.BucketOf(id), b.BucketOf(id)) << t;
+    }
+  }
+}
+
+TEST(EstimationServiceTest, SingleEstimateMatchesBatchOfOne) {
+  EstimateRequest request;
+  request.estimator_name = "LSH-SS";
+  request.tau = 0.7;
+  request.trials = 5;
+  request.seed = 9;
+
+  EstimationService a(TestCorpus(), SmallOptions(1, false));
+  EstimationService b(TestCorpus(), SmallOptions(4, false));
+  const EstimateResponse single = a.Estimate(request);
+  const EstimateResponse batched = b.EstimateBatch({request}).front();
+  EXPECT_EQ(single.mean_estimate, batched.mean_estimate);
+  EXPECT_EQ(single.pairs_evaluated, batched.pairs_evaluated);
+}
+
+TEST(EstimationServiceTest, SecondBatchIsServedFromCache) {
+  EstimationService service(TestCorpus(), SmallOptions(2, true));
+  const std::vector<EstimateRequest> batch = MixedBatch();
+
+  const auto first = service.EstimateBatch(batch);
+  for (const auto& response : first) EXPECT_FALSE(response.from_cache);
+
+  const auto second = service.EstimateBatch(batch);
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].from_cache) << i;
+    EXPECT_EQ(second[i].mean_estimate, first[i].mean_estimate) << i;
+  }
+
+  const EstimateCacheStats stats = service.cache().stats();
+  EXPECT_EQ(stats.hits, batch.size());
+  EXPECT_EQ(stats.misses, batch.size());
+}
+
+TEST(EstimationServiceTest, NearbyTauHitsSameCacheBucket) {
+  EstimationServiceOptions options = SmallOptions(1, true);
+  options.cache_tau_bucket_width = 0.01;
+  EstimationService service(TestCorpus(), options);
+
+  EstimateRequest request;
+  request.estimator_name = "LSH-SS";
+  request.tau = 0.702;
+  service.Estimate(request);
+  request.tau = 0.708;  // same τ-bucket → no re-sampling
+  const EstimateResponse cached = service.Estimate(request);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.tau, 0.708);  // response is relabelled with the asked τ
+}
+
+TEST(EstimationServiceTest, FingerprintTracksContent) {
+  const VectorDataset a = TestCorpus(300, 1);
+  const VectorDataset b = TestCorpus(300, 2);
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(b));
+  EXPECT_EQ(DatasetFingerprint(a), DatasetFingerprint(TestCorpus(300, 1)));
+}
+
+TEST(EstimationServiceTest, EstimatesAreClampedToFeasibleRange) {
+  EstimationService service(TestCorpus(), SmallOptions(4, false));
+  const auto responses = service.EstimateBatch(MixedBatch());
+  const auto max_pairs = static_cast<double>(service.dataset().NumPairs());
+  for (const auto& response : responses) {
+    EXPECT_GE(response.mean_estimate, 0.0);
+    EXPECT_LE(response.mean_estimate, max_pairs);
+  }
+}
+
+TEST(CardinalityProviderTest, SummaryFieldsAreConsistent) {
+  EstimationService service(TestCorpus(), SmallOptions(2, true));
+  CardinalityProviderOptions options;
+  options.estimator_name = "LSH-SS";
+  options.trials = 4;
+  options.seed = 5;
+  CardinalityProvider provider(service, options);
+
+  const JoinSizeSummary summary = provider.EstimateJoin(0.6);
+  EXPECT_EQ(summary.tau, 0.6);
+  EXPECT_EQ(summary.estimator_name, "LSH-SS");
+  EXPECT_EQ(summary.max_pairs, service.dataset().NumPairs());
+  EXPECT_GE(summary.cardinality, 0.0);
+  EXPECT_LE(summary.cardinality, static_cast<double>(summary.max_pairs));
+  EXPECT_NEAR(summary.selectivity,
+              summary.cardinality / static_cast<double>(summary.max_pairs),
+              1e-12);
+}
+
+TEST(CardinalityProviderTest, BatchSweepAndCachedReprobe) {
+  EstimationService service(TestCorpus(), SmallOptions(4, true));
+  CardinalityProvider provider(service);
+
+  const std::vector<double> taus = {0.5, 0.6, 0.7, 0.8, 0.9};
+  const auto sweep = provider.EstimateJoinBatch(taus);
+  ASSERT_EQ(sweep.size(), taus.size());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].tau, taus[i]);
+    EXPECT_FALSE(sweep[i].from_cache);
+  }
+
+  const auto reprobe = provider.EstimateJoinBatch(taus);
+  for (size_t i = 0; i < reprobe.size(); ++i) {
+    EXPECT_TRUE(reprobe[i].from_cache) << i;
+    EXPECT_EQ(reprobe[i].cardinality, sweep[i].cardinality) << i;
+  }
+}
+
+TEST(CardinalityProviderTest, HigherThresholdNeverExplodesCardinality) {
+  // Sanity: the provider's estimates follow the broad monotone shape of
+  // J(τ) on a clustered corpus (compare far-apart thresholds only; single
+  // estimates are noisy).
+  EstimationService service(TestCorpus(1000), SmallOptions(2, false));
+  CardinalityProviderOptions options;
+  options.trials = 8;
+  CardinalityProvider provider(service, options);
+  const JoinSizeSummary low = provider.EstimateJoin(0.3);
+  const JoinSizeSummary high = provider.EstimateJoin(0.95);
+  EXPECT_GE(low.cardinality, high.cardinality);
+}
+
+}  // namespace
+}  // namespace vsj

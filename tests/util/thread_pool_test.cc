@@ -1,0 +1,102 @@
+#include "vsj/util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolHasNoWorkers) {
+  ThreadPool pool0(0);
+  EXPECT_EQ(pool0.num_threads(), 0u);
+  ThreadPool pool1(1);
+  EXPECT_EQ(pool1.num_threads(), 0u);
+  EXPECT_EQ(pool1.concurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, SpawnsRequestedConcurrency) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 3u);  // caller participates as the 4th
+  EXPECT_EQ(pool.concurrency(), 4u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.Submit([&] { value.store(42); });
+  for (int spin = 0; spin < 1000000 && value.load() == 0; ++spin) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitInlineRunsImmediately) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.Submit([&] { value = 7; });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 10000;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(4);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(0, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1u);
+  count.store(0);
+  pool.ParallelFor(3, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForAccumulatesCorrectSum) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 5000;
+  std::vector<uint64_t> out(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { out[i] = i; });
+  const uint64_t sum = std::accumulate(out.begin(), out.end(), uint64_t{0});
+  EXPECT_EQ(sum, uint64_t{kN} * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(count.load(), 16u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(97, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 97u);
+  }
+}
+
+}  // namespace
+}  // namespace vsj

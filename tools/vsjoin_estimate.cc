@@ -3,22 +3,31 @@
 //   vsjoin_estimate --dataset corpus.vsjd --tau 0.8 [--estimator LSH-SS]
 //                   [--k 20] [--tables 1] [--trials 1] [--seed 1]
 //   vsjoin_estimate --synthetic dblp --n 20000 --tau 0.8 [...]
+//   vsjoin_estimate --synthetic dblp --threads 4 --batch-taus 0.7,0.8,0.9
 //
-// Loads a persisted dataset (vsj/io) or generates a synthetic corpus, builds
-// the LSH index, and prints the estimate (mean over --trials runs). With
+// Loads a persisted dataset (vsj/io) or generates a synthetic corpus and
+// routes every estimate through the EstimationService: the LSH index is
+// built in parallel with --threads workers, the τ list of --batch-taus is
+// estimated as one concurrent batch, and --repeat re-submits the batch to
+// exercise the estimate cache (repeats are served without re-sampling).
+// Each row reports the mean over --trials runs, the standard error of that
+// mean, and the number of pair-similarity evaluations performed. With
 // --exact it also computes the exact join size for comparison (quadratic in
 // the worst case; intended for small datasets).
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "vsj/core/estimator_registry.h"
-#include "vsj/eval/experiment.h"
-#include "vsj/gen/workloads.h"
 #include "vsj/io/dataset_io.h"
+#include "vsj/gen/workloads.h"
 #include "vsj/join/brute_force_join.h"
-#include "vsj/lsh/simhash.h"
+#include "vsj/service/estimation_service.h"
+#include "vsj/util/table_printer.h"
+#include "vsj/util/timer.h"
 
 namespace {
 
@@ -27,13 +36,29 @@ struct Args {
   std::string synthetic;  // dblp | nyt | pubmed
   std::string estimator = "LSH-SS";
   size_t n = 20000;
-  double tau = 0.8;
+  std::vector<double> taus = {0.8};
   uint32_t k = 20;
   uint32_t tables = 1;
   size_t trials = 1;
   uint64_t seed = 1;
+  size_t threads = 1;
+  size_t repeat = 1;
   bool exact = false;
 };
+
+bool ParseTauList(const char* value, std::vector<double>* taus) {
+  taus->clear();
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const double tau = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0') return false;
+    taus->push_back(tau);
+  }
+  return !taus->empty();
+}
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
@@ -64,7 +89,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--tau") {
       const char* v = next("--tau");
       if (!v) return false;
-      args->tau = std::strtod(v, nullptr);
+      args->taus = {std::strtod(v, nullptr)};
+    } else if (flag == "--batch-taus") {
+      const char* v = next("--batch-taus");
+      if (!v) return false;
+      if (!ParseTauList(v, &args->taus)) {
+        std::cerr << "could not parse --batch-taus list: " << v << "\n";
+        return false;
+      }
     } else if (flag == "--k") {
       const char* v = next("--k");
       if (!v) return false;
@@ -81,6 +113,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--seed");
       if (!v) return false;
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      const char* v = next("--threads");
+      if (!v) return false;
+      args->threads = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--repeat") {
+      const char* v = next("--repeat");
+      if (!v) return false;
+      args->repeat = std::strtoull(v, nullptr, 10);
     } else if (flag == "--exact") {
       args->exact = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -90,6 +130,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (args->threads == 0) args->threads = 1;
+  if (args->repeat == 0) args->repeat = 1;
+  if (args->trials == 0) args->trials = 1;
   return !args->dataset_path.empty() || !args->synthetic.empty();
 }
 
@@ -97,8 +140,9 @@ void PrintUsage() {
   std::cerr
       << "usage: vsjoin_estimate (--dataset FILE | --synthetic "
          "dblp|nyt|pubmed) --tau T\n"
-         "       [--estimator NAME] [--n N] [--k K] [--tables L]\n"
-         "       [--trials R] [--seed S] [--exact]\n"
+         "       [--batch-taus T1,T2,...] [--estimator NAME] [--n N]\n"
+         "       [--k K] [--tables L] [--trials R] [--seed S]\n"
+         "       [--threads T] [--repeat R] [--exact]\n"
          "estimators: LSH-SS LSH-SS(D) RS(pop) RS(cross) LSH-S J_U LC\n"
          "            Adaptive Bifocal LSH-SS(median) LSH-SS(vbucket)\n";
 }
@@ -138,32 +182,63 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  vsj::SimHashFamily family(args.seed ^ 0x5eedULL);
-  vsj::LshIndex index(family, dataset, args.k, args.tables);
+  vsj::EstimationServiceOptions options;
+  options.k = args.k;
+  options.num_tables = args.tables;
+  options.num_threads = args.threads;
+  options.family_seed = args.seed ^ 0x5eedULL;
+  vsj::EstimationService service(std::move(dataset), options);
+  std::cerr << "index: " << args.tables << " table(s), k = " << args.k
+            << ", built in " << vsj::TablePrinter::Fmt(
+                   service.index_build_seconds() * 1e3, 1)
+            << " ms with " << args.threads << " thread(s)\n";
 
-  vsj::EstimatorContext context;
-  context.dataset = &dataset;
-  context.index = &index;
-  auto estimator = vsj::CreateEstimator(args.estimator, context);
-
-  const vsj::TrialSeries series =
-      vsj::RunTrials(*estimator, args.tau, args.trials, args.seed);
-  double mean = 0.0;
-  for (double e : series.estimates) mean += e;
-  mean /= static_cast<double>(series.estimates.size());
-
-  std::cout << "estimate(" << args.estimator << ", tau=" << args.tau
-            << ") = " << mean;
-  if (args.trials > 1) {
-    std::cout << "  (mean of " << args.trials << " trials, "
-              << series.num_unguaranteed << " unguaranteed)";
+  std::vector<vsj::EstimateRequest> batch;
+  batch.reserve(args.taus.size());
+  for (double tau : args.taus) {
+    vsj::EstimateRequest request;
+    request.estimator_name = args.estimator;
+    request.tau = tau;
+    request.trials = args.trials;
+    request.seed = args.seed;
+    batch.push_back(request);
   }
-  std::cout << "\n";
+
+  vsj::TablePrinter report("estimates (" + args.estimator + ", " +
+                           std::to_string(args.trials) + " trial(s) each)");
+  report.SetHeader({"pass", "tau", "estimate", "std error", "pairs eval",
+                    "unguaranteed", "cached"});
+  for (size_t pass = 0; pass < args.repeat; ++pass) {
+    vsj::Timer timer;
+    const std::vector<vsj::EstimateResponse> responses =
+        service.EstimateBatch(batch);
+    const double batch_ms = timer.ElapsedMillis();
+    for (const vsj::EstimateResponse& response : responses) {
+      report.AddRow({std::to_string(pass + 1),
+                     vsj::TablePrinter::Fmt(response.tau, 2),
+                     vsj::TablePrinter::Fmt(response.mean_estimate, 1),
+                     vsj::TablePrinter::Fmt(response.std_error, 1),
+                     std::to_string(response.pairs_evaluated),
+                     std::to_string(response.num_unguaranteed),
+                     response.from_cache ? "yes" : "no"});
+    }
+    std::cerr << "pass " << pass + 1 << ": " << responses.size()
+              << " estimate(s) in " << vsj::TablePrinter::Fmt(batch_ms, 1)
+              << " ms\n";
+  }
+  report.Print(std::cout);
+
+  const vsj::EstimateCacheStats cache_stats = service.cache().stats();
+  std::cout << "cache: " << cache_stats.hits << " hit(s), "
+            << cache_stats.misses << " miss(es), hit rate "
+            << vsj::TablePrinter::Pct(cache_stats.HitRate()) << "\n";
 
   if (args.exact) {
-    const uint64_t exact = vsj::BruteForceJoinSize(
-        dataset, vsj::SimilarityMeasure::kCosine, args.tau);
-    std::cout << "exact = " << exact << "\n";
+    for (double tau : args.taus) {
+      const uint64_t exact = vsj::BruteForceJoinSize(
+          service.dataset(), service.options().measure, tau);
+      std::cout << "exact(tau=" << tau << ") = " << exact << "\n";
+    }
   }
   return 0;
 }
