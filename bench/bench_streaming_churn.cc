@@ -1,0 +1,124 @@
+// Streaming engine under churn: estimates/sec while documents arrive and
+// expire at configurable rates.
+//
+// Not a paper figure: this bench measures the streaming layer built on top
+// of the reproduction. It maintains a sliding window over a synthetic DBLP
+// corpus through a StreamingEstimationService and, for each churn rate c,
+// alternates rounds of c mutations (expire the c oldest documents, admit c
+// new ones) with one batch of streaming LSH-SS estimates across the
+// standard thresholds. Reported per churn rate: mutations/sec of the
+// dynamic ℓ-table maintenance, estimates/sec of the batch path, and the
+// fraction of batch answers served from the epoch-keyed cache (0% whenever
+// c > 0 — every mutation bumps the epoch, so nothing stale is reusable).
+//
+// Scale knobs (see bench_common.h): VSJ_N (corpus size, default 6000),
+// VSJ_K (functions per table, default 12), VSJ_TRIALS (trials per request,
+// default 2), VSJ_SEED; VSJ_TABLES (default 2), VSJ_ROUNDS (default 8).
+
+#include <deque>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "vsj/service/streaming_estimation_service.h"
+#include "vsj/util/env.h"
+#include "vsj/util/timer.h"
+
+namespace {
+
+std::vector<vsj::EstimateRequest> MakeBatch(size_t trials, uint64_t seed) {
+  std::vector<vsj::EstimateRequest> batch;
+  for (double tau : vsj::StandardThresholds()) {
+    vsj::EstimateRequest request;
+    request.estimator_name = "LSH-SS";
+    request.tau = tau;
+    request.trials = trials;
+    request.seed = seed;
+    batch.push_back(request);
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  const vsj::bench::Scale scale = vsj::bench::LoadScale(6000, 12, 2);
+  const auto tables =
+      static_cast<uint32_t>(vsj::EnvInt64("VSJ_TABLES", 2));
+  const auto rounds = static_cast<size_t>(vsj::EnvInt64("VSJ_ROUNDS", 8));
+  const size_t window = scale.n / 2;
+  std::cout << "streaming churn bench: n = " << scale.n << " (window "
+            << window << "), k = " << scale.k << ", " << tables
+            << " table(s), " << scale.trials << " trial(s)/request, "
+            << rounds << " round(s)/rate\n\n";
+
+  const vsj::CorpusConfig config = vsj::DblpLikeConfig(scale.n, scale.seed);
+  const std::vector<vsj::EstimateRequest> batch =
+      MakeBatch(scale.trials, scale.seed);
+
+  vsj::TablePrinter report(
+      "StreamingEstimationService under churn (LSH-SS, synthetic dblp)");
+  report.SetHeader({"churn/round", "mutations/s", "batch ms", "estimates/s",
+                    "cache hit rate"});
+
+  for (const size_t churn : {size_t{0}, size_t{16}, size_t{128}, window / 4}) {
+    vsj::StreamingEstimationServiceOptions options;
+    options.k = scale.k;
+    options.num_tables = tables;
+    options.family_seed = scale.seed ^ 0x5eedULL;
+    vsj::StreamingEstimationService service(vsj::GenerateCorpus(config),
+                                            options);
+
+    // Fill the window; the remaining ids are the arrival queue.
+    std::deque<vsj::VectorId> live;
+    vsj::VectorId next = 0;
+    for (; next < window; ++next) {
+      service.Insert(next);
+      live.push_back(next);
+    }
+
+    double mutation_seconds = 0.0;
+    double batch_seconds = 0.0;
+    size_t estimates = 0;
+    for (size_t round = 0; round < rounds; ++round) {
+      vsj::Timer mutation_timer;
+      const auto universe =
+          static_cast<vsj::VectorId>(service.dataset().size());
+      for (size_t c = 0; c < churn; ++c) {
+        service.Remove(live.front());
+        live.pop_front();
+        // Admit the next non-live id, recycling expired ids on wraparound.
+        while (service.Contains(next)) next = (next + 1) % universe;
+        service.Insert(next);
+        live.push_back(next);
+        next = (next + 1) % universe;
+      }
+      mutation_seconds += mutation_timer.ElapsedSeconds();
+
+      vsj::Timer batch_timer;
+      const auto responses = service.EstimateBatch(batch);
+      batch_seconds += batch_timer.ElapsedSeconds();
+      estimates += responses.size();
+    }
+
+    const vsj::EstimateCacheStats cache_stats = service.cache().stats();
+    report.AddRow(
+        {std::to_string(churn),
+         churn == 0 ? "-"
+                    : vsj::TablePrinter::Fmt(
+                          static_cast<double>(churn * rounds) /
+                              mutation_seconds,
+                          0),
+         vsj::TablePrinter::Fmt(batch_seconds * 1e3 /
+                                    static_cast<double>(rounds),
+                                1),
+         vsj::TablePrinter::Fmt(static_cast<double>(estimates) /
+                                    batch_seconds,
+                                1),
+         vsj::TablePrinter::Pct(cache_stats.HitRate())});
+  }
+  report.Print(std::cout);
+  std::cout << "\nchurned batches recompute (epoch invalidation); only the "
+               "churn-0 row can hit the cache\n";
+  return 0;
+}

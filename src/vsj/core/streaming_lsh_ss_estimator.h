@@ -1,0 +1,73 @@
+// Streaming LSH-SS: Algorithm 1 run directly over a live DynamicLshIndex.
+//
+// The static LshSsEstimator is bound to an immutable LshTable covering the
+// whole dataset; under churn the live subset changes and every stratum
+// quantity (N_H, N_L, n) moves with it. This estimator re-reads those
+// quantities from the dynamic index on every call, so a single instance
+// stays valid across arbitrarily many Insert/Remove operations — the
+// paper's "minimal addition to the existing LSH index" claim made good for
+// an online index. It lifts the EstimateStratified logic that used to live
+// in tests/integration/streaming_estimation_test.cc into a reusable core
+// path (StreamingEstimationService is the other caller).
+//
+// Differences from the static algorithm, all forced by dynamism:
+//   * defaults m_H = m_L = n and δ = log₂ n are recomputed per call from
+//     the current live count, not frozen at construction;
+//   * SampleL draws uniform live pairs through the index's live-id list
+//     (the static table's rejection sampler assumes ids 0..n−1 are all
+//     present) and rejects same-bucket pairs of the chosen table.
+
+#ifndef VSJ_CORE_STREAMING_LSH_SS_ESTIMATOR_H_
+#define VSJ_CORE_STREAMING_LSH_SS_ESTIMATOR_H_
+
+#include "vsj/core/estimator.h"
+#include "vsj/lsh/dynamic_lsh_index.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Options of streaming LSH-SS; zero means "derive from the live count n
+/// at call time" (m_H = m_L = n, δ = log₂ n), matching §5.1.
+struct StreamingLshSsOptions {
+  uint64_t sample_size_h = 0;
+  uint64_t sample_size_l = 0;
+  uint64_t delta = 0;
+};
+
+/// Algorithm 1 over the live subset of a DynamicLshIndex.
+class StreamingLshSsEstimator final : public JoinSizeEstimator {
+ public:
+  /// `dataset` is the backing store the index's ids refer to; both must
+  /// outlive the estimator. The index may mutate freely between calls (but
+  /// not during one).
+  StreamingLshSsEstimator(const VectorDataset& dataset,
+                          const DynamicLshIndex& index,
+                          SimilarityMeasure measure,
+                          StreamingLshSsOptions options = {});
+
+  /// Estimates J(τ) over the current live set using table 0.
+  EstimationResult Estimate(double tau, Rng& rng) const override;
+
+  /// Same, stratifying by table `t` — callers with ℓ > 1 tables can spread
+  /// independent trials across tables to decorrelate the stratification.
+  EstimationResult EstimateWithTable(double tau, uint32_t t, Rng& rng) const;
+
+  std::string name() const override;
+
+ private:
+  double SampleStratumH(const DynamicLshTable& table, double tau, Rng& rng,
+                        uint64_t m_h, uint64_t* evaluated) const;
+  double SampleStratumL(const DynamicLshTable& table, double tau, Rng& rng,
+                        uint64_t m_l, uint64_t delta, uint64_t* evaluated,
+                        bool* reliable) const;
+
+  const VectorDataset* dataset_;
+  const DynamicLshIndex* index_;
+  SimilarityMeasure measure_;
+  StreamingLshSsOptions options_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_STREAMING_LSH_SS_ESTIMATOR_H_

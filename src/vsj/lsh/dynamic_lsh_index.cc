@@ -1,0 +1,45 @@
+#include "vsj/lsh/dynamic_lsh_index.h"
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+DynamicLshIndex::DynamicLshIndex(const LshFamily& family, uint32_t k,
+                                 uint32_t num_tables)
+    : family_(&family), k_(k) {
+  VSJ_CHECK(k > 0);
+  VSJ_CHECK(num_tables > 0);
+  tables_.reserve(num_tables);
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    tables_.push_back(std::make_unique<DynamicLshTable>(family, k, t * k));
+  }
+}
+
+void DynamicLshIndex::Insert(VectorId id, const SparseVector& vector) {
+  VSJ_CHECK_MSG(!Contains(id), "vector %u already present", id);
+  for (auto& table : tables_) table->Insert(id, vector);
+  live_position_[id] = live_.size();
+  live_.push_back(id);
+}
+
+void DynamicLshIndex::Remove(VectorId id) {
+  auto it = live_position_.find(id);
+  VSJ_CHECK_MSG(it != live_position_.end(), "vector %u not present", id);
+  for (auto& table : tables_) table->Remove(id);
+  // Swap-pop the live list; fix the displaced id's position.
+  const size_t position = it->second;
+  const VectorId last = live_.back();
+  live_[position] = last;
+  live_.pop_back();
+  if (last != id) live_position_[last] = position;
+  live_position_.erase(it);
+}
+
+bool DynamicLshIndex::SameBucketInAnyTable(VectorId u, VectorId v) const {
+  for (const auto& table : tables_) {
+    if (table->SameBucket(u, v)) return true;
+  }
+  return false;
+}
+
+}  // namespace vsj

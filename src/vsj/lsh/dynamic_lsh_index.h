@@ -1,0 +1,71 @@
+// A dynamic LSH index: ℓ DynamicLshTables kept consistent under
+// Insert/Remove — the online counterpart of LshIndex.
+//
+// Table t uses hash functions [t·k, (t+1)·k) of the family, matching the
+// static index's construction, so a dynamic index and a static index built
+// from the same (family, k, ℓ) over the same live set partition the vectors
+// identically. On top of the tables the index maintains the list of live
+// vector ids with O(1) membership updates and O(1) uniform sampling — the
+// SampleL side of streaming LSH-SS needs uniform live pairs, which the
+// per-table structures alone cannot provide.
+
+#ifndef VSJ_LSH_DYNAMIC_LSH_INDEX_H_
+#define VSJ_LSH_DYNAMIC_LSH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vsj/lsh/dynamic_lsh_table.h"
+#include "vsj/lsh/lsh_family.h"
+
+namespace vsj {
+
+/// Mutable collection of ℓ DynamicLshTables plus the live-id list.
+class DynamicLshIndex {
+ public:
+  /// Creates ℓ empty tables with k functions each. The family must outlive
+  /// the index.
+  DynamicLshIndex(const LshFamily& family, uint32_t k, uint32_t num_tables);
+
+  uint32_t k() const { return k_; }
+  uint32_t num_tables() const { return static_cast<uint32_t>(tables_.size()); }
+  const LshFamily& family() const { return *family_; }
+
+  const DynamicLshTable& table(uint32_t t) const { return *tables_[t]; }
+
+  size_t num_vectors() const { return live_.size(); }
+
+  /// Live vector ids in an order determined only by the Insert/Remove
+  /// history (swap-pop on removal), never by scheduling.
+  const std::vector<VectorId>& live_ids() const { return live_; }
+
+  /// Uniform random live id. Requires num_vectors() > 0.
+  VectorId SampleLiveId(Rng& rng) const {
+    return live_[rng.Below(live_.size())];
+  }
+
+  /// Inserts `id` into every table; `id` must not be present.
+  void Insert(VectorId id, const SparseVector& vector);
+
+  /// Removes `id` from every table; it must be present.
+  void Remove(VectorId id);
+
+  bool Contains(VectorId id) const { return live_position_.count(id) > 0; }
+
+  /// True iff both vectors are live and share a bucket in at least one
+  /// table (the virtual-bucket membership test of Appendix B.2.1).
+  bool SameBucketInAnyTable(VectorId u, VectorId v) const;
+
+ private:
+  const LshFamily* family_;
+  uint32_t k_;
+  std::vector<std::unique_ptr<DynamicLshTable>> tables_;
+  std::vector<VectorId> live_;
+  std::unordered_map<VectorId, size_t> live_position_;  // id -> index in live_
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_DYNAMIC_LSH_INDEX_H_

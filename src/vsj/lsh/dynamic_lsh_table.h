@@ -57,6 +57,10 @@ class DynamicLshTable {
   /// Uniform random pair from stratum H. Requires N_H > 0.
   VectorPair SampleSameBucketPair(Rng& rng) const;
 
+  /// Total Fenwick weight Σ C(b_j, 2); equals NumSameBucketPairs() whenever
+  /// the incremental maintenance is consistent (asserted by the churn test).
+  double PairWeightTotal() const { return pair_weights_.Total(); }
+
  private:
   struct Membership {
     uint32_t bucket;

@@ -2,11 +2,27 @@
 
 #include <cmath>
 
+#include "vsj/lsh/minhash.h"
+#include "vsj/lsh/simhash.h"
+#include "vsj/util/check.h"
+
 namespace vsj {
 
 double LshFamily::BandCollisionProbability(double similarity,
                                            uint32_t k) const {
   return std::pow(CollisionProbability(similarity), static_cast<double>(k));
+}
+
+std::unique_ptr<LshFamily> MakeLshFamily(SimilarityMeasure measure,
+                                         uint64_t seed) {
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      return std::make_unique<SimHashFamily>(seed);
+    case SimilarityMeasure::kJaccard:
+      return std::make_unique<MinHashFamily>(seed);
+  }
+  VSJ_CHECK_MSG(false, "unknown similarity measure");
+  return nullptr;
 }
 
 }  // namespace vsj

@@ -57,6 +57,11 @@ class LshFamily {
   double BandCollisionProbability(double similarity, uint32_t k) const;
 };
 
+/// The canonical family for `measure`: SimHash for cosine, MinHash for
+/// Jaccard (the pairing both service engines use).
+std::unique_ptr<LshFamily> MakeLshFamily(SimilarityMeasure measure,
+                                         uint64_t seed);
+
 }  // namespace vsj
 
 #endif  // VSJ_LSH_LSH_FAMILY_H_

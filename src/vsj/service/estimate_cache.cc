@@ -69,6 +69,11 @@ void EstimateCache::Insert(const EstimateRequest& request,
   index_.emplace(std::move(key), lru_.begin());
 }
 
+void EstimateCache::NoteInvalidation() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.epoch;
+}
+
 void EstimateCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();

@@ -37,6 +37,11 @@ struct EstimateCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Number of invalidation events observed via NoteInvalidation — for an
+  /// epoch-keyed owner (StreamingEstimationService) this is the current
+  /// epoch, making "did the mutation really invalidate the cache?"
+  /// observable from the outside.
+  uint64_t epoch = 0;
 
   double HitRate() const {
     const uint64_t lookups = hits + misses;
@@ -68,6 +73,12 @@ class EstimateCache {
               const EstimateResponse& response);
 
   void Clear();
+
+  /// Records an invalidation event (bumps stats().epoch). Owners that key
+  /// entries on an epoch-folded fingerprint call this on every mutation;
+  /// stale entries stay resident until LRU eviction but can never match a
+  /// post-mutation key.
+  void NoteInvalidation();
 
   size_t size() const;
   size_t capacity() const { return capacity_; }

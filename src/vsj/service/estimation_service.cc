@@ -1,38 +1,20 @@
 #include "vsj/service/estimation_service.h"
 
-#include <cmath>
 #include <utility>
 
-#include "vsj/lsh/minhash.h"
-#include "vsj/lsh/simhash.h"
 #include "vsj/service/dataset_fingerprint.h"
+#include "vsj/service/trial_runner.h"
 #include "vsj/util/check.h"
 #include "vsj/util/timer.h"
 
 namespace vsj {
-
-namespace {
-
-std::unique_ptr<LshFamily> MakeFamily(SimilarityMeasure measure,
-                                      uint64_t seed) {
-  switch (measure) {
-    case SimilarityMeasure::kCosine:
-      return std::make_unique<SimHashFamily>(seed);
-    case SimilarityMeasure::kJaccard:
-      return std::make_unique<MinHashFamily>(seed);
-  }
-  VSJ_CHECK_MSG(false, "unknown similarity measure");
-  return nullptr;
-}
-
-}  // namespace
 
 EstimationService::EstimationService(VectorDataset dataset,
                                      EstimationServiceOptions options)
     : options_(options),
       dataset_(std::move(dataset)),
       fingerprint_(DatasetFingerprint(dataset_)),
-      family_(MakeFamily(options.measure, options.family_seed)),
+      family_(MakeLshFamily(options.measure, options.family_seed)),
       pool_(options.num_threads),
       cache_(options.cache_tau_bucket_width, options.cache_capacity) {
   VSJ_CHECK_MSG(dataset_.size() >= 2,
@@ -54,42 +36,16 @@ EstimateResponse EstimationService::Estimate(const EstimateRequest& request) {
 
 std::vector<EstimateResponse> EstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests) {
-  std::vector<EstimateResponse> responses(requests.size());
-
-  // Sequential pre-pass (request order): resolve cache hits and make sure
-  // every requested estimator instance exists, so workers only ever read.
-  std::vector<size_t> misses;
-  misses.reserve(requests.size());
+  // The miss pre-pass makes sure every requested estimator instance exists
+  // before workers start, so they only ever read.
   std::vector<const JoinSizeEstimator*> estimators(requests.size(), nullptr);
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const EstimateRequest& request = requests[i];
-    if (options_.enable_cache) {
-      if (auto hit = cache_.Lookup(request, fingerprint_)) {
-        responses[i] = *hit;
-        responses[i].tau = request.tau;
-        responses[i].estimator_name = request.estimator_name;
-        continue;
-      }
-    }
-    estimators[i] = &EstimatorFor(request.estimator_name);
-    misses.push_back(i);
-  }
-
-  // Parallel compute of the misses. Each request writes its pre-assigned
-  // slot and draws from its own Fork(i) stream, so the outcome does not
-  // depend on which thread runs which request.
-  pool_.ParallelFor(misses.size(), [&](size_t m) {
-    const size_t i = misses[m];
-    responses[i] = Compute(requests[i], i, *estimators[i]);
-  });
-
-  // Sequential post-pass (request order): publish computed responses.
-  if (options_.enable_cache) {
-    for (size_t i : misses) {
-      cache_.Insert(requests[i], fingerprint_, responses[i]);
-    }
-  }
-  return responses;
+  return RunCachedBatch(
+      requests, options_.enable_cache ? &cache_ : nullptr, fingerprint_,
+      pool_,
+      [&](size_t i) {
+        estimators[i] = &EstimatorFor(requests[i].estimator_name);
+      },
+      [&](size_t i) { return Compute(requests[i], i, *estimators[i]); });
 }
 
 const JoinSizeEstimator& EstimationService::EstimatorFor(
@@ -105,38 +61,10 @@ const JoinSizeEstimator& EstimationService::EstimatorFor(
 EstimateResponse EstimationService::Compute(
     const EstimateRequest& request, size_t request_index,
     const JoinSizeEstimator& estimator) const {
-  VSJ_CHECK(request.trials > 0);
-  EstimateResponse response;
-  response.tau = request.tau;
-  response.estimator_name = request.estimator_name;
-  response.trials = request.trials;
-
-  const Rng request_stream = Rng(request.seed).Fork(request_index);
-  std::vector<double> estimates;
-  estimates.reserve(request.trials);
-  for (size_t t = 0; t < request.trials; ++t) {
-    Rng rng = request_stream.Fork(t);
-    const EstimationResult result = estimator.Estimate(request.tau, rng);
-    estimates.push_back(result.estimate);
-    response.pairs_evaluated += result.pairs_evaluated;
-    if (!result.guaranteed) ++response.num_unguaranteed;
-  }
-
-  double sum = 0.0;
-  for (double e : estimates) sum += e;
-  response.mean_estimate = sum / static_cast<double>(estimates.size());
-  if (estimates.size() > 1) {
-    double sq = 0.0;
-    for (double e : estimates) {
-      const double d = e - response.mean_estimate;
-      sq += d * d;
-    }
-    response.std_dev =
-        std::sqrt(sq / static_cast<double>(estimates.size() - 1));
-    response.std_error =
-        response.std_dev / std::sqrt(static_cast<double>(estimates.size()));
-  }
-  return response;
+  return RunDeterministicTrials(
+      request, request_index, [&](size_t, Rng& rng) {
+        return estimator.Estimate(request.tau, rng);
+      });
 }
 
 }  // namespace vsj

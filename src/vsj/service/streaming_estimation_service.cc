@@ -1,0 +1,81 @@
+#include "vsj/service/streaming_estimation_service.h"
+
+#include <utility>
+
+#include "vsj/service/dataset_fingerprint.h"
+#include "vsj/service/trial_runner.h"
+#include "vsj/util/check.h"
+#include "vsj/util/hash.h"
+
+namespace vsj {
+
+StreamingEstimationService::StreamingEstimationService(
+    VectorDataset dataset, StreamingEstimationServiceOptions options)
+    : options_(options),
+      dataset_(std::move(dataset)),
+      base_fingerprint_(DatasetFingerprint(dataset_)),
+      family_(MakeLshFamily(options.measure, options.family_seed)),
+      index_(*family_, options.k, options.num_tables),
+      estimator_(dataset_, index_, options.measure, options.lsh_ss),
+      pool_(options.num_threads),
+      cache_(options.cache_tau_bucket_width, options.cache_capacity) {}
+
+uint64_t StreamingEstimationService::effective_fingerprint() const {
+  return HashCombine(base_fingerprint_, epoch_);
+}
+
+void StreamingEstimationService::BumpEpoch() {
+  ++epoch_;
+  cache_.NoteInvalidation();
+}
+
+VectorId StreamingEstimationService::AddVector(SparseVector vector) {
+  const VectorId id = dataset_.Add(std::move(vector));
+  // The backing store changed; fold it into the epoch so the cache key
+  // moves with it (the base fingerprint is frozen at construction).
+  BumpEpoch();
+  return id;
+}
+
+void StreamingEstimationService::Insert(VectorId id) {
+  VSJ_CHECK_MSG(id < dataset_.size(), "vector %u outside backing store", id);
+  index_.Insert(id, dataset_[id]);
+  BumpEpoch();
+}
+
+void StreamingEstimationService::Remove(VectorId id) {
+  index_.Remove(id);
+  BumpEpoch();
+}
+
+EstimateResponse StreamingEstimationService::Estimate(
+    const EstimateRequest& request) {
+  return EstimateBatch({request}).front();
+}
+
+std::vector<EstimateResponse> StreamingEstimationService::EstimateBatch(
+    const std::vector<EstimateRequest>& requests) {
+  return RunCachedBatch(
+      requests, options_.enable_cache ? &cache_ : nullptr,
+      effective_fingerprint(), pool_,
+      [&](size_t i) {
+        VSJ_CHECK_MSG(requests[i].estimator_name == "LSH-SS",
+                      "streaming engine only serves LSH-SS");
+      },
+      [&](size_t i) { return Compute(requests[i], i); });
+}
+
+EstimateResponse StreamingEstimationService::Compute(
+    const EstimateRequest& request, size_t request_index) const {
+  const uint32_t num_tables = index_.num_tables();
+  // Spread trials round-robin across the ℓ tables: each table is an
+  // independent stratification of the same pair set, so averaging across
+  // them decorrelates the estimate at no extra cost.
+  return RunDeterministicTrials(
+      request, request_index, [&](size_t t, Rng& rng) {
+        return estimator_.EstimateWithTable(
+            request.tau, static_cast<uint32_t>(t % num_tables), rng);
+      });
+}
+
+}  // namespace vsj

@@ -1,0 +1,139 @@
+// Streaming join-size estimation engine: live dataset, dynamic ℓ-table LSH
+// index, epoch-invalidated estimate cache.
+//
+// EstimationService answers over a frozen dataset with a one-shot index
+// build; this engine keeps estimating while documents arrive and expire.
+// It owns the backing VectorDataset (the universe of known vectors, to
+// which new vectors may be appended) and a DynamicLshIndex over the *live*
+// subset; Insert/Remove maintain every table in O(ℓ log n) and bump a
+// monotone epoch.
+//
+// Cache invalidation: cache entries are keyed on an effective fingerprint
+// HashCombine(dataset fingerprint, epoch). Any mutation bumps the epoch, so
+// a post-mutation lookup can never match a pre-mutation entry — stale
+// answers are unreachable (not eagerly erased; LRU eviction reclaims them),
+// and the cache's stats().epoch counter exposes the invalidations.
+//
+// Determinism: for batches executed between mutations the contract of
+// EstimationService carries over — request i draws trial t from the
+// value-derived stream Rng(seed).Fork(i).Fork(t), and trial t runs against
+// table (t mod ℓ), so batch results are bit-identical at any thread count.
+
+#ifndef VSJ_SERVICE_STREAMING_ESTIMATION_SERVICE_H_
+#define VSJ_SERVICE_STREAMING_ESTIMATION_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vsj/core/streaming_lsh_ss_estimator.h"
+#include "vsj/lsh/dynamic_lsh_index.h"
+#include "vsj/lsh/lsh_family.h"
+#include "vsj/service/estimate_cache.h"
+#include "vsj/service/estimate_request.h"
+#include "vsj/util/thread_pool.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+
+/// Construction-time configuration of a StreamingEstimationService.
+struct StreamingEstimationServiceOptions {
+  /// LSH functions per table and number ℓ of dynamic tables.
+  uint32_t k = 20;
+  uint32_t num_tables = 1;
+
+  /// Concurrency of batch execution (1 = single-threaded).
+  size_t num_threads = 1;
+
+  SimilarityMeasure measure = SimilarityMeasure::kCosine;
+
+  /// Seed of the LSH family (hash function selection). Matches
+  /// EstimationServiceOptions so a streaming engine and a static engine can
+  /// be built over identical hash functions.
+  uint64_t family_seed = 0x5eedULL;
+
+  /// Streaming LSH-SS sampling knobs (0 = derive from live n per call).
+  StreamingLshSsOptions lsh_ss;
+
+  /// Response cache; see EstimateCache for key semantics.
+  bool enable_cache = true;
+  double cache_tau_bucket_width = 0.01;
+  size_t cache_capacity = 1024;
+};
+
+/// Long-lived estimation engine over a churning live set.
+///
+/// Thread safety: EstimateBatch parallelizes internally, but the engine is
+/// externally synchronized — callers must not mutate (Insert/Remove/
+/// AddVector) concurrently with any other method.
+class StreamingEstimationService {
+ public:
+  /// Takes ownership of `dataset` as the backing store. No vector starts
+  /// live; replay Insert ops to populate the index.
+  explicit StreamingEstimationService(
+      VectorDataset dataset, StreamingEstimationServiceOptions options = {});
+
+  const VectorDataset& dataset() const { return dataset_; }
+  const DynamicLshIndex& index() const { return index_; }
+  const LshFamily& family() const { return *family_; }
+  const StreamingEstimationServiceOptions& options() const {
+    return options_;
+  }
+
+  size_t num_live() const { return index_.num_vectors(); }
+
+  /// Monotone mutation counter; bumped by Insert, Remove and AddVector.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Cache key component: the backing dataset's fingerprint with the
+  /// current epoch folded in.
+  uint64_t effective_fingerprint() const;
+
+  EstimateCache& cache() { return cache_; }
+  const EstimateCache& cache() const { return cache_; }
+
+  /// Appends a new vector to the backing store (not yet live) and returns
+  /// its id.
+  VectorId AddVector(SparseVector vector);
+
+  /// Makes backing-store vector `id` live; it must not already be live.
+  void Insert(VectorId id);
+
+  /// Expires live vector `id`.
+  void Remove(VectorId id);
+
+  bool Contains(VectorId id) const { return index_.Contains(id); }
+
+  /// Answers one request; equivalent to a batch of size one.
+  EstimateResponse Estimate(const EstimateRequest& request);
+
+  /// Answers every request of the batch over the current live set with
+  /// streaming LSH-SS (request.estimator_name must be "LSH-SS"). Cache
+  /// hits resolve sequentially in request order; misses compute across the
+  /// thread pool. Deterministic given (requests, epoch, cache state).
+  std::vector<EstimateResponse> EstimateBatch(
+      const std::vector<EstimateRequest>& requests);
+
+ private:
+  /// Records a mutation: advances the epoch (invalidating every cached
+  /// answer via the fingerprint fold) and bumps the cache's epoch stat so
+  /// the two counters stay in lockstep. Every mutating method ends here.
+  void BumpEpoch();
+
+  EstimateResponse Compute(const EstimateRequest& request,
+                           size_t request_index) const;
+
+  StreamingEstimationServiceOptions options_;
+  VectorDataset dataset_;
+  uint64_t base_fingerprint_;
+  uint64_t epoch_ = 0;
+  std::unique_ptr<LshFamily> family_;
+  DynamicLshIndex index_;
+  StreamingLshSsEstimator estimator_;
+  ThreadPool pool_;
+  EstimateCache cache_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_SERVICE_STREAMING_ESTIMATION_SERVICE_H_

@@ -1,0 +1,80 @@
+#include "vsj/service/trial_runner.h"
+
+#include <cmath>
+#include <vector>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+EstimateResponse RunDeterministicTrials(
+    const EstimateRequest& request, size_t request_index,
+    const std::function<EstimationResult(size_t, Rng&)>& run_trial) {
+  VSJ_CHECK(request.trials > 0);
+  EstimateResponse response;
+  response.tau = request.tau;
+  response.estimator_name = request.estimator_name;
+  response.trials = request.trials;
+
+  const Rng request_stream = Rng(request.seed).Fork(request_index);
+  std::vector<double> estimates;
+  estimates.reserve(request.trials);
+  for (size_t t = 0; t < request.trials; ++t) {
+    Rng rng = request_stream.Fork(t);
+    const EstimationResult result = run_trial(t, rng);
+    estimates.push_back(result.estimate);
+    response.pairs_evaluated += result.pairs_evaluated;
+    if (!result.guaranteed) ++response.num_unguaranteed;
+  }
+
+  double sum = 0.0;
+  for (double e : estimates) sum += e;
+  response.mean_estimate = sum / static_cast<double>(estimates.size());
+  if (estimates.size() > 1) {
+    double sq = 0.0;
+    for (double e : estimates) {
+      const double d = e - response.mean_estimate;
+      sq += d * d;
+    }
+    response.std_dev =
+        std::sqrt(sq / static_cast<double>(estimates.size() - 1));
+    response.std_error =
+        response.std_dev / std::sqrt(static_cast<double>(estimates.size()));
+  }
+  return response;
+}
+
+std::vector<EstimateResponse> RunCachedBatch(
+    const std::vector<EstimateRequest>& requests, EstimateCache* cache,
+    uint64_t fingerprint, ThreadPool& pool,
+    const std::function<void(size_t)>& on_miss,
+    const std::function<EstimateResponse(size_t)>& compute) {
+  std::vector<EstimateResponse> responses(requests.size());
+
+  std::vector<size_t> misses;
+  misses.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (cache != nullptr) {
+      if (auto hit = cache->Lookup(requests[i], fingerprint)) {
+        responses[i] = *hit;
+        responses[i].tau = requests[i].tau;
+        responses[i].estimator_name = requests[i].estimator_name;
+        continue;
+      }
+    }
+    on_miss(i);
+    misses.push_back(i);
+  }
+
+  pool.ParallelFor(misses.size(),
+                   [&](size_t m) { responses[misses[m]] = compute(misses[m]); });
+
+  if (cache != nullptr) {
+    for (size_t i : misses) {
+      cache->Insert(requests[i], fingerprint, responses[i]);
+    }
+  }
+  return responses;
+}
+
+}  // namespace vsj

@@ -1,0 +1,50 @@
+// Deterministic trial execution shared by the service engines.
+//
+// Both EstimationService and StreamingEstimationService answer a request by
+// running `trials` independent estimator draws and aggregating them into an
+// EstimateResponse (mean, sample std-dev, standard error, sampling cost).
+// The determinism contract lives here in one place: trial t of batch
+// request i draws from the value-derived stream Rng(seed).Fork(i).Fork(t),
+// never from scheduling order, so batch results are bit-identical at any
+// thread count.
+
+#ifndef VSJ_SERVICE_TRIAL_RUNNER_H_
+#define VSJ_SERVICE_TRIAL_RUNNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "vsj/core/estimator.h"
+#include "vsj/service/estimate_cache.h"
+#include "vsj/service/estimate_request.h"
+#include "vsj/util/thread_pool.h"
+
+namespace vsj {
+
+/// Runs `request.trials` draws of `run_trial(t, rng)` — rng being the
+/// stream Rng(request.seed).Fork(request_index).Fork(t) — and aggregates
+/// them. `request.trials` must be > 0.
+EstimateResponse RunDeterministicTrials(
+    const EstimateRequest& request, size_t request_index,
+    const std::function<EstimationResult(size_t, Rng&)>& run_trial);
+
+/// The cached-batch protocol shared by the service engines:
+///   1. sequential pre-pass in request order — resolve hits from `cache`
+///      (entries are re-stamped with the request's τ and estimator name)
+///      and call `on_miss(i)` once per miss so engine state (estimator
+///      instances, precondition checks) is settled before workers start;
+///   2. parallel compute of the misses across `pool` — `compute(i)` writes
+///      response slot i, deterministic because i is the RNG stream index;
+///   3. sequential post-pass in request order — publish misses to `cache`.
+/// Pass `cache == nullptr` to disable caching.
+std::vector<EstimateResponse> RunCachedBatch(
+    const std::vector<EstimateRequest>& requests, EstimateCache* cache,
+    uint64_t fingerprint, ThreadPool& pool,
+    const std::function<void(size_t)>& on_miss,
+    const std::function<EstimateResponse(size_t)>& compute);
+
+}  // namespace vsj
+
+#endif  // VSJ_SERVICE_TRIAL_RUNNER_H_

@@ -1,6 +1,7 @@
 #include "vsj/util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <utility>
 
@@ -22,17 +23,32 @@ struct ParallelForState {
 
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> chunks_done{0};
+  std::atomic<bool> aborted{false};
   std::mutex mutex;
   std::condition_variable all_done;
+  std::exception_ptr exception;  // first body exception; guarded by mutex
 
-  /// Claims and runs chunks until none remain.
+  /// Claims and runs chunks until none remain. A body exception must not
+  /// escape onto a worker thread (that would std::terminate), so the first
+  /// one is captured for the calling thread to rethrow; remaining chunks
+  /// are still claimed and counted, but their bodies are skipped.
   void Drain() {
     while (true) {
       const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= num_chunks) return;
-      const size_t begin = chunk * chunk_size;
-      const size_t end = std::min(n, begin + chunk_size);
-      for (size_t i = begin; i < end; ++i) (*body)(i);
+      if (!aborted.load(std::memory_order_relaxed)) {
+        const size_t begin = chunk * chunk_size;
+        const size_t end = std::min(n, begin + chunk_size);
+        try {
+          for (size_t i = begin; i < end; ++i) (*body)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!exception) exception = std::current_exception();
+          }
+          aborted.store(true, std::memory_order_relaxed);
+        }
+      }
       if (chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           num_chunks) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -105,6 +121,7 @@ void ThreadPool::ParallelFor(size_t n,
     return state->chunks_done.load(std::memory_order_acquire) ==
            state->num_chunks;
   });
+  if (state->exception) std::rethrow_exception(state->exception);
 }
 
 size_t ThreadPool::DefaultThreads() {

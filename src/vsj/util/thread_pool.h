@@ -55,6 +55,11 @@ class ThreadPool {
   /// even when every worker is busy (no deadlock). Note a nested call still
   /// shares the one task queue — nested parallelism adds no concurrency and
   /// serializes behind outstanding work, so prefer flattening loops.
+  ///
+  /// Exception safety: if `body` throws, the first exception is rethrown on
+  /// the calling thread after all in-flight chunks drain; not-yet-started
+  /// chunks are skipped. The pool itself stays usable. (Tasks passed to
+  /// Submit, by contrast, must not throw — there is no thread to catch on.)
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
   /// A sensible default thread count: hardware concurrency, at least 1.

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Golden-file test for the vsjoin_estimate CLI.
+#
+#   run_golden_test.sh <vsjoin_estimate binary> <mode: batch|stream> <cli dir>
+#
+# Runs the tool on the checked-in tiny dataset (data/tiny.vsjd, 120 vectors)
+# and diffs stdout against golden/<mode>.out. Output is deterministic: the
+# Rng is fully specified (xoshiro256**, no std::random involvement), batch
+# results are bit-identical at any --threads count, and timings go to
+# stderr, which is discarded. Regenerate fixtures after an intentional
+# output change with:
+#
+#   tests/cli/run_golden_test.sh <binary> <mode> <cli dir> --regenerate
+set -e
+
+bin="$1"
+mode="$2"
+cli_dir="$3"
+data="$cli_dir/data"
+golden="$cli_dir/golden/$mode.out"
+
+case "$mode" in
+  batch)
+    run() {
+      "$bin" --dataset "$data/tiny.vsjd" --k 6 --threads 2 \
+             --batch-taus 0.3,0.6,0.9 --trials 2 --seed 7 --repeat 2 \
+             2>/dev/null
+    }
+    ;;
+  stream)
+    run() {
+      "$bin" --dataset "$data/tiny.vsjd" --k 6 --tables 2 --threads 2 \
+             --trials 2 --seed 7 --stream "$data/stream_ops.txt" 2>/dev/null
+    }
+    ;;
+  *)
+    echo "unknown mode: $mode" >&2
+    exit 2
+    ;;
+esac
+
+if [ "$4" = "--regenerate" ]; then
+  run > "$golden"
+  echo "regenerated $golden"
+  exit 0
+fi
+
+run | diff -u "$golden" - || {
+  echo "vsjoin_estimate $mode output diverged from $golden" >&2
+  exit 1
+}

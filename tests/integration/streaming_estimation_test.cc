@@ -1,76 +1,30 @@
-// Streaming scenario: LSH-SS-style stratified estimation over the dynamic
-// LSH table while vectors arrive and expire — the "minimal addition to the
-// existing LSH index" claim under online maintenance.
-
-#include <cmath>
+// Streaming scenario: LSH-SS stratified estimation over the dynamic LSH
+// index while vectors arrive and expire — the "minimal addition to the
+// existing LSH index" claim under online maintenance. The stratified
+// estimation itself lives in StreamingLshSsEstimator (core); this test
+// drives it through a realistic sliding-window workload.
 
 #include <gtest/gtest.h>
 
 #include "test_util.h"
+#include "vsj/core/streaming_lsh_ss_estimator.h"
 #include "vsj/join/brute_force_join.h"
-#include "vsj/lsh/dynamic_lsh_table.h"
+#include "vsj/lsh/dynamic_lsh_index.h"
 
 namespace vsj {
 namespace {
 
-/// Algorithm 1 run directly against a DynamicLshTable over the live subset.
-double EstimateStratified(const VectorDataset& dataset,
-                          const std::vector<VectorId>& live,
-                          const DynamicLshTable& table, double tau,
-                          Rng& rng) {
-  const uint64_t n_h = table.NumSameBucketPairs();
-  const uint64_t n_l = table.NumCrossBucketPairs();
-  const uint64_t m_h = live.size();
-  const uint64_t m_l = live.size();
-  const auto delta = static_cast<uint64_t>(
-      std::max(1.0, std::log2(static_cast<double>(live.size()))));
-
-  double estimate_h = 0.0;
-  if (n_h > 0) {
-    uint64_t hits = 0;
-    for (uint64_t s = 0; s < m_h; ++s) {
-      const VectorPair pair = table.SampleSameBucketPair(rng);
-      if (CosineSimilarity(dataset[pair.first], dataset[pair.second]) >=
-          tau) {
-        ++hits;
-      }
-    }
-    estimate_h = static_cast<double>(hits) * static_cast<double>(n_h) /
-                 static_cast<double>(m_h);
-  }
-
-  double estimate_l = 0.0;
-  if (n_l > 0) {
-    uint64_t hits = 0;
-    uint64_t samples = 0;
-    while (hits < delta && samples < m_l) {
-      // Uniform live pair with rejection on same bucket.
-      VectorId u, v;
-      do {
-        u = live[rng.Below(live.size())];
-        v = live[rng.Below(live.size())];
-      } while (u == v || table.SameBucket(u, v));
-      if (CosineSimilarity(dataset[u], dataset[v]) >= tau) ++hits;
-      ++samples;
-    }
-    estimate_l = samples >= m_l && hits < delta
-                     ? static_cast<double>(hits)  // safe lower bound
-                     : static_cast<double>(hits) *
-                           static_cast<double>(n_l) /
-                           static_cast<double>(samples);
-  }
-  return estimate_h + estimate_l;
-}
-
 TEST(StreamingEstimationTest, EstimatesTrackChurningWindow) {
   VectorDataset dataset = testing::SmallClusteredCorpus(900, 71);
   SimHashFamily family(72);
-  DynamicLshTable table(family, 10);
+  DynamicLshIndex index(family, 10, 1);
+  const StreamingLshSsEstimator estimator(dataset, index,
+                                          SimilarityMeasure::kCosine);
 
   // Sliding window: insert the first 600, then slide by 150 twice.
   std::vector<VectorId> live;
   for (VectorId id = 0; id < 600; ++id) {
-    table.Insert(id, dataset[id]);
+    index.Insert(id, dataset[id]);
     live.push_back(id);
   }
 
@@ -88,7 +42,7 @@ TEST(StreamingEstimationTest, EstimatesTrackChurningWindow) {
     double mean = 0.0;
     const int trials = 15;
     for (int t = 0; t < trials; ++t) {
-      mean += EstimateStratified(dataset, live, table, tau, rng);
+      mean += estimator.Estimate(tau, rng).estimate;
     }
     mean /= trials;
     EXPECT_GT(mean, exact * 0.4) << "slide " << slide;
@@ -97,12 +51,12 @@ TEST(StreamingEstimationTest, EstimatesTrackChurningWindow) {
     // Slide the window: expire 150 oldest, admit 100 new.
     if (slide < 2) {
       for (int drop = 0; drop < 150; ++drop) {
-        table.Remove(live.front());
+        index.Remove(live.front());
         live.erase(live.begin());
       }
       const VectorId base = 600 + slide * 100;
       for (VectorId id = base; id < base + 100; ++id) {
-        table.Insert(id, dataset[id]);
+        index.Insert(id, dataset[id]);
         live.push_back(id);
       }
     }
@@ -112,21 +66,22 @@ TEST(StreamingEstimationTest, EstimatesTrackChurningWindow) {
 TEST(StreamingEstimationTest, StratumSizesStayConsistentUnderChurn) {
   VectorDataset dataset = testing::SmallClusteredCorpus(400, 75);
   SimHashFamily family(76);
-  DynamicLshTable table(family, 8);
+  DynamicLshIndex index(family, 8, 1);
   Rng rng(77);
   std::vector<bool> present(dataset.size(), false);
   size_t live_count = 0;
   for (int op = 0; op < 3000; ++op) {
     const auto id = static_cast<VectorId>(rng.Below(dataset.size()));
     if (present[id]) {
-      table.Remove(id);
+      index.Remove(id);
       --live_count;
     } else {
-      table.Insert(id, dataset[id]);
+      index.Insert(id, dataset[id]);
       ++live_count;
     }
     present[id] = !present[id];
     const uint64_t n = live_count;
+    const DynamicLshTable& table = index.table(0);
     ASSERT_EQ(table.NumSameBucketPairs() + table.NumCrossBucketPairs(),
               n * (n - 1) / 2);
   }

@@ -99,6 +99,50 @@ TEST(DynamicLshTableTest, RandomChurnKeepsInvariants) {
   EXPECT_EQ(dynamic.NumSameBucketPairs(), expected_pairs);
 }
 
+TEST(DynamicLshTableTest, ThousandsOfChurnCyclesMatchFreshRebuild) {
+  // Satellite stress: after thousands of randomized insert/remove cycles
+  // the incrementally maintained quantities (N_H, Fenwick pair weights,
+  // bucket counts) must equal those of a table rebuilt from scratch over
+  // the survivors.
+  VectorDataset dataset = testing::SmallClusteredCorpus(250, 21);
+  SimHashFamily family(22);
+  DynamicLshTable churned(family, 8);
+  Rng rng(23);
+  std::vector<bool> present(dataset.size(), false);
+  for (int op = 0; op < 6000; ++op) {
+    const auto id = static_cast<VectorId>(rng.Below(dataset.size()));
+    if (present[id]) {
+      churned.Remove(id);
+    } else {
+      churned.Insert(id, dataset[id]);
+    }
+    present[id] = !present[id];
+    // The Fenwick total Σ C(b_j, 2) must track N_H exactly at every step.
+    ASSERT_DOUBLE_EQ(churned.PairWeightTotal(),
+                     static_cast<double>(churned.NumSameBucketPairs()));
+  }
+
+  DynamicLshTable fresh(family, 8);
+  size_t survivors = 0;
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    if (present[id]) {
+      fresh.Insert(id, dataset[id]);
+      ++survivors;
+    }
+  }
+  EXPECT_EQ(churned.num_vectors(), survivors);
+  EXPECT_EQ(churned.NumSameBucketPairs(), fresh.NumSameBucketPairs());
+  EXPECT_EQ(churned.NumCrossBucketPairs(), fresh.NumCrossBucketPairs());
+  EXPECT_EQ(churned.num_buckets(), fresh.num_buckets());
+  EXPECT_DOUBLE_EQ(churned.PairWeightTotal(), fresh.PairWeightTotal());
+  for (VectorId u = 0; u < dataset.size(); ++u) {
+    for (VectorId v = u + 1; v < dataset.size(); ++v) {
+      ASSERT_EQ(churned.SameBucket(u, v), fresh.SameBucket(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
 TEST(DynamicLshTableTest, SamplingIsUniformOverSameBucketPairs) {
   // Two duplicate groups: sizes 3 and 2 → same-bucket pairs 3 + 1 = 4.
   VectorDataset dataset;

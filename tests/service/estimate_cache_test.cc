@@ -120,6 +120,35 @@ TEST(EstimateCacheTest, ClearEmptiesButKeepsStats) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(EstimateCacheTest, NoteInvalidationBumpsEpochStat) {
+  EstimateCache cache(0.01, 4);
+  EXPECT_EQ(cache.stats().epoch, 0u);
+  cache.NoteInvalidation();
+  cache.NoteInvalidation();
+  EXPECT_EQ(cache.stats().epoch, 2u);
+  // Invalidation is an owner-level event: entries stay resident (they are
+  // unreachable via the owner's epoch-folded key, not erased) and the
+  // other counters are untouched.
+  const EstimateRequest request = MakeRequest("LSH-SS", 0.5);
+  cache.Insert(request, 1, MakeResponse(0.5, 1.0));
+  cache.NoteInvalidation();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().epoch, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(EstimateCacheTest, EpochFoldedFingerprintsNeverCollide) {
+  // The streaming service folds its epoch into the fingerprint; entries
+  // written under epoch e must miss under epoch e+1 even for identical
+  // requests.
+  EstimateCache cache(0.01, 16);
+  const EstimateRequest request = MakeRequest("LSH-SS", 0.805);
+  cache.Insert(request, /*fingerprint=*/1001, MakeResponse(0.805, 1.0));
+  EXPECT_FALSE(cache.Lookup(request, /*fingerprint=*/1002).has_value());
+  EXPECT_TRUE(cache.Lookup(request, /*fingerprint=*/1001).has_value());
+}
+
 TEST(EstimateCacheTest, TauBucketIsFloorDivision) {
   EstimateCache cache(0.05, 4);
   EXPECT_EQ(cache.TauBucket(0.52), cache.TauBucket(0.54));

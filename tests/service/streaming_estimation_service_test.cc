@@ -1,0 +1,230 @@
+// Tests of the streaming estimation engine: agreement with a freshly-built
+// static EstimationService over the same live subset, batch determinism
+// across thread counts, and epoch-based cache invalidation (a post-mutation
+// estimate can never be served a pre-mutation cached value).
+
+#include "vsj/service/streaming_estimation_service.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/join/brute_force_join.h"
+#include "vsj/service/estimation_service.h"
+
+namespace vsj {
+namespace {
+
+StreamingEstimationServiceOptions StreamOptions(size_t threads = 1,
+                                                bool cache = true,
+                                                uint32_t tables = 1) {
+  StreamingEstimationServiceOptions options;
+  options.k = 8;
+  options.num_tables = tables;
+  options.num_threads = threads;
+  options.family_seed = 0x5eed;
+  options.enable_cache = cache;
+  return options;
+}
+
+EstimateRequest LshSsRequest(double tau, size_t trials = 10,
+                             uint64_t seed = 42) {
+  EstimateRequest request;
+  request.estimator_name = "LSH-SS";
+  request.tau = tau;
+  request.trials = trials;
+  request.seed = seed;
+  return request;
+}
+
+/// Applies a scripted sliding-window mutation sequence; returns the live
+/// ids in insertion order.
+std::vector<VectorId> ApplyWindowScript(StreamingEstimationService& service) {
+  std::vector<VectorId> live;
+  for (VectorId id = 0; id < 500; ++id) {
+    service.Insert(id);
+    live.push_back(id);
+  }
+  for (VectorId id = 0; id < 120; ++id) {
+    service.Remove(id);
+  }
+  live.erase(live.begin(), live.begin() + 120);
+  for (VectorId id = 500; id < 580; ++id) {
+    service.Insert(id);
+    live.push_back(id);
+  }
+  return live;
+}
+
+TEST(StreamingEstimationServiceTest, MatchesStaticServiceOverLiveSubset) {
+  // Acceptance criterion: after a scripted insert/remove sequence the
+  // streaming estimates agree with a freshly-built static EstimationService
+  // over the same live subset (same family seed and k) to within sampling
+  // tolerance, and both track the exact join size.
+  VectorDataset dataset = testing::SmallClusteredCorpus(700, 31);
+  // Give SampleL enough budget to stay on the guaranteed path at these
+  // thresholds (the default m_L = n hits the safe lower bound, which is
+  // deliberately conservative and would obscure the comparison).
+  StreamingEstimationServiceOptions stream_options = StreamOptions();
+  stream_options.lsh_ss.sample_size_l = 8000;
+  StreamingEstimationService streaming(dataset, stream_options);
+  const std::vector<VectorId> live = ApplyWindowScript(streaming);
+
+  VectorDataset window;
+  for (VectorId id : live) window.Add(dataset[id]);
+  EstimationServiceOptions static_options;
+  static_options.k = 8;
+  static_options.num_tables = 1;
+  static_options.family_seed = 0x5eed;
+  static_options.enable_cache = false;
+  static_options.estimator_options.lsh_ss.sample_size_l = 8000;
+  EstimationService fixed(std::move(window), static_options);
+
+  for (double tau : {0.3, 0.5}) {
+    const auto exact = static_cast<double>(BruteForceJoinSize(
+        fixed.dataset(), SimilarityMeasure::kCosine, tau));
+    ASSERT_GT(exact, 0.0) << tau;
+
+    const EstimateRequest request = LshSsRequest(tau, /*trials=*/20);
+    const double stream_mean =
+        streaming.Estimate(request).mean_estimate;
+    const double static_mean = fixed.Estimate(request).mean_estimate;
+
+    EXPECT_GT(stream_mean, exact * 0.4) << tau;
+    EXPECT_LT(stream_mean, exact * 2.5) << tau;
+    EXPECT_GT(static_mean, 0.0) << tau;
+    // Both sample the same stratification (identical hash functions over
+    // identical live vectors), so their means agree within sampling noise.
+    const double ratio = stream_mean / static_mean;
+    EXPECT_GT(ratio, 0.4) << tau;
+    EXPECT_LT(ratio, 2.5) << tau;
+  }
+}
+
+TEST(StreamingEstimationServiceTest, BatchIsBitIdenticalAcrossThreadCounts) {
+  std::vector<EstimateResponse> baseline;
+  for (size_t threads : {1u, 4u}) {
+    VectorDataset dataset = testing::SmallClusteredCorpus(700, 33);
+    StreamingEstimationService service(
+        std::move(dataset), StreamOptions(threads, /*cache=*/false,
+                                          /*tables=*/2));
+    ApplyWindowScript(service);
+
+    std::vector<EstimateRequest> batch;
+    for (double tau : {0.3, 0.5, 0.7, 0.9}) {
+      batch.push_back(LshSsRequest(tau, /*trials=*/5));
+    }
+    const std::vector<EstimateResponse> responses =
+        service.EstimateBatch(batch);
+    ASSERT_EQ(responses.size(), batch.size());
+    if (threads == 1) {
+      baseline = responses;
+      continue;
+    }
+    for (size_t i = 0; i < responses.size(); ++i) {
+      EXPECT_EQ(responses[i].mean_estimate, baseline[i].mean_estimate) << i;
+      EXPECT_EQ(responses[i].std_dev, baseline[i].std_dev) << i;
+      EXPECT_EQ(responses[i].pairs_evaluated, baseline[i].pairs_evaluated)
+          << i;
+    }
+  }
+}
+
+TEST(StreamingEstimationServiceTest, RepeatWithoutMutationHitsCache) {
+  StreamingEstimationService service(testing::SmallClusteredCorpus(300, 35),
+                                     StreamOptions());
+  for (VectorId id = 0; id < 200; ++id) service.Insert(id);
+
+  const EstimateRequest request = LshSsRequest(0.5, 4);
+  const EstimateResponse first = service.Estimate(request);
+  EXPECT_FALSE(first.from_cache);
+  const EstimateResponse second = service.Estimate(request);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.mean_estimate, first.mean_estimate);
+}
+
+TEST(StreamingEstimationServiceTest, PostMutationEstimateIsNeverStale) {
+  // Acceptance criterion: a post-mutation estimate never returns a
+  // pre-mutation cached value, for every mutation kind.
+  StreamingEstimationService service(testing::SmallClusteredCorpus(300, 37),
+                                     StreamOptions());
+  for (VectorId id = 0; id < 200; ++id) service.Insert(id);
+
+  const EstimateRequest request = LshSsRequest(0.5, 4);
+  service.Estimate(request);
+  EXPECT_TRUE(service.Estimate(request).from_cache);
+
+  service.Remove(7);
+  const EstimateResponse after_remove = service.Estimate(request);
+  EXPECT_FALSE(after_remove.from_cache);
+  EXPECT_TRUE(service.Estimate(request).from_cache);
+
+  service.Insert(210);
+  EXPECT_FALSE(service.Estimate(request).from_cache);
+
+  const VectorId added = service.AddVector(service.dataset()[0]);
+  EXPECT_FALSE(service.Estimate(request).from_cache);
+  service.Insert(added);
+  EXPECT_FALSE(service.Estimate(request).from_cache);
+}
+
+TEST(StreamingEstimationServiceTest, EpochAndFingerprintTrackMutations) {
+  StreamingEstimationService service(testing::SmallClusteredCorpus(100, 39),
+                                     StreamOptions());
+  EXPECT_EQ(service.epoch(), 0u);
+  const uint64_t f0 = service.effective_fingerprint();
+
+  service.Insert(0);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_NE(service.effective_fingerprint(), f0);
+
+  service.Remove(0);
+  EXPECT_EQ(service.epoch(), 2u);
+
+  service.AddVector(service.dataset()[1]);
+  EXPECT_EQ(service.epoch(), 3u);
+
+  // The cache observes every invalidation through its epoch stat.
+  EXPECT_EQ(service.cache().stats().epoch, 3u);
+}
+
+TEST(StreamingEstimationServiceTest, AddVectorExtendsTheUniverse) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(50, 41);
+  const SparseVector copy = dataset[0];
+  StreamingEstimationService service(std::move(dataset), StreamOptions());
+  const size_t before = service.dataset().size();
+  const VectorId id = service.AddVector(copy);
+  EXPECT_EQ(id, before);
+  service.Insert(id);
+  EXPECT_TRUE(service.Contains(id));
+  EXPECT_EQ(service.num_live(), 1u);
+}
+
+TEST(StreamingEstimationServiceTest, FewerThanTwoLiveVectorsEstimateZero) {
+  StreamingEstimationService service(testing::SmallClusteredCorpus(50, 43),
+                                     StreamOptions());
+  const EstimateRequest request = LshSsRequest(0.5, 2);
+  EXPECT_EQ(service.Estimate(request).mean_estimate, 0.0);
+  service.Insert(0);
+  EXPECT_EQ(service.Estimate(request).mean_estimate, 0.0);
+}
+
+TEST(StreamingEstimationServiceTest, MultiTableTrialsStayInFeasibleRange) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(300, 45);
+  StreamingEstimationService service(
+      std::move(dataset), StreamOptions(2, /*cache=*/false, /*tables=*/3));
+  for (VectorId id = 0; id < 250; ++id) service.Insert(id);
+  const uint64_t live_pairs = uint64_t{250} * 249 / 2;
+  for (double tau : {0.2, 0.5, 0.8}) {
+    const EstimateResponse response =
+        service.Estimate(LshSsRequest(tau, /*trials=*/6));
+    EXPECT_GE(response.mean_estimate, 0.0) << tau;
+    EXPECT_LE(response.mean_estimate, static_cast<double>(live_pairs))
+        << tau;
+  }
+}
+
+}  // namespace
+}  // namespace vsj

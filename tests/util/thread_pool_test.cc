@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -85,6 +86,101 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
     });
   });
   EXPECT_EQ(count.load(), 16u);
+}
+
+TEST(ThreadPoolTest, ThrowingBodyPropagatesToCaller) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(100,
+                         [&](size_t i) {
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ThrowDoesNotPoisonThePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(pool.ParallelFor(
+                     64, [](size_t) { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+    // The same pool keeps working after the failed call.
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(64, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 64u);
+  }
+}
+
+TEST(ThreadPoolTest, ThrowingSingleItemRangeRunsInline) {
+  ThreadPool pool(4);
+  // n == 1 executes on the calling thread; the exception must still reach
+  // the caller (and zero-item ranges must not invoke the body at all).
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  pool.ParallelFor(0, [](size_t) { throw std::runtime_error("never"); });
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerTask) {
+  // A worker-executed Submit task issuing its own ParallelFor must complete
+  // (chunks are claimed cooperatively, so the worker can finish the nested
+  // call itself even with every other worker busy).
+  ThreadPool pool(2);
+  std::atomic<size_t> count{0};
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    pool.ParallelFor(32, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    done.store(true);
+  });
+  for (int spin = 0; spin < 10000000 && !done.load(); ++spin) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(count.load(), 32u);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersStress) {
+  // Several external threads hammer one pool concurrently; every call must
+  // see exactly its own n iterations.
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kRounds = 25;
+  std::vector<std::thread> callers;
+  std::atomic<bool> failed{false};
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t n = 50 + 37 * c + round;
+        std::atomic<size_t> count{0};
+        pool.ParallelFor(n, [&](size_t) {
+          count.fetch_add(1, std::memory_order_relaxed);
+        });
+        if (count.load() != n) failed.store(true);
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(ThreadPoolTest, ExceptionInNestedParallelForPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](size_t) {
+                                  pool.ParallelFor(4, [](size_t j) {
+                                    if (j == 3) {
+                                      throw std::runtime_error("inner");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossManyCalls) {

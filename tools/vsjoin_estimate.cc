@@ -4,6 +4,7 @@
 //                   [--k 20] [--tables 1] [--trials 1] [--seed 1]
 //   vsjoin_estimate --synthetic dblp --n 20000 --tau 0.8 [...]
 //   vsjoin_estimate --synthetic dblp --threads 4 --batch-taus 0.7,0.8,0.9
+//   vsjoin_estimate --dataset corpus.vsjd --stream ops.txt
 //
 // Loads a persisted dataset (vsj/io) or generates a synthetic corpus and
 // routes every estimate through the EstimationService: the LSH index is
@@ -14,6 +15,16 @@
 // mean, and the number of pair-similarity evaluations performed. With
 // --exact it also computes the exact join size for comparison (quadratic in
 // the worst case; intended for small datasets).
+//
+// --stream OPFILE switches to the StreamingEstimationService: the dataset
+// becomes the backing store (no vector starts live) and OPFILE is replayed
+// line by line. Format (ids refer to dataset positions; '#' comments):
+//   insert <id> [<id-end>]       make ids [id, id-end] live
+//   remove <id> [<id-end>]       expire ids [id, id-end]
+//   estimate <tau> [<tau> ...]   batched streaming LSH-SS estimates
+// Every estimate row reports the epoch and live count it was answered at;
+// a mutation bumps the epoch, so repeats of a τ after churn are recomputed
+// rather than served from cache.
 
 #include <cstdlib>
 #include <cstring>
@@ -22,10 +33,13 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "vsj/io/dataset_io.h"
 #include "vsj/gen/workloads.h"
 #include "vsj/join/brute_force_join.h"
 #include "vsj/service/estimation_service.h"
+#include "vsj/service/streaming_estimation_service.h"
 #include "vsj/util/table_printer.h"
 #include "vsj/util/timer.h"
 
@@ -44,6 +58,9 @@ struct Args {
   size_t threads = 1;
   size_t repeat = 1;
   bool exact = false;
+  std::string stream_ops_path;
+  bool taus_set = false;       // --tau / --batch-taus given explicitly
+  bool estimator_set = false;  // --estimator given explicitly
 };
 
 bool ParseTauList(const char* value, std::vector<double>* taus) {
@@ -82,6 +99,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--estimator");
       if (!v) return false;
       args->estimator = v;
+      args->estimator_set = true;
     } else if (flag == "--n") {
       const char* v = next("--n");
       if (!v) return false;
@@ -90,6 +108,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--tau");
       if (!v) return false;
       args->taus = {std::strtod(v, nullptr)};
+      args->taus_set = true;
     } else if (flag == "--batch-taus") {
       const char* v = next("--batch-taus");
       if (!v) return false;
@@ -97,6 +116,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::cerr << "could not parse --batch-taus list: " << v << "\n";
         return false;
       }
+      args->taus_set = true;
     } else if (flag == "--k") {
       const char* v = next("--k");
       if (!v) return false;
@@ -123,6 +143,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->repeat = std::strtoull(v, nullptr, 10);
     } else if (flag == "--exact") {
       args->exact = true;
+    } else if (flag == "--stream") {
+      const char* v = next("--stream");
+      if (!v) return false;
+      args->stream_ops_path = v;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -133,6 +157,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (args->threads == 0) args->threads = 1;
   if (args->repeat == 0) args->repeat = 1;
   if (args->trials == 0) args->trials = 1;
+  if (!args->stream_ops_path.empty()) {
+    // Stream mode replays the op file; the batch-mode question flags would
+    // be silently ignored, so reject them instead of misleading the user.
+    if (args->estimator_set && args->estimator != "LSH-SS") {
+      std::cerr << "--stream only serves LSH-SS (got --estimator "
+                << args->estimator << ")\n";
+      return false;
+    }
+    if (args->taus_set || args->repeat != 1 || args->exact) {
+      std::cerr << "--stream takes its taus from 'estimate' ops; "
+                   "--tau/--batch-taus/--repeat/--exact do not apply\n";
+      return false;
+    }
+  }
   return !args->dataset_path.empty() || !args->synthetic.empty();
 }
 
@@ -142,9 +180,154 @@ void PrintUsage() {
          "dblp|nyt|pubmed) --tau T\n"
          "       [--batch-taus T1,T2,...] [--estimator NAME] [--n N]\n"
          "       [--k K] [--tables L] [--trials R] [--seed S]\n"
-         "       [--threads T] [--repeat R] [--exact]\n"
+         "       [--threads T] [--repeat R] [--exact] [--stream OPFILE]\n"
          "estimators: LSH-SS LSH-SS(D) RS(pop) RS(cross) LSH-S J_U LC\n"
-         "            Adaptive Bifocal LSH-SS(median) LSH-SS(vbucket)\n";
+         "            Adaptive Bifocal LSH-SS(median) LSH-SS(vbucket)\n"
+         "stream op file: 'insert I [J]' | 'remove I [J]' | "
+         "'estimate T...'\n";
+}
+
+/// Strict numeric parses: the whole token must be consumed. Digits only —
+/// strtoull would silently wrap a sign-prefixed token like "-5".
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(token.c_str(), &end, 10);
+  return *end == '\0';
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+/// Replays `args.stream_ops_path` against a StreamingEstimationService over
+/// `dataset`. Returns the process exit code.
+int RunStreamMode(vsj::VectorDataset dataset, const Args& args) {
+  std::ifstream ops(args.stream_ops_path);
+  if (!ops) {
+    std::cerr << "failed to open op file " << args.stream_ops_path << "\n";
+    return 1;
+  }
+
+  vsj::StreamingEstimationServiceOptions options;
+  options.k = args.k;
+  options.num_tables = args.tables;
+  options.num_threads = args.threads;
+  options.family_seed = args.seed ^ 0x5eedULL;
+  vsj::StreamingEstimationService service(std::move(dataset), options);
+
+  vsj::TablePrinter report("streaming estimates (LSH-SS, " +
+                           std::to_string(args.trials) + " trial(s) each)");
+  report.SetHeader({"line", "epoch", "live", "tau", "estimate", "std error",
+                    "pairs eval", "unguaranteed", "cached"});
+
+  size_t line_number = 0;
+  size_t mutations = 0;
+  std::string line;
+  while (std::getline(ops, line)) {
+    ++line_number;
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    std::stringstream tokens(line);
+    std::vector<std::string> words;
+    std::string word;
+    while (tokens >> word) words.push_back(word);
+    if (words.empty()) continue;  // blank line
+    const std::string& op = words.front();
+
+    if (op == "insert" || op == "remove") {
+      uint64_t first = 0;
+      uint64_t last = 0;
+      if (words.size() < 2 || words.size() > 3 ||
+          !ParseU64(words[1], &first) ||
+          !(words.size() == 2 ? (last = first, true)
+                              : ParseU64(words[2], &last))) {
+        std::cerr << "line " << line_number << ": expected '" << op
+                  << " <id> [<id-end>]'\n";
+        return 1;
+      }
+      if (last < first) {
+        std::cerr << "line " << line_number << ": empty range " << first
+                  << ".." << last << "\n";
+        return 1;
+      }
+      for (uint64_t id = first; id <= last; ++id) {
+        const auto vector_id = static_cast<vsj::VectorId>(id);
+        if (id >= service.dataset().size()) {
+          std::cerr << "line " << line_number << ": id " << id
+                    << " outside the dataset (n = "
+                    << service.dataset().size() << ")\n";
+          return 1;
+        }
+        if (op == "insert") {
+          if (service.Contains(vector_id)) {
+            std::cerr << "line " << line_number << ": id " << id
+                      << " is already live\n";
+            return 1;
+          }
+          service.Insert(vector_id);
+        } else {
+          if (!service.Contains(vector_id)) {
+            std::cerr << "line " << line_number << ": id " << id
+                      << " is not live\n";
+            return 1;
+          }
+          service.Remove(vector_id);
+        }
+        ++mutations;
+      }
+    } else if (op == "estimate") {
+      std::vector<vsj::EstimateRequest> batch;
+      for (size_t w = 1; w < words.size(); ++w) {
+        double tau = 0.0;
+        if (!ParseDouble(words[w], &tau)) {
+          std::cerr << "line " << line_number << ": bad tau '" << words[w]
+                    << "'\n";
+          return 1;
+        }
+        vsj::EstimateRequest request;
+        request.estimator_name = "LSH-SS";
+        request.tau = tau;
+        request.trials = args.trials;
+        request.seed = args.seed;
+        batch.push_back(request);
+      }
+      if (batch.empty()) {
+        std::cerr << "line " << line_number << ": estimate needs a tau\n";
+        return 1;
+      }
+      const std::vector<vsj::EstimateResponse> responses =
+          service.EstimateBatch(batch);
+      for (const vsj::EstimateResponse& response : responses) {
+        report.AddRow({std::to_string(line_number),
+                       std::to_string(service.epoch()),
+                       std::to_string(service.num_live()),
+                       vsj::TablePrinter::Fmt(response.tau, 2),
+                       vsj::TablePrinter::Fmt(response.mean_estimate, 1),
+                       vsj::TablePrinter::Fmt(response.std_error, 1),
+                       std::to_string(response.pairs_evaluated),
+                       std::to_string(response.num_unguaranteed),
+                       response.from_cache ? "yes" : "no"});
+      }
+    } else {
+      std::cerr << "line " << line_number << ": unknown op '" << op << "'\n";
+      return 1;
+    }
+  }
+
+  report.Print(std::cout);
+  const vsj::EstimateCacheStats cache_stats = service.cache().stats();
+  std::cout << "stream: " << mutations << " mutation(s), final epoch "
+            << service.epoch() << ", " << service.num_live() << " live\n"
+            << "cache: " << cache_stats.hits << " hit(s), "
+            << cache_stats.misses << " miss(es), " << cache_stats.epoch
+            << " invalidation(s)\n";
+  return 0;
 }
 
 }  // namespace
@@ -180,6 +363,10 @@ int main(int argc, char** argv) {
   if (stats.num_vectors < 2) {
     std::cerr << "need at least two vectors\n";
     return 1;
+  }
+
+  if (!args.stream_ops_path.empty()) {
+    return RunStreamMode(std::move(dataset), args);
   }
 
   vsj::EstimationServiceOptions options;
