@@ -57,7 +57,7 @@ Workbench BuildWorkbench(CorpusConfig config, uint32_t k, uint32_t tables,
 
 EstimatorContext MakeContext(const Workbench& bench) {
   EstimatorContext context;
-  context.dataset = &bench.dataset;
+  context.dataset = bench.dataset;
   context.index = bench.index.get();
   context.measure = SimilarityMeasure::kCosine;
   return context;

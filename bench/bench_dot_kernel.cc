@@ -1,0 +1,196 @@
+// Dot-kernel microbench: per-pair cost of SparseVector::Dot over the old
+// per-vector heap layout vs. the columnar CSR arena, plus the galloping
+// merge on skewed pairs.
+//
+// Not a paper figure: this pins down the storage-core claim of the
+// columnar refactor. Layout A holds each vector as an individually
+// heap-allocated SparseVector (the pre-refactor representation: every Dot
+// chases two fresh pointers); layout B reads the same payloads from one
+// contiguous CsrStorage arena through VectorRefs. Both run the identical
+// kernel over the identical pair list, so the delta is purely memory
+// layout. A third section isolates the galloping merge by timing skewed
+// pairs (small · ratio = large) at ratios 1/8/64 against the arena.
+//
+// Scale knobs: VSJ_N (corpus size, default 4000), VSJ_PAIRS (pairs per
+// measurement, default 200000), VSJ_ITERS (measurement repetitions,
+// default 3 — CI smoke runs set 1), VSJ_SEED.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "vsj/util/env.h"
+#include "vsj/util/rng.h"
+#include "vsj/util/timer.h"
+#include "vsj/vector/csr_storage.h"
+#include "vsj/vector/dataset_view.h"
+
+namespace {
+
+using vsj::VectorId;
+using vsj::VectorRef;
+
+struct PairList {
+  std::vector<VectorId> first;
+  std::vector<VectorId> second;
+};
+
+PairList SamplePairs(size_t n, size_t count, uint64_t seed) {
+  PairList pairs;
+  pairs.first.reserve(count);
+  pairs.second.reserve(count);
+  vsj::Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<VectorId>(rng.Below(n));
+    auto v = static_cast<VectorId>(rng.Below(n - 1));
+    if (v >= u) ++v;
+    pairs.first.push_back(u);
+    pairs.second.push_back(v);
+  }
+  return pairs;
+}
+
+/// Runs `iters` passes of Dot over the pair list, resolving vectors via
+/// `ref_of`, and returns the best-of ns/pair (plus the checksum so the
+/// work cannot be optimized away).
+template <typename RefOf>
+std::pair<double, double> MeasureDot(const PairList& pairs, size_t iters,
+                                     RefOf&& ref_of) {
+  double checksum = 0.0;
+  double best_seconds = 1e300;
+  for (size_t it = 0; it < iters; ++it) {
+    vsj::Timer timer;
+    double sum = 0.0;
+    for (size_t i = 0; i < pairs.first.size(); ++i) {
+      sum += ref_of(pairs.first[i]).Dot(ref_of(pairs.second[i]));
+    }
+    best_seconds = std::min(best_seconds, timer.ElapsedSeconds());
+    checksum = sum;
+  }
+  const double ns_per_pair =
+      best_seconds * 1e9 / static_cast<double>(pairs.first.size());
+  return {ns_per_pair, checksum};
+}
+
+/// The pre-gallop linear merge, for the skew comparison column.
+double LinearDot(VectorRef a, VectorRef b) {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.dim(i) < b.dim(j)) {
+      ++i;
+    } else if (a.dim(i) > b.dim(j)) {
+      ++j;
+    } else {
+      sum += static_cast<double>(a.weight(i)) * b.weight(j);
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  const vsj::bench::Scale scale = vsj::bench::LoadScale(4000);
+  const auto num_pairs =
+      static_cast<size_t>(vsj::EnvInt64("VSJ_PAIRS", 200000));
+  const auto iters = static_cast<size_t>(vsj::EnvInt64("VSJ_ITERS", 3));
+  std::cout << "dot kernel bench: n = " << scale.n << ", " << num_pairs
+            << " pairs, best of " << iters << " iteration(s)\n";
+
+  const vsj::VectorDataset dataset =
+      vsj::GenerateCorpus(vsj::DblpLikeConfig(scale.n, scale.seed));
+  const vsj::DatasetStats stats = dataset.ComputeStats();
+  std::cout << "corpus: " << stats.num_vectors << " vectors, avg "
+            << stats.avg_features << " features\n\n";
+
+  // Layout A: one heap-allocated SparseVector per vector (the pre-columnar
+  // representation — header array contiguous, payloads scattered).
+  std::vector<vsj::SparseVector> scattered;
+  scattered.reserve(dataset.size());
+  for (VectorRef v : vsj::DatasetView(dataset)) {
+    scattered.emplace_back(v);
+  }
+  // Layout B: the contiguous arena the dataset already owns.
+  const vsj::CsrStorage& arena = dataset.storage();
+
+  const PairList pairs = SamplePairs(dataset.size(), num_pairs, scale.seed);
+
+  const auto [old_ns, old_sum] = MeasureDot(
+      pairs, iters, [&](VectorId id) { return scattered[id].ref(); });
+  const auto [csr_ns, csr_sum] =
+      MeasureDot(pairs, iters, [&](VectorId id) { return arena.Ref(id); });
+  if (old_sum != csr_sum) {
+    std::cerr << "FATAL: layouts disagree (" << old_sum << " vs " << csr_sum
+              << ")\n";
+    return 1;
+  }
+
+  vsj::TablePrinter layout("Dot cost by storage layout (identical pairs)");
+  layout.SetHeader({"layout", "ns/pair", "vs per-vector"});
+  layout.AddRow({"per-vector heap", vsj::TablePrinter::Fmt(old_ns, 1), "1.00x"});
+  layout.AddRow({"CSR arena", vsj::TablePrinter::Fmt(csr_ns, 1),
+                 vsj::TablePrinter::Fmt(old_ns / csr_ns, 2) + "x"});
+  layout.Print(std::cout);
+
+  // Skewed pairs: small vectors dotted against ratio-times-longer ones;
+  // ratios >= 8 take the galloping path.
+  std::cout << "\n";
+  vsj::TablePrinter skew("Skewed-pair Dot (small size 32, CSR arena)");
+  skew.SetHeader({"size ratio", "merge", "ns/pair", "linear ns/pair"});
+  for (const size_t ratio : {size_t{1}, size_t{8}, size_t{64}}) {
+    vsj::CsrStorage skew_arena;
+    vsj::Rng rng(scale.seed ^ ratio);
+    const size_t small_size = 32;
+    const size_t vocab = 4 * small_size * ratio;
+    const size_t copies = 512;
+    for (size_t c = 0; c < copies; ++c) {
+      std::vector<vsj::DimId> small_dims, large_dims;
+      for (size_t i = 0; i < small_size; ++i) {
+        small_dims.push_back(static_cast<vsj::DimId>(rng.Below(vocab)));
+      }
+      for (size_t i = 0; i < small_size * ratio; ++i) {
+        large_dims.push_back(static_cast<vsj::DimId>(rng.Below(vocab)));
+      }
+      skew_arena.Append(vsj::SparseVector::FromDims(small_dims).ref());
+      skew_arena.Append(vsj::SparseVector::FromDims(large_dims).ref());
+    }
+    PairList skew_pairs;
+    for (size_t i = 0; i < num_pairs / 8; ++i) {
+      const auto c = static_cast<VectorId>(2 * (i % copies));
+      skew_pairs.first.push_back(c);
+      skew_pairs.second.push_back(c + 1);
+    }
+    const auto [ns, sum] = MeasureDot(
+        skew_pairs, iters, [&](VectorId id) { return skew_arena.Ref(id); });
+    double linear_checksum = 0.0;
+    double linear_best = 1e300;
+    for (size_t it = 0; it < iters; ++it) {
+      vsj::Timer timer;
+      double s = 0.0;
+      for (size_t i = 0; i < skew_pairs.first.size(); ++i) {
+        s += LinearDot(skew_arena.Ref(skew_pairs.first[i]),
+                       skew_arena.Ref(skew_pairs.second[i]));
+      }
+      linear_best = std::min(linear_best, timer.ElapsedSeconds());
+      linear_checksum = s;
+    }
+    if (sum != linear_checksum) {
+      std::cerr << "FATAL: gallop and linear merges disagree\n";
+      return 1;
+    }
+    const double linear_ns = linear_best * 1e9 /
+                             static_cast<double>(skew_pairs.first.size());
+    skew.AddRow({std::to_string(ratio) + ":1",
+                 ratio >= vsj::kGallopRatio ? "gallop" : "linear",
+                 vsj::TablePrinter::Fmt(ns, 1),
+                 vsj::TablePrinter::Fmt(linear_ns, 1)});
+  }
+  skew.Print(std::cout);
+  std::cout << "\nper-pair cost is the paper-relevant unit (1-core dev "
+               "containers show no parallel speedup)\n";
+  return 0;
+}

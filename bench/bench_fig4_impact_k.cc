@@ -38,7 +38,7 @@ int main() {
     LshIndex index(*base.family, base.dataset, k, 1);
     table_bytes[k] = index.MemoryBytes();
     EstimatorContext context;
-    context.dataset = &base.dataset;
+    context.dataset = base.dataset;
     context.index = &index;
     for (const std::string& name : {std::string("LSH-SS"),
                                     std::string("LSH-S")}) {

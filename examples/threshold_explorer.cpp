@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   vsj::LshIndex index(family, docs, /*k=*/16, /*num_tables=*/2);
 
   vsj::EstimatorContext context;
-  context.dataset = &docs;
+  context.dataset = docs;
   context.index = &index;
 
   vsj::GroundTruth truth(docs, vsj::SimilarityMeasure::kCosine,

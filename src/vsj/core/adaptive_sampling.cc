@@ -19,9 +19,9 @@ AdaptiveSamplingOutcome RunAdaptiveSampling(
 }
 
 AdaptiveSamplingEstimator::AdaptiveSamplingEstimator(
-    const VectorDataset& dataset, SimilarityMeasure measure,
+    DatasetView dataset, SimilarityMeasure measure,
     AdaptiveSamplingOptions options)
-    : dataset_(&dataset), measure_(measure) {
+    : dataset_(dataset), measure_(measure) {
   VSJ_CHECK(dataset.size() >= 2);
   const double n = static_cast<double>(dataset.size());
   delta_ = options.delta != 0
@@ -33,12 +33,12 @@ AdaptiveSamplingEstimator::AdaptiveSamplingEstimator(
 
 EstimationResult AdaptiveSamplingEstimator::Estimate(double tau,
                                                      Rng& rng) const {
-  const size_t n = dataset_->size();
+  const size_t n = dataset_.size();
   auto draw = [&]() {
     const auto u = static_cast<VectorId>(rng.Below(n));
     auto v = static_cast<VectorId>(rng.Below(n - 1));
     if (v >= u) ++v;
-    return Similarity(measure_, (*dataset_)[u], (*dataset_)[v]) >= tau;
+    return Similarity(measure_, dataset_[u], dataset_[v]) >= tau;
   };
   const AdaptiveSamplingOutcome outcome =
       RunAdaptiveSampling(delta_, max_samples_, draw);
@@ -46,10 +46,10 @@ EstimationResult AdaptiveSamplingEstimator::Estimate(double tau,
   EstimationResult result;
   result.pairs_evaluated = outcome.samples;
   result.guaranteed = outcome.reached_answer_threshold;
-  const double scale = static_cast<double>(dataset_->NumPairs()) /
+  const double scale = static_cast<double>(dataset_.NumPairs()) /
                        static_cast<double>(outcome.samples);
   result.estimate = ClampEstimate(
-      static_cast<double>(outcome.hits) * scale, dataset_->NumPairs());
+      static_cast<double>(outcome.hits) * scale, dataset_.NumPairs());
   return result;
 }
 

@@ -15,7 +15,7 @@
 
 #include "vsj/core/estimator.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -48,7 +48,7 @@ struct AdaptiveSamplingOptions {
 /// `guaranteed = false` otherwise (their "loose upper bound" case).
 class AdaptiveSamplingEstimator final : public JoinSizeEstimator {
  public:
-  AdaptiveSamplingEstimator(const VectorDataset& dataset,
+  AdaptiveSamplingEstimator(DatasetView dataset,
                             SimilarityMeasure measure,
                             AdaptiveSamplingOptions options = {});
 
@@ -56,7 +56,7 @@ class AdaptiveSamplingEstimator final : public JoinSizeEstimator {
   std::string name() const override { return "Adaptive"; }
 
  private:
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   SimilarityMeasure measure_;
   uint64_t delta_;
   uint64_t max_samples_;

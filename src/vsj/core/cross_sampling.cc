@@ -8,10 +8,10 @@
 
 namespace vsj {
 
-CrossSampling::CrossSampling(const VectorDataset& dataset,
+CrossSampling::CrossSampling(DatasetView dataset,
                              SimilarityMeasure measure,
                              CrossSamplingOptions options)
-    : dataset_(&dataset), measure_(measure) {
+    : dataset_(dataset), measure_(measure) {
   VSJ_CHECK(dataset.size() >= 2);
   const uint64_t pair_budget =
       options.sample_size != 0
@@ -25,7 +25,7 @@ CrossSampling::CrossSampling(const VectorDataset& dataset,
 }
 
 EstimationResult CrossSampling::Estimate(double tau, Rng& rng) const {
-  const size_t n = dataset_->size();
+  const size_t n = dataset_.size();
   // Without-replacement record sample (Floyd-style via a set; the sample is
   // far smaller than n in every intended configuration).
   std::unordered_set<VectorId> chosen;
@@ -41,8 +41,8 @@ EstimationResult CrossSampling::Estimate(double tau, Rng& rng) const {
   for (size_t i = 0; i < records.size(); ++i) {
     for (size_t j = i + 1; j < records.size(); ++j) {
       ++evaluated;
-      if (Similarity(measure_, (*dataset_)[records[i]],
-                     (*dataset_)[records[j]]) >= tau) {
+      if (Similarity(measure_, dataset_[records[i]],
+                     dataset_[records[j]]) >= tau) {
         ++hits;
       }
     }
@@ -53,8 +53,8 @@ EstimationResult CrossSampling::Estimate(double tau, Rng& rng) const {
   const double sampled_pairs = static_cast<double>(evaluated);
   result.estimate = ClampEstimate(
       static_cast<double>(hits) *
-          static_cast<double>(dataset_->NumPairs()) / sampled_pairs,
-      dataset_->NumPairs());
+          static_cast<double>(dataset_.NumPairs()) / sampled_pairs,
+      dataset_.NumPairs());
   return result;
 }
 

@@ -12,7 +12,7 @@
 
 #include "vsj/core/estimator.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -27,7 +27,7 @@ struct CrossSamplingOptions {
 /// Cross sampling over a without-replacement record sample.
 class CrossSampling final : public JoinSizeEstimator {
  public:
-  CrossSampling(const VectorDataset& dataset, SimilarityMeasure measure,
+  CrossSampling(DatasetView dataset, SimilarityMeasure measure,
                 CrossSamplingOptions options = {});
 
   EstimationResult Estimate(double tau, Rng& rng) const override;
@@ -37,7 +37,7 @@ class CrossSampling final : public JoinSizeEstimator {
   size_t num_records() const { return num_records_; }
 
  private:
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   SimilarityMeasure measure_;
   size_t num_records_;
 };

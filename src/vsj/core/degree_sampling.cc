@@ -7,9 +7,9 @@
 namespace vsj {
 
 DegreeSamplingEstimator::DegreeSamplingEstimator(
-    const VectorDataset& dataset, SimilarityMeasure measure,
+    DatasetView dataset, SimilarityMeasure measure,
     DegreeSamplingOptions options)
-    : dataset_(&dataset), measure_(measure) {
+    : dataset_(dataset), measure_(measure) {
   VSJ_CHECK(dataset.size() >= 2);
   const double n = static_cast<double>(dataset.size());
   const auto sqrt_nlogn =
@@ -26,8 +26,8 @@ DegreeSamplingEstimator::DegreeSamplingEstimator(
 EstimationResult DegreeSamplingEstimator::Estimate(double tau,
                                                    Rng& rng) const {
   EstimationResult result;
-  const size_t n = dataset_->size();
-  const uint64_t total_pairs = dataset_->NumPairs();
+  const size_t n = dataset_.size();
+  const uint64_t total_pairs = dataset_.NumPairs();
   if (tau <= 0.0) {
     result.estimate = static_cast<double>(total_pairs);
     return result;
@@ -39,7 +39,7 @@ EstimationResult DegreeSamplingEstimator::Estimate(double tau,
     for (uint64_t p = 0; p < probes; ++p) {
       auto v = static_cast<VectorId>(rng.Below(n - 1));
       if (v >= u) ++v;
-      if (Similarity(measure_, (*dataset_)[u], (*dataset_)[v]) >= tau) {
+      if (Similarity(measure_, dataset_[u], dataset_[v]) >= tau) {
         ++hits;
       }
     }

@@ -22,7 +22,7 @@
 
 #include "vsj/core/estimator.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -40,7 +40,7 @@ struct DegreeSamplingOptions {
 /// The adapted bifocal estimator.
 class DegreeSamplingEstimator final : public JoinSizeEstimator {
  public:
-  DegreeSamplingEstimator(const VectorDataset& dataset,
+  DegreeSamplingEstimator(DatasetView dataset,
                           SimilarityMeasure measure,
                           DegreeSamplingOptions options = {});
 
@@ -52,7 +52,7 @@ class DegreeSamplingEstimator final : public JoinSizeEstimator {
   uint64_t refined_probes() const { return refined_probes_; }
 
  private:
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   SimilarityMeasure measure_;
   uint64_t num_vertices_;
   uint64_t coarse_probes_;

@@ -21,8 +21,8 @@ const LshIndex& RequireIndex(const EstimatorContext& context,
 
 std::unique_ptr<JoinSizeEstimator> CreateEstimator(
     std::string_view name, const EstimatorContext& context) {
-  VSJ_CHECK(context.dataset != nullptr);
-  const VectorDataset& dataset = *context.dataset;
+  VSJ_CHECK_MSG(context.dataset.valid(), "EstimatorContext needs a dataset");
+  const DatasetView dataset = context.dataset;
 
   if (name == "RS(pop)") {
     return std::make_unique<RandomPairSampling>(dataset, context.measure,

@@ -18,13 +18,13 @@
 #include "vsj/core/lsh_ss_estimator.h"
 #include "vsj/core/random_pair_sampling.h"
 #include "vsj/lsh/lsh_index.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
 /// Everything an estimator might need, with per-algorithm option blocks.
 struct EstimatorContext {
-  const VectorDataset* dataset = nullptr;
+  DatasetView dataset;
   /// Required by LSH-based estimators; estimators use table 0 of the index
   /// unless they are explicitly multi-table.
   const LshIndex* index = nullptr;

@@ -7,11 +7,11 @@
 namespace vsj {
 
 GeneralLshSsEstimator::GeneralLshSsEstimator(
-    const VectorDataset& left, const VectorDataset& right,
+    DatasetView left, DatasetView right,
     const LshTable& left_table, const LshTable& right_table,
     SimilarityMeasure measure, GeneralLshSsOptions options)
-    : left_(&left),
-      right_(&right),
+    : left_(left),
+      right_(right),
       left_table_(&left_table),
       right_table_(&right_table),
       measure_(measure),
@@ -49,7 +49,7 @@ GeneralLshSsEstimator::GeneralLshSsEstimator(
 }
 
 uint64_t GeneralLshSsEstimator::NumTotalPairs() const {
-  return static_cast<uint64_t>(left_->size()) * right_->size();
+  return static_cast<uint64_t>(left_.size()) * right_.size();
 }
 
 EstimationResult GeneralLshSsEstimator::Estimate(double tau,
@@ -71,7 +71,7 @@ EstimationResult GeneralLshSsEstimator::Estimate(double tau,
       const auto& rhs = right_table_->bucket(m.right_bucket);
       const VectorId u = lhs[rng.Below(lhs.size())];
       const VectorId v = rhs[rng.Below(rhs.size())];
-      if (Similarity(measure_, (*left_)[u], (*right_)[v]) >= tau) ++hits;
+      if (Similarity(measure_, left_[u], right_[v]) >= tau) ++hits;
     }
     result.pairs_evaluated += sample_size_h_;
     estimate_h = static_cast<double>(hits) *
@@ -89,11 +89,11 @@ EstimationResult GeneralLshSsEstimator::Estimate(double tau,
     while (hits < delta_ && samples < sample_size_l_) {
       VectorId u, v;
       do {
-        u = static_cast<VectorId>(rng.Below(left_->size()));
-        v = static_cast<VectorId>(rng.Below(right_->size()));
+        u = static_cast<VectorId>(rng.Below(left_.size()));
+        v = static_cast<VectorId>(rng.Below(right_.size()));
       } while (left_table_->BucketKey(left_table_->BucketOf(u)) ==
                right_table_->BucketKey(right_table_->BucketOf(v)));
-      if (Similarity(measure_, (*left_)[u], (*right_)[v]) >= tau) ++hits;
+      if (Similarity(measure_, left_[u], right_[v]) >= tau) ++hits;
       ++samples;
     }
     result.pairs_evaluated += samples;
@@ -131,9 +131,9 @@ EstimationResult GeneralLshSsEstimator::Estimate(double tau,
 }
 
 GeneralRandomPairSampling::GeneralRandomPairSampling(
-    const VectorDataset& left, const VectorDataset& right,
+    DatasetView left, DatasetView right,
     SimilarityMeasure measure, uint64_t sample_size)
-    : left_(&left), right_(&right), measure_(measure) {
+    : left_(left), right_(right), measure_(measure) {
   VSJ_CHECK(!left.empty() && !right.empty());
   sample_size_ =
       sample_size != 0
@@ -146,12 +146,12 @@ EstimationResult GeneralRandomPairSampling::Estimate(double tau,
                                                      Rng& rng) const {
   uint64_t hits = 0;
   for (uint64_t s = 0; s < sample_size_; ++s) {
-    const auto u = static_cast<VectorId>(rng.Below(left_->size()));
-    const auto v = static_cast<VectorId>(rng.Below(right_->size()));
-    if (Similarity(measure_, (*left_)[u], (*right_)[v]) >= tau) ++hits;
+    const auto u = static_cast<VectorId>(rng.Below(left_.size()));
+    const auto v = static_cast<VectorId>(rng.Below(right_.size()));
+    if (Similarity(measure_, left_[u], right_[v]) >= tau) ++hits;
   }
   const uint64_t total_pairs =
-      static_cast<uint64_t>(left_->size()) * right_->size();
+      static_cast<uint64_t>(left_.size()) * right_.size();
   EstimationResult result;
   result.pairs_evaluated = sample_size_;
   result.estimate = ClampEstimate(static_cast<double>(hits) *

@@ -17,7 +17,7 @@
 #include "vsj/lsh/lsh_table.h"
 #include "vsj/util/alias_table.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -35,7 +35,7 @@ class GeneralLshSsEstimator final : public JoinSizeEstimator {
  public:
   /// `left_table` / `right_table` must be built over `left` / `right` with
   /// the same family, k, and function offset (identical g).
-  GeneralLshSsEstimator(const VectorDataset& left, const VectorDataset& right,
+  GeneralLshSsEstimator(DatasetView left, DatasetView right,
                         const LshTable& left_table,
                         const LshTable& right_table,
                         SimilarityMeasure measure,
@@ -56,8 +56,8 @@ class GeneralLshSsEstimator final : public JoinSizeEstimator {
     uint32_t right_bucket;
   };
 
-  const VectorDataset* left_;
-  const VectorDataset* right_;
+  DatasetView left_;
+  DatasetView right_;
   const LshTable* left_table_;
   const LshTable* right_table_;
   SimilarityMeasure measure_;
@@ -74,8 +74,8 @@ class GeneralLshSsEstimator final : public JoinSizeEstimator {
 /// RS(pop) for general joins: uniform (u, v) ∈ U × V with replacement.
 class GeneralRandomPairSampling final : public JoinSizeEstimator {
  public:
-  GeneralRandomPairSampling(const VectorDataset& left,
-                            const VectorDataset& right,
+  GeneralRandomPairSampling(DatasetView left,
+                            DatasetView right,
                             SimilarityMeasure measure,
                             uint64_t sample_size = 0);  // 0 → 1.5·max(n1,n2)
 
@@ -83,8 +83,8 @@ class GeneralRandomPairSampling final : public JoinSizeEstimator {
   std::string name() const override { return "RS(pop,general)"; }
 
  private:
-  const VectorDataset* left_;
-  const VectorDataset* right_;
+  DatasetView left_;
+  DatasetView right_;
   SimilarityMeasure measure_;
   uint64_t sample_size_;
 };

@@ -22,7 +22,7 @@ double PowerIntegral(double a, double lo, double hi) {
 }  // namespace
 
 LatticeCountingEstimator::LatticeCountingEstimator(
-    const VectorDataset& dataset, const LshFamily& family,
+    DatasetView dataset, const LshFamily& family,
     LatticeCountingOptions options)
     : family_(&family) {
   VSJ_CHECK(dataset.size() >= 2);
@@ -37,7 +37,7 @@ LatticeCountingEstimator::LatticeCountingEstimator(
 }
 
 void LatticeCountingEstimator::ComputeMoments(
-    const VectorDataset& dataset, const LshFamily& family,
+    DatasetView dataset, const LshFamily& family,
     const LatticeCountingOptions& options) {
   const uint32_t k = options.signature_length;
   const SignatureDatabase signatures(family, dataset, k);

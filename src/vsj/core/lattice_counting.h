@@ -30,7 +30,7 @@
 #include "vsj/core/estimator.h"
 #include "vsj/lsh/lsh_family.h"
 #include "vsj/lsh/signature.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -51,7 +51,7 @@ struct LatticeCountingOptions {
 /// build time; Estimate() only re-evaluates the power-law fit integral.
 class LatticeCountingEstimator final : public JoinSizeEstimator {
  public:
-  LatticeCountingEstimator(const VectorDataset& dataset,
+  LatticeCountingEstimator(DatasetView dataset,
                            const LshFamily& family,
                            LatticeCountingOptions options = {});
 
@@ -66,7 +66,7 @@ class LatticeCountingEstimator final : public JoinSizeEstimator {
   double fitted_scale() const { return scale_; }
 
  private:
-  void ComputeMoments(const VectorDataset& dataset, const LshFamily& family,
+  void ComputeMoments(DatasetView dataset, const LshFamily& family,
                       const LatticeCountingOptions& options);
   void FitPowerLaw();
 

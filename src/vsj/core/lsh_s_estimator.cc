@@ -5,10 +5,10 @@
 
 namespace vsj {
 
-LshSEstimator::LshSEstimator(const VectorDataset& dataset,
+LshSEstimator::LshSEstimator(DatasetView dataset,
                              const LshFamily& family, const LshTable& table,
                              LshSOptions options)
-    : dataset_(&dataset),
+    : dataset_(dataset),
       family_(&family),
       table_(&table),
       model_(family, table.k()),
@@ -20,7 +20,7 @@ LshSEstimator::LshSEstimator(const VectorDataset& dataset,
 
 EstimationResult LshSEstimator::Estimate(double tau, Rng& rng) const {
   EstimationResult result;
-  const uint64_t total_pairs = dataset_->NumPairs();
+  const uint64_t total_pairs = dataset_.NumPairs();
   if (tau <= 0.0) {
     result.estimate = static_cast<double>(total_pairs);
     return result;
@@ -32,12 +32,12 @@ EstimationResult LshSEstimator::Estimate(double tau, Rng& rng) const {
   uint64_t num_true = 0;
   double f_sum_false = 0.0;
   uint64_t num_false = 0;
-  const size_t n = dataset_->size();
+  const size_t n = dataset_.size();
   for (uint64_t s = 0; s < sample_size_; ++s) {
     const auto u = static_cast<VectorId>(rng.Below(n));
     auto v = static_cast<VectorId>(rng.Below(n - 1));
     if (v >= u) ++v;
-    const double sim = Similarity(measure, (*dataset_)[u], (*dataset_)[v]);
+    const double sim = Similarity(measure, dataset_[u], dataset_[v]);
     const double f = model_.BandProbability(sim);
     if (sim >= tau) {
       f_sum_true += f;

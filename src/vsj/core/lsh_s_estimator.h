@@ -20,7 +20,7 @@
 #include "vsj/core/collision_model.h"
 #include "vsj/core/estimator.h"
 #include "vsj/lsh/lsh_table.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -35,14 +35,14 @@ class LshSEstimator final : public JoinSizeEstimator {
  public:
   /// `table` must be built over `dataset` with functions of `family`; the
   /// join predicate uses `family.measure()`.
-  LshSEstimator(const VectorDataset& dataset, const LshFamily& family,
+  LshSEstimator(DatasetView dataset, const LshFamily& family,
                 const LshTable& table, LshSOptions options = {});
 
   EstimationResult Estimate(double tau, Rng& rng) const override;
   std::string name() const override { return "LSH-S"; }
 
  private:
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   const LshFamily* family_;
   const LshTable* table_;
   CollisionModel model_;

@@ -6,11 +6,11 @@
 
 namespace vsj {
 
-LshSsEstimator::LshSsEstimator(const VectorDataset& dataset,
+LshSsEstimator::LshSsEstimator(DatasetView dataset,
                                const LshTable& table,
                                SimilarityMeasure measure,
                                LshSsOptions options)
-    : dataset_(&dataset),
+    : dataset_(dataset),
       table_(&table),
       measure_(measure),
       dampening_(options.dampening),
@@ -35,80 +35,23 @@ std::string LshSsEstimator::name() const {
                                                       : "LSH-SS(D)";
 }
 
-double LshSsEstimator::SampleStratumH(double tau, Rng& rng,
-                                      uint64_t* evaluated) const {
-  const uint64_t n_pairs_h = table_->NumSameBucketPairs();
-  if (n_pairs_h == 0) return 0.0;
-  uint64_t hits = 0;
-  for (uint64_t s = 0; s < sample_size_h_; ++s) {
-    const VectorPair pair = table_->SampleSameBucketPair(rng);
-    if (Similarity(measure_, (*dataset_)[pair.first],
-                   (*dataset_)[pair.second]) >= tau) {
-      ++hits;
-    }
-  }
-  *evaluated += sample_size_h_;
-  return static_cast<double>(hits) * static_cast<double>(n_pairs_h) /
-         static_cast<double>(sample_size_h_);
-}
-
-double LshSsEstimator::SampleStratumL(double tau, Rng& rng,
-                                      uint64_t* evaluated,
-                                      bool* reliable) const {
-  const uint64_t n_pairs_l = table_->NumCrossBucketPairs();
-  if (n_pairs_l == 0) return 0.0;
-
-  uint64_t hits = 0;     // n_L in Algorithm 1
-  uint64_t samples = 0;  // i in Algorithm 1
-  while (hits < delta_ && samples < sample_size_l_) {
-    const VectorPair pair = table_->SampleCrossBucketPair(rng);
-    if (Similarity(measure_, (*dataset_)[pair.first],
-                   (*dataset_)[pair.second]) >= tau) {
-      ++hits;
-    }
-    ++samples;
-  }
-  *evaluated += samples;
-
-  if (samples >= sample_size_l_ && hits < delta_) {
-    // The answer-size threshold was not met: scaling up by N_L/i carries no
-    // guarantee (Example 1 of the paper). Return the safe lower bound n_L,
-    // or the dampened scale-up of Theorem 2.
-    *reliable = false;
-    switch (dampening_) {
-      case DampeningMode::kSafeLowerBound:
-        return static_cast<double>(hits);
-      case DampeningMode::kFixedFactor:
-        return static_cast<double>(hits) * dampening_factor_ *
-               static_cast<double>(n_pairs_l) /
-               static_cast<double>(sample_size_l_);
-      case DampeningMode::kAdaptiveNlOverDelta: {
-        const double cs =
-            static_cast<double>(hits) / static_cast<double>(delta_);
-        return static_cast<double>(hits) * cs *
-               static_cast<double>(n_pairs_l) /
-               static_cast<double>(sample_size_l_);
-      }
-    }
-    VSJ_CHECK(false);
-  }
-  // Reliable path: the adaptive bound of Lipton et al. applies.
-  return static_cast<double>(hits) * static_cast<double>(n_pairs_l) /
-         static_cast<double>(samples);
-}
-
 EstimationResult LshSsEstimator::Estimate(double tau, Rng& rng) const {
   EstimationResult result;
-  const uint64_t total_pairs = dataset_->NumPairs();
+  const uint64_t total_pairs = dataset_.NumPairs();
   if (tau <= 0.0) {
     result.estimate = static_cast<double>(total_pairs);
     return result;
   }
   bool reliable = true;
-  result.stratum_h_estimate =
-      SampleStratumH(tau, rng, &result.pairs_evaluated);
-  result.stratum_l_estimate =
-      SampleStratumL(tau, rng, &result.pairs_evaluated, &reliable);
+  result.stratum_h_estimate = SampleStratumH(
+      dataset_, measure_, tau, table_->NumSameBucketPairs(), sample_size_h_,
+      [&](Rng& r) { return table_->SampleSameBucketPair(r); }, rng,
+      &result.pairs_evaluated);
+  result.stratum_l_estimate = SampleStratumL(
+      dataset_, measure_, tau, table_->NumCrossBucketPairs(), sample_size_l_,
+      delta_, dampening_, dampening_factor_,
+      [&](Rng& r) { return table_->SampleCrossBucketPair(r); }, rng,
+      &result.pairs_evaluated, &reliable);
   result.guaranteed = reliable;
   result.estimate = ClampEstimate(
       result.stratum_h_estimate + result.stratum_l_estimate, total_pairs);

@@ -22,24 +22,14 @@
 #define VSJ_CORE_LSH_SS_ESTIMATOR_H_
 
 #include "vsj/core/estimator.h"
+#include "vsj/core/stratified_sampling.h"
 #include "vsj/lsh/lsh_table.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
-/// How SampleL scales its count when the answer-size threshold δ was not
-/// reached within the sample budget m_L.
-enum class DampeningMode {
-  /// Return the safe lower bound Ĵ_L = n_L (plain LSH-SS, Theorem 1).
-  kSafeLowerBound,
-  /// Ĵ_L = n_L · c_s · (N_L / m_L) with fixed c_s (Theorem 2).
-  kFixedFactor,
-  /// c_s = n_L / δ, the adaptive choice used for LSH-SS(D) in §6.
-  kAdaptiveNlOverDelta,
-};
-
-/// Options of LSH-SS.
+/// Options of LSH-SS (DampeningMode lives in stratified_sampling.h).
 struct LshSsOptions {
   /// Sample size m_H for stratum H; 0 means n.
   uint64_t sample_size_h = 0;
@@ -56,7 +46,7 @@ struct LshSsOptions {
 class LshSsEstimator final : public JoinSizeEstimator {
  public:
   /// `table` must be built over `dataset`; the join predicate is `measure`.
-  LshSsEstimator(const VectorDataset& dataset, const LshTable& table,
+  LshSsEstimator(DatasetView dataset, const LshTable& table,
                  SimilarityMeasure measure, LshSsOptions options = {});
 
   EstimationResult Estimate(double tau, Rng& rng) const override;
@@ -67,14 +57,7 @@ class LshSsEstimator final : public JoinSizeEstimator {
   uint64_t delta() const { return delta_; }
 
  private:
-  /// SampleH of Algorithm 1.
-  double SampleStratumH(double tau, Rng& rng, uint64_t* evaluated) const;
-  /// SampleL of Algorithm 1; sets `*reliable` to false on the safe-lower-
-  /// bound / dampened path.
-  double SampleStratumL(double tau, Rng& rng, uint64_t* evaluated,
-                        bool* reliable) const;
-
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   const LshTable* table_;
   SimilarityMeasure measure_;
   uint64_t sample_size_h_;

@@ -4,7 +4,7 @@
 
 namespace vsj {
 
-MedianEstimator::MedianEstimator(const VectorDataset& dataset,
+MedianEstimator::MedianEstimator(DatasetView dataset,
                                  const LshIndex& index,
                                  SimilarityMeasure measure,
                                  LshSsOptions options) {

@@ -24,7 +24,7 @@ class MedianEstimator final : public JoinSizeEstimator {
   /// every per-table estimator; the per-table sample size defaults are
   /// unchanged, so the total sample budget grows by a factor of ℓ — pass
   /// explicit sizes to split a fixed budget (App. B.2.1 discussion).
-  MedianEstimator(const VectorDataset& dataset, const LshIndex& index,
+  MedianEstimator(DatasetView dataset, const LshIndex& index,
                   SimilarityMeasure measure, LshSsOptions options = {});
 
   EstimationResult Estimate(double tau, Rng& rng) const override;

@@ -21,7 +21,7 @@ double PrecisionFloor(double epsilon, double probability, size_t n) {
   return std::min(rho, 1.0);
 }
 
-OptimalKResult FindOptimalK(const VectorDataset& dataset,
+OptimalKResult FindOptimalK(DatasetView dataset,
                             const LshFamily& family, double tau, double rho,
                             Rng& rng, OptimalKOptions options) {
   VSJ_CHECK(options.min_k >= 1);

@@ -17,7 +17,7 @@
 #include "vsj/lsh/lsh_family.h"
 #include "vsj/util/rng.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -52,7 +52,7 @@ double PrecisionFloor(double epsilon, double probability, size_t n);
 
 /// Probes k = min_k, min_k + step, ... and returns the smallest k whose
 /// estimated α = P(T|H) at threshold `tau` reaches `rho`.
-OptimalKResult FindOptimalK(const VectorDataset& dataset,
+OptimalKResult FindOptimalK(DatasetView dataset,
                             const LshFamily& family, double tau, double rho,
                             Rng& rng, OptimalKOptions options = {});
 

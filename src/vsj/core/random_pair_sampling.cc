@@ -6,10 +6,10 @@
 
 namespace vsj {
 
-RandomPairSampling::RandomPairSampling(const VectorDataset& dataset,
+RandomPairSampling::RandomPairSampling(DatasetView dataset,
                                        SimilarityMeasure measure,
                                        RandomPairSamplingOptions options)
-    : dataset_(&dataset), measure_(measure) {
+    : dataset_(dataset), measure_(measure) {
   VSJ_CHECK(dataset.size() >= 2);
   sample_size_ =
       options.sample_size != 0
@@ -21,21 +21,21 @@ RandomPairSampling::RandomPairSampling(const VectorDataset& dataset,
 }
 
 EstimationResult RandomPairSampling::Estimate(double tau, Rng& rng) const {
-  const size_t n = dataset_->size();
-  const double total_pairs = static_cast<double>(dataset_->NumPairs());
+  const size_t n = dataset_.size();
+  const double total_pairs = static_cast<double>(dataset_.NumPairs());
   uint64_t hits = 0;
   for (uint64_t s = 0; s < sample_size_; ++s) {
     const auto u = static_cast<VectorId>(rng.Below(n));
     auto v = static_cast<VectorId>(rng.Below(n - 1));
     if (v >= u) ++v;
-    if (Similarity(measure_, (*dataset_)[u], (*dataset_)[v]) >= tau) ++hits;
+    if (Similarity(measure_, dataset_[u], dataset_[v]) >= tau) ++hits;
   }
   EstimationResult result;
   result.pairs_evaluated = sample_size_;
   result.estimate = ClampEstimate(
       static_cast<double>(hits) * total_pairs /
           static_cast<double>(sample_size_),
-      dataset_->NumPairs());
+      dataset_.NumPairs());
   return result;
 }
 

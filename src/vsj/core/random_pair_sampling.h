@@ -10,7 +10,7 @@
 
 #include "vsj/core/estimator.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -25,7 +25,7 @@ struct RandomPairSamplingOptions {
 /// Uniform with-replacement pair sampling over the cross product.
 class RandomPairSampling final : public JoinSizeEstimator {
  public:
-  RandomPairSampling(const VectorDataset& dataset, SimilarityMeasure measure,
+  RandomPairSampling(DatasetView dataset, SimilarityMeasure measure,
                      RandomPairSamplingOptions options = {});
 
   EstimationResult Estimate(double tau, Rng& rng) const override;
@@ -34,7 +34,7 @@ class RandomPairSampling final : public JoinSizeEstimator {
   uint64_t sample_size() const { return sample_size_; }
 
  private:
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   SimilarityMeasure measure_;
   uint64_t sample_size_;
 };

@@ -1,0 +1,108 @@
+// The shared SampleH / SampleL loops of Algorithm 1 (paper §5).
+//
+// Before the DatasetView refactor the static LshSsEstimator and the
+// streaming StreamingLshSsEstimator each carried a private copy of the
+// stratum-sampling loops, differing only in where pairs come from (static
+// alias-table samplers vs. the dynamic index's live-id rejection sampler)
+// and in the dampening policy. These templates are that single
+// implementation: both estimators bind a pair source and get bit-identical
+// behavior to their pre-refactor selves (same RNG draw order, same
+// accumulation order).
+
+#ifndef VSJ_CORE_STRATIFIED_SAMPLING_H_
+#define VSJ_CORE_STRATIFIED_SAMPLING_H_
+
+#include <cstdint>
+
+#include "vsj/util/check.h"
+#include "vsj/util/rng.h"
+#include "vsj/vector/dataset_view.h"
+#include "vsj/vector/similarity.h"
+
+namespace vsj {
+
+/// How SampleL scales its count when the answer-size threshold δ was not
+/// reached within the sample budget m_L.
+enum class DampeningMode {
+  /// Return the safe lower bound Ĵ_L = n_L (plain LSH-SS, Theorem 1).
+  kSafeLowerBound,
+  /// Ĵ_L = n_L · c_s · (N_L / m_L) with fixed c_s (Theorem 2).
+  kFixedFactor,
+  /// c_s = n_L / δ, the adaptive choice used for LSH-SS(D) in §6.
+  kAdaptiveNlOverDelta,
+};
+
+/// SampleH of Algorithm 1: draw m_h same-bucket pairs through `sample_pair`
+/// (any callable Rng& -> VectorPair-like with .first/.second positions into
+/// `dataset`), count hits against τ, scale by N_H / m_h.
+template <typename SamplePairFn>
+double SampleStratumH(DatasetView dataset, SimilarityMeasure measure,
+                      double tau, uint64_t num_pairs_h, uint64_t m_h,
+                      SamplePairFn&& sample_pair, Rng& rng,
+                      uint64_t* evaluated) {
+  if (num_pairs_h == 0) return 0.0;
+  uint64_t hits = 0;
+  for (uint64_t s = 0; s < m_h; ++s) {
+    const auto pair = sample_pair(rng);
+    if (Similarity(measure, dataset[pair.first], dataset[pair.second]) >=
+        tau) {
+      ++hits;
+    }
+  }
+  *evaluated += m_h;
+  return static_cast<double>(hits) * static_cast<double>(num_pairs_h) /
+         static_cast<double>(m_h);
+}
+
+/// SampleL of Algorithm 1: adaptive sampling of cross-bucket pairs until δ
+/// true pairs are found (reliable: Ĵ_L = hits · N_L / i) or the budget m_l
+/// is exhausted, in which case `*reliable` is cleared and the dampening
+/// policy decides between the safe lower bound and a dampened scale-up.
+template <typename SamplePairFn>
+double SampleStratumL(DatasetView dataset, SimilarityMeasure measure,
+                      double tau, uint64_t num_pairs_l, uint64_t m_l,
+                      uint64_t delta, DampeningMode dampening,
+                      double dampening_factor, SamplePairFn&& sample_pair,
+                      Rng& rng, uint64_t* evaluated, bool* reliable) {
+  if (num_pairs_l == 0) return 0.0;
+
+  uint64_t hits = 0;     // n_L in Algorithm 1
+  uint64_t samples = 0;  // i in Algorithm 1
+  while (hits < delta && samples < m_l) {
+    const auto pair = sample_pair(rng);
+    if (Similarity(measure, dataset[pair.first], dataset[pair.second]) >=
+        tau) {
+      ++hits;
+    }
+    ++samples;
+  }
+  *evaluated += samples;
+
+  if (samples >= m_l && hits < delta) {
+    // The answer-size threshold was not met: scaling up by N_L/i carries no
+    // guarantee (Example 1 of the paper). Return the safe lower bound n_L,
+    // or the dampened scale-up of Theorem 2.
+    *reliable = false;
+    switch (dampening) {
+      case DampeningMode::kSafeLowerBound:
+        return static_cast<double>(hits);
+      case DampeningMode::kFixedFactor:
+        return static_cast<double>(hits) * dampening_factor *
+               static_cast<double>(num_pairs_l) / static_cast<double>(m_l);
+      case DampeningMode::kAdaptiveNlOverDelta: {
+        const double cs =
+            static_cast<double>(hits) / static_cast<double>(delta);
+        return static_cast<double>(hits) * cs *
+               static_cast<double>(num_pairs_l) / static_cast<double>(m_l);
+      }
+    }
+    VSJ_CHECK(false);
+  }
+  // Reliable path: the adaptive bound of Lipton et al. applies.
+  return static_cast<double>(hits) * static_cast<double>(num_pairs_l) /
+         static_cast<double>(samples);
+}
+
+}  // namespace vsj
+
+#endif  // VSJ_CORE_STRATIFIED_SAMPLING_H_

@@ -7,67 +7,14 @@
 namespace vsj {
 
 StreamingLshSsEstimator::StreamingLshSsEstimator(
-    const VectorDataset& dataset, const DynamicLshIndex& index,
+    DatasetView dataset, const DynamicLshIndex& index,
     SimilarityMeasure measure, StreamingLshSsOptions options)
-    : dataset_(&dataset),
+    : dataset_(dataset),
       index_(&index),
       measure_(measure),
       options_(options) {}
 
 std::string StreamingLshSsEstimator::name() const { return "LSH-SS(stream)"; }
-
-double StreamingLshSsEstimator::SampleStratumH(const DynamicLshTable& table,
-                                               double tau, Rng& rng,
-                                               uint64_t m_h,
-                                               uint64_t* evaluated) const {
-  const uint64_t n_pairs_h = table.NumSameBucketPairs();
-  if (n_pairs_h == 0) return 0.0;
-  uint64_t hits = 0;
-  for (uint64_t s = 0; s < m_h; ++s) {
-    const VectorPair pair = table.SampleSameBucketPair(rng);
-    if (Similarity(measure_, (*dataset_)[pair.first],
-                   (*dataset_)[pair.second]) >= tau) {
-      ++hits;
-    }
-  }
-  *evaluated += m_h;
-  return static_cast<double>(hits) * static_cast<double>(n_pairs_h) /
-         static_cast<double>(m_h);
-}
-
-double StreamingLshSsEstimator::SampleStratumL(const DynamicLshTable& table,
-                                               double tau, Rng& rng,
-                                               uint64_t m_l, uint64_t delta,
-                                               uint64_t* evaluated,
-                                               bool* reliable) const {
-  const uint64_t n_pairs_l = table.NumCrossBucketPairs();
-  if (n_pairs_l == 0) return 0.0;
-
-  uint64_t hits = 0;     // n_L in Algorithm 1
-  uint64_t samples = 0;  // i in Algorithm 1
-  while (hits < delta && samples < m_l) {
-    // Uniform live pair, rejecting same-bucket pairs. Termination: N_L > 0
-    // guarantees an accepting pair exists; the expected number of
-    // rejections per draw is N_H / N_L.
-    VectorId u, v;
-    do {
-      u = index_->SampleLiveId(rng);
-      v = index_->SampleLiveId(rng);
-    } while (u == v || table.SameBucket(u, v));
-    if (Similarity(measure_, (*dataset_)[u], (*dataset_)[v]) >= tau) ++hits;
-    ++samples;
-  }
-  *evaluated += samples;
-
-  if (samples >= m_l && hits < delta) {
-    // Answer-size threshold not met: return the safe lower bound (plain
-    // LSH-SS, Theorem 1).
-    *reliable = false;
-    return static_cast<double>(hits);
-  }
-  return static_cast<double>(hits) * static_cast<double>(n_pairs_l) /
-         static_cast<double>(samples);
-}
 
 EstimationResult StreamingLshSsEstimator::EstimateWithTable(double tau,
                                                             uint32_t t,
@@ -92,10 +39,27 @@ EstimationResult StreamingLshSsEstimator::EstimateWithTable(double tau,
 
   const DynamicLshTable& table = index_->table(t);
   bool reliable = true;
-  result.stratum_h_estimate =
-      SampleStratumH(table, tau, rng, m_h, &result.pairs_evaluated);
+  result.stratum_h_estimate = SampleStratumH(
+      dataset_, measure_, tau, table.NumSameBucketPairs(), m_h,
+      [&](Rng& r) { return table.SampleSameBucketPair(r); }, rng,
+      &result.pairs_evaluated);
+  // SampleL draws uniform live pairs through the index's live-id list,
+  // rejecting same-bucket pairs of the chosen table. Termination: N_L > 0
+  // guarantees an accepting pair exists; the expected number of rejections
+  // per draw is N_H / N_L. The streaming engine always uses the safe lower
+  // bound (Theorem 1) when the answer-size threshold is missed.
   result.stratum_l_estimate = SampleStratumL(
-      table, tau, rng, m_l, delta, &result.pairs_evaluated, &reliable);
+      dataset_, measure_, tau, table.NumCrossBucketPairs(), m_l, delta,
+      DampeningMode::kSafeLowerBound, 1.0,
+      [&](Rng& r) {
+        VectorId u, v;
+        do {
+          u = index_->SampleLiveId(r);
+          v = index_->SampleLiveId(r);
+        } while (u == v || table.SameBucket(u, v));
+        return VectorPair{u, v};
+      },
+      rng, &result.pairs_evaluated, &reliable);
   result.guaranteed = reliable;
   result.estimate = ClampEstimate(
       result.stratum_h_estimate + result.stratum_l_estimate, total_pairs);

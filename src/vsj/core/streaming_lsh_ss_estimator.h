@@ -21,9 +21,10 @@
 #define VSJ_CORE_STREAMING_LSH_SS_ESTIMATOR_H_
 
 #include "vsj/core/estimator.h"
+#include "vsj/core/stratified_sampling.h"
 #include "vsj/lsh/dynamic_lsh_index.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -41,7 +42,7 @@ class StreamingLshSsEstimator final : public JoinSizeEstimator {
   /// `dataset` is the backing store the index's ids refer to; both must
   /// outlive the estimator. The index may mutate freely between calls (but
   /// not during one).
-  StreamingLshSsEstimator(const VectorDataset& dataset,
+  StreamingLshSsEstimator(DatasetView dataset,
                           const DynamicLshIndex& index,
                           SimilarityMeasure measure,
                           StreamingLshSsOptions options = {});
@@ -56,13 +57,7 @@ class StreamingLshSsEstimator final : public JoinSizeEstimator {
   std::string name() const override;
 
  private:
-  double SampleStratumH(const DynamicLshTable& table, double tau, Rng& rng,
-                        uint64_t m_h, uint64_t* evaluated) const;
-  double SampleStratumL(const DynamicLshTable& table, double tau, Rng& rng,
-                        uint64_t m_l, uint64_t delta, uint64_t* evaluated,
-                        bool* reliable) const;
-
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   const DynamicLshIndex* index_;
   SimilarityMeasure measure_;
   StreamingLshSsOptions options_;

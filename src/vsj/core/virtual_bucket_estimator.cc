@@ -16,11 +16,11 @@ inline uint64_t PackPair(VectorId u, VectorId v) {
 
 }  // namespace
 
-VirtualBucketEstimator::VirtualBucketEstimator(const VectorDataset& dataset,
+VirtualBucketEstimator::VirtualBucketEstimator(DatasetView dataset,
                                                const LshIndex& index,
                                                SimilarityMeasure measure,
                                                LshSsOptions options)
-    : dataset_(&dataset),
+    : dataset_(dataset),
       index_(&index),
       measure_(measure),
       dampening_(options.dampening),
@@ -80,7 +80,7 @@ VectorPair VirtualBucketEstimator::SampleVirtualPair(Rng& rng) const {
 EstimationResult VirtualBucketEstimator::Estimate(double tau,
                                                   Rng& rng) const {
   EstimationResult result;
-  const uint64_t total_pairs = dataset_->NumPairs();
+  const uint64_t total_pairs = dataset_.NumPairs();
   if (tau <= 0.0) {
     result.estimate = static_cast<double>(total_pairs);
     return result;
@@ -92,8 +92,8 @@ EstimationResult VirtualBucketEstimator::Estimate(double tau,
     uint64_t hits = 0;
     for (uint64_t s = 0; s < sample_size_h_; ++s) {
       const VectorPair pair = SampleVirtualPair(rng);
-      if (Similarity(measure_, (*dataset_)[pair.first],
-                     (*dataset_)[pair.second]) >= tau) {
+      if (Similarity(measure_, dataset_[pair.first],
+                     dataset_[pair.second]) >= tau) {
         ++hits;
       }
     }
@@ -108,7 +108,7 @@ EstimationResult VirtualBucketEstimator::Estimate(double tau,
   double estimate_l = 0.0;
   bool reliable = true;
   if (n_pairs_l > 0) {
-    const size_t n = dataset_->size();
+    const size_t n = dataset_.size();
     uint64_t hits = 0;
     uint64_t samples = 0;
     while (hits < delta_ && samples < sample_size_l_) {
@@ -118,7 +118,7 @@ EstimationResult VirtualBucketEstimator::Estimate(double tau,
         v = static_cast<VectorId>(rng.Below(n - 1));
         if (v >= u) ++v;
       } while (index_->SameBucketInAnyTable(u, v));
-      if (Similarity(measure_, (*dataset_)[u], (*dataset_)[v]) >= tau) {
+      if (Similarity(measure_, dataset_[u], dataset_[v]) >= tau) {
         ++hits;
       }
       ++samples;

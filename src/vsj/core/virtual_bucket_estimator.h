@@ -28,7 +28,7 @@ namespace vsj {
 /// LSH-SS over virtual buckets (union of per-table strata H).
 class VirtualBucketEstimator final : public JoinSizeEstimator {
  public:
-  VirtualBucketEstimator(const VectorDataset& dataset, const LshIndex& index,
+  VirtualBucketEstimator(DatasetView dataset, const LshIndex& index,
                          SimilarityMeasure measure, LshSsOptions options = {});
 
   EstimationResult Estimate(double tau, Rng& rng) const override;
@@ -41,7 +41,7 @@ class VirtualBucketEstimator final : public JoinSizeEstimator {
   VectorPair SampleVirtualPair(Rng& rng) const;
   uint32_t Multiplicity(VectorId u, VectorId v) const;
 
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   const LshIndex* index_;
   SimilarityMeasure measure_;
   uint64_t sample_size_h_;

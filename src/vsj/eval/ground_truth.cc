@@ -6,7 +6,7 @@ std::vector<double> StandardThresholds() {
   return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
 }
 
-GroundTruth::GroundTruth(const VectorDataset& dataset,
+GroundTruth::GroundTruth(DatasetView dataset,
                          SimilarityMeasure measure,
                          std::vector<double> thresholds)
     : histogram_(dataset, measure, std::move(thresholds)) {}

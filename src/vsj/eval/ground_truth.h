@@ -8,7 +8,7 @@
 
 #include "vsj/join/similarity_histogram.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -20,7 +20,7 @@ class GroundTruth {
  public:
   /// Computes exact join sizes for every τ in `thresholds` (one parallel
   /// pass over the inverted index regardless of the number of thresholds).
-  GroundTruth(const VectorDataset& dataset, SimilarityMeasure measure,
+  GroundTruth(DatasetView dataset, SimilarityMeasure measure,
               std::vector<double> thresholds);
 
   /// Exact J(τ) for a registered threshold.

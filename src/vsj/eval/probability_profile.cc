@@ -8,7 +8,7 @@
 namespace vsj {
 
 std::vector<ProbabilityRow> ComputeProbabilityProfile(
-    const VectorDataset& dataset, const LshTable& table,
+    DatasetView dataset, const LshTable& table,
     SimilarityMeasure measure, const GroundTruth& truth) {
   VSJ_CHECK(table.num_vectors() == dataset.size());
   const std::vector<double>& taus = truth.histogram().exact_thresholds();

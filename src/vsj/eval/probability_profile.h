@@ -12,7 +12,7 @@
 #include "vsj/eval/ground_truth.h"
 #include "vsj/lsh/lsh_table.h"
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -31,7 +31,7 @@ struct ProbabilityRow {
 /// built over `dataset` with `measure`). Cost: O(N_H) pair similarity
 /// evaluations inside buckets plus the ground truth already computed.
 std::vector<ProbabilityRow> ComputeProbabilityProfile(
-    const VectorDataset& dataset, const LshTable& table,
+    DatasetView dataset, const LshTable& table,
     SimilarityMeasure measure, const GroundTruth& truth);
 
 /// The theorem assumptions for reference: at high thresholds LSH-SS assumes

@@ -28,16 +28,16 @@ bool ReadPod(std::istream& is, T* value) {
 
 }  // namespace
 
-bool WriteDataset(const VectorDataset& dataset, std::ostream& os) {
+bool WriteDataset(DatasetView dataset, std::ostream& os) {
   os.write(kMagic, sizeof(kMagic));
   WritePod(os, kVersion);
   const std::string& name = dataset.name();
   WritePod(os, static_cast<uint64_t>(name.size()));
   os.write(name.data(), static_cast<std::streamsize>(name.size()));
   WritePod(os, static_cast<uint64_t>(dataset.size()));
-  for (const SparseVector& v : dataset.vectors()) {
+  for (VectorRef v : dataset) {
     WritePod(os, static_cast<uint32_t>(v.size()));
-    for (const Feature& f : v.features()) {
+    for (const Feature f : v) {
       WritePod(os, f.dim);
       WritePod(os, f.weight);
     }
@@ -81,7 +81,7 @@ bool ReadDataset(std::istream& is, VectorDataset* dataset) {
   return true;
 }
 
-bool SaveDatasetToFile(const VectorDataset& dataset,
+bool SaveDatasetToFile(DatasetView dataset,
                        const std::string& path) {
   std::ofstream os(path, std::ios::binary);
   if (!os) return false;

@@ -18,19 +18,20 @@
 #include <iosfwd>
 #include <string>
 
+#include "vsj/vector/dataset_view.h"
 #include "vsj/vector/vector_dataset.h"
 
 namespace vsj {
 
 /// Serializes `dataset` to `os`. Returns false on stream failure.
-bool WriteDataset(const VectorDataset& dataset, std::ostream& os);
+bool WriteDataset(DatasetView dataset, std::ostream& os);
 
 /// Deserializes a dataset from `is`. Returns false on malformed input or
 /// stream failure; `*dataset` is unspecified on failure.
 bool ReadDataset(std::istream& is, VectorDataset* dataset);
 
 /// File wrappers.
-bool SaveDatasetToFile(const VectorDataset& dataset,
+bool SaveDatasetToFile(DatasetView dataset,
                        const std::string& path);
 bool LoadDatasetFromFile(const std::string& path, VectorDataset* dataset);
 

@@ -24,7 +24,7 @@ struct Candidate {
 
 }  // namespace
 
-std::vector<JoinPair> AllPairsJoin(const VectorDataset& dataset, double tau,
+std::vector<JoinPair> AllPairsJoin(DatasetView dataset, double tau,
                                    AllPairsStats* stats) {
   VSJ_CHECK_MSG(tau > 0.0, "All-Pairs requires a positive threshold");
   const size_t n = dataset.size();
@@ -33,22 +33,22 @@ std::vector<JoinPair> AllPairsJoin(const VectorDataset& dataset, double tau,
 
   // Global document frequencies -> feature order (decreasing df).
   size_t num_dims = 0;
-  for (const SparseVector& v : dataset.vectors()) {
+  for (VectorRef v : dataset) {
     num_dims = std::max<size_t>(num_dims, v.dim_bound());
   }
   std::vector<uint32_t> df(num_dims, 0);
-  for (const SparseVector& v : dataset.vectors()) {
-    for (const Feature& f : v.features()) ++df[f.dim];
+  for (VectorRef v : dataset) {
+    for (const Feature f : v) ++df[f.dim];
   }
 
   std::vector<NormalizedVector> docs(n);
   for (VectorId id = 0; id < n; ++id) {
-    const SparseVector& v = dataset[id];
+    const VectorRef v = dataset[id];
     NormalizedVector& doc = docs[id];
     doc.features.reserve(v.size());
     const double norm = v.norm();
     if (norm == 0.0) continue;
-    for (const Feature& f : v.features()) {
+    for (const Feature f : v) {
       doc.features.push_back(
           Feature{f.dim, static_cast<float>(f.weight / norm)});
     }
@@ -125,7 +125,7 @@ std::vector<JoinPair> AllPairsJoin(const VectorDataset& dataset, double tau,
   return result;
 }
 
-uint64_t AllPairsJoinSize(const VectorDataset& dataset, double tau,
+uint64_t AllPairsJoinSize(DatasetView dataset, double tau,
                           AllPairsStats* stats) {
   return AllPairsJoin(dataset, tau, stats).size();
 }

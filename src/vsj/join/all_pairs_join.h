@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "vsj/join/brute_force_join.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -31,11 +31,11 @@ struct AllPairsStats {
 /// Exact cosine self-join: all unordered pairs with cos(u, v) ≥ tau.
 /// `tau` must be positive (prefix pruning is meaningless at τ ≤ 0).
 /// Pairs are emitted with first < second; order is unspecified.
-std::vector<JoinPair> AllPairsJoin(const VectorDataset& dataset, double tau,
+std::vector<JoinPair> AllPairsJoin(DatasetView dataset, double tau,
                                    AllPairsStats* stats = nullptr);
 
 /// Size-only variant.
-uint64_t AllPairsJoinSize(const VectorDataset& dataset, double tau,
+uint64_t AllPairsJoinSize(DatasetView dataset, double tau,
                           AllPairsStats* stats = nullptr);
 
 }  // namespace vsj

@@ -2,7 +2,7 @@
 
 namespace vsj {
 
-uint64_t BruteForceJoinSize(const VectorDataset& dataset,
+uint64_t BruteForceJoinSize(DatasetView dataset,
                             SimilarityMeasure measure, double tau) {
   uint64_t count = 0;
   const size_t n = dataset.size();
@@ -14,7 +14,7 @@ uint64_t BruteForceJoinSize(const VectorDataset& dataset,
   return count;
 }
 
-std::vector<JoinPair> BruteForceJoinPairs(const VectorDataset& dataset,
+std::vector<JoinPair> BruteForceJoinPairs(DatasetView dataset,
                                           SimilarityMeasure measure,
                                           double tau) {
   std::vector<JoinPair> pairs;
@@ -31,8 +31,8 @@ std::vector<JoinPair> BruteForceJoinPairs(const VectorDataset& dataset,
   return pairs;
 }
 
-uint64_t BruteForceGeneralJoinSize(const VectorDataset& left,
-                                   const VectorDataset& right,
+uint64_t BruteForceGeneralJoinSize(DatasetView left,
+                                   DatasetView right,
                                    SimilarityMeasure measure, double tau) {
   uint64_t count = 0;
   for (size_t i = 0; i < left.size(); ++i) {

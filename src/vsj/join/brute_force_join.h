@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -20,17 +20,17 @@ struct JoinPair {
 };
 
 /// Self-join size |{(u,v) : sim(u,v) ≥ τ, u ≠ v}| over unordered pairs.
-uint64_t BruteForceJoinSize(const VectorDataset& dataset,
+uint64_t BruteForceJoinSize(DatasetView dataset,
                             SimilarityMeasure measure, double tau);
 
 /// Self-join result pairs (first < second), in lexicographic order.
-std::vector<JoinPair> BruteForceJoinPairs(const VectorDataset& dataset,
+std::vector<JoinPair> BruteForceJoinPairs(DatasetView dataset,
                                           SimilarityMeasure measure,
                                           double tau);
 
 /// General join size between two collections (Definition 5, Appendix B.2.2).
-uint64_t BruteForceGeneralJoinSize(const VectorDataset& left,
-                                   const VectorDataset& right,
+uint64_t BruteForceGeneralJoinSize(DatasetView left,
+                                   DatasetView right,
                                    SimilarityMeasure measure, double tau);
 
 }  // namespace vsj

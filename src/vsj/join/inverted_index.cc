@@ -2,14 +2,14 @@
 
 namespace vsj {
 
-InvertedIndex::InvertedIndex(const VectorDataset& dataset) {
+InvertedIndex::InvertedIndex(DatasetView dataset) {
   size_t num_dims = 0;
-  for (const SparseVector& v : dataset.vectors()) {
+  for (VectorRef v : dataset) {
     num_dims = std::max<size_t>(num_dims, v.dim_bound());
   }
   postings_.resize(num_dims);
   for (VectorId id = 0; id < dataset.size(); ++id) {
-    for (const Feature& f : dataset[id].features()) {
+    for (const Feature f : dataset[id]) {
       postings_[f.dim].push_back(Posting{id, f.weight});
     }
   }

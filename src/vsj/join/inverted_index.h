@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -24,7 +24,7 @@ struct Posting {
 /// Immutable inverted index over a dataset.
 class InvertedIndex {
  public:
-  explicit InvertedIndex(const VectorDataset& dataset);
+  explicit InvertedIndex(DatasetView dataset);
 
   size_t num_dimensions() const { return postings_.size(); }
 

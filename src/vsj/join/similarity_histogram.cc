@@ -23,7 +23,7 @@ struct Worker {
 
 }  // namespace
 
-SimilarityHistogram::SimilarityHistogram(const VectorDataset& dataset,
+SimilarityHistogram::SimilarityHistogram(DatasetView dataset,
                                          SimilarityMeasure measure,
                                          std::vector<double> exact_thresholds,
                                          size_t num_bins,
@@ -59,12 +59,12 @@ SimilarityHistogram::SimilarityHistogram(const VectorDataset& dataset,
     while (true) {
       const VectorId i = next_probe.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
-      const SparseVector& u = dataset[i];
+      const VectorRef u = dataset[i];
 
       // Accumulate, for every partner j < i sharing a dimension with u,
       // the cosine numerator (dot product) or the Jaccard numerator
       // (Σ min weights) in one pass over u's postings.
-      for (const Feature& f : u.features()) {
+      for (const Feature f : u) {
         const auto& postings = index.postings(f.dim);
         for (const Posting& p : postings) {
           if (p.id >= i) break;  // postings are in increasing id order
@@ -81,7 +81,7 @@ SimilarityHistogram::SimilarityHistogram(const VectorDataset& dataset,
       }
 
       for (VectorId j : w.touched) {
-        const SparseVector& v = dataset[j];
+        const VectorRef v = dataset[j];
         double sim;
         if (measure == SimilarityMeasure::kCosine) {
           const double denom = u.norm() * v.norm();

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -27,7 +27,7 @@ class SimilarityHistogram {
   /// Computes the histogram. `exact_thresholds` are the τ values for which
   /// exact "≥ τ" counts are kept (values must lie in (0, 1]); `num_threads`
   /// 0 means hardware concurrency.
-  SimilarityHistogram(const VectorDataset& dataset, SimilarityMeasure measure,
+  SimilarityHistogram(DatasetView dataset, SimilarityMeasure measure,
                       std::vector<double> exact_thresholds,
                       size_t num_bins = 1000, unsigned num_threads = 0);
 

@@ -7,8 +7,7 @@
 
 namespace vsj {
 
-double HammingSimilarity(const SparseVector& u, const SparseVector& v,
-                         uint32_t dimension) {
+double HammingSimilarity(VectorRef u, VectorRef v, uint32_t dimension) {
   VSJ_CHECK(u.dim_bound() <= dimension && v.dim_bound() <= dimension);
   // HD = |u| + |v| − 2·|u ∩ v| over set bits.
   const size_t overlap = u.OverlapSize(v);
@@ -21,18 +20,17 @@ BitSamplingFamily::BitSamplingFamily(uint64_t seed, uint32_t dimension)
   VSJ_CHECK(dimension > 0);
 }
 
-void BitSamplingFamily::HashRange(const SparseVector& v,
+void BitSamplingFamily::HashRange(VectorRef v,
                                   uint32_t function_offset, uint32_t k,
                                   uint64_t* out) const {
   for (uint32_t j = 0; j < k; ++j) {
     const uint64_t fn_seed = HashCombine(seed_, function_offset + j);
     const auto coordinate =
         static_cast<DimId>(fn_seed % dimension_);
-    // Binary lookup: is `coordinate` a set bit of v?
-    const auto& features = v.features();
-    const bool set = std::binary_search(
-        features.begin(), features.end(), Feature{coordinate, 0.0f},
-        [](const Feature& a, const Feature& b) { return a.dim < b.dim; });
+    // Binary lookup: is `coordinate` a set bit of v? The columnar layout
+    // makes this a search over the raw dim array.
+    const bool set =
+        std::binary_search(v.dims(), v.dims() + v.size(), coordinate);
     out[j] = set ? 1 : 0;
   }
 }

@@ -19,15 +19,14 @@ namespace vsj {
 /// Normalized Hamming similarity 1 − HD(u, v)/dimension over the binary
 /// projections of `u` and `v` (positive weight = set bit). Both vectors
 /// must fit in `dimension`.
-double HammingSimilarity(const SparseVector& u, const SparseVector& v,
-                         uint32_t dimension);
+double HammingSimilarity(VectorRef u, VectorRef v, uint32_t dimension);
 
 /// Coordinate-sampling family over a D-dimensional binary space.
 class BitSamplingFamily final : public LshFamily {
  public:
   BitSamplingFamily(uint64_t seed, uint32_t dimension);
 
-  void HashRange(const SparseVector& v, uint32_t function_offset, uint32_t k,
+  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
                  uint64_t* out) const override;
   double CollisionProbability(double similarity) const override;
   /// Hamming similarity is not in the SimilarityMeasure enum (it needs the

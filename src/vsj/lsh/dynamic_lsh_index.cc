@@ -15,7 +15,7 @@ DynamicLshIndex::DynamicLshIndex(const LshFamily& family, uint32_t k,
   }
 }
 
-void DynamicLshIndex::Insert(VectorId id, const SparseVector& vector) {
+void DynamicLshIndex::Insert(VectorId id, VectorRef vector) {
   VSJ_CHECK_MSG(!Contains(id), "vector %u already present", id);
   for (auto& table : tables_) table->Insert(id, vector);
   live_position_[id] = live_.size();

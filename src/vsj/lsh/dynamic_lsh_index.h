@@ -47,7 +47,7 @@ class DynamicLshIndex {
   }
 
   /// Inserts `id` into every table; `id` must not be present.
-  void Insert(VectorId id, const SparseVector& vector);
+  void Insert(VectorId id, VectorRef vector);
 
   /// Removes `id` from every table; it must be present.
   void Remove(VectorId id);

@@ -20,7 +20,7 @@ DynamicLshTable::DynamicLshTable(const LshFamily& family, uint32_t k,
   VSJ_CHECK(k > 0);
 }
 
-uint64_t DynamicLshTable::BucketKeyFor(const SparseVector& vector) const {
+uint64_t DynamicLshTable::BucketKeyFor(VectorRef vector) const {
   std::vector<uint64_t> signature(k_);
   family_->HashRange(vector, function_offset_, k_, signature.data());
   uint64_t key = 0x2545f4914f6cdd1dULL;
@@ -28,7 +28,7 @@ uint64_t DynamicLshTable::BucketKeyFor(const SparseVector& vector) const {
   return key;
 }
 
-void DynamicLshTable::Insert(VectorId id, const SparseVector& vector) {
+void DynamicLshTable::Insert(VectorId id, VectorRef vector) {
   VSJ_CHECK_MSG(!Contains(id), "vector %u already present", id);
   const uint64_t key = BucketKeyFor(vector);
   auto [it, inserted] =

@@ -38,7 +38,7 @@ class DynamicLshTable {
   size_t num_buckets() const { return num_nonempty_buckets_; }
 
   /// Inserts vector `id`; `id` must not be present.
-  void Insert(VectorId id, const SparseVector& vector);
+  void Insert(VectorId id, VectorRef vector);
 
   /// Removes vector `id`; it must be present.
   void Remove(VectorId id);
@@ -67,7 +67,7 @@ class DynamicLshTable {
     uint32_t position;  // index within the bucket's member list
   };
 
-  uint64_t BucketKeyFor(const SparseVector& vector) const;
+  uint64_t BucketKeyFor(VectorRef vector) const;
 
   const LshFamily* family_;
   uint32_t k_;

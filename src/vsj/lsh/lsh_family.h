@@ -20,7 +20,7 @@
 #include <memory>
 
 #include "vsj/vector/similarity.h"
-#include "vsj/vector/sparse_vector.h"
+#include "vsj/vector/vector_ref.h"
 
 namespace vsj {
 
@@ -34,11 +34,11 @@ class LshFamily {
   /// implementations share one pass over the vector's features; an LSH index
   /// with ℓ tables of k functions each gives table t the range
   /// [t·k, (t+1)·k).
-  virtual void HashRange(const SparseVector& v, uint32_t function_offset,
+  virtual void HashRange(VectorRef v, uint32_t function_offset,
                          uint32_t k, uint64_t* out) const = 0;
 
   /// Value of a single hash function on `v`.
-  uint64_t Hash(const SparseVector& v, uint32_t function_index) const {
+  uint64_t Hash(VectorRef v, uint32_t function_index) const {
     uint64_t out;
     HashRange(v, function_index, 1, &out);
     return out;

@@ -6,9 +6,9 @@
 
 namespace vsj {
 
-LshIndex::LshIndex(const LshFamily& family, const VectorDataset& dataset,
+LshIndex::LshIndex(const LshFamily& family, DatasetView dataset,
                    uint32_t k, uint32_t num_tables, ThreadPool* pool)
-    : family_(&family), dataset_(&dataset), k_(k) {
+    : family_(&family), dataset_(dataset), k_(k) {
   VSJ_CHECK(num_tables > 0);
   tables_.reserve(num_tables);
 

@@ -16,7 +16,7 @@
 #include "vsj/lsh/lsh_family.h"
 #include "vsj/lsh/lsh_table.h"
 #include "vsj/util/thread_pool.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -31,7 +31,7 @@ class LshIndex {
   /// grouping stays sequential per table, so the resulting index is
   /// bit-identical to a single-threaded build of the same (family, k, ℓ).
   /// The pool is only used during construction and not retained.
-  LshIndex(const LshFamily& family, const VectorDataset& dataset, uint32_t k,
+  LshIndex(const LshFamily& family, DatasetView dataset, uint32_t k,
            uint32_t num_tables, ThreadPool* pool = nullptr);
 
   uint32_t k() const { return k_; }
@@ -39,7 +39,7 @@ class LshIndex {
 
   const LshTable& table(uint32_t t) const { return *tables_[t]; }
   const LshFamily& family() const { return *family_; }
-  const VectorDataset& dataset() const { return *dataset_; }
+  DatasetView dataset() const { return dataset_; }
 
   /// True iff u and v share a bucket in at least one table (the
   /// virtual-bucket membership test of Appendix B.2.1).
@@ -50,7 +50,7 @@ class LshIndex {
 
  private:
   const LshFamily* family_;
-  const VectorDataset* dataset_;
+  DatasetView dataset_;
   uint32_t k_;
   std::vector<std::unique_ptr<LshTable>> tables_;
 };

@@ -7,7 +7,7 @@
 
 namespace vsj {
 
-LshTable::LshTable(const LshFamily& family, const VectorDataset& dataset,
+LshTable::LshTable(const LshFamily& family, DatasetView dataset,
                    uint32_t k, uint32_t function_offset)
     : k_(k) {
   VSJ_CHECK(k > 0);
@@ -17,7 +17,7 @@ LshTable::LshTable(const LshFamily& family, const VectorDataset& dataset,
   BuildFromKeys(dataset, keys);
 }
 
-LshTable::LshTable(const VectorDataset& dataset, uint32_t k,
+LshTable::LshTable(DatasetView dataset, uint32_t k,
                    const std::vector<uint64_t>& keys)
     : k_(k) {
   VSJ_CHECK(k > 0);
@@ -27,7 +27,7 @@ LshTable::LshTable(const VectorDataset& dataset, uint32_t k,
 }
 
 void LshTable::ComputeBucketKeys(const LshFamily& family,
-                                 const VectorDataset& dataset, uint32_t k,
+                                 DatasetView dataset, uint32_t k,
                                  uint32_t function_offset, VectorId begin,
                                  VectorId end, uint64_t* out) {
   std::vector<uint64_t> signature(k);
@@ -39,7 +39,7 @@ void LshTable::ComputeBucketKeys(const LshFamily& family,
   }
 }
 
-void LshTable::BuildFromKeys(const VectorDataset& dataset,
+void LshTable::BuildFromKeys(DatasetView dataset,
                              const std::vector<uint64_t>& keys) {
   const size_t n = dataset.size();
   bucket_of_.resize(n);

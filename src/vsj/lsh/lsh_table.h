@@ -22,7 +22,7 @@
 #include "vsj/lsh/lsh_family.h"
 #include "vsj/util/alias_table.h"
 #include "vsj/util/rng.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -42,7 +42,7 @@ class LshTable {
   /// SimHash (k one-bit values) the key is collision-free, for general
   /// families a 64-bit key makes accidental key collisions negligible
   /// (< M · 2^-64).
-  LshTable(const LshFamily& family, const VectorDataset& dataset, uint32_t k,
+  LshTable(const LshFamily& family, DatasetView dataset, uint32_t k,
            uint32_t function_offset = 0);
 
   /// Builds the table from precomputed bucket keys (`keys[id]` = combined
@@ -50,7 +50,7 @@ class LshTable {
   /// entry point of the parallel index build: key computation — the O(n·k·
   /// features) part — parallelizes trivially, while the grouping done here
   /// stays sequential and therefore identical to the single-threaded build.
-  LshTable(const VectorDataset& dataset, uint32_t k,
+  LshTable(DatasetView dataset, uint32_t k,
            const std::vector<uint64_t>& keys);
 
   /// Computes the combined 64-bit bucket key of vectors [begin, end) into
@@ -58,7 +58,7 @@ class LshTable {
   /// [function_offset, function_offset + k). Pure and thread-safe; disjoint
   /// ranges may be computed concurrently.
   static void ComputeBucketKeys(const LshFamily& family,
-                                const VectorDataset& dataset, uint32_t k,
+                                DatasetView dataset, uint32_t k,
                                 uint32_t function_offset, VectorId begin,
                                 VectorId end, uint64_t* out);
 
@@ -120,7 +120,7 @@ class LshTable {
 
  private:
   /// Groups vectors into buckets by key and builds the sampling structures.
-  void BuildFromKeys(const VectorDataset& dataset,
+  void BuildFromKeys(DatasetView dataset,
                      const std::vector<uint64_t>& keys);
 
   uint32_t k_;

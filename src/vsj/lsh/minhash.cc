@@ -23,7 +23,7 @@ MinHashFamily::MinHashFamily(uint64_t seed, double resolution)
   VSJ_CHECK(resolution > 0.0);
 }
 
-void MinHashFamily::HashRange(const SparseVector& v, uint32_t function_offset,
+void MinHashFamily::HashRange(VectorRef v, uint32_t function_offset,
                               uint32_t k, uint64_t* out) const {
   std::vector<uint64_t> fn_seeds(k);
   for (uint32_t j = 0; j < k; ++j) {

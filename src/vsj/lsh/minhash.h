@@ -22,7 +22,7 @@ class MinHashFamily final : public LshFamily {
   /// binary vectors embed as plain sets.
   explicit MinHashFamily(uint64_t seed = 0, double resolution = 1.0);
 
-  void HashRange(const SparseVector& v, uint32_t function_offset, uint32_t k,
+  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
                  uint64_t* out) const override;
   double CollisionProbability(double similarity) const override;
   SimilarityMeasure measure() const override {

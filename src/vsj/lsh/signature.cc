@@ -5,7 +5,7 @@
 namespace vsj {
 
 SignatureDatabase::SignatureDatabase(const LshFamily& family,
-                                     const VectorDataset& dataset, uint32_t k,
+                                     DatasetView dataset, uint32_t k,
                                      uint32_t function_offset)
     : k_(k) {
   VSJ_CHECK(k > 0);

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "vsj/lsh/lsh_family.h"
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -23,7 +23,7 @@ class SignatureDatabase {
   /// Hashes every vector of `dataset` with functions offset..offset+k-1 of
   /// `family`. `function_offset` lets multiple tables draw disjoint
   /// functions from one family.
-  SignatureDatabase(const LshFamily& family, const VectorDataset& dataset,
+  SignatureDatabase(const LshFamily& family, DatasetView dataset,
                     uint32_t k, uint32_t function_offset = 0);
 
   uint32_t k() const { return k_; }

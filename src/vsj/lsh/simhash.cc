@@ -10,7 +10,7 @@ namespace vsj {
 
 SimHashFamily::SimHashFamily(uint64_t seed) : seed_(Mix64(seed)) {}
 
-void SimHashFamily::HashRange(const SparseVector& v, uint32_t function_offset,
+void SimHashFamily::HashRange(VectorRef v, uint32_t function_offset,
                               uint32_t k, uint64_t* out) const {
   // One pass over the features, k running projections. This is the build
   // hot path: each (feature, function) pair costs one hash-derived Gaussian.
@@ -19,7 +19,7 @@ void SimHashFamily::HashRange(const SparseVector& v, uint32_t function_offset,
   for (uint32_t j = 0; j < k; ++j) {
     fn_seeds[j] = HashCombine(seed_, function_offset + j);
   }
-  for (const Feature& f : v.features()) {
+  for (const Feature f : v) {
     for (uint32_t j = 0; j < k; ++j) {
       projections[j] += f.weight * GaussianFromHash(f.dim, fn_seeds[j]);
     }

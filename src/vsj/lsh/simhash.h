@@ -19,7 +19,7 @@ class SimHashFamily final : public LshFamily {
  public:
   explicit SimHashFamily(uint64_t seed = 0);
 
-  void HashRange(const SparseVector& v, uint32_t function_offset, uint32_t k,
+  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
                  uint64_t* out) const override;
   double CollisionProbability(double similarity) const override;
   SimilarityMeasure measure() const override {

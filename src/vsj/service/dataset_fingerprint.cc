@@ -6,11 +6,11 @@
 
 namespace vsj {
 
-uint64_t DatasetFingerprint(const VectorDataset& dataset) {
+uint64_t DatasetFingerprint(DatasetView dataset) {
   uint64_t h = HashCombine(0x76736a6670ULL /* "vsjfp" */, dataset.size());
-  for (const SparseVector& v : dataset.vectors()) {
+  for (VectorRef v : dataset) {
     h = HashCombine(h, v.size());
-    for (const Feature& f : v.features()) {
+    for (const Feature f : v) {
       h = HashCombine(h, f.dim);
       h = HashCombine(h, std::bit_cast<uint32_t>(f.weight));
     }

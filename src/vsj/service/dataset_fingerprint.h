@@ -1,4 +1,4 @@
-// Content fingerprint of a VectorDataset.
+// Content fingerprint of a dataset view.
 //
 // The EstimateCache keys entries on the dataset identity; a pointer is not
 // enough (datasets are moved/copied around the service boundary) and a name
@@ -11,13 +11,13 @@
 
 #include <cstdint>
 
-#include "vsj/vector/vector_dataset.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
 /// 64-bit content hash of `dataset` (O(total features), deterministic
 /// across runs and platforms).
-uint64_t DatasetFingerprint(const VectorDataset& dataset);
+uint64_t DatasetFingerprint(DatasetView dataset);
 
 }  // namespace vsj
 

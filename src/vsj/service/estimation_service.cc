@@ -25,7 +25,7 @@ EstimationService::EstimationService(VectorDataset dataset,
   index_build_seconds_ = timer.ElapsedSeconds();
 
   context_ = options_.estimator_options;
-  context_.dataset = &dataset_;
+  context_.dataset = dataset_;
   context_.index = index_.get();
   context_.measure = options_.measure;
 }

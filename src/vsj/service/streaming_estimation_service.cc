@@ -9,14 +9,29 @@
 
 namespace vsj {
 
+namespace {
+
+StreamingCsrStorage RepackIntoArena(const VectorDataset& dataset,
+                                    const StreamingStorageOptions& options) {
+  StreamingCsrStorage store(options);
+  for (VectorRef v : DatasetView(dataset)) store.Append(v);
+  return store;
+}
+
+}  // namespace
+
 StreamingEstimationService::StreamingEstimationService(
     VectorDataset dataset, StreamingEstimationServiceOptions options)
     : options_(options),
-      dataset_(std::move(dataset)),
-      base_fingerprint_(DatasetFingerprint(dataset_)),
+      store_(RepackIntoArena(dataset, options.storage)),
+      base_fingerprint_(DatasetFingerprint(dataset)),
       family_(MakeLshFamily(options.measure, options.family_seed)),
       index_(*family_, options.k, options.num_tables),
-      estimator_(dataset_, index_, options.measure, options.lsh_ss),
+      // The estimator reads vectors by stable id through the store's slot
+      // table, never through the view's size (n comes from the live index),
+      // so the view stays usable as AddVector grows the id space.
+      estimator_(DatasetView::IdAddressed(store_), index_, options.measure,
+                 options.lsh_ss),
       pool_(options.num_threads),
       cache_(options.cache_tau_bucket_width, options.cache_capacity) {}
 
@@ -29,8 +44,8 @@ void StreamingEstimationService::BumpEpoch() {
   cache_.NoteInvalidation();
 }
 
-VectorId StreamingEstimationService::AddVector(SparseVector vector) {
-  const VectorId id = dataset_.Add(std::move(vector));
+VectorId StreamingEstimationService::AddVector(const SparseVector& vector) {
+  const VectorId id = store_.Append(vector.ref());
   // The backing store changed; fold it into the epoch so the cache key
   // moves with it (the base fingerprint is frozen at construction).
   BumpEpoch();
@@ -38,13 +53,19 @@ VectorId StreamingEstimationService::AddVector(SparseVector vector) {
 }
 
 void StreamingEstimationService::Insert(VectorId id) {
-  VSJ_CHECK_MSG(id < dataset_.size(), "vector %u outside backing store", id);
-  index_.Insert(id, dataset_[id]);
+  VSJ_CHECK_MSG(store_.Contains(id), "vector %u not in backing store", id);
+  index_.Insert(id, store_.Ref(id));
   BumpEpoch();
 }
 
 void StreamingEstimationService::Remove(VectorId id) {
   index_.Remove(id);
+  BumpEpoch();
+}
+
+void StreamingEstimationService::Erase(VectorId id) {
+  if (index_.Contains(id)) index_.Remove(id);
+  store_.Remove(id);
   BumpEpoch();
 }
 

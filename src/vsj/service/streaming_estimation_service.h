@@ -3,10 +3,12 @@
 //
 // EstimationService answers over a frozen dataset with a one-shot index
 // build; this engine keeps estimating while documents arrive and expire.
-// It owns the backing VectorDataset (the universe of known vectors, to
-// which new vectors may be appended) and a DynamicLshIndex over the *live*
-// subset; Insert/Remove maintain every table in O(ℓ log n) and bump a
-// monotone epoch.
+// It owns the backing StreamingCsrStorage (the chunked columnar arena of
+// known vectors: appends go to the tail chunk, Erase tombstones payloads,
+// and compaction reclaims them once churn crosses the configured dead
+// fraction — ids stay stable throughout) and a DynamicLshIndex over the
+// *live* subset; Insert/Remove maintain every table in O(ℓ log n) and bump
+// a monotone epoch.
 //
 // Cache invalidation: cache entries are keyed on an effective fingerprint
 // HashCombine(dataset fingerprint, epoch). Any mutation bumps the epoch, so
@@ -32,6 +34,8 @@
 #include "vsj/service/estimate_cache.h"
 #include "vsj/service/estimate_request.h"
 #include "vsj/util/thread_pool.h"
+#include "vsj/vector/csr_storage.h"
+#include "vsj/vector/dataset_view.h"
 #include "vsj/vector/vector_dataset.h"
 
 namespace vsj {
@@ -59,6 +63,9 @@ struct StreamingEstimationServiceOptions {
   bool enable_cache = true;
   double cache_tau_bucket_width = 0.01;
   size_t cache_capacity = 1024;
+
+  /// Chunk size / compaction policy of the backing arena.
+  StreamingStorageOptions storage;
 };
 
 /// Long-lived estimation engine over a churning live set.
@@ -68,12 +75,19 @@ struct StreamingEstimationServiceOptions {
 /// AddVector) concurrently with any other method.
 class StreamingEstimationService {
  public:
-  /// Takes ownership of `dataset` as the backing store. No vector starts
-  /// live; replay Insert ops to populate the index.
+  /// Consumes `dataset`, repacking it into the backing arena (vector i
+  /// keeps id i). No vector starts live; replay Insert ops to populate
+  /// the index.
   explicit StreamingEstimationService(
       VectorDataset dataset, StreamingEstimationServiceOptions options = {});
 
-  const VectorDataset& dataset() const { return dataset_; }
+  /// Id-addressed view of the backing arena: dataset()[id] is valid for
+  /// every non-erased id, and stays resolvable across mutations (the view
+  /// reads through the store's slot table). size() spans the id space.
+  DatasetView dataset() const { return DatasetView::IdAddressed(store_); }
+
+  /// The backing chunked arena.
+  const StreamingCsrStorage& store() const { return store_; }
   const DynamicLshIndex& index() const { return index_; }
   const LshFamily& family() const { return *family_; }
   const StreamingEstimationServiceOptions& options() const {
@@ -94,13 +108,18 @@ class StreamingEstimationService {
 
   /// Appends a new vector to the backing store (not yet live) and returns
   /// its id.
-  VectorId AddVector(SparseVector vector);
+  VectorId AddVector(const SparseVector& vector);
 
   /// Makes backing-store vector `id` live; it must not already be live.
   void Insert(VectorId id);
 
-  /// Expires live vector `id`.
+  /// Expires live vector `id`; its payload stays in the store (it may be
+  /// re-Inserted later).
   void Remove(VectorId id);
+
+  /// Expires `id` (if live) and tombstones its payload: the id can never
+  /// come back and the arena reclaims the bytes at the next compaction.
+  void Erase(VectorId id);
 
   bool Contains(VectorId id) const { return index_.Contains(id); }
 
@@ -124,7 +143,7 @@ class StreamingEstimationService {
                            size_t request_index) const;
 
   StreamingEstimationServiceOptions options_;
-  VectorDataset dataset_;
+  StreamingCsrStorage store_;
   uint64_t base_fingerprint_;
   uint64_t epoch_ = 0;
   std::unique_ptr<LshFamily> family_;

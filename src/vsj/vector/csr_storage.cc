@@ -1,0 +1,116 @@
+#include "vsj/vector/csr_storage.h"
+
+#include <utility>
+
+#include "vsj/util/check.h"
+
+namespace vsj {
+
+void CsrStorage::Reserve(size_t num_vectors, size_t num_features) {
+  dims_.reserve(num_features);
+  weights_.reserve(num_features);
+  offsets_.reserve(num_vectors + 1);
+  norms_.reserve(num_vectors);
+  l1_norms_.reserve(num_vectors);
+}
+
+VectorId CsrStorage::Append(VectorRef vector) {
+  dims_.insert(dims_.end(), vector.dims(), vector.dims() + vector.size());
+  weights_.insert(weights_.end(), vector.weights(),
+                  vector.weights() + vector.size());
+  offsets_.push_back(dims_.size());
+  norms_.push_back(vector.norm());
+  l1_norms_.push_back(vector.l1_norm());
+  return static_cast<VectorId>(norms_.size() - 1);
+}
+
+size_t CsrStorage::MemoryBytes() const {
+  return dims_.size() * sizeof(DimId) + weights_.size() * sizeof(float) +
+         offsets_.size() * sizeof(uint64_t) +
+         (norms_.size() + l1_norms_.size()) * sizeof(double);
+}
+
+StreamingCsrStorage::StreamingCsrStorage(StreamingStorageOptions options)
+    : options_(options) {
+  VSJ_CHECK(options_.chunk_features > 0);
+  chunks_.emplace_back();
+}
+
+VectorRef StreamingCsrStorage::Ref(VectorId id) const {
+  VSJ_CHECK_MSG(Contains(id), "vector %u not live in streaming storage", id);
+  const Slot slot = slots_[id];
+  return chunks_[slot.chunk].Ref(slot.index);
+}
+
+VectorId StreamingCsrStorage::Append(VectorRef vector) {
+  if (chunks_.back().total_features() >= options_.chunk_features) {
+    chunks_.emplace_back();
+  }
+  const auto chunk = static_cast<uint32_t>(chunks_.size() - 1);
+  const VectorId index = chunks_.back().Append(vector);
+  slots_.push_back(Slot{chunk, index});
+  live_ids_dirty_ = true;
+  return static_cast<VectorId>(slots_.size() - 1);
+}
+
+void StreamingCsrStorage::Remove(VectorId id) {
+  VSJ_CHECK_MSG(Contains(id), "vector %u not in streaming storage", id);
+  slots_[id].chunk = kDeadChunk;
+  ++dead_count_;
+  ++unreclaimed_dead_;
+  live_ids_dirty_ = true;
+  MaybeCompact();
+}
+
+void StreamingCsrStorage::MaybeCompact() {
+  if (options_.compact_dead_fraction <= 0.0) return;
+  if (unreclaimed_dead_ < options_.min_dead_for_compaction) return;
+  // Fraction of *stored* payloads (live + not-yet-reclaimed tombstones)
+  // that compaction would drop; ids reclaimed by earlier compactions no
+  // longer occupy arena space and don't count.
+  const auto stored = static_cast<double>(num_live() + unreclaimed_dead_);
+  if (static_cast<double>(unreclaimed_dead_) <
+      options_.compact_dead_fraction * stored) {
+    return;
+  }
+  Compact();
+}
+
+void StreamingCsrStorage::Compact() {
+  CsrStorage merged;
+  size_t live_features = 0;
+  for (VectorId id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].chunk != kDeadChunk) live_features += Ref(id).size();
+  }
+  merged.Reserve(num_live(), live_features);
+  for (VectorId id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].chunk == kDeadChunk) continue;
+    const VectorId index = merged.Append(Ref(id));
+    slots_[id] = Slot{0, index};
+  }
+  chunks_.clear();
+  chunks_.push_back(std::move(merged));
+  unreclaimed_dead_ = 0;
+  ++compactions_;
+  live_ids_dirty_ = true;
+}
+
+const std::vector<VectorId>& StreamingCsrStorage::live_ids() const {
+  if (live_ids_dirty_) {
+    live_ids_cache_.clear();
+    live_ids_cache_.reserve(num_live());
+    for (VectorId id = 0; id < slots_.size(); ++id) {
+      if (slots_[id].chunk != kDeadChunk) live_ids_cache_.push_back(id);
+    }
+    live_ids_dirty_ = false;
+  }
+  return live_ids_cache_;
+}
+
+size_t StreamingCsrStorage::MemoryBytes() const {
+  size_t total = slots_.size() * sizeof(Slot);
+  for (const CsrStorage& chunk : chunks_) total += chunk.MemoryBytes();
+  return total;
+}
+
+}  // namespace vsj

@@ -1,0 +1,29 @@
+#include "vsj/vector/dataset_view.h"
+
+#include <algorithm>
+
+namespace vsj {
+
+const std::string& DatasetView::name() const {
+  static const std::string kEmpty;
+  return name_ != nullptr ? *name_ : kEmpty;
+}
+
+DatasetStats ComputeStats(DatasetView dataset) {
+  DatasetStats stats;
+  stats.num_vectors = dataset.size();
+  if (dataset.empty()) return stats;  // everything stays zeroed
+  stats.min_features = dataset[0].size();
+  for (VectorRef v : dataset) {
+    stats.total_features += v.size();
+    stats.min_features = std::min(stats.min_features, v.size());
+    stats.max_features = std::max(stats.max_features, v.size());
+    stats.num_dimensions =
+        std::max<size_t>(stats.num_dimensions, v.dim_bound());
+  }
+  stats.avg_features =
+      static_cast<double>(stats.total_features) / stats.num_vectors;
+  return stats;
+}
+
+}  // namespace vsj

@@ -16,11 +16,11 @@ uint32_t NumCopies(float weight, double resolution) {
 
 }  // namespace
 
-std::vector<SetElement> EmbedAsSet(const SparseVector& v, double resolution) {
+std::vector<SetElement> EmbedAsSet(VectorRef v, double resolution) {
   VSJ_CHECK(resolution > 0.0);
   std::vector<SetElement> elements;
   elements.reserve(v.size());
-  for (const Feature& f : v.features()) {
+  for (const Feature f : v) {
     const uint32_t copies = NumCopies(f.weight, resolution);
     for (uint32_t c = 0; c < copies; ++c) {
       elements.push_back(SetElement{f.dim, c});
@@ -29,32 +29,29 @@ std::vector<SetElement> EmbedAsSet(const SparseVector& v, double resolution) {
   return elements;
 }
 
-double EmbeddedJaccard(const SparseVector& u, const SparseVector& v,
-                       double resolution) {
+double EmbeddedJaccard(VectorRef u, VectorRef v, double resolution) {
   VSJ_CHECK(resolution > 0.0);
   // Multiset Jaccard of the embeddings: per shared dim, intersection is
   // min(copies), union is max(copies); per unshared dim, union adds copies.
   uint64_t inter = 0;
   uint64_t uni = 0;
   size_t i = 0, j = 0;
-  const auto& a = u.features();
-  const auto& b = v.features();
-  while (i < a.size() && j < b.size()) {
-    if (a[i].dim < b[j].dim) {
-      uni += NumCopies(a[i++].weight, resolution);
-    } else if (a[i].dim > b[j].dim) {
-      uni += NumCopies(b[j++].weight, resolution);
+  while (i < u.size() && j < v.size()) {
+    if (u.dim(i) < v.dim(j)) {
+      uni += NumCopies(u.weight(i++), resolution);
+    } else if (u.dim(i) > v.dim(j)) {
+      uni += NumCopies(v.weight(j++), resolution);
     } else {
-      const uint32_t ca = NumCopies(a[i].weight, resolution);
-      const uint32_t cb = NumCopies(b[j].weight, resolution);
+      const uint32_t ca = NumCopies(u.weight(i), resolution);
+      const uint32_t cb = NumCopies(v.weight(j), resolution);
       inter += std::min(ca, cb);
       uni += std::max(ca, cb);
       ++i;
       ++j;
     }
   }
-  while (i < a.size()) uni += NumCopies(a[i++].weight, resolution);
-  while (j < b.size()) uni += NumCopies(b[j++].weight, resolution);
+  while (i < u.size()) uni += NumCopies(u.weight(i++), resolution);
+  while (j < v.size()) uni += NumCopies(v.weight(j++), resolution);
   if (uni == 0) return 0.0;
   return static_cast<double>(inter) / static_cast<double>(uni);
 }

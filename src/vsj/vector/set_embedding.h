@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "vsj/vector/sparse_vector.h"
+#include "vsj/vector/vector_ref.h"
 
 namespace vsj {
 
@@ -26,14 +26,13 @@ struct SetElement {
 /// A weight w becomes max(1, round(w / resolution)) copies of the dimension
 /// (standard rounding embedding; Arasu et al. [2]). For binary vectors with
 /// resolution 1 this is the identity embedding.
-std::vector<SetElement> EmbedAsSet(const SparseVector& v, double resolution);
+std::vector<SetElement> EmbedAsSet(VectorRef v, double resolution);
 
 /// Jaccard similarity of the embedded multisets of `u` and `v`.
 ///
 /// Equals JaccardSimilarity(u, v) exactly for binary vectors with
 /// resolution 1, and converges to the weighted Jaccard as resolution → 0.
-double EmbeddedJaccard(const SparseVector& u, const SparseVector& v,
-                       double resolution);
+double EmbeddedJaccard(VectorRef u, VectorRef v, double resolution);
 
 }  // namespace vsj
 

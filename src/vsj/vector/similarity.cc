@@ -6,38 +6,35 @@
 
 namespace vsj {
 
-double CosineSimilarity(const SparseVector& u, const SparseVector& v) {
+double CosineSimilarity(VectorRef u, VectorRef v) {
   const double denom = u.norm() * v.norm();
   if (denom == 0.0) return 0.0;
   return SnapUnitSimilarity(std::min(u.Dot(v) / denom, 1.0));
 }
 
-double JaccardSimilarity(const SparseVector& u, const SparseVector& v) {
+double JaccardSimilarity(VectorRef u, VectorRef v) {
   double min_sum = 0.0;
   double max_sum = 0.0;
   size_t i = 0, j = 0;
-  const auto& a = u.features();
-  const auto& b = v.features();
-  while (i < a.size() && j < b.size()) {
-    if (a[i].dim < b[j].dim) {
-      max_sum += a[i++].weight;
-    } else if (a[i].dim > b[j].dim) {
-      max_sum += b[j++].weight;
+  while (i < u.size() && j < v.size()) {
+    if (u.dim(i) < v.dim(j)) {
+      max_sum += u.weight(i++);
+    } else if (u.dim(i) > v.dim(j)) {
+      max_sum += v.weight(j++);
     } else {
-      min_sum += std::min(a[i].weight, b[j].weight);
-      max_sum += std::max(a[i].weight, b[j].weight);
+      min_sum += std::min(u.weight(i), v.weight(j));
+      max_sum += std::max(u.weight(i), v.weight(j));
       ++i;
       ++j;
     }
   }
-  while (i < a.size()) max_sum += a[i++].weight;
-  while (j < b.size()) max_sum += b[j++].weight;
+  while (i < u.size()) max_sum += u.weight(i++);
+  while (j < v.size()) max_sum += v.weight(j++);
   if (max_sum == 0.0) return 0.0;
   return SnapUnitSimilarity(min_sum / max_sum);
 }
 
-double Similarity(SimilarityMeasure measure, const SparseVector& u,
-                  const SparseVector& v) {
+double Similarity(SimilarityMeasure measure, VectorRef u, VectorRef v) {
   switch (measure) {
     case SimilarityMeasure::kCosine:
       return CosineSimilarity(u, v);

@@ -7,7 +7,7 @@
 #ifndef VSJ_VECTOR_SIMILARITY_H_
 #define VSJ_VECTOR_SIMILARITY_H_
 
-#include "vsj/vector/sparse_vector.h"
+#include "vsj/vector/vector_ref.h"
 
 namespace vsj {
 
@@ -29,15 +29,14 @@ inline double SnapUnitSimilarity(double sim) {
 }
 
 /// cos(u, v) = u·v / (‖u‖‖v‖); 0 if either vector is empty.
-double CosineSimilarity(const SparseVector& u, const SparseVector& v);
+double CosineSimilarity(VectorRef u, VectorRef v);
 
 /// Weighted (generalized/multiset) Jaccard: Σ min(u_i, v_i) / Σ max(u_i, v_i).
 /// For binary vectors this is exactly set Jaccard |A∩B| / |A∪B|.
-double JaccardSimilarity(const SparseVector& u, const SparseVector& v);
+double JaccardSimilarity(VectorRef u, VectorRef v);
 
 /// Dispatches on `measure`.
-double Similarity(SimilarityMeasure measure, const SparseVector& u,
-                  const SparseVector& v);
+double Similarity(SimilarityMeasure measure, VectorRef u, VectorRef v);
 
 /// Short lowercase name ("cosine", "jaccard") for reports.
 const char* SimilarityMeasureName(SimilarityMeasure measure);

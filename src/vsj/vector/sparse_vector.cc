@@ -5,79 +5,48 @@
 
 namespace vsj {
 
-SparseVector::SparseVector(std::vector<Feature> features)
-    : features_(std::move(features)) {
-  std::sort(features_.begin(), features_.end(),
+SparseVector::SparseVector(std::vector<Feature> features) {
+  std::sort(features.begin(), features.end(),
             [](const Feature& a, const Feature& b) { return a.dim < b.dim; });
-  // Coalesce duplicates in place, dropping non-positive weights.
-  size_t out = 0;
-  for (size_t i = 0; i < features_.size();) {
-    DimId dim = features_[i].dim;
+  dims_.reserve(features.size());
+  weights_.reserve(features.size());
+  // Coalesce duplicates, dropping non-positive weights.
+  for (size_t i = 0; i < features.size();) {
+    const DimId dim = features[i].dim;
     double weight = 0.0;
-    while (i < features_.size() && features_[i].dim == dim) {
-      weight += features_[i].weight;
+    while (i < features.size() && features[i].dim == dim) {
+      weight += features[i].weight;
       ++i;
     }
     if (weight > 0.0) {
-      features_[out++] = Feature{dim, static_cast<float>(weight)};
+      dims_.push_back(dim);
+      weights_.push_back(static_cast<float>(weight));
     }
   }
-  features_.resize(out);
-  features_.shrink_to_fit();
+  dims_.shrink_to_fit();
+  weights_.shrink_to_fit();
 
   double sq = 0.0;
   double l1 = 0.0;
-  for (const Feature& f : features_) {
-    sq += static_cast<double>(f.weight) * f.weight;
-    l1 += f.weight;
+  for (const float w : weights_) {
+    sq += static_cast<double>(w) * w;
+    l1 += w;
   }
   norm_ = std::sqrt(sq);
   l1_norm_ = l1;
 }
+
+SparseVector::SparseVector(VectorRef ref)
+    : dims_(ref.dims(), ref.dims() + ref.size()),
+      weights_(ref.weights(), ref.weights() + ref.size()),
+      norm_(ref.norm()),
+      l1_norm_(ref.l1_norm()) {}
 
 SparseVector SparseVector::FromDims(std::vector<DimId> dims) {
   std::vector<Feature> features;
   features.reserve(dims.size());
   for (DimId d : dims) features.push_back(Feature{d, 1.0f});
   return SparseVector(std::move(features));
-}
-
-double SparseVector::Dot(const SparseVector& other) const {
-  double sum = 0.0;
-  size_t i = 0, j = 0;
-  const auto& a = features_;
-  const auto& b = other.features_;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].dim < b[j].dim) {
-      ++i;
-    } else if (a[i].dim > b[j].dim) {
-      ++j;
-    } else {
-      sum += static_cast<double>(a[i].weight) * b[j].weight;
-      ++i;
-      ++j;
-    }
-  }
-  return sum;
-}
-
-size_t SparseVector::OverlapSize(const SparseVector& other) const {
-  size_t count = 0;
-  size_t i = 0, j = 0;
-  const auto& a = features_;
-  const auto& b = other.features_;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].dim < b[j].dim) {
-      ++i;
-    } else if (a[i].dim > b[j].dim) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
 }
 
 }  // namespace vsj

@@ -1,9 +1,12 @@
 // Immutable sparse vectors: the objects joined by the VSJ problem.
 //
-// A vector is stored as parallel arrays of strictly increasing dimension ids
-// and their (positive) weights, plus the cached L2 norm. Documents are the
-// motivating instance — a dimension is a vocabulary word and the weight is a
-// 0/1 presence flag (DBLP-like) or a TF-IDF score (NYT/PUBMED-like).
+// A vector is stored struct-of-arrays — parallel arrays of strictly
+// increasing dimension ids and their (positive) weights — plus the cached
+// L2/L1 norms, matching the columnar CsrStorage layout so a SparseVector is
+// read through the same VectorRef view as an arena-resident vector.
+// Documents are the motivating instance — a dimension is a vocabulary word
+// and the weight is a 0/1 presence flag (DBLP-like) or a TF-IDF score
+// (NYT/PUBMED-like).
 
 #ifndef VSJ_VECTOR_SPARSE_VECTOR_H_
 #define VSJ_VECTOR_SPARSE_VECTOR_H_
@@ -13,20 +16,11 @@
 #include <utility>
 #include <vector>
 
+#include "vsj/vector/vector_ref.h"
+
 namespace vsj {
 
-/// Dimension identifier (vocabulary word id).
-using DimId = uint32_t;
-
-/// One (dimension, weight) pair.
-struct Feature {
-  DimId dim;
-  float weight;
-
-  friend bool operator==(const Feature&, const Feature&) = default;
-};
-
-/// Immutable sparse vector with sorted dimensions and cached L2 norm.
+/// Immutable sparse vector with sorted dimensions and cached norms.
 class SparseVector {
  public:
   /// Empty vector (norm 0).
@@ -38,15 +32,23 @@ class SparseVector {
   /// weights; see DESIGN.md).
   explicit SparseVector(std::vector<Feature> features);
 
+  /// Materializes an owned copy of a view (dims, weights and cached norms
+  /// are copied verbatim — nothing is recomputed).
+  explicit SparseVector(VectorRef ref);
+
   /// Convenience: binary vector over the given dimensions (weight 1 each).
   static SparseVector FromDims(std::vector<DimId> dims);
 
   /// Number of non-zero features.
-  size_t size() const { return features_.size(); }
-  bool empty() const { return features_.empty(); }
+  size_t size() const { return dims_.size(); }
+  bool empty() const { return dims_.empty(); }
 
-  const Feature& operator[](size_t i) const { return features_[i]; }
-  const std::vector<Feature>& features() const { return features_; }
+  DimId dim(size_t i) const { return dims_[i]; }
+  float weight(size_t i) const { return weights_[i]; }
+  Feature operator[](size_t i) const { return Feature{dims_[i], weights_[i]}; }
+
+  const std::vector<DimId>& dims() const { return dims_; }
+  const std::vector<float>& weights() const { return weights_; }
 
   /// Cached Euclidean norm.
   double norm() const { return norm_; }
@@ -55,22 +57,31 @@ class SparseVector {
   double l1_norm() const { return l1_norm_; }
 
   /// Largest dimension id + 1, or 0 when empty.
-  DimId dim_bound() const {
-    return features_.empty() ? 0 : features_.back().dim + 1;
+  DimId dim_bound() const { return dims_.empty() ? 0 : dims_.back() + 1; }
+
+  /// Non-owning view of this vector; valid while the vector is alive.
+  VectorRef ref() const {
+    return VectorRef(dims_.data(), weights_.data(),
+                     static_cast<uint32_t>(dims_.size()), norm_, l1_norm_);
   }
+  operator VectorRef() const { return ref(); }  // NOLINT(runtime/explicit)
+
+  VectorRef::Iterator begin() const { return ref().begin(); }
+  VectorRef::Iterator end() const { return ref().end(); }
 
   /// Inner product with `other` (merge join over sorted dims).
-  double Dot(const SparseVector& other) const;
+  double Dot(VectorRef other) const { return ref().Dot(other); }
 
   /// Number of shared dimensions with `other`.
-  size_t OverlapSize(const SparseVector& other) const;
+  size_t OverlapSize(VectorRef other) const { return ref().OverlapSize(other); }
 
   friend bool operator==(const SparseVector& a, const SparseVector& b) {
-    return a.features_ == b.features_;
+    return a.dims_ == b.dims_ && a.weights_ == b.weights_;
   }
 
  private:
-  std::vector<Feature> features_;
+  std::vector<DimId> dims_;
+  std::vector<float> weights_;
   double norm_ = 0.0;
   double l1_norm_ = 0.0;
 };

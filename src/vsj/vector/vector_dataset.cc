@@ -1,29 +1,11 @@
 #include "vsj/vector/vector_dataset.h"
 
-#include <algorithm>
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
-VectorId VectorDataset::Add(SparseVector vector) {
-  vectors_.push_back(std::move(vector));
-  return static_cast<VectorId>(vectors_.size() - 1);
-}
-
 DatasetStats VectorDataset::ComputeStats() const {
-  DatasetStats stats;
-  stats.num_vectors = vectors_.size();
-  if (vectors_.empty()) return stats;
-  stats.min_features = vectors_.front().size();
-  for (const SparseVector& v : vectors_) {
-    stats.total_features += v.size();
-    stats.min_features = std::min(stats.min_features, v.size());
-    stats.max_features = std::max(stats.max_features, v.size());
-    stats.num_dimensions =
-        std::max<size_t>(stats.num_dimensions, v.dim_bound());
-  }
-  stats.avg_features =
-      static_cast<double>(stats.total_features) / stats.num_vectors;
-  return stats;
+  return vsj::ComputeStats(DatasetView(*this));
 }
 
 }  // namespace vsj

@@ -1,4 +1,10 @@
 // The vector collection V of the VSJ problem, plus corpus statistics.
+//
+// A VectorDataset is the append-once, compacted dataset flavor: every added
+// vector's payload is packed into one contiguous CsrStorage arena, so
+// element access returns a VectorRef into flat memory (no per-vector heap
+// object survives the Add). The streaming flavor lives in
+// StreamingCsrStorage; estimators consume either through DatasetView.
 
 #ifndef VSJ_VECTOR_VECTOR_DATASET_H_
 #define VSJ_VECTOR_VECTOR_DATASET_H_
@@ -8,14 +14,16 @@
 #include <string>
 #include <vector>
 
+#include "vsj/vector/csr_storage.h"
 #include "vsj/vector/sparse_vector.h"
 
 namespace vsj {
 
-/// Index of a vector within its dataset.
-using VectorId = uint32_t;
-
 /// Summary statistics of a dataset (compare against the corpora in App. C.1).
+/// Every field is zero for an empty dataset; a dataset of all-empty vectors
+/// has num_vectors set and every feature statistic (total/avg/min/max,
+/// num_dimensions) zero — min_features = 0 always means "some vector has no
+/// features (or there are no vectors)", never "uninitialized".
 struct DatasetStats {
   size_t num_vectors = 0;
   size_t num_dimensions = 0;  // max dim id + 1 over all vectors
@@ -25,26 +33,30 @@ struct DatasetStats {
   size_t max_features = 0;
 };
 
-/// Owning, append-once collection of sparse vectors.
+/// Owning, append-once collection of sparse vectors over a CSR arena.
 class VectorDataset {
  public:
   VectorDataset() = default;
   explicit VectorDataset(std::string name) : name_(std::move(name)) {}
 
-  /// Appends a vector and returns its id.
-  VectorId Add(SparseVector vector);
+  /// Appends a vector's payload to the arena and returns its id. Takes
+  /// any VectorRef (a SparseVector converts implicitly), so re-adding a
+  /// vector of another dataset needs no owned copy.
+  VectorId Add(VectorRef vector) { return storage_.Append(vector); }
 
-  size_t size() const { return vectors_.size(); }
-  bool empty() const { return vectors_.empty(); }
+  size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
 
-  const SparseVector& operator[](VectorId id) const { return vectors_[id]; }
-  const std::vector<SparseVector>& vectors() const { return vectors_; }
+  VectorRef operator[](VectorId id) const { return storage_[id]; }
+
+  /// The backing columnar arena.
+  const CsrStorage& storage() const { return storage_; }
 
   const std::string& name() const { return name_; }
 
   /// Total number of unordered pairs M = C(n, 2).
   uint64_t NumPairs() const {
-    const uint64_t n = vectors_.size();
+    const uint64_t n = storage_.size();
     return n * (n - 1) / 2;
   }
 
@@ -53,7 +65,7 @@ class VectorDataset {
 
  private:
   std::string name_;
-  std::vector<SparseVector> vectors_;
+  CsrStorage storage_;
 };
 
 }  // namespace vsj

@@ -59,7 +59,7 @@ class EstimatorErrorBoundsTest : public ::testing::Test {
   static double MeanRelativeError(const std::string& estimator_name,
                                   double tau) {
     EstimatorContext context;
-    context.dataset = &setup_->dataset;
+    context.dataset = setup_->dataset;
     context.index = setup_->index.get();
     context.measure = SimilarityMeasure::kCosine;
     const auto estimator = CreateEstimator(estimator_name, context);

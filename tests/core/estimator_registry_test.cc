@@ -11,7 +11,7 @@ class EstimatorRegistryTest : public ::testing::Test {
  protected:
   void SetUp() override {
     setup_ = testing::MakeCosineSetup(300, 8, 2);
-    context_.dataset = &setup_.dataset;
+    context_.dataset = setup_.dataset;
     context_.index = setup_.index.get();
     context_.measure = SimilarityMeasure::kCosine;
   }
@@ -61,7 +61,7 @@ TEST_F(EstimatorRegistryTest, UnknownNameAborts) {
 
 TEST_F(EstimatorRegistryTest, MissingIndexAborts) {
   EstimatorContext no_index;
-  no_index.dataset = &setup_.dataset;
+  no_index.dataset = setup_.dataset;
   EXPECT_DEATH(CreateEstimator("LSH-SS", no_index), "requires an LSH index");
 }
 
@@ -73,7 +73,7 @@ TEST_F(EstimatorRegistryTest, MissingDatasetAborts) {
 TEST_F(EstimatorRegistryTest, EveryIndexFreeEstimatorWorksWithoutIndex) {
   // The pure sampling estimators must construct from a dataset alone.
   EstimatorContext no_index;
-  no_index.dataset = &setup_.dataset;
+  no_index.dataset = setup_.dataset;
   no_index.measure = SimilarityMeasure::kCosine;
   for (const char* name : {"RS(pop)", "RS(cross)", "Adaptive", "Bifocal"}) {
     auto estimator = CreateEstimator(name, no_index);
@@ -85,7 +85,7 @@ TEST_F(EstimatorRegistryTest, EveryIndexFreeEstimatorWorksWithoutIndex) {
 
 TEST_F(EstimatorRegistryTest, EveryLshEstimatorAbortsWithoutIndex) {
   EstimatorContext no_index;
-  no_index.dataset = &setup_.dataset;
+  no_index.dataset = setup_.dataset;
   for (const char* name : {"LSH-SS", "LSH-SS(D)", "LSH-S", "J_U", "LC",
                            "LSH-SS(median)", "LSH-SS(vbucket)"}) {
     EXPECT_DEATH(CreateEstimator(name, no_index), "requires an LSH index")
@@ -103,7 +103,7 @@ TEST_F(EstimatorRegistryTest, EveryNameRoundTripsItsDisplayName) {
 TEST_F(EstimatorRegistryTest, CreatesUnderJaccardMeasureToo) {
   auto jaccard = testing::MakeJaccardSetup(300, 6, 2);
   EstimatorContext context;
-  context.dataset = &jaccard.dataset;
+  context.dataset = jaccard.dataset;
   context.index = jaccard.index.get();
   context.measure = SimilarityMeasure::kJaccard;
   for (const std::string& name : AllEstimatorNames()) {

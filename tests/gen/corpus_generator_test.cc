@@ -1,5 +1,7 @@
 #include "vsj/gen/corpus_generator.h"
 
+#include "vsj/vector/dataset_view.h"
+
 #include <gtest/gtest.h>
 
 #include "vsj/gen/workloads.h"
@@ -46,7 +48,7 @@ TEST(CorpusGeneratorTest, NoEmptyDocuments) {
   config.vocab_size = 1500;
   config.max_mutation = 0.6;
   VectorDataset dataset = GenerateCorpus(config);
-  for (const SparseVector& v : dataset.vectors()) EXPECT_FALSE(v.empty());
+  for (VectorRef v : DatasetView(dataset)) EXPECT_FALSE(v.empty());
 }
 
 TEST(CorpusGeneratorTest, RespectsLengthBounds) {
@@ -68,8 +70,8 @@ TEST(CorpusGeneratorTest, BinaryWeightsAreOne) {
   config.vocab_size = 500;
   config.weights = WeightScheme::kBinary;
   VectorDataset dataset = GenerateCorpus(config);
-  for (const SparseVector& v : dataset.vectors()) {
-    for (const Feature& f : v.features()) EXPECT_FLOAT_EQ(f.weight, 1.0f);
+  for (VectorRef v : DatasetView(dataset)) {
+    for (const Feature f : v) EXPECT_FLOAT_EQ(f.weight, 1.0f);
   }
 }
 
@@ -81,8 +83,8 @@ TEST(CorpusGeneratorTest, TfIdfWeightsVary) {
   VectorDataset dataset = GenerateCorpus(config);
   bool varied = false;
   float first = dataset[0][0].weight;
-  for (const SparseVector& v : dataset.vectors()) {
-    for (const Feature& f : v.features()) varied |= f.weight != first;
+  for (VectorRef v : DatasetView(dataset)) {
+    for (const Feature f : v) varied |= f.weight != first;
   }
   EXPECT_TRUE(varied);
 }

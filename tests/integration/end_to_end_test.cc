@@ -19,7 +19,7 @@ TEST(EndToEndTest, FullPipelineCosine) {
                     StandardThresholds());
 
   EstimatorContext context;
-  context.dataset = &setup.dataset;
+  context.dataset = setup.dataset;
   context.index = setup.index.get();
   context.measure = SimilarityMeasure::kCosine;
 
@@ -46,7 +46,7 @@ TEST(EndToEndTest, LshSsBeatsRandomSamplingAtHighThreshold) {
   if (true_j < 3.0) GTEST_SKIP() << "degenerate seed";
 
   EstimatorContext context;
-  context.dataset = &setup.dataset;
+  context.dataset = setup.dataset;
   context.index = setup.index.get();
   auto lsh_ss = CreateEstimator("LSH-SS", context);
   auto rs = CreateEstimator("RS(pop)", context);
@@ -62,7 +62,7 @@ TEST(EndToEndTest, JaccardPipelineWithExactDef3Family) {
   GroundTruth truth(setup.dataset, SimilarityMeasure::kJaccard, {0.3, 0.7});
 
   EstimatorContext context;
-  context.dataset = &setup.dataset;
+  context.dataset = setup.dataset;
   context.index = setup.index.get();
   context.measure = SimilarityMeasure::kJaccard;
   // Budget large enough for the reliable SampleL regime at this small n.
@@ -84,7 +84,7 @@ TEST(EndToEndTest, EstimatePredictsAllPairsJoinCost) {
   // result size of the exact All-Pairs join within an order of magnitude.
   auto setup = testing::MakeCosineSetup(1200, 10, 1, 57);
   EstimatorContext context;
-  context.dataset = &setup.dataset;
+  context.dataset = setup.dataset;
   context.index = setup.index.get();
   auto estimator = CreateEstimator("LSH-SS", context);
 

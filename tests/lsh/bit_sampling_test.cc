@@ -1,5 +1,7 @@
 #include "vsj/lsh/bit_sampling.h"
 
+#include "vsj/vector/sparse_vector.h"
+
 #include <vector>
 
 #include <gtest/gtest.h>

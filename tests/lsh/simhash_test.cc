@@ -1,5 +1,7 @@
 #include "vsj/lsh/simhash.h"
 
+#include "vsj/vector/sparse_vector.h"
+
 #include <cmath>
 #include <vector>
 

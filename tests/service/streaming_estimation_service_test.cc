@@ -164,7 +164,7 @@ TEST(StreamingEstimationServiceTest, PostMutationEstimateIsNeverStale) {
   service.Insert(210);
   EXPECT_FALSE(service.Estimate(request).from_cache);
 
-  const VectorId added = service.AddVector(service.dataset()[0]);
+  const VectorId added = service.AddVector(SparseVector(service.dataset()[0]));
   EXPECT_FALSE(service.Estimate(request).from_cache);
   service.Insert(added);
   EXPECT_FALSE(service.Estimate(request).from_cache);
@@ -183,7 +183,7 @@ TEST(StreamingEstimationServiceTest, EpochAndFingerprintTrackMutations) {
   service.Remove(0);
   EXPECT_EQ(service.epoch(), 2u);
 
-  service.AddVector(service.dataset()[1]);
+  service.AddVector(SparseVector(service.dataset()[1]));
   EXPECT_EQ(service.epoch(), 3u);
 
   // The cache observes every invalidation through its epoch stat.
@@ -192,7 +192,7 @@ TEST(StreamingEstimationServiceTest, EpochAndFingerprintTrackMutations) {
 
 TEST(StreamingEstimationServiceTest, AddVectorExtendsTheUniverse) {
   VectorDataset dataset = testing::SmallClusteredCorpus(50, 41);
-  const SparseVector copy = dataset[0];
+  const SparseVector copy{dataset[0]};
   StreamingEstimationService service(std::move(dataset), StreamOptions());
   const size_t before = service.dataset().size();
   const VectorId id = service.AddVector(copy);
@@ -209,6 +209,37 @@ TEST(StreamingEstimationServiceTest, FewerThanTwoLiveVectorsEstimateZero) {
   EXPECT_EQ(service.Estimate(request).mean_estimate, 0.0);
   service.Insert(0);
   EXPECT_EQ(service.Estimate(request).mean_estimate, 0.0);
+}
+
+TEST(StreamingEstimationServiceTest, EraseTombstonesAndCompactionKeepsIds) {
+  StreamingEstimationServiceOptions options = StreamOptions();
+  options.storage.compact_dead_fraction = 0.25;
+  options.storage.min_dead_for_compaction = 8;
+  options.storage.chunk_features = 256;
+  StreamingEstimationService service(testing::SmallClusteredCorpus(100, 47),
+                                     options);
+  for (VectorId id = 0; id < 60; ++id) service.Insert(id);
+  const SparseVector survivor{service.dataset()[59]};
+
+  // Erase enough ids to cross the dead fraction and trigger compaction.
+  const uint64_t epoch_before = service.epoch();
+  for (VectorId id = 0; id < 30; ++id) service.Erase(id);
+  EXPECT_GE(service.store().compactions(), 1u);
+  EXPECT_EQ(service.num_live(), 30u);
+  EXPECT_GT(service.epoch(), epoch_before);
+
+  // Ids are stable across compaction: the estimator still reads the same
+  // payloads, and erased ids are gone for good.
+  EXPECT_TRUE(service.dataset()[59] == survivor.ref());
+  EXPECT_FALSE(service.store().Contains(5));
+  EXPECT_TRUE(service.Contains(59));
+
+  // The live set keeps answering after churn + compaction.
+  const EstimateResponse response =
+      service.Estimate(LshSsRequest(0.4, /*trials=*/4));
+  const uint64_t live_pairs = uint64_t{30} * 29 / 2;
+  EXPECT_GE(response.mean_estimate, 0.0);
+  EXPECT_LE(response.mean_estimate, static_cast<double>(live_pairs));
 }
 
 TEST(StreamingEstimationServiceTest, MultiTableTrialsStayInFeasibleRange) {

@@ -1,5 +1,7 @@
 #include "vsj/text/vectorizer.h"
 
+#include "vsj/vector/dataset_view.h"
+
 #include <gtest/gtest.h>
 
 #include "vsj/vector/similarity.h"
@@ -46,8 +48,8 @@ TEST(TextVectorizerTest, BinaryVectorsFromDocuments) {
   EXPECT_EQ(dataset.name(), "toy");
   // Vocabulary: estimation, hashing, join, search, similarity, size, with.
   EXPECT_EQ(vectorizer.vocabulary_size(), 7u);
-  for (const SparseVector& v : dataset.vectors()) {
-    for (const Feature& f : v.features()) EXPECT_FLOAT_EQ(f.weight, 1.0f);
+  for (VectorRef v : DatasetView(dataset)) {
+    for (const Feature f : v) EXPECT_FLOAT_EQ(f.weight, 1.0f);
   }
   // Shared token "similarity" → nonzero cosine.
   EXPECT_GT(CosineSimilarity(dataset[0], dataset[1]), 0.0);
@@ -74,7 +76,7 @@ TEST(TextVectorizerTest, TfIdfDownweightsCommonTokens) {
   ASSERT_GE(common_dim, 0);
   ASSERT_GE(rare_dim, 0);
   float common_weight = 0.0f, rare_weight = 0.0f;
-  for (const Feature& f : dataset[0].features()) {
+  for (const Feature f : dataset[0]) {
     if (f.dim == static_cast<DimId>(common_dim)) common_weight = f.weight;
     if (f.dim == static_cast<DimId>(rare_dim)) rare_weight = f.weight;
   }
@@ -89,7 +91,7 @@ TEST(TextVectorizerTest, TermFrequencyCounts) {
   const int64_t word_dim = vectorizer.DimOf("word");
   const int64_t other_dim = vectorizer.DimOf("other");
   float word_weight = 0.0f, other_weight = 0.0f;
-  for (const Feature& f : dataset[0].features()) {
+  for (const Feature f : dataset[0]) {
     if (f.dim == static_cast<DimId>(word_dim)) word_weight = f.weight;
     if (f.dim == static_cast<DimId>(other_dim)) other_weight = f.weight;
   }

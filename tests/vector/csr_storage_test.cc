@@ -1,0 +1,191 @@
+#include "vsj/vector/csr_storage.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vsj/vector/dataset_view.h"
+#include "vsj/vector/sparse_vector.h"
+
+namespace vsj {
+namespace {
+
+SparseVector V(std::vector<DimId> dims) {
+  return SparseVector::FromDims(std::move(dims));
+}
+
+TEST(CsrStorageTest, AppendPacksContiguously) {
+  CsrStorage storage;
+  const SparseVector a = V({1, 5});
+  const SparseVector b = V({2});
+  EXPECT_EQ(storage.Append(a), 0u);
+  EXPECT_EQ(storage.Append(b), 1u);
+  EXPECT_EQ(storage.size(), 2u);
+  EXPECT_EQ(storage.total_features(), 3u);
+  EXPECT_TRUE(storage[0] == a.ref());
+  EXPECT_TRUE(storage[1] == b.ref());
+  // Struct-of-arrays: consecutive vectors are adjacent in one buffer.
+  EXPECT_EQ(storage[0].dims() + storage[0].size(), storage[1].dims());
+}
+
+TEST(CsrStorageTest, PreservesNorms) {
+  CsrStorage storage;
+  const SparseVector v({{0, 3.0f}, {1, 4.0f}});
+  storage.Append(v);
+  EXPECT_EQ(storage[0].norm(), v.norm());
+  EXPECT_EQ(storage[0].l1_norm(), v.l1_norm());
+}
+
+TEST(CsrStorageTest, EmptyVectorsAreRepresentable) {
+  CsrStorage storage;
+  storage.Append(SparseVector().ref());
+  storage.Append(V({7}));
+  EXPECT_EQ(storage[0].size(), 0u);
+  EXPECT_EQ(storage[1].size(), 1u);
+}
+
+StreamingStorageOptions TinyChunks() {
+  StreamingStorageOptions options;
+  options.chunk_features = 4;  // force multi-chunk quickly
+  options.compact_dead_fraction = 0.5;
+  options.min_dead_for_compaction = 3;
+  return options;
+}
+
+TEST(StreamingCsrStorageTest, AppendAssignsStableSequentialIds) {
+  StreamingCsrStorage store(TinyChunks());
+  EXPECT_EQ(store.Append(V({1, 2})), 0u);
+  EXPECT_EQ(store.Append(V({3, 4})), 1u);
+  EXPECT_EQ(store.Append(V({5, 6})), 2u);  // spills into chunk 2
+  EXPECT_GE(store.num_chunks(), 2u);
+  EXPECT_TRUE(store.Contains(2));
+  EXPECT_TRUE(store.Ref(2) == V({5, 6}).ref());
+}
+
+TEST(StreamingCsrStorageTest, RemoveTombstonesAndLiveIdsSkipThem) {
+  StreamingCsrStorage store;
+  for (DimId d = 0; d < 5; ++d) store.Append(V({d}));
+  store.Remove(1);
+  store.Remove(3);
+  EXPECT_EQ(store.num_live(), 3u);
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_TRUE(store.Contains(2));
+  EXPECT_EQ(store.live_ids(), (std::vector<VectorId>{0, 2, 4}));
+}
+
+TEST(StreamingCsrStorageTest, CompactionPreservesIdsAndPayloads) {
+  StreamingCsrStorage store(TinyChunks());
+  std::vector<SparseVector> originals;
+  for (DimId d = 0; d < 12; ++d) {
+    originals.push_back(V({d, d + 100}));
+    store.Append(originals.back());
+  }
+  EXPECT_GT(store.num_chunks(), 1u);
+  for (VectorId id = 0; id < 12; id += 2) store.Remove(id);
+
+  store.Compact();
+  EXPECT_EQ(store.num_chunks(), 1u);
+  EXPECT_EQ(store.num_live(), 6u);
+  for (VectorId id = 1; id < 12; id += 2) {
+    ASSERT_TRUE(store.Contains(id));
+    EXPECT_TRUE(store.Ref(id) == originals[id].ref()) << id;
+  }
+  for (VectorId id = 0; id < 12; id += 2) EXPECT_FALSE(store.Contains(id));
+}
+
+TEST(StreamingCsrStorageTest, ChurnTriggersAutomaticCompaction) {
+  StreamingStorageOptions options;
+  options.chunk_features = 8;
+  options.compact_dead_fraction = 0.25;
+  options.min_dead_for_compaction = 4;
+  StreamingCsrStorage store(options);
+  for (DimId d = 0; d < 16; ++d) store.Append(V({d}));
+  EXPECT_EQ(store.compactions(), 0u);
+  // 4 removals reach both the min-dead floor and the 25% dead fraction.
+  for (VectorId id = 0; id < 4; ++id) store.Remove(id);
+  EXPECT_EQ(store.compactions(), 1u);
+  EXPECT_EQ(store.num_chunks(), 1u);
+  // The trigger resets: the next removal alone must not re-compact.
+  store.Remove(4);
+  EXPECT_EQ(store.compactions(), 1u);
+}
+
+TEST(StreamingCsrStorageTest, AppendAfterCompactionKeepsIdSpace) {
+  StreamingCsrStorage store(TinyChunks());
+  for (DimId d = 0; d < 6; ++d) store.Append(V({d}));
+  for (VectorId id = 0; id < 4; ++id) store.Remove(id);
+  store.Compact();
+  const VectorId next = store.Append(V({99}));
+  EXPECT_EQ(next, 6u);  // ids of tombstoned vectors are never reused
+  EXPECT_TRUE(store.Ref(next) == V({99}).ref());
+}
+
+TEST(StreamingCsrStorageTest, DisabledAutoCompactionLeavesChunksAlone) {
+  StreamingStorageOptions options;
+  options.compact_dead_fraction = 0.0;
+  options.min_dead_for_compaction = 1;
+  StreamingCsrStorage store(options);
+  for (DimId d = 0; d < 8; ++d) store.Append(V({d}));
+  for (VectorId id = 0; id < 8; ++id) {
+    if (id != 3) store.Remove(id);
+  }
+  EXPECT_EQ(store.compactions(), 0u);
+  EXPECT_EQ(store.num_live(), 1u);
+}
+
+TEST(DatasetViewTest, LiveViewIsDenseOverSurvivors) {
+  StreamingCsrStorage store;
+  store.Append(V({0}));
+  store.Append(V({1}));
+  store.Append(V({2}));
+  store.Remove(1);
+  const DatasetView view(store);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view[0] == V({0}).ref());
+  EXPECT_TRUE(view[1] == V({2}).ref());
+  EXPECT_EQ(view.NumPairs(), 1u);
+}
+
+TEST(DatasetViewTest, IdAddressedViewResolvesRawIds) {
+  StreamingCsrStorage store;
+  store.Append(V({0}));
+  store.Append(V({1}));
+  store.Append(V({2}));
+  store.Remove(1);
+  const DatasetView view = DatasetView::IdAddressed(store);
+  EXPECT_EQ(view.size(), 3u);  // the id space, tombstones included
+  EXPECT_TRUE(view[2] == V({2}).ref());
+}
+
+TEST(DatasetViewTest, ViewsOverDatasetAndItsStorageAgree) {
+  VectorDataset dataset("d");
+  dataset.Add(V({1, 2}));
+  dataset.Add(V({3}));
+  const DatasetView a(dataset);
+  const DatasetView b(dataset.storage());
+  ASSERT_EQ(a.size(), b.size());
+  for (VectorId id = 0; id < a.size(); ++id) EXPECT_TRUE(a[id] == b[id]);
+  EXPECT_EQ(a.name(), "d");
+  EXPECT_EQ(b.name(), "");  // a bare arena carries no name
+}
+
+TEST(DatasetViewTest, ComputeStatsEquivalentAcrossBackings) {
+  VectorDataset dataset;
+  dataset.Add(V({0, 1, 2}));
+  dataset.Add(V({5}));
+  StreamingCsrStorage store;
+  store.Append(V({9}));  // junk, removed below
+  for (VectorRef v : DatasetView(dataset)) store.Append(v);
+  store.Remove(0);
+
+  const DatasetStats a = ComputeStats(DatasetView(dataset));
+  const DatasetStats b = ComputeStats(DatasetView(store));
+  EXPECT_EQ(a.num_vectors, b.num_vectors);
+  EXPECT_EQ(a.total_features, b.total_features);
+  EXPECT_EQ(a.num_dimensions, b.num_dimensions);
+  EXPECT_EQ(a.min_features, b.min_features);
+  EXPECT_EQ(a.max_features, b.max_features);
+}
+
+}  // namespace
+}  // namespace vsj

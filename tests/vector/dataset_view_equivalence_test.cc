@@ -1,0 +1,161 @@
+// The DatasetView equivalence suite: every registered estimator must
+// produce bit-identical estimates no matter which storage backs the view —
+// the owning VectorDataset, a bare CSR arena holding the same payloads, or
+// a streaming store that went through appends, tombstone removals and a
+// compaction before presenting the same live set. This is the contract
+// that lets one estimator implementation serve both the static and the
+// streaming engine.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/core/estimator_registry.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/lsh/simhash.h"
+#include "vsj/util/rng.h"
+#include "vsj/util/thread_pool.h"
+#include "vsj/vector/csr_storage.h"
+#include "vsj/vector/dataset_view.h"
+
+namespace vsj {
+namespace {
+
+constexpr uint64_t kSeed = 0xfeed5eedULL;
+constexpr uint32_t kK = 8;
+
+/// One storage backend presenting the corpus, with its own index (built
+/// over the backend's view, not shared — an identical build is part of the
+/// equivalence being tested).
+struct Backend {
+  std::string label;
+  DatasetView view;
+  std::unique_ptr<LshIndex> index;
+};
+
+class DatasetViewEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = testing::SmallClusteredCorpus(300, 7);
+    family_ = std::make_unique<SimHashFamily>(kSeed);
+
+    // Backend B: the same payloads appended into a bare CSR arena.
+    for (VectorRef v : DatasetView(dataset_)) csr_.Append(v);
+
+    // Backend C: a streaming store churned with interleaved junk vectors,
+    // tombstoned again, then compacted — the survivors are exactly the
+    // corpus, in order.
+    StreamingStorageOptions storage_options;
+    storage_options.chunk_features = 1024;       // force many chunks
+    storage_options.compact_dead_fraction = 0.0;  // compact manually below
+    streaming_ = std::make_unique<StreamingCsrStorage>(storage_options);
+    std::vector<VectorId> junk;
+    for (VectorId id = 0; id < dataset_.size(); ++id) {
+      if (id % 3 == 0) {
+        junk.push_back(
+            streaming_->Append(SparseVector::FromDims({id, id + 1}).ref()));
+      }
+      streaming_->Append(dataset_[id]);
+    }
+    for (VectorId id : junk) streaming_->Remove(id);
+    streaming_->Compact();
+    ASSERT_EQ(streaming_->num_live(), dataset_.size());
+
+    for (auto& [label, view] :
+         std::vector<std::pair<std::string, DatasetView>>{
+             {"VectorDataset", DatasetView(dataset_)},
+             {"CsrStorage", DatasetView(csr_)},
+             {"Streaming(churned+compacted)", DatasetView(*streaming_)}}) {
+      Backend backend;
+      backend.label = label;
+      backend.view = view;
+      backend.index = std::make_unique<LshIndex>(*family_, view, kK, 2);
+      backends_.push_back(std::move(backend));
+    }
+  }
+
+  EstimatorContext ContextFor(const Backend& backend) const {
+    EstimatorContext context;
+    context.dataset = backend.view;
+    context.index = backend.index.get();
+    context.measure = SimilarityMeasure::kCosine;
+    return context;
+  }
+
+  VectorDataset dataset_;
+  CsrStorage csr_;
+  std::unique_ptr<StreamingCsrStorage> streaming_;
+  std::unique_ptr<SimHashFamily> family_;
+  std::vector<Backend> backends_;
+};
+
+TEST_F(DatasetViewEquivalenceTest, ViewsPresentIdenticalVectors) {
+  for (const Backend& backend : backends_) {
+    ASSERT_EQ(backend.view.size(), dataset_.size()) << backend.label;
+    for (VectorId id = 0; id < dataset_.size(); ++id) {
+      ASSERT_TRUE(backend.view[id] == dataset_[id])
+          << backend.label << " vector " << id;
+    }
+  }
+}
+
+TEST_F(DatasetViewEquivalenceTest, AllEstimatorsAreBitIdenticalAcrossViews) {
+  for (const std::string& name : AllEstimatorNames()) {
+    std::vector<std::unique_ptr<JoinSizeEstimator>> estimators;
+    for (const Backend& backend : backends_) {
+      estimators.push_back(CreateEstimator(name, ContextFor(backend)));
+    }
+    for (const double tau : {0.3, 0.6, 0.9}) {
+      // Same-seeded RNG per backend: identical storage contents must give
+      // identical draws and identical arithmetic.
+      std::vector<EstimationResult> results;
+      for (auto& estimator : estimators) {
+        Rng rng(kSeed ^ static_cast<uint64_t>(tau * 1024));
+        results.push_back(estimator->Estimate(tau, rng));
+      }
+      for (size_t b = 1; b < results.size(); ++b) {
+        EXPECT_EQ(results[b].estimate, results[0].estimate)
+            << name << " tau=" << tau << " backend=" << backends_[b].label;
+        EXPECT_EQ(results[b].pairs_evaluated, results[0].pairs_evaluated)
+            << name << " tau=" << tau << " backend=" << backends_[b].label;
+      }
+    }
+  }
+}
+
+// The headline estimators, run as value-derived trial batches at 1 and 4
+// threads over every backend: all 2 × 3 result vectors must agree
+// bit-for-bit (thread count and storage are both irrelevant to results).
+TEST_F(DatasetViewEquivalenceTest, TrialBatchesAgreeAtOneAndFourThreads) {
+  constexpr size_t kTrials = 16;
+  const double tau = 0.6;
+  for (const std::string& name : HeadlineEstimatorNames()) {
+    std::vector<double> reference;
+    for (const Backend& backend : backends_) {
+      const auto estimator = CreateEstimator(name, ContextFor(backend));
+      for (const size_t threads : {size_t{1}, size_t{4}}) {
+        ThreadPool pool(threads);
+        std::vector<double> estimates(kTrials);
+        const Rng base(kSeed + 17);
+        pool.ParallelFor(kTrials, [&](size_t t) {
+          Rng rng = base.Fork(t);
+          estimates[t] = estimator->Estimate(tau, rng).estimate;
+        });
+        if (reference.empty()) {
+          reference = estimates;
+        } else {
+          EXPECT_EQ(estimates, reference)
+              << name << " backend=" << backend.label
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsj

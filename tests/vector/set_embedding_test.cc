@@ -1,5 +1,7 @@
 #include "vsj/vector/set_embedding.h"
 
+#include "vsj/vector/sparse_vector.h"
+
 #include <gtest/gtest.h>
 
 #include "vsj/util/rng.h"

@@ -1,5 +1,7 @@
 #include "vsj/vector/similarity.h"
 
+#include "vsj/vector/sparse_vector.h"
+
 #include <cmath>
 
 #include <gtest/gtest.h>

@@ -48,5 +48,40 @@ TEST(VectorDatasetTest, AccessByIndex) {
   EXPECT_EQ(dataset[0][0].dim, 7u);
 }
 
+TEST(VectorDatasetTest, EmptyDatasetStatsAreAllZero) {
+  const DatasetStats stats = VectorDataset().ComputeStats();
+  EXPECT_EQ(stats.num_vectors, 0u);
+  EXPECT_EQ(stats.num_dimensions, 0u);
+  EXPECT_EQ(stats.total_features, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_features, 0.0);
+  EXPECT_EQ(stats.min_features, 0u);
+  EXPECT_EQ(stats.max_features, 0u);
+}
+
+TEST(VectorDatasetTest, AllEmptyVectorStatsAreZeroedNotUndefined) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector());
+  dataset.Add(SparseVector());
+  const DatasetStats stats = dataset.ComputeStats();
+  EXPECT_EQ(stats.num_vectors, 2u);
+  EXPECT_EQ(stats.num_dimensions, 0u);
+  EXPECT_EQ(stats.total_features, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_features, 0.0);
+  // min_features = 0 is the defined answer here (a vector has no
+  // features), indistinguishable by design from the empty-dataset zero.
+  EXPECT_EQ(stats.min_features, 0u);
+  EXPECT_EQ(stats.max_features, 0u);
+}
+
+TEST(VectorDatasetTest, MixedEmptyAndNonEmptyVectorsKeepMinAtZero) {
+  VectorDataset dataset;
+  dataset.Add(SparseVector::FromDims({1, 2}));
+  dataset.Add(SparseVector());
+  const DatasetStats stats = dataset.ComputeStats();
+  EXPECT_EQ(stats.min_features, 0u);
+  EXPECT_EQ(stats.max_features, 2u);
+  EXPECT_EQ(stats.total_features, 2u);
+}
+
 }  // namespace
 }  // namespace vsj

@@ -1,0 +1,142 @@
+#include "vsj/vector/vector_ref.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vsj/vector/sparse_vector.h"
+
+namespace vsj {
+namespace {
+
+// Reference implementation: the plain linear merge the library used before
+// the galloping kernel. The kernel must match it exactly (same doubles,
+// not just approximately) at every skew ratio.
+double LinearDot(VectorRef a, VectorRef b) {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.dim(i) < b.dim(j)) {
+      ++i;
+    } else if (a.dim(i) > b.dim(j)) {
+      ++j;
+    } else {
+      sum += static_cast<double>(a.weight(i)) * b.weight(j);
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+size_t LinearOverlap(VectorRef a, VectorRef b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.dim(i) < b.dim(j)) {
+      ++i;
+    } else if (a.dim(i) > b.dim(j)) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+// A vector of `size` features at dims {offset, offset + stride, ...} with
+// deterministic non-uniform weights (catches dim/weight misalignment).
+SparseVector MakeVector(size_t size, DimId offset, DimId stride) {
+  std::vector<Feature> features;
+  features.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    features.push_back(Feature{static_cast<DimId>(offset + i * stride),
+                               0.25f + 0.5f * static_cast<float>(i % 7)});
+  }
+  return SparseVector(std::move(features));
+}
+
+class VectorRefSkewTest : public ::testing::TestWithParam<size_t> {};
+
+// The acceptance bar of the galloping merge: exact-equality results at
+// skew ratios 1, 8 (the switch point) and 64.
+TEST_P(VectorRefSkewTest, DotMatchesLinearMergeExactly) {
+  const size_t ratio = GetParam();
+  const size_t small_size = 48;
+  // Overlapping dims: the small vector hits every ratio-th dim of the big
+  // one; also shift by 1 to exercise the no-overlap path.
+  const SparseVector small = MakeVector(small_size, 0, 4 * ratio);
+  const SparseVector large = MakeVector(small_size * ratio, 0, 4);
+  const SparseVector shifted = MakeVector(small_size * ratio, 1, 4);
+
+  EXPECT_EQ(small.ref().Dot(large), LinearDot(small, large));
+  EXPECT_EQ(large.ref().Dot(small), LinearDot(small, large));
+  EXPECT_EQ(small.ref().Dot(shifted), LinearDot(small, shifted));
+
+  EXPECT_EQ(small.ref().OverlapSize(large), LinearOverlap(small, large));
+  EXPECT_EQ(large.ref().OverlapSize(small), LinearOverlap(small, large));
+  EXPECT_EQ(small.ref().OverlapSize(shifted), LinearOverlap(small, shifted));
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewRatios, VectorRefSkewTest,
+                         ::testing::Values(1, 8, 64));
+
+TEST(VectorRefTest, DotHandlesEmptySides) {
+  const SparseVector empty;
+  const SparseVector v = MakeVector(20, 0, 3);
+  EXPECT_EQ(empty.ref().Dot(v), 0.0);
+  EXPECT_EQ(v.ref().Dot(empty), 0.0);
+  EXPECT_EQ(empty.ref().Dot(empty), 0.0);
+}
+
+TEST(VectorRefTest, GallopPastEndTerminates) {
+  // Small vector's dims all beyond the large vector's range: the gallop
+  // runs off the end on the first probe.
+  const SparseVector small = MakeVector(4, 100000, 1);
+  const SparseVector large = MakeVector(64, 0, 2);
+  EXPECT_EQ(small.ref().Dot(large), 0.0);
+  EXPECT_EQ(small.ref().OverlapSize(large), 0u);
+}
+
+TEST(VectorRefTest, ViewMatchesOwner) {
+  const SparseVector v({{3, 1.5f}, {9, 2.0f}, {20, 0.5f}});
+  const VectorRef r = v.ref();
+  ASSERT_EQ(r.size(), v.size());
+  EXPECT_EQ(r.norm(), v.norm());
+  EXPECT_EQ(r.l1_norm(), v.l1_norm());
+  EXPECT_EQ(r.dim_bound(), v.dim_bound());
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(r.dim(i), v[i].dim);
+    EXPECT_EQ(r.weight(i), v[i].weight);
+  }
+}
+
+TEST(VectorRefTest, IterationYieldsFeaturesInOrder) {
+  const SparseVector v({{1, 1.0f}, {4, 2.0f}, {6, 3.0f}});
+  std::vector<Feature> seen;
+  for (const Feature f : v.ref()) seen.push_back(f);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[1], (Feature{4, 2.0f}));
+}
+
+TEST(VectorRefTest, EqualityComparesPayload) {
+  const SparseVector a({{1, 1.0f}, {2, 2.0f}});
+  const SparseVector b({{1, 1.0f}, {2, 2.0f}});
+  const SparseVector c({{1, 1.0f}, {2, 2.5f}});
+  EXPECT_TRUE(a.ref() == b.ref());
+  EXPECT_FALSE(a.ref() == c.ref());
+}
+
+TEST(VectorRefTest, RoundTripThroughSparseVectorPreservesNorms) {
+  const SparseVector v({{2, 0.3f}, {11, 1.7f}});
+  const SparseVector copy(v.ref());
+  EXPECT_EQ(copy, v);
+  EXPECT_EQ(copy.norm(), v.norm());
+  EXPECT_EQ(copy.l1_norm(), v.l1_norm());
+}
+
+}  // namespace
+}  // namespace vsj

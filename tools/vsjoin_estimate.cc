@@ -21,6 +21,9 @@
 // line by line. Format (ids refer to dataset positions; '#' comments):
 //   insert <id> [<id-end>]       make ids [id, id-end] live
 //   remove <id> [<id-end>]       expire ids [id, id-end]
+//   erase <id> [<id-end>]        expire AND tombstone ids (payload is
+//                                reclaimed by arena compaction; the ids
+//                                can never be re-inserted)
 //   estimate <tau> [<tau> ...]   batched streaming LSH-SS estimates
 // Every estimate row reports the epoch and live count it was answered at;
 // a mutation bumps the epoch, so repeats of a τ after churn are recomputed
@@ -184,6 +187,7 @@ void PrintUsage() {
          "estimators: LSH-SS LSH-SS(D) RS(pop) RS(cross) LSH-S J_U LC\n"
          "            Adaptive Bifocal LSH-SS(median) LSH-SS(vbucket)\n"
          "stream op file: 'insert I [J]' | 'remove I [J]' | "
+         "'erase I [J]' | "
          "'estimate T...'\n";
 }
 
@@ -240,7 +244,7 @@ int RunStreamMode(vsj::VectorDataset dataset, const Args& args) {
     if (words.empty()) continue;  // blank line
     const std::string& op = words.front();
 
-    if (op == "insert" || op == "remove") {
+    if (op == "insert" || op == "remove" || op == "erase") {
       uint64_t first = 0;
       uint64_t last = 0;
       if (words.size() < 2 || words.size() > 3 ||
@@ -270,7 +274,19 @@ int RunStreamMode(vsj::VectorDataset dataset, const Args& args) {
                       << " is already live\n";
             return 1;
           }
+          if (!service.store().Contains(vector_id)) {
+            std::cerr << "line " << line_number << ": id " << id
+                      << " was erased and cannot return\n";
+            return 1;
+          }
           service.Insert(vector_id);
+        } else if (op == "erase") {
+          if (!service.store().Contains(vector_id)) {
+            std::cerr << "line " << line_number << ": id " << id
+                      << " was already erased\n";
+            return 1;
+          }
+          service.Erase(vector_id);
         } else {
           if (!service.Contains(vector_id)) {
             std::cerr << "line " << line_number << ": id " << id
