@@ -65,16 +65,18 @@ int main() {
   std::cout << "vectorized " << dataset.size() << " titles, vocabulary "
             << vectorizer.vocabulary_size() << " tokens\n";
 
-  const std::string path = "/tmp/vsj_text_pipeline.vsjd";
-  if (!vsj::SaveDatasetToFile(dataset, path)) {
-    std::cerr << "failed to save dataset\n";
+  const std::string path = "/tmp/vsj_text_pipeline.vsjb";
+  if (const vsj::IoStatus status = vsj::SaveDatasetToFile(dataset, path);
+      !status.ok()) {
+    std::cerr << "failed to save dataset: " << status.ToString() << "\n";
     return 1;
   }
 
   // --- Serving: load, index, estimate. ---
   vsj::VectorDataset loaded;
-  if (!vsj::LoadDatasetFromFile(path, &loaded)) {
-    std::cerr << "failed to load dataset\n";
+  if (const vsj::IoStatus status = vsj::LoadDatasetFromFile(path, &loaded);
+      !status.ok()) {
+    std::cerr << "failed to load dataset: " << status.ToString() << "\n";
     return 1;
   }
   std::remove(path.c_str());

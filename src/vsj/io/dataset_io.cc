@@ -1,18 +1,20 @@
 #include "vsj/io/dataset_io.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <vector>
+
+#include "vsj/io/vsjb_format.h"
 
 namespace vsj {
 
 namespace {
 
-constexpr char kMagic[4] = {'V', 'S', 'J', 'D'};
-constexpr uint32_t kVersion = 1;
-// Guards against allocating absurd sizes from corrupt headers.
+// Guards against allocating absurd sizes from corrupt v1 headers.
 constexpr uint64_t kMaxReasonableCount = 1ULL << 40;
 
 template <typename T>
@@ -26,11 +28,165 @@ bool ReadPod(std::istream& is, T* value) {
   return static_cast<bool>(is);
 }
 
+IoStatus ReadDatasetV2(std::istream& is, VectorDataset* dataset) {
+  VsjbFileContents contents;
+  if (IoStatus status = ReadVsjbFile(is, kVsjbMagic, kVsjbVersion, &contents,
+                                     /*magic_consumed=*/true);
+      !status) {
+    return status;
+  }
+  const uint64_t n = contents.header.num_vectors;
+  const uint64_t features = contents.header.num_features;
+  const int offs = contents.FindSection(kSecOffsets);
+  const int dims = contents.FindSection(kSecDims);
+  const int weights = contents.FindSection(kSecWeights);
+  const int norms = contents.FindSection(kSecNorms);
+  const int l1_norms = contents.FindSection(kSecL1Norms);
+  for (IoStatus status : {
+           CheckVsjbSectionShape(contents.entries, offs,
+                                 (n + 1) * sizeof(uint64_t), "offsets"),
+           CheckVsjbSectionShape(contents.entries, dims,
+                                 features * sizeof(DimId), "dims"),
+           CheckVsjbSectionShape(contents.entries, weights,
+                                 features * sizeof(float), "weights"),
+           CheckVsjbSectionShape(contents.entries, norms,
+                                 n * sizeof(double), "norms"),
+           CheckVsjbSectionShape(contents.entries, l1_norms,
+                                 n * sizeof(double), "l1 norms"),
+       }) {
+    if (!status) return status;
+  }
+
+  const auto* offsets_data =
+      reinterpret_cast<const uint64_t*>(contents.payloads[offs].data());
+  const auto* dims_data =
+      reinterpret_cast<const DimId*>(contents.payloads[dims].data());
+  const auto* weights_data =
+      reinterpret_cast<const float*>(contents.payloads[weights].data());
+  const auto* norms_data =
+      reinterpret_cast<const double*>(contents.payloads[norms].data());
+  const auto* l1_data =
+      reinterpret_cast<const double*>(contents.payloads[l1_norms].data());
+
+  if (offsets_data[0] != 0 || offsets_data[n] != features) {
+    return IoStatus::Fail(IoError::kCorrupt,
+                          "offsets do not span the feature payload",
+                          contents.entries[offs].offset);
+  }
+  *dataset = VectorDataset(std::move(contents.name));
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t begin = offsets_data[i];
+    const uint64_t end = offsets_data[i + 1];
+    if (begin > end || end > features) {
+      return IoStatus::Fail(IoError::kCorrupt,
+                            "offsets are not monotone at vector " +
+                                std::to_string(i),
+                            contents.entries[offs].offset);
+    }
+    // Norms are adopted verbatim from the file — never recomputed — so a
+    // loaded dataset is bit-identical to the one that was saved.
+    dataset->Add(VectorRef(dims_data + begin, weights_data + begin,
+                           static_cast<uint32_t>(end - begin), norms_data[i],
+                           l1_data[i]));
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus ReadDatasetV1(std::istream& is, VectorDataset* dataset) {
+  // The 4 magic bytes were already consumed by format detection.
+  uint64_t position = sizeof(kVsjdMagic);
+  uint32_t version = 0;
+  if (!ReadPod(is, &version)) {
+    return IoStatus::Fail(IoError::kCorrupt, "truncated version field",
+                          position);
+  }
+  if (version != kVsjdVersion) {
+    return IoStatus::Fail(IoError::kUnsupportedVersion,
+                          "VSJD file version " + std::to_string(version) +
+                              ", this build reads version 1",
+                          position);
+  }
+  position += sizeof(version);
+  uint64_t name_length = 0;
+  if (!ReadPod(is, &name_length) || name_length > kMaxReasonableCount) {
+    return IoStatus::Fail(IoError::kCorrupt, "bad name length", position);
+  }
+  position += sizeof(name_length);
+  std::string name(name_length, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(name_length));
+  if (!is) {
+    return IoStatus::Fail(IoError::kCorrupt, "truncated name", position);
+  }
+  position += name_length;
+
+  uint64_t num_vectors = 0;
+  if (!ReadPod(is, &num_vectors) || num_vectors > kMaxReasonableCount) {
+    return IoStatus::Fail(IoError::kCorrupt, "bad vector count", position);
+  }
+  position += sizeof(num_vectors);
+  *dataset = VectorDataset(std::move(name));
+  for (uint64_t i = 0; i < num_vectors; ++i) {
+    uint32_t num_features = 0;
+    if (!ReadPod(is, &num_features)) {
+      return IoStatus::Fail(IoError::kCorrupt,
+                            "truncated at vector " + std::to_string(i),
+                            position);
+    }
+    position += sizeof(num_features);
+    std::vector<Feature> features;
+    features.reserve(num_features);
+    for (uint32_t f = 0; f < num_features; ++f) {
+      Feature feature;
+      if (!ReadPod(is, &feature.dim) || !ReadPod(is, &feature.weight)) {
+        return IoStatus::Fail(IoError::kCorrupt,
+                              "truncated in vector " + std::to_string(i),
+                              position);
+      }
+      position += sizeof(feature.dim) + sizeof(feature.weight);
+      features.push_back(feature);
+    }
+    dataset->Add(SparseVector(std::move(features)));
+  }
+  return IoStatus::Ok();
+}
+
 }  // namespace
 
-bool WriteDataset(DatasetView dataset, std::ostream& os) {
-  os.write(kMagic, sizeof(kMagic));
-  WritePod(os, kVersion);
+VsjbColumns MaterializeVsjbColumns(DatasetView dataset) {
+  VsjbColumns columns;
+  size_t total_features = 0;
+  for (VectorRef v : dataset) total_features += v.size();
+  columns.offsets.reserve(dataset.size() + 1);
+  columns.dims.reserve(total_features);
+  columns.weights.reserve(total_features);
+  columns.norms.reserve(dataset.size());
+  columns.l1_norms.reserve(dataset.size());
+  for (VectorRef v : dataset) {
+    columns.dims.insert(columns.dims.end(), v.dims(), v.dims() + v.size());
+    columns.weights.insert(columns.weights.end(), v.weights(),
+                           v.weights() + v.size());
+    columns.offsets.push_back(columns.dims.size());
+    columns.norms.push_back(v.norm());
+    columns.l1_norms.push_back(v.l1_norm());
+  }
+  return columns;
+}
+
+IoStatus WriteDataset(DatasetView dataset, std::ostream& os) {
+  const VsjbColumns columns = MaterializeVsjbColumns(dataset);
+  VsjbFileWriter writer(kVsjbMagic, kVsjbVersion, dataset.size(),
+                        columns.dims.size(), dataset.name());
+  writer.AddVectorSection(kSecOffsets, columns.offsets);
+  writer.AddVectorSection(kSecDims, columns.dims);
+  writer.AddVectorSection(kSecWeights, columns.weights);
+  writer.AddVectorSection(kSecNorms, columns.norms);
+  writer.AddVectorSection(kSecL1Norms, columns.l1_norms);
+  return writer.WriteTo(os);
+}
+
+IoStatus WriteDatasetV1(DatasetView dataset, std::ostream& os) {
+  os.write(kVsjdMagic, sizeof(kVsjdMagic));
+  WritePod(os, kVsjdVersion);
   const std::string& name = dataset.name();
   WritePod(os, static_cast<uint64_t>(name.size()));
   os.write(name.data(), static_cast<std::streamsize>(name.size()));
@@ -42,56 +198,50 @@ bool WriteDataset(DatasetView dataset, std::ostream& os) {
       WritePod(os, f.weight);
     }
   }
-  return static_cast<bool>(os);
+  if (!os) return IoStatus::Fail(IoError::kIoError, "stream write failed");
+  return IoStatus::Ok();
 }
 
-bool ReadDataset(std::istream& is, VectorDataset* dataset) {
+IoStatus ReadDataset(std::istream& is, VectorDataset* dataset,
+                     uint32_t* format_version) {
   char magic[4];
   is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  uint32_t version = 0;
-  if (!ReadPod(is, &version) || version != kVersion) return false;
-  uint64_t name_length = 0;
-  if (!ReadPod(is, &name_length) || name_length > kMaxReasonableCount) {
-    return false;
+  if (!is) {
+    return IoStatus::Fail(IoError::kCorrupt,
+                          "file shorter than the 4 magic bytes", 0);
   }
-  std::string name(name_length, '\0');
-  is.read(name.data(), static_cast<std::streamsize>(name_length));
-  if (!is) return false;
-
-  uint64_t num_vectors = 0;
-  if (!ReadPod(is, &num_vectors) || num_vectors > kMaxReasonableCount) {
-    return false;
+  if (std::memcmp(magic, kVsjbMagic, sizeof(magic)) == 0) {
+    if (format_version != nullptr) *format_version = kVsjbVersion;
+    return ReadDatasetV2(is, dataset);
   }
-  *dataset = VectorDataset(std::move(name));
-  for (uint64_t i = 0; i < num_vectors; ++i) {
-    uint32_t num_features = 0;
-    if (!ReadPod(is, &num_features)) return false;
-    std::vector<Feature> features;
-    features.reserve(num_features);
-    for (uint32_t f = 0; f < num_features; ++f) {
-      Feature feature;
-      if (!ReadPod(is, &feature.dim) || !ReadPod(is, &feature.weight)) {
-        return false;
-      }
-      features.push_back(feature);
-    }
-    dataset->Add(SparseVector(std::move(features)));
+  if (std::memcmp(magic, kVsjdMagic, sizeof(magic)) == 0) {
+    if (format_version != nullptr) *format_version = kVsjdVersion;
+    return ReadDatasetV1(is, dataset);
   }
-  return true;
+  return IoStatus::Fail(IoError::kBadMagic,
+                        "magic bytes are neither \"VSJB\" nor \"VSJD\"", 0);
 }
 
-bool SaveDatasetToFile(DatasetView dataset,
-                       const std::string& path) {
+IoStatus SaveDatasetToFile(DatasetView dataset, const std::string& path) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
-  return WriteDataset(dataset, os);
+  if (!os) {
+    return IoStatus::Fail(IoError::kNotFound,
+                          std::string("cannot open for writing: ") +
+                              std::strerror(errno),
+                          0, path);
+  }
+  return WriteDataset(dataset, os).WithPath(path);
 }
 
-bool LoadDatasetFromFile(const std::string& path, VectorDataset* dataset) {
+IoStatus LoadDatasetFromFile(const std::string& path, VectorDataset* dataset,
+                             uint32_t* format_version) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
-  return ReadDataset(is, dataset);
+  if (!is) {
+    return IoStatus::Fail(IoError::kNotFound,
+                          std::string("cannot open: ") + std::strerror(errno),
+                          0, path);
+  }
+  return ReadDataset(is, dataset, format_version).WithPath(path);
 }
 
 }  // namespace vsj

@@ -1,0 +1,42 @@
+#include "vsj/io/io_status.h"
+
+namespace vsj {
+
+const char* IoErrorName(IoError code) {
+  switch (code) {
+    case IoError::kOk:
+      return "ok";
+    case IoError::kNotFound:
+      return "not found";
+    case IoError::kIoError:
+      return "io error";
+    case IoError::kBadMagic:
+      return "bad magic";
+    case IoError::kUnsupportedVersion:
+      return "unsupported version";
+    case IoError::kCorrupt:
+      return "corrupt";
+    case IoError::kChecksumMismatch:
+      return "checksum mismatch";
+  }
+  return "unknown";
+}
+
+std::string IoStatus::ToString() const {
+  if (ok()) return "ok";
+  std::string text;
+  if (!path.empty()) {
+    text += path;
+    text += ": ";
+  }
+  text += IoErrorName(code);
+  text += " at byte ";
+  text += std::to_string(byte_offset);
+  if (!reason.empty()) {
+    text += ": ";
+    text += reason;
+  }
+  return text;
+}
+
+}  // namespace vsj

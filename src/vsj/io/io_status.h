@@ -1,0 +1,64 @@
+// Status-style error reporting for the persistence stack.
+//
+// The io layer used to report failures as a bare `false`, which made
+// "file not found", "truncated header" and "bit rot in section 3"
+// indistinguishable to callers (and to users of vsjoin_estimate). Every
+// io entry point now returns an IoStatus carrying the error class, the
+// path (when one exists), the byte offset the failure was detected at,
+// and a human-readable reason. Estimation APIs themselves still never
+// fail this way — IoStatus is strictly for bytes entering and leaving
+// the process.
+
+#ifndef VSJ_IO_IO_STATUS_H_
+#define VSJ_IO_IO_STATUS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vsj {
+
+/// Failure class of an io operation.
+enum class IoError {
+  kOk = 0,
+  kNotFound,            // the file does not exist / cannot be opened
+  kIoError,             // read/write/map syscall or stream failure
+  kBadMagic,            // not a VSJ file at all
+  kUnsupportedVersion,  // a VSJ file from a future (or unknown) version
+  kCorrupt,             // structurally malformed (truncation, bad counts)
+  kChecksumMismatch,    // a section checksum failed — bit rot or tampering
+};
+
+/// Result of an io operation: where it failed and why, or Ok().
+struct IoStatus {
+  IoError code = IoError::kOk;
+  std::string path;         // empty for pure stream operations
+  uint64_t byte_offset = 0;  // position the failure was detected at
+  std::string reason;
+
+  bool ok() const { return code == IoError::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  static IoStatus Ok() { return IoStatus{}; }
+  static IoStatus Fail(IoError code, std::string reason,
+                       uint64_t byte_offset = 0, std::string path = "") {
+    return IoStatus{code, std::move(path), byte_offset, std::move(reason)};
+  }
+
+  /// Returns a copy with `path` filled in (file wrappers annotate stream
+  /// errors with the file they came from).
+  IoStatus WithPath(const std::string& p) const {
+    IoStatus annotated = *this;
+    annotated.path = p;
+    return annotated;
+  }
+
+  /// "dataset.vsjb: checksum mismatch at byte 4096: weights section".
+  std::string ToString() const;
+};
+
+/// Short name of an error class ("not found", "checksum mismatch", ...).
+const char* IoErrorName(IoError code);
+
+}  // namespace vsj
+
+#endif  // VSJ_IO_IO_STATUS_H_

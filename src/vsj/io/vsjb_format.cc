@@ -1,0 +1,292 @@
+#include "vsj/io/vsjb_format.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace vsj {
+
+namespace {
+
+// Guards against allocating absurd sizes from corrupt headers.
+constexpr uint64_t kMaxReasonableCount = 1ULL << 40;
+constexpr uint32_t kMaxReasonableSections = 64;
+
+void WritePadding(std::ostream& os, uint64_t current, uint64_t target) {
+  static const char zeros[kVsjbAlignment] = {};
+  while (current < target) {
+    const auto chunk =
+        static_cast<std::streamsize>(std::min<uint64_t>(target - current,
+                                                        kVsjbAlignment));
+    os.write(zeros, chunk);
+    current += static_cast<uint64_t>(chunk);
+  }
+}
+
+}  // namespace
+
+uint64_t VsjbChecksum(const void* data, size_t size) {
+  // FNV-1a 64.
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+VsjbFileWriter::VsjbFileWriter(const char (&magic)[4], uint32_t version,
+                               uint64_t num_vectors, uint64_t num_features,
+                               std::string name)
+    : header_{}, name_(std::move(name)) {
+  std::memcpy(header_.magic, magic, sizeof(header_.magic));
+  header_.version = version;
+  header_.num_vectors = num_vectors;
+  header_.num_features = num_features;
+  header_.name_length = name_.size();
+}
+
+void VsjbFileWriter::AddSection(uint32_t id, const void* data,
+                                uint64_t length) {
+  sections_.push_back(PendingSection{id, data, length});
+}
+
+IoStatus VsjbFileWriter::WriteTo(std::ostream& os) const {
+  VsjbHeader header = header_;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+
+  // Lay the file out up front so the section table can be written in the
+  // same forward pass as the sections themselves.
+  const uint64_t table_offset = VsjbAlignUp(sizeof(VsjbHeader) + name_.size());
+  std::vector<VsjbSectionEntry> entries(sections_.size());
+  uint64_t cursor = VsjbAlignUp(table_offset +
+                                sections_.size() * sizeof(VsjbSectionEntry));
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    entries[i].id = sections_[i].id;
+    entries[i].reserved = 0;
+    entries[i].offset = cursor;
+    entries[i].length = sections_[i].length;
+    entries[i].checksum =
+        VsjbChecksum(sections_[i].data, sections_[i].length);
+    cursor = VsjbAlignUp(cursor + sections_[i].length);
+  }
+
+  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  os.write(name_.data(), static_cast<std::streamsize>(name_.size()));
+  WritePadding(os, sizeof(header) + name_.size(), table_offset);
+  os.write(reinterpret_cast<const char*>(entries.data()),
+           static_cast<std::streamsize>(entries.size() *
+                                        sizeof(VsjbSectionEntry)));
+  uint64_t position =
+      table_offset + entries.size() * sizeof(VsjbSectionEntry);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    WritePadding(os, position, entries[i].offset);
+    if (sections_[i].length > 0) {
+      os.write(static_cast<const char*>(sections_[i].data),
+               static_cast<std::streamsize>(sections_[i].length));
+    }
+    position = entries[i].offset + entries[i].length;
+  }
+  if (!os) {
+    return IoStatus::Fail(IoError::kIoError, "stream write failed", position);
+  }
+  return IoStatus::Ok();
+}
+
+int FindVsjbSection(const std::vector<VsjbSectionEntry>& entries,
+                    uint32_t id) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+IoStatus CheckVsjbSectionShape(const std::vector<VsjbSectionEntry>& entries,
+                               int index, uint64_t expected_bytes,
+                               const char* what) {
+  if (index < 0) {
+    return IoStatus::Fail(IoError::kCorrupt,
+                          std::string("missing section: ") + what, 0);
+  }
+  const VsjbSectionEntry& entry = entries[index];
+  if (entry.length != expected_bytes) {
+    return IoStatus::Fail(IoError::kCorrupt,
+                          std::string(what) + " section holds " +
+                              std::to_string(entry.length) +
+                              " bytes, expected " +
+                              std::to_string(expected_bytes),
+                          entry.offset);
+  }
+  return IoStatus::Ok();
+}
+
+namespace {
+
+/// Shared structural validation of a header that already passed the magic
+/// check. `four` is the expected magic for the error message.
+IoStatus CheckHeader(const VsjbHeader& header, uint32_t version) {
+  if (header.version != version) {
+    return IoStatus::Fail(
+        IoError::kUnsupportedVersion,
+        "file version " + std::to_string(header.version) +
+            ", this build reads version " + std::to_string(version),
+        offsetof(VsjbHeader, version));
+  }
+  if (header.num_vectors > kMaxReasonableCount ||
+      header.num_features > kMaxReasonableCount ||
+      header.name_length > kMaxReasonableCount) {
+    return IoStatus::Fail(IoError::kCorrupt,
+                          "implausible counts in header",
+                          offsetof(VsjbHeader, num_vectors));
+  }
+  if (header.section_count > kMaxReasonableSections) {
+    return IoStatus::Fail(IoError::kCorrupt,
+                          "implausible section count " +
+                              std::to_string(header.section_count),
+                          offsetof(VsjbHeader, section_count));
+  }
+  return IoStatus::Ok();
+}
+
+std::string SectionIdName(uint32_t id) {
+  std::string name(4, '?');
+  for (int b = 0; b < 4; ++b) {
+    const char c = static_cast<char>((id >> (8 * b)) & 0xff);
+    name[b] = (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return name;
+}
+
+}  // namespace
+
+IoStatus ReadVsjbFile(std::istream& is, const char (&magic)[4],
+                      uint32_t version, VsjbFileContents* contents,
+                      bool magic_consumed) {
+  VsjbHeader& header = contents->header;
+  if (magic_consumed) {
+    std::memcpy(header.magic, magic, sizeof(header.magic));
+    is.read(reinterpret_cast<char*>(&header) + sizeof(header.magic),
+            sizeof(header) - sizeof(header.magic));
+  } else {
+    is.read(reinterpret_cast<char*>(&header), sizeof(header));
+  }
+  if (!is) {
+    return IoStatus::Fail(IoError::kCorrupt, "truncated header", 0);
+  }
+  if (std::memcmp(header.magic, magic, sizeof(header.magic)) != 0) {
+    return IoStatus::Fail(IoError::kBadMagic,
+                          "magic bytes are not \"" +
+                              std::string(magic, 4) + "\"",
+                          0);
+  }
+  if (IoStatus status = CheckHeader(header, version); !status) return status;
+
+  contents->name.assign(header.name_length, '\0');
+  is.read(contents->name.data(),
+          static_cast<std::streamsize>(header.name_length));
+  if (!is) {
+    return IoStatus::Fail(IoError::kCorrupt, "truncated name",
+                          sizeof(VsjbHeader));
+  }
+  uint64_t position = sizeof(VsjbHeader) + header.name_length;
+
+  // Skip padding up to the section table.
+  const uint64_t table_offset = VsjbAlignUp(position);
+  is.ignore(static_cast<std::streamsize>(table_offset - position));
+  contents->entries.resize(header.section_count);
+  is.read(reinterpret_cast<char*>(contents->entries.data()),
+          static_cast<std::streamsize>(header.section_count *
+                                       sizeof(VsjbSectionEntry)));
+  if (!is) {
+    return IoStatus::Fail(IoError::kCorrupt, "truncated section table",
+                          table_offset);
+  }
+  position = table_offset + header.section_count * sizeof(VsjbSectionEntry);
+
+  contents->payloads.resize(header.section_count);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    const VsjbSectionEntry& entry = contents->entries[i];
+    if (entry.offset % kVsjbAlignment != 0 || entry.offset < position ||
+        entry.length > kMaxReasonableCount * 8) {
+      return IoStatus::Fail(IoError::kCorrupt,
+                            "section " + SectionIdName(entry.id) +
+                                " has a malformed table entry",
+                            entry.offset);
+    }
+    is.ignore(static_cast<std::streamsize>(entry.offset - position));
+    std::vector<char>& payload = contents->payloads[i];
+    payload.resize(entry.length);
+    if (entry.length > 0) {
+      is.read(payload.data(), static_cast<std::streamsize>(entry.length));
+    }
+    if (!is) {
+      return IoStatus::Fail(IoError::kCorrupt,
+                            "section " + SectionIdName(entry.id) +
+                                " is truncated",
+                            entry.offset);
+    }
+    if (VsjbChecksum(payload.data(), payload.size()) != entry.checksum) {
+      return IoStatus::Fail(IoError::kChecksumMismatch,
+                            "section " + SectionIdName(entry.id),
+                            entry.offset);
+    }
+    position = entry.offset + entry.length;
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus ValidateVsjbImage(const void* base, size_t size,
+                           const char (&magic)[4], uint32_t version,
+                           bool verify_checksums, VsjbHeader* header,
+                           std::string* name,
+                           std::vector<VsjbSectionEntry>* entries) {
+  const auto* bytes = static_cast<const char*>(base);
+  if (size < sizeof(VsjbHeader)) {
+    return IoStatus::Fail(IoError::kCorrupt, "file smaller than the header",
+                          size);
+  }
+  std::memcpy(header, bytes, sizeof(VsjbHeader));
+  if (std::memcmp(header->magic, magic, sizeof(header->magic)) != 0) {
+    return IoStatus::Fail(IoError::kBadMagic,
+                          "magic bytes are not \"" +
+                              std::string(magic, 4) + "\"",
+                          0);
+  }
+  if (IoStatus status = CheckHeader(*header, version); !status) return status;
+  if (sizeof(VsjbHeader) + header->name_length > size) {
+    return IoStatus::Fail(IoError::kCorrupt, "name extends past end of file",
+                          sizeof(VsjbHeader));
+  }
+  name->assign(bytes + sizeof(VsjbHeader), header->name_length);
+
+  const uint64_t table_offset =
+      VsjbAlignUp(sizeof(VsjbHeader) + header->name_length);
+  const uint64_t table_bytes =
+      uint64_t{header->section_count} * sizeof(VsjbSectionEntry);
+  if (table_offset + table_bytes > size) {
+    return IoStatus::Fail(IoError::kCorrupt,
+                          "section table extends past end of file",
+                          table_offset);
+  }
+  entries->resize(header->section_count);
+  std::memcpy(entries->data(), bytes + table_offset, table_bytes);
+  for (const VsjbSectionEntry& entry : *entries) {
+    if (entry.offset % kVsjbAlignment != 0 || entry.offset > size ||
+        entry.length > size - entry.offset) {
+      return IoStatus::Fail(IoError::kCorrupt,
+                            "section " + SectionIdName(entry.id) +
+                                " extends past end of file",
+                            entry.offset);
+    }
+    if (verify_checksums &&
+        VsjbChecksum(bytes + entry.offset, entry.length) != entry.checksum) {
+      return IoStatus::Fail(IoError::kChecksumMismatch,
+                            "section " + SectionIdName(entry.id),
+                            entry.offset);
+    }
+  }
+  return IoStatus::Ok();
+}
+
+}  // namespace vsj

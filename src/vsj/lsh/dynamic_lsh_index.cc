@@ -35,6 +35,35 @@ void DynamicLshIndex::Remove(VectorId id) {
   live_position_.erase(it);
 }
 
+std::vector<std::vector<VectorId>> DynamicLshIndex::TableReplayOrders() const {
+  std::vector<std::vector<VectorId>> orders;
+  orders.reserve(tables_.size());
+  for (const auto& table : tables_) orders.push_back(table->ReplayOrder());
+  return orders;
+}
+
+void DynamicLshIndex::RestoreReplay(
+    const std::vector<VectorId>& live_order,
+    const std::vector<std::vector<VectorId>>& table_orders,
+    DatasetView vectors) {
+  VSJ_CHECK_MSG(live_.empty(), "RestoreReplay needs a fresh index");
+  VSJ_CHECK_MSG(table_orders.size() == tables_.size(),
+                "snapshot has %zu tables, index has %zu",
+                table_orders.size(), tables_.size());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    VSJ_CHECK_MSG(table_orders[t].size() == live_order.size(),
+                  "table %zu replay order covers %zu of %zu live ids", t,
+                  table_orders[t].size(), live_order.size());
+    for (const VectorId id : table_orders[t]) {
+      tables_[t]->Insert(id, vectors[id]);
+    }
+  }
+  live_ = live_order;
+  live_position_.clear();
+  live_position_.reserve(live_.size());
+  for (size_t i = 0; i < live_.size(); ++i) live_position_[live_[i]] = i;
+}
+
 bool DynamicLshIndex::SameBucketInAnyTable(VectorId u, VectorId v) const {
   for (const auto& table : tables_) {
     if (table->SameBucket(u, v)) return true;

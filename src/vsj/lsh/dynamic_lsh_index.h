@@ -19,6 +19,7 @@
 
 #include "vsj/lsh/dynamic_lsh_table.h"
 #include "vsj/lsh/lsh_family.h"
+#include "vsj/vector/dataset_view.h"
 
 namespace vsj {
 
@@ -57,6 +58,23 @@ class DynamicLshIndex {
   /// True iff both vectors are live and share a bucket in at least one
   /// table (the virtual-bucket membership test of Appendix B.2.1).
   bool SameBucketInAnyTable(VectorId u, VectorId v) const;
+
+  /// Snapshot support: per-table replay orders (entry t is
+  /// table(t).ReplayOrder()). Together with live_ids() this captures every
+  /// sampling-relevant bit of the index; the hash functions themselves are
+  /// not persisted — they rebuild from (family seed, k, ℓ).
+  std::vector<std::vector<VectorId>> TableReplayOrders() const;
+
+  /// Snapshot support: rebuilds a freshly constructed (empty) index so its
+  /// sampling state is identical to the checkpointed one. `table_orders[t]`
+  /// is replayed through table t (reproducing bucket slot order and
+  /// within-bucket member order), and the live list is restored to
+  /// `live_order` verbatim (SampleLiveId indexes it directly). Each
+  /// table_orders[t] must be a permutation of `live_order`; ids resolve
+  /// through `vectors`.
+  void RestoreReplay(const std::vector<VectorId>& live_order,
+                     const std::vector<std::vector<VectorId>>& table_orders,
+                     DatasetView vectors);
 
  private:
   const LshFamily* family_;

@@ -66,6 +66,15 @@ void DynamicLshTable::Remove(VectorId id) {
   // with the same signature reuses them.
 }
 
+std::vector<VectorId> DynamicLshTable::ReplayOrder() const {
+  std::vector<VectorId> order;
+  order.reserve(members_.size());
+  for (const std::vector<VectorId>& bucket : buckets_) {
+    order.insert(order.end(), bucket.begin(), bucket.end());
+  }
+  return order;
+}
+
 bool DynamicLshTable::SameBucket(VectorId u, VectorId v) const {
   auto iu = members_.find(u);
   auto iv = members_.find(v);

@@ -61,6 +61,15 @@ class DynamicLshTable {
   /// the incremental maintenance is consistent (asserted by the churn test).
   double PairWeightTotal() const { return pair_weights_.Total(); }
 
+  /// Snapshot support: an insertion order that, replayed through Insert on
+  /// an empty table, reproduces this table's *sampling state* exactly —
+  /// the present ids concatenated bucket-by-bucket in slot order, members
+  /// in their current within-bucket order. Replay recreates the non-empty
+  /// buckets in the same relative slot order with identical member arrays;
+  /// empty historical bucket slots are dropped, which SampleSameBucketPair
+  /// cannot observe (zero-weight slots never shift the Fenwick descent).
+  std::vector<VectorId> ReplayOrder() const;
+
  private:
   struct Membership {
     uint32_t bucket;

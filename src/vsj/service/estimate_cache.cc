@@ -74,6 +74,11 @@ void EstimateCache::NoteInvalidation() {
   ++stats_.epoch;
 }
 
+void EstimateCache::RestoreEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.epoch = epoch;
+}
+
 void EstimateCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();

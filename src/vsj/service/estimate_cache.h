@@ -80,6 +80,12 @@ class EstimateCache {
   /// post-mutation key.
   void NoteInvalidation();
 
+  /// Snapshot support: sets stats().epoch to a checkpointed value so a
+  /// restored owner's epoch counter picks up where the original left off
+  /// (entries themselves are not persisted — estimates are deterministic,
+  /// so a cold cache recomputes identical responses).
+  void RestoreEpoch(uint64_t epoch);
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   double tau_bucket_width() const { return tau_bucket_width_; }

@@ -13,19 +13,35 @@ EstimationService::EstimationService(VectorDataset dataset,
                                      EstimationServiceOptions options)
     : options_(options),
       dataset_(std::move(dataset)),
-      fingerprint_(DatasetFingerprint(dataset_)),
+      view_(dataset_),
+      fingerprint_(DatasetFingerprint(view_)),
       family_(MakeLshFamily(options.measure, options.family_seed)),
       pool_(options.num_threads),
       cache_(options.cache_tau_bucket_width, options.cache_capacity) {
-  VSJ_CHECK_MSG(dataset_.size() >= 2,
+  BuildIndexAndContext();
+}
+
+EstimationService::EstimationService(DatasetView dataset,
+                                     EstimationServiceOptions options)
+    : options_(options),
+      view_(dataset),
+      fingerprint_(DatasetFingerprint(view_)),
+      family_(MakeLshFamily(options.measure, options.family_seed)),
+      pool_(options.num_threads),
+      cache_(options.cache_tau_bucket_width, options.cache_capacity) {
+  BuildIndexAndContext();
+}
+
+void EstimationService::BuildIndexAndContext() {
+  VSJ_CHECK_MSG(view_.size() >= 2,
                 "EstimationService needs at least two vectors");
   Timer timer;
-  index_ = std::make_unique<LshIndex>(*family_, dataset_, options_.k,
+  index_ = std::make_unique<LshIndex>(*family_, view_, options_.k,
                                       options_.num_tables, &pool_);
   index_build_seconds_ = timer.ElapsedSeconds();
 
   context_ = options_.estimator_options;
-  context_.dataset = dataset_;
+  context_.dataset = view_;
   context_.index = index_.get();
   context_.measure = options_.measure;
 }

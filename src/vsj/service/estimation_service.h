@@ -28,6 +28,7 @@
 #include "vsj/service/estimate_cache.h"
 #include "vsj/service/estimate_request.h"
 #include "vsj/util/thread_pool.h"
+#include "vsj/vector/dataset_view.h"
 #include "vsj/vector/vector_dataset.h"
 
 namespace vsj {
@@ -65,7 +66,14 @@ class EstimationService {
   explicit EstimationService(VectorDataset dataset,
                              EstimationServiceOptions options = {});
 
-  const VectorDataset& dataset() const { return dataset_; }
+  /// Non-owning flavor: serves any DatasetView — in particular a
+  /// memory-mapped VSJB v2 arena (MappedCsrStorage), where vectors are
+  /// read zero-copy from the file pages. The backing storage must outlive
+  /// the service.
+  explicit EstimationService(DatasetView dataset,
+                             EstimationServiceOptions options = {});
+
+  DatasetView dataset() const { return view_; }
   const LshIndex& index() const { return *index_; }
   const LshFamily& family() const { return *family_; }
   const EstimationServiceOptions& options() const { return options_; }
@@ -93,6 +101,9 @@ class EstimationService {
       const std::vector<EstimateRequest>& requests);
 
  private:
+  /// Shared tail of both constructors: index build + estimator context.
+  void BuildIndexAndContext();
+
   /// Returns the shared estimator instance for `name`, constructing it on
   /// first use. Estimate() is const on estimators, so one instance serves
   /// all threads.
@@ -105,7 +116,8 @@ class EstimationService {
                            const JoinSizeEstimator& estimator) const;
 
   EstimationServiceOptions options_;
-  VectorDataset dataset_;
+  VectorDataset dataset_;  // empty in the non-owning flavor
+  DatasetView view_;
   uint64_t fingerprint_;
   std::unique_ptr<LshFamily> family_;
   ThreadPool pool_;

@@ -26,9 +26,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "vsj/core/streaming_lsh_ss_estimator.h"
+#include "vsj/io/io_status.h"
 #include "vsj/lsh/dynamic_lsh_index.h"
 #include "vsj/lsh/lsh_family.h"
 #include "vsj/service/estimate_cache.h"
@@ -133,7 +135,33 @@ class StreamingEstimationService {
   std::vector<EstimateResponse> EstimateBatch(
       const std::vector<EstimateRequest>& requests);
 
+  /// Serializes the engine to a VSJS snapshot at `path`: the backing store
+  /// (compacted on write — only live payloads are written, tombstoned ids
+  /// keep empty slots), the index rebuild recipe (family seed, k, ℓ) plus
+  /// the replay orders that make the rebuild sampling-identical, the live
+  /// id list, the base fingerprint and the epoch. See DESIGN.md
+  /// ("Snapshot & recovery") for the invariants. Implemented in
+  /// service_snapshot.cc.
+  IoStatus Checkpoint(const std::string& path) const;
+
+  /// Restores a checkpointed engine into `*service`. Format-critical
+  /// options (k, ℓ, family seed, measure, LSH-SS sampling sizes) come from
+  /// the snapshot; runtime options (threads, cache sizing, storage
+  /// chunking) from `runtime_options`. A restored engine answers every
+  /// estimate bit-identically to the engine that was checkpointed, and
+  /// effective_fingerprint()/epoch() round-trip exactly.
+  static IoStatus Restore(const std::string& path,
+                          std::unique_ptr<StreamingEstimationService>* service,
+                          StreamingEstimationServiceOptions runtime_options = {});
+
  private:
+  /// Restore path: adopts a rebuilt store and the checkpointed identity;
+  /// the index is replayed by Restore() right after construction.
+  struct RestoreTag {};
+  StreamingEstimationService(RestoreTag, StreamingCsrStorage store,
+                             const StreamingEstimationServiceOptions& options,
+                             uint64_t base_fingerprint, uint64_t epoch);
+
   /// Records a mutation: advances the epoch (invalidating every cached
   /// answer via the fingerprint fold) and bumps the cache's epoch stat so
   /// the two counters stay in lockstep. Every mutating method ends here.

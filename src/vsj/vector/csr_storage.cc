@@ -53,6 +53,15 @@ VectorId StreamingCsrStorage::Append(VectorRef vector) {
   return static_cast<VectorId>(slots_.size() - 1);
 }
 
+VectorId StreamingCsrStorage::AppendDead() {
+  slots_.push_back(Slot{kDeadChunk, 0});
+  ++dead_count_;
+  // No payload was ever stored, so there is nothing for compaction to
+  // reclaim — unreclaimed_dead_ stays put and no compaction is triggered.
+  live_ids_dirty_ = true;
+  return static_cast<VectorId>(slots_.size() - 1);
+}
+
 void StreamingCsrStorage::Remove(VectorId id) {
   VSJ_CHECK_MSG(Contains(id), "vector %u not in streaming storage", id);
   slots_[id].chunk = kDeadChunk;

@@ -24,10 +24,17 @@
 
 namespace vsj {
 
+class MappedCsrStorage;
+
 /// Append-once contiguous arena of sparse vectors.
 class CsrStorage {
  public:
   CsrStorage() = default;
+
+  /// Copies an mmapped (read-only) arena into a mutable heap arena — the
+  /// escape hatch when a zero-copy dataset needs editing. Norms are copied
+  /// verbatim. Defined in mapped_csr_storage.cc.
+  static CsrStorage FromMapped(const MappedCsrStorage& mapped);
 
   /// Pre-allocates for `num_vectors` vectors totalling `num_features`
   /// features.
@@ -94,6 +101,11 @@ class StreamingCsrStorage {
   /// compaction, which runs automatically once the dead fraction crosses
   /// the configured threshold.
   void Remove(VectorId id);
+
+  /// Allocates the next id already tombstoned, with no payload — snapshot
+  /// restore uses this to reproduce a churned store's id space (erased ids
+  /// keep their slots, payload-free) without replaying the churn.
+  VectorId AppendDead();
 
   /// True iff `id` was appended and not removed.
   bool Contains(VectorId id) const {

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "vsj/vector/mapped_csr_storage.h"
+
 namespace vsj {
+
+DatasetView::DatasetView(const MappedCsrStorage& storage)
+    : self_(&storage),
+      ref_fn_(&MappedRef),
+      size_(storage.size()),
+      name_(&storage.name()) {}
+
+VectorRef DatasetView::MappedRef(const void* self, VectorId id) {
+  return static_cast<const MappedCsrStorage*>(self)->Ref(id);
+}
 
 const std::string& DatasetView::name() const {
   static const std::string kEmpty;

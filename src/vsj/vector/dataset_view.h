@@ -29,6 +29,8 @@
 
 namespace vsj {
 
+class MappedCsrStorage;
+
 /// Non-owning read view of a vector collection.
 class DatasetView {
  public:
@@ -76,6 +78,10 @@ class DatasetView {
   DatasetView(const CsrStorage& storage)  // NOLINT(runtime/explicit)
       : self_(&storage), ref_fn_(&CsrRef), size_(storage.size()) {}
 
+  /// Zero-copy view of an mmapped VSJB v2 arena (defined in
+  /// dataset_view.cc; positions are storage ids, like CsrStorage).
+  DatasetView(const MappedCsrStorage& storage);  // NOLINT(runtime/explicit)
+
   /// Dense view of the live vectors, in insertion order.
   DatasetView(const StreamingCsrStorage& storage)  // NOLINT(runtime/explicit)
       : self_(&storage), ref_fn_(&StreamingLiveRef), size_(storage.num_live()) {
@@ -122,6 +128,7 @@ class DatasetView {
   static VectorRef StreamingIdRef(const void* self, VectorId id) {
     return static_cast<const StreamingCsrStorage*>(self)->Ref(id);
   }
+  static VectorRef MappedRef(const void* self, VectorId id);
   static VectorRef StreamingLiveRef(const void* self, VectorId position) {
     const auto* storage = static_cast<const StreamingCsrStorage*>(self);
     return storage->Ref(storage->live_ids_cache_[position]);

@@ -1,0 +1,89 @@
+// MappedCsrStorage: the zero-copy, read-only sibling of CsrStorage.
+//
+// A VSJB v2 file *is* a CsrStorage laid out on disk (64-byte-aligned
+// offsets/dims/weights/norms columns; io/vsjb_format.h), so opening a
+// dataset can be one mmap: this class maps the file and serves VectorRefs
+// whose pointers aim straight into the file pages. No per-vector
+// materialization, no heap arena — the OS pages the columns in on first
+// touch, and several processes can share one physical copy.
+//
+// It plugs into the estimator stack through DatasetView exactly like the
+// heap-backed storages (the equivalence suite pins bit-identical estimates
+// across heap vs mapped backings), and CsrStorage::FromMapped copies the
+// columns out for callers that need a mutable arena.
+
+#ifndef VSJ_VECTOR_MAPPED_CSR_STORAGE_H_
+#define VSJ_VECTOR_MAPPED_CSR_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "vsj/io/io_status.h"
+#include "vsj/util/mapped_file.h"
+#include "vsj/vector/vector_ref.h"
+
+namespace vsj {
+
+/// Read-only CSR arena backed by an mmapped VSJB v2 file.
+class MappedCsrStorage {
+ public:
+  /// Knobs of Open(); defaults favour safety over open latency.
+  struct OpenOptions {
+    /// Verify every section checksum on open (reads all pages once). Off,
+    /// the open cost is O(header + section table) and bit rot surfaces as
+    /// wrong estimates instead of a load error.
+    bool verify_checksums = true;
+  };
+
+  MappedCsrStorage() = default;
+
+  /// Maps `path` (must be VSJB v2 — v1 files cannot be mapped; load and
+  /// re-save them). On failure `*storage` is reset to the empty state.
+  static IoStatus Open(const std::string& path, MappedCsrStorage* storage,
+                       const OpenOptions& options);
+  static IoStatus Open(const std::string& path, MappedCsrStorage* storage) {
+    return Open(path, storage, OpenOptions());
+  }
+
+  bool mapped() const { return file_.mapped(); }
+
+  size_t size() const { return num_vectors_; }
+  bool empty() const { return num_vectors_ == 0; }
+  size_t total_features() const { return num_features_; }
+
+  /// Dataset name recorded in the file header.
+  const std::string& name() const { return name_; }
+
+  VectorRef Ref(VectorId id) const {
+    const uint64_t begin = offsets_[id];
+    return VectorRef(dims_ + begin, weights_ + begin,
+                     static_cast<uint32_t>(offsets_[id + 1] - begin),
+                     norms_[id], l1_norms_[id]);
+  }
+  VectorRef operator[](VectorId id) const { return Ref(id); }
+
+  /// Total number of unordered pairs M = C(n, 2).
+  uint64_t NumPairs() const {
+    const uint64_t n = num_vectors_;
+    return n * (n - 1) / 2;
+  }
+
+  /// Bytes of the underlying mapping (file size, not resident set).
+  size_t MappedBytes() const { return file_.size(); }
+
+ private:
+  MappedFile file_;
+  std::string name_;
+  size_t num_vectors_ = 0;
+  size_t num_features_ = 0;
+  const uint64_t* offsets_ = nullptr;
+  const DimId* dims_ = nullptr;
+  const float* weights_ = nullptr;
+  const double* norms_ = nullptr;
+  const double* l1_norms_ = nullptr;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_VECTOR_MAPPED_CSR_STORAGE_H_

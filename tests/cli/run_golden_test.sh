@@ -1,14 +1,28 @@
 #!/bin/sh
 # Golden-file test for the vsjoin_estimate CLI.
 #
-#   run_golden_test.sh <vsjoin_estimate binary> <mode: batch|stream> <cli dir>
+#   run_golden_test.sh <vsjoin_estimate binary> <mode> <cli dir>
 #
-# Runs the tool on the checked-in tiny dataset (data/tiny.vsjd, 120 vectors)
-# and diffs stdout against golden/<mode>.out. Output is deterministic: the
-# Rng is fully specified (xoshiro256**, no std::random involvement), batch
-# results are bit-identical at any --threads count, and timings go to
-# stderr, which is discarded. Regenerate fixtures after an intentional
-# output change with:
+# Modes:
+#   batch       batch estimates over the checked-in VSJD v1 fixture
+#   batch-v2    the same batch over the VSJB v2 fixture — output must be
+#               IDENTICAL to golden/batch.out (estimates depend on content,
+#               not container format)
+#   batch-mmap  the same batch, dataset opened zero-copy via --mmap —
+#               again diffed against golden/batch.out
+#   stream      streaming op-file replay over the v1 fixture
+#   snapshot    checkpoint/restore mid-stream over the v2 fixture, then a
+#               second process resumes from the saved snapshot via
+#               --load-snapshot (both stdouts concatenated)
+#
+# Runs the tool on the checked-in tiny dataset (data/tiny.vsjd /
+# data/tiny.vsjb, 120 vectors) and diffs stdout against golden/<mode>.out
+# (the batch-v2/batch-mmap modes share golden/batch.out). Output is
+# deterministic: the Rng is fully specified (xoshiro256**, no std::random
+# involvement), batch results are bit-identical at any --threads count,
+# estimates are bit-identical across storage backings and across a
+# checkpoint/restore cycle, and timings go to stderr, which is discarded.
+# Regenerate fixtures after an intentional output change with:
 #
 #   tests/cli/run_golden_test.sh <binary> <mode> <cli dir> --regenerate
 set -e
@@ -17,20 +31,43 @@ bin="$1"
 mode="$2"
 cli_dir="$3"
 data="$cli_dir/data"
-golden="$cli_dir/golden/$mode.out"
+
+case "$mode" in
+  batch|batch-v2|batch-mmap) golden="$cli_dir/golden/batch.out" ;;
+  *) golden="$cli_dir/golden/$mode.out" ;;
+esac
+
+batch_flags="--k 6 --threads 2 --batch-taus 0.3,0.6,0.9 --trials 2 \
+             --seed 7 --repeat 2"
 
 case "$mode" in
   batch)
+    run() { "$bin" --dataset "$data/tiny.vsjd" $batch_flags 2>/dev/null; }
+    ;;
+  batch-v2)
+    run() { "$bin" --dataset "$data/tiny.vsjb" $batch_flags 2>/dev/null; }
+    ;;
+  batch-mmap)
     run() {
-      "$bin" --dataset "$data/tiny.vsjd" --k 6 --threads 2 \
-             --batch-taus 0.3,0.6,0.9 --trials 2 --seed 7 --repeat 2 \
-             2>/dev/null
+      "$bin" --dataset "$data/tiny.vsjb" --mmap $batch_flags 2>/dev/null
     }
     ;;
   stream)
     run() {
       "$bin" --dataset "$data/tiny.vsjd" --k 6 --tables 2 --threads 2 \
              --trials 2 --seed 7 --stream "$data/stream_ops.txt" 2>/dev/null
+    }
+    ;;
+  snapshot)
+    run() {
+      rm -f cli_stream_snapshot_mid.vsjs cli_stream_snapshot_end.vsjs
+      "$bin" --dataset "$data/tiny.vsjb" --k 6 --tables 2 --threads 2 \
+             --trials 2 --seed 7 --stream "$data/stream_snapshot_ops.txt" \
+             --save-snapshot cli_stream_snapshot_end.vsjs 2>/dev/null
+      "$bin" --load-snapshot cli_stream_snapshot_end.vsjs --k 6 --tables 2 \
+             --threads 2 --trials 2 --seed 7 \
+             --stream "$data/stream_resume_ops.txt" 2>/dev/null
+      rm -f cli_stream_snapshot_mid.vsjs cli_stream_snapshot_end.vsjs
     }
     ;;
   *)

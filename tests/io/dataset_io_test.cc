@@ -1,11 +1,14 @@
 #include "vsj/io/dataset_io.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "test_util.h"
+#include "vsj/io/vsjb_format.h"
 
 namespace vsj {
 namespace {
@@ -21,70 +24,189 @@ void ExpectEqualDatasets(const VectorDataset& a, const VectorDataset& b) {
 TEST(DatasetIoTest, RoundTripThroughStream) {
   VectorDataset original = testing::SmallClusteredCorpus(150, 1);
   std::stringstream buffer;
-  ASSERT_TRUE(WriteDataset(original, buffer));
+  ASSERT_TRUE(WriteDataset(original, buffer).ok());
   VectorDataset loaded;
-  ASSERT_TRUE(ReadDataset(buffer, &loaded));
+  uint32_t version = 0;
+  ASSERT_TRUE(ReadDataset(buffer, &loaded, &version).ok());
+  EXPECT_EQ(version, kVsjbVersion);
   ExpectEqualDatasets(original, loaded);
+}
+
+TEST(DatasetIoTest, RoundTripPreservesNormsVerbatim) {
+  VectorDataset original = testing::SmallClusteredCorpus(60, 4);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDataset(original, buffer).ok());
+  VectorDataset loaded;
+  ASSERT_TRUE(ReadDataset(buffer, &loaded).ok());
+  for (VectorId id = 0; id < original.size(); ++id) {
+    // Bit-identical, not approximately equal: v2 stores the cached norms
+    // and the loader adopts them without recomputation.
+    EXPECT_EQ(original[id].norm(), loaded[id].norm()) << "vector " << id;
+    EXPECT_EQ(original[id].l1_norm(), loaded[id].l1_norm())
+        << "vector " << id;
+  }
 }
 
 TEST(DatasetIoTest, RoundTripEmptyDataset) {
   VectorDataset original("empty");
   std::stringstream buffer;
-  ASSERT_TRUE(WriteDataset(original, buffer));
+  ASSERT_TRUE(WriteDataset(original, buffer).ok());
   VectorDataset loaded;
-  ASSERT_TRUE(ReadDataset(buffer, &loaded));
+  ASSERT_TRUE(ReadDataset(buffer, &loaded).ok());
   EXPECT_EQ(loaded.size(), 0u);
   EXPECT_EQ(loaded.name(), "empty");
+}
+
+TEST(DatasetIoTest, RoundTripDatasetWithEmptyVectors) {
+  VectorDataset original("zeros");
+  original.Add(SparseVector());
+  original.Add(SparseVector({{3, 1.5f}}));
+  original.Add(SparseVector());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDataset(original, buffer).ok());
+  VectorDataset loaded;
+  ASSERT_TRUE(ReadDataset(buffer, &loaded).ok());
+  ExpectEqualDatasets(original, loaded);
+  EXPECT_EQ(loaded[0].size(), 0u);
+  EXPECT_EQ(loaded[2].size(), 0u);
 }
 
 TEST(DatasetIoTest, RoundTripPreservesWeights) {
   VectorDataset original("weights");
   original.Add(SparseVector({{1, 0.125f}, {1000000, 3.5f}}));
   std::stringstream buffer;
-  ASSERT_TRUE(WriteDataset(original, buffer));
+  ASSERT_TRUE(WriteDataset(original, buffer).ok());
   VectorDataset loaded;
-  ASSERT_TRUE(ReadDataset(buffer, &loaded));
+  ASSERT_TRUE(ReadDataset(buffer, &loaded).ok());
   ASSERT_EQ(loaded[0].size(), 2u);
   EXPECT_FLOAT_EQ(loaded[0][0].weight, 0.125f);
   EXPECT_EQ(loaded[0][1].dim, 1000000u);
+}
+
+TEST(DatasetIoTest, V1RoundTripStillReadable) {
+  VectorDataset original = testing::SmallClusteredCorpus(80, 2);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDatasetV1(original, buffer).ok());
+  VectorDataset loaded;
+  uint32_t version = 0;
+  ASSERT_TRUE(ReadDataset(buffer, &loaded, &version).ok());
+  EXPECT_EQ(version, kVsjdVersion);
+  ExpectEqualDatasets(original, loaded);
 }
 
 TEST(DatasetIoTest, RejectsBadMagic) {
   std::stringstream buffer;
   buffer << "NOTVSJDATA";
   VectorDataset loaded;
-  EXPECT_FALSE(ReadDataset(buffer, &loaded));
+  const IoStatus status = ReadDataset(buffer, &loaded);
+  EXPECT_EQ(status.code, IoError::kBadMagic);
+  EXPECT_EQ(status.byte_offset, 0u);
+}
+
+TEST(DatasetIoTest, RejectsFutureVersion) {
+  // A v2 file whose version field claims 99: structurally plausible,
+  // semantically from the future.
+  VectorDataset original = testing::SmallClusteredCorpus(10, 5);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDataset(original, buffer).ok());
+  std::string bytes = buffer.str();
+  const uint32_t future = 99;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  std::stringstream tampered(bytes);
+  VectorDataset loaded;
+  const IoStatus status = ReadDataset(tampered, &loaded);
+  EXPECT_EQ(status.code, IoError::kUnsupportedVersion);
+  EXPECT_NE(status.reason.find("99"), std::string::npos) << status.ToString();
+}
+
+TEST(DatasetIoTest, RejectsFutureV1Version) {
+  VectorDataset original = testing::SmallClusteredCorpus(10, 5);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDatasetV1(original, buffer).ok());
+  std::string bytes = buffer.str();
+  const uint32_t future = 7;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  std::stringstream tampered(bytes);
+  VectorDataset loaded;
+  EXPECT_EQ(ReadDataset(tampered, &loaded).code,
+            IoError::kUnsupportedVersion);
 }
 
 TEST(DatasetIoTest, RejectsTruncatedStream) {
-  VectorDataset original = testing::SmallClusteredCorpus(50, 2);
+  for (const bool v1 : {false, true}) {
+    VectorDataset original = testing::SmallClusteredCorpus(50, 2);
+    std::stringstream buffer;
+    ASSERT_TRUE((v1 ? WriteDatasetV1(original, buffer)
+                    : WriteDataset(original, buffer))
+                    .ok());
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    VectorDataset loaded;
+    const IoStatus status = ReadDataset(truncated, &loaded);
+    EXPECT_EQ(status.code, IoError::kCorrupt) << "v1=" << v1;
+    EXPECT_FALSE(status.reason.empty());
+  }
+}
+
+TEST(DatasetIoTest, DetectsChecksumMismatch) {
+  VectorDataset original = testing::SmallClusteredCorpus(50, 3);
   std::stringstream buffer;
-  ASSERT_TRUE(WriteDataset(original, buffer));
-  const std::string full = buffer.str();
-  std::stringstream truncated(full.substr(0, full.size() / 2));
+  ASSERT_TRUE(WriteDataset(original, buffer).ok());
+  std::string bytes = buffer.str();
+  // Flip one bit in the last section's payload (the file tail).
+  bytes[bytes.size() - 5] ^= 0x40;
+  std::stringstream tampered(bytes);
   VectorDataset loaded;
-  EXPECT_FALSE(ReadDataset(truncated, &loaded));
+  const IoStatus status = ReadDataset(tampered, &loaded);
+  EXPECT_EQ(status.code, IoError::kChecksumMismatch);
+  EXPECT_GT(status.byte_offset, 0u);
 }
 
 TEST(DatasetIoTest, RejectsEmptyStream) {
   std::stringstream buffer;
   VectorDataset loaded;
-  EXPECT_FALSE(ReadDataset(buffer, &loaded));
+  EXPECT_EQ(ReadDataset(buffer, &loaded).code, IoError::kCorrupt);
 }
 
 TEST(DatasetIoTest, FileRoundTrip) {
   VectorDataset original = testing::SmallClusteredCorpus(80, 3);
   const std::string path = ::testing::TempDir() + "/vsj_dataset_io_test.bin";
-  ASSERT_TRUE(SaveDatasetToFile(original, path));
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
   VectorDataset loaded;
-  ASSERT_TRUE(LoadDatasetFromFile(path, &loaded));
+  ASSERT_TRUE(LoadDatasetFromFile(path, &loaded).ok());
   ExpectEqualDatasets(original, loaded);
   std::remove(path.c_str());
 }
 
-TEST(DatasetIoTest, MissingFileFailsGracefully) {
+TEST(DatasetIoTest, MissingFileIsNotFoundWithPath) {
   VectorDataset loaded;
-  EXPECT_FALSE(LoadDatasetFromFile("/nonexistent/path/ds.bin", &loaded));
+  const IoStatus status =
+      LoadDatasetFromFile("/nonexistent/path/ds.bin", &loaded);
+  EXPECT_EQ(status.code, IoError::kNotFound);
+  EXPECT_EQ(status.path, "/nonexistent/path/ds.bin");
+  // Distinguishable from corruption: a corrupt file reports a different
+  // class and carries the failure offset.
+  EXPECT_NE(status.code, IoError::kCorrupt);
+}
+
+TEST(DatasetIoTest, CorruptFileReportsPathAndOffset) {
+  VectorDataset original = testing::SmallClusteredCorpus(30, 9);
+  const std::string path = ::testing::TempDir() + "/vsj_corrupt_test.bin";
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(-3, std::ios::end);
+    const char original_byte = static_cast<char>(f.get());
+    f.seekp(-3, std::ios::end);
+    f.put(static_cast<char>(original_byte ^ 0x20));
+  }
+  VectorDataset loaded;
+  const IoStatus status = LoadDatasetFromFile(path, &loaded);
+  EXPECT_EQ(status.code, IoError::kChecksumMismatch);
+  EXPECT_EQ(status.path, path);
+  EXPECT_NE(status.ToString().find(path), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// MappedCsrStorage: zero-copy open of VSJB v2 files, error paths, the
+// CsrStorage::FromMapped escape hatch, and — the contract that matters —
+// bit-identical estimates from every registered estimator over mapped vs
+// heap storage (the mmap leg of the DatasetView equivalence suite).
+
+#include "vsj/vector/mapped_csr_storage.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/core/estimator_registry.h"
+#include "vsj/io/dataset_io.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/lsh/simhash.h"
+#include "vsj/util/rng.h"
+#include "vsj/vector/dataset_view.h"
+
+namespace vsj {
+namespace {
+
+class MappedCsrStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = testing::SmallClusteredCorpus(250, 11);
+    path_ = ::testing::TempDir() + "/vsj_mapped_test.vsjb";
+    ASSERT_TRUE(SaveDatasetToFile(dataset_, path_).ok());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  VectorDataset dataset_;
+  std::string path_;
+};
+
+TEST_F(MappedCsrStorageTest, PresentsIdenticalVectors) {
+  MappedCsrStorage mapped;
+  ASSERT_TRUE(MappedCsrStorage::Open(path_, &mapped).ok());
+  ASSERT_EQ(mapped.size(), dataset_.size());
+  EXPECT_EQ(mapped.name(), dataset_.name());
+  EXPECT_EQ(mapped.total_features(), dataset_.storage().total_features());
+  for (VectorId id = 0; id < dataset_.size(); ++id) {
+    ASSERT_TRUE(mapped[id] == dataset_[id]) << "vector " << id;
+    // Norms load verbatim from the file pages.
+    EXPECT_EQ(mapped[id].norm(), dataset_[id].norm());
+    EXPECT_EQ(mapped[id].l1_norm(), dataset_[id].l1_norm());
+  }
+}
+
+TEST_F(MappedCsrStorageTest, DatasetViewOverMappedStorage) {
+  MappedCsrStorage mapped;
+  ASSERT_TRUE(MappedCsrStorage::Open(path_, &mapped).ok());
+  const DatasetView view(mapped);
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.size(), dataset_.size());
+  EXPECT_EQ(view.name(), dataset_.name());
+  const DatasetStats heap_stats = dataset_.ComputeStats();
+  const DatasetStats mapped_stats = ComputeStats(view);
+  EXPECT_EQ(heap_stats.total_features, mapped_stats.total_features);
+  EXPECT_EQ(heap_stats.num_dimensions, mapped_stats.num_dimensions);
+}
+
+TEST_F(MappedCsrStorageTest, AllEstimatorsBitIdenticalOverMappedVsHeap) {
+  MappedCsrStorage mapped;
+  ASSERT_TRUE(MappedCsrStorage::Open(path_, &mapped).ok());
+  constexpr uint64_t kSeed = 0x5eedf11eULL;
+  constexpr uint32_t kK = 8;
+  SimHashFamily family(kSeed);
+
+  struct Side {
+    DatasetView view;
+    std::unique_ptr<LshIndex> index;
+  };
+  Side heap{DatasetView(dataset_), nullptr};
+  Side disk{DatasetView(mapped), nullptr};
+  heap.index = std::make_unique<LshIndex>(family, heap.view, kK, 2);
+  disk.index = std::make_unique<LshIndex>(family, disk.view, kK, 2);
+
+  for (const std::string& name : AllEstimatorNames()) {
+    EstimatorContext heap_context;
+    heap_context.dataset = heap.view;
+    heap_context.index = heap.index.get();
+    heap_context.measure = SimilarityMeasure::kCosine;
+    EstimatorContext disk_context = heap_context;
+    disk_context.dataset = disk.view;
+    disk_context.index = disk.index.get();
+    const auto heap_estimator = CreateEstimator(name, heap_context);
+    const auto disk_estimator = CreateEstimator(name, disk_context);
+    for (const double tau : {0.4, 0.7, 0.9}) {
+      Rng heap_rng(kSeed + 99);
+      Rng disk_rng(kSeed + 99);
+      const EstimationResult a = heap_estimator->Estimate(tau, heap_rng);
+      const EstimationResult b = disk_estimator->Estimate(tau, disk_rng);
+      EXPECT_EQ(a.estimate, b.estimate) << name << " tau=" << tau;
+      EXPECT_EQ(a.pairs_evaluated, b.pairs_evaluated)
+          << name << " tau=" << tau;
+    }
+  }
+}
+
+TEST_F(MappedCsrStorageTest, FromMappedCopiesVerbatim) {
+  MappedCsrStorage mapped;
+  ASSERT_TRUE(MappedCsrStorage::Open(path_, &mapped).ok());
+  const CsrStorage copy = CsrStorage::FromMapped(mapped);
+  ASSERT_EQ(copy.size(), dataset_.size());
+  for (VectorId id = 0; id < dataset_.size(); ++id) {
+    ASSERT_TRUE(copy[id] == dataset_[id]) << "vector " << id;
+    EXPECT_EQ(copy[id].norm(), dataset_[id].norm());
+  }
+}
+
+TEST_F(MappedCsrStorageTest, OpenMissingFileIsNotFound) {
+  MappedCsrStorage mapped;
+  const IoStatus status =
+      MappedCsrStorage::Open("/nonexistent/file.vsjb", &mapped);
+  EXPECT_EQ(status.code, IoError::kNotFound);
+  EXPECT_FALSE(mapped.mapped());
+}
+
+TEST_F(MappedCsrStorageTest, OpenV1FileExplainsItCannotBeMapped) {
+  const std::string v1_path = ::testing::TempDir() + "/vsj_mapped_v1.vsjd";
+  {
+    std::ofstream os(v1_path, std::ios::binary);
+    ASSERT_TRUE(WriteDatasetV1(dataset_, os).ok());
+  }
+  MappedCsrStorage mapped;
+  const IoStatus status = MappedCsrStorage::Open(v1_path, &mapped);
+  EXPECT_EQ(status.code, IoError::kUnsupportedVersion);
+  EXPECT_NE(status.reason.find("re-save"), std::string::npos)
+      << status.ToString();
+  std::remove(v1_path.c_str());
+}
+
+TEST_F(MappedCsrStorageTest, OpenDetectsBitRotViaChecksums) {
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(-2, std::ios::end);
+    const char original_byte = static_cast<char>(f.get());
+    f.seekp(-2, std::ios::end);
+    f.put(static_cast<char>(original_byte ^ 0x10));
+  }
+  MappedCsrStorage mapped;
+  const IoStatus status = MappedCsrStorage::Open(path_, &mapped);
+  EXPECT_EQ(status.code, IoError::kChecksumMismatch);
+  EXPECT_FALSE(mapped.mapped());
+
+  // Skipping verification opens the damaged file without complaint — the
+  // documented trade-off of the O(mmap) fast path.
+  MappedCsrStorage::OpenOptions unverified;
+  unverified.verify_checksums = false;
+  EXPECT_TRUE(MappedCsrStorage::Open(path_, &mapped, unverified).ok());
+}
+
+TEST_F(MappedCsrStorageTest, OpenTruncatedFileIsCorrupt) {
+  std::string bytes;
+  {
+    std::ifstream is(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string truncated_path =
+      ::testing::TempDir() + "/vsj_mapped_truncated.vsjb";
+  {
+    std::ofstream os(truncated_path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  MappedCsrStorage mapped;
+  const IoStatus status = MappedCsrStorage::Open(truncated_path, &mapped);
+  EXPECT_EQ(status.code, IoError::kCorrupt);
+  std::remove(truncated_path.c_str());
+}
+
+}  // namespace
+}  // namespace vsj

@@ -25,20 +25,32 @@
 //                                reclaimed by arena compaction; the ids
 //                                can never be re-inserted)
 //   estimate <tau> [<tau> ...]   batched streaming LSH-SS estimates
+//   checkpoint <path>            snapshot the full engine state (VSJS)
+//   restore <path>               replace the engine with a snapshot
 // Every estimate row reports the epoch and live count it was answered at;
 // a mutation bumps the epoch, so repeats of a τ after churn are recomputed
 // rather than served from cache.
+//
+// Persistence flags:
+//   --save-dataset PATH   re-save the loaded/generated dataset as VSJB v2
+//   --mmap                open --dataset zero-copy via mmap (VSJB v2 only)
+//   --save-snapshot PATH  checkpoint the streaming engine after the op file
+//   --load-snapshot PATH  start the streaming engine from a snapshot
+//                         (replaces --dataset/--synthetic; needs --stream)
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <fstream>
 
 #include "vsj/io/dataset_io.h"
+#include "vsj/vector/mapped_csr_storage.h"
 #include "vsj/gen/workloads.h"
 #include "vsj/join/brute_force_join.h"
 #include "vsj/service/estimation_service.h"
@@ -62,6 +74,10 @@ struct Args {
   size_t repeat = 1;
   bool exact = false;
   std::string stream_ops_path;
+  std::string save_dataset_path;
+  std::string save_snapshot_path;
+  std::string load_snapshot_path;
+  bool use_mmap = false;
   bool taus_set = false;       // --tau / --batch-taus given explicitly
   bool estimator_set = false;  // --estimator given explicitly
 };
@@ -150,6 +166,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--stream");
       if (!v) return false;
       args->stream_ops_path = v;
+    } else if (flag == "--save-dataset") {
+      const char* v = next("--save-dataset");
+      if (!v) return false;
+      args->save_dataset_path = v;
+    } else if (flag == "--save-snapshot") {
+      const char* v = next("--save-snapshot");
+      if (!v) return false;
+      args->save_snapshot_path = v;
+    } else if (flag == "--load-snapshot") {
+      const char* v = next("--load-snapshot");
+      if (!v) return false;
+      args->load_snapshot_path = v;
+    } else if (flag == "--mmap") {
+      args->use_mmap = true;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -174,21 +204,59 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (args->use_mmap) {
+    if (args->dataset_path.empty()) {
+      std::cerr << "--mmap opens a VSJB v2 file in place; it needs "
+                   "--dataset FILE\n";
+      return false;
+    }
+    if (!args->stream_ops_path.empty()) {
+      std::cerr << "--mmap serves the read-only batch path; the streaming "
+                   "engine owns a mutable arena and cannot run over a "
+                   "mapped file\n";
+      return false;
+    }
+  }
+  if (!args->save_snapshot_path.empty() && args->stream_ops_path.empty()) {
+    std::cerr << "--save-snapshot checkpoints the streaming engine; it "
+                 "needs --stream OPFILE\n";
+    return false;
+  }
+  if (!args->load_snapshot_path.empty()) {
+    if (args->stream_ops_path.empty()) {
+      std::cerr << "--load-snapshot restores the streaming engine; it "
+                   "needs --stream OPFILE\n";
+      return false;
+    }
+    if (!args->dataset_path.empty() || !args->synthetic.empty()) {
+      std::cerr << "--load-snapshot carries its own dataset; drop "
+                   "--dataset/--synthetic\n";
+      return false;
+    }
+    if (!args->save_dataset_path.empty()) {
+      std::cerr << "--save-dataset exports a loaded/generated dataset; it "
+                   "does not apply to --load-snapshot (use 'checkpoint' "
+                   "ops or --save-snapshot to persist the engine)\n";
+      return false;
+    }
+    return true;
+  }
   return !args->dataset_path.empty() || !args->synthetic.empty();
 }
 
 void PrintUsage() {
   std::cerr
       << "usage: vsjoin_estimate (--dataset FILE | --synthetic "
-         "dblp|nyt|pubmed) --tau T\n"
+         "dblp|nyt|pubmed | --load-snapshot FILE) --tau T\n"
          "       [--batch-taus T1,T2,...] [--estimator NAME] [--n N]\n"
          "       [--k K] [--tables L] [--trials R] [--seed S]\n"
          "       [--threads T] [--repeat R] [--exact] [--stream OPFILE]\n"
+         "       [--mmap] [--save-dataset FILE] [--save-snapshot FILE]\n"
          "estimators: LSH-SS LSH-SS(D) RS(pop) RS(cross) LSH-S J_U LC\n"
          "            Adaptive Bifocal LSH-SS(median) LSH-SS(vbucket)\n"
          "stream op file: 'insert I [J]' | 'remove I [J]' | "
          "'erase I [J]' | "
-         "'estimate T...'\n";
+         "'estimate T...' | 'checkpoint PATH' | 'restore PATH'\n";
 }
 
 /// Strict numeric parses: the whole token must be consumed. Digits only —
@@ -209,21 +277,25 @@ bool ParseDouble(const std::string& token, double* out) {
   return end != token.c_str() && *end == '\0';
 }
 
-/// Replays `args.stream_ops_path` against a StreamingEstimationService over
-/// `dataset`. Returns the process exit code.
-int RunStreamMode(vsj::VectorDataset dataset, const Args& args) {
-  std::ifstream ops(args.stream_ops_path);
-  if (!ops) {
-    std::cerr << "failed to open op file " << args.stream_ops_path << "\n";
-    return 1;
-  }
-
+vsj::StreamingEstimationServiceOptions StreamOptions(const Args& args) {
   vsj::StreamingEstimationServiceOptions options;
   options.k = args.k;
   options.num_tables = args.tables;
   options.num_threads = args.threads;
   options.family_seed = args.seed ^ 0x5eedULL;
-  vsj::StreamingEstimationService service(std::move(dataset), options);
+  return options;
+}
+
+/// Replays `args.stream_ops_path` against the streaming engine (freshly
+/// built over a dataset, or restored from a snapshot). Returns the process
+/// exit code.
+int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
+                  const Args& args) {
+  std::ifstream ops(args.stream_ops_path);
+  if (!ops) {
+    std::cerr << "failed to open op file " << args.stream_ops_path << "\n";
+    return 1;
+  }
 
   vsj::TablePrinter report("streaming estimates (LSH-SS, " +
                            std::to_string(args.trials) + " trial(s) each)");
@@ -262,38 +334,38 @@ int RunStreamMode(vsj::VectorDataset dataset, const Args& args) {
       }
       for (uint64_t id = first; id <= last; ++id) {
         const auto vector_id = static_cast<vsj::VectorId>(id);
-        if (id >= service.dataset().size()) {
+        if (id >= service->dataset().size()) {
           std::cerr << "line " << line_number << ": id " << id
                     << " outside the dataset (n = "
-                    << service.dataset().size() << ")\n";
+                    << service->dataset().size() << ")\n";
           return 1;
         }
         if (op == "insert") {
-          if (service.Contains(vector_id)) {
+          if (service->Contains(vector_id)) {
             std::cerr << "line " << line_number << ": id " << id
                       << " is already live\n";
             return 1;
           }
-          if (!service.store().Contains(vector_id)) {
+          if (!service->store().Contains(vector_id)) {
             std::cerr << "line " << line_number << ": id " << id
                       << " was erased and cannot return\n";
             return 1;
           }
-          service.Insert(vector_id);
+          service->Insert(vector_id);
         } else if (op == "erase") {
-          if (!service.store().Contains(vector_id)) {
+          if (!service->store().Contains(vector_id)) {
             std::cerr << "line " << line_number << ": id " << id
                       << " was already erased\n";
             return 1;
           }
-          service.Erase(vector_id);
+          service->Erase(vector_id);
         } else {
-          if (!service.Contains(vector_id)) {
+          if (!service->Contains(vector_id)) {
             std::cerr << "line " << line_number << ": id " << id
                       << " is not live\n";
             return 1;
           }
-          service.Remove(vector_id);
+          service->Remove(vector_id);
         }
         ++mutations;
       }
@@ -318,11 +390,11 @@ int RunStreamMode(vsj::VectorDataset dataset, const Args& args) {
         return 1;
       }
       const std::vector<vsj::EstimateResponse> responses =
-          service.EstimateBatch(batch);
+          service->EstimateBatch(batch);
       for (const vsj::EstimateResponse& response : responses) {
         report.AddRow({std::to_string(line_number),
-                       std::to_string(service.epoch()),
-                       std::to_string(service.num_live()),
+                       std::to_string(service->epoch()),
+                       std::to_string(service->num_live()),
                        vsj::TablePrinter::Fmt(response.tau, 2),
                        vsj::TablePrinter::Fmt(response.mean_estimate, 1),
                        vsj::TablePrinter::Fmt(response.std_error, 1),
@@ -330,16 +402,50 @@ int RunStreamMode(vsj::VectorDataset dataset, const Args& args) {
                        std::to_string(response.num_unguaranteed),
                        response.from_cache ? "yes" : "no"});
       }
+    } else if (op == "checkpoint" || op == "restore") {
+      if (words.size() != 2) {
+        std::cerr << "line " << line_number << ": expected '" << op
+                  << " <path>'\n";
+        return 1;
+      }
+      if (op == "checkpoint") {
+        const vsj::IoStatus status = service->Checkpoint(words[1]);
+        if (!status.ok()) {
+          std::cerr << "line " << line_number
+                    << ": checkpoint failed: " << status.ToString() << "\n";
+          return 1;
+        }
+      } else {
+        std::unique_ptr<vsj::StreamingEstimationService> restored;
+        const vsj::IoStatus status = vsj::StreamingEstimationService::Restore(
+            words[1], &restored, StreamOptions(args));
+        if (!status.ok()) {
+          std::cerr << "line " << line_number
+                    << ": restore failed: " << status.ToString() << "\n";
+          return 1;
+        }
+        service = std::move(restored);
+      }
     } else {
       std::cerr << "line " << line_number << ": unknown op '" << op << "'\n";
       return 1;
     }
   }
 
+  if (!args.save_snapshot_path.empty()) {
+    const vsj::IoStatus status =
+        service->Checkpoint(args.save_snapshot_path);
+    if (!status.ok()) {
+      std::cerr << "checkpoint failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "snapshot saved to " << args.save_snapshot_path << "\n";
+  }
+
   report.Print(std::cout);
-  const vsj::EstimateCacheStats cache_stats = service.cache().stats();
+  const vsj::EstimateCacheStats cache_stats = service->cache().stats();
   std::cout << "stream: " << mutations << " mutation(s), final epoch "
-            << service.epoch() << ", " << service.num_live() << " live\n"
+            << service->epoch() << ", " << service->num_live() << " live\n"
             << "cache: " << cache_stats.hits << " hit(s), "
             << cache_stats.misses << " miss(es), " << cache_stats.epoch
             << " invalidation(s)\n";
@@ -355,11 +461,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  vsj::VectorDataset dataset;
-  if (!args.dataset_path.empty()) {
-    if (!vsj::LoadDatasetFromFile(args.dataset_path, &dataset)) {
-      std::cerr << "failed to load dataset from " << args.dataset_path
+  // Snapshot-restored stream mode carries its own dataset.
+  if (!args.load_snapshot_path.empty()) {
+    std::unique_ptr<vsj::StreamingEstimationService> restored;
+    const vsj::IoStatus status = vsj::StreamingEstimationService::Restore(
+        args.load_snapshot_path, &restored, StreamOptions(args));
+    if (!status.ok()) {
+      std::cerr << "failed to restore snapshot: " << status.ToString()
                 << "\n";
+      return 1;
+    }
+    std::cerr << "snapshot: " << restored->num_live() << " live at epoch "
+              << restored->epoch() << "\n";
+    return RunStreamMode(std::move(restored), args);
+  }
+
+  // --mmap serves the batch path zero-copy; the mapped storage must stay
+  // alive for the lifetime of the service below.
+  vsj::MappedCsrStorage mapped;
+  vsj::VectorDataset dataset;
+  if (args.use_mmap) {
+    const vsj::IoStatus status =
+        vsj::MappedCsrStorage::Open(args.dataset_path, &mapped);
+    if (!status.ok()) {
+      std::cerr << "failed to map dataset: " << status.ToString() << "\n";
+      return 1;
+    }
+  } else if (!args.dataset_path.empty()) {
+    const vsj::IoStatus status =
+        vsj::LoadDatasetFromFile(args.dataset_path, &dataset);
+    if (!status.ok()) {
+      std::cerr << "failed to load dataset: " << status.ToString() << "\n";
       return 1;
     }
   } else if (args.synthetic == "dblp") {
@@ -372,17 +504,33 @@ int main(int argc, char** argv) {
     std::cerr << "unknown synthetic corpus: " << args.synthetic << "\n";
     return 2;
   }
+  const vsj::DatasetView view =
+      args.use_mmap ? vsj::DatasetView(mapped) : vsj::DatasetView(dataset);
 
-  const vsj::DatasetStats stats = dataset.ComputeStats();
+  if (!args.save_dataset_path.empty()) {
+    const vsj::IoStatus status =
+        vsj::SaveDatasetToFile(view, args.save_dataset_path);
+    if (!status.ok()) {
+      std::cerr << "failed to save dataset: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "dataset saved (VSJB v2) to " << args.save_dataset_path
+              << "\n";
+  }
+
+  const vsj::DatasetStats stats = vsj::ComputeStats(view);
   std::cerr << "dataset: n = " << stats.num_vectors
-            << ", avg features = " << stats.avg_features << "\n";
+            << ", avg features = " << stats.avg_features
+            << (args.use_mmap ? " (mmap)" : "") << "\n";
   if (stats.num_vectors < 2) {
     std::cerr << "need at least two vectors\n";
     return 1;
   }
 
   if (!args.stream_ops_path.empty()) {
-    return RunStreamMode(std::move(dataset), args);
+    auto service = std::make_unique<vsj::StreamingEstimationService>(
+        std::move(dataset), StreamOptions(args));
+    return RunStreamMode(std::move(service), args);
   }
 
   vsj::EstimationServiceOptions options;
@@ -390,7 +538,14 @@ int main(int argc, char** argv) {
   options.num_tables = args.tables;
   options.num_threads = args.threads;
   options.family_seed = args.seed ^ 0x5eedULL;
-  vsj::EstimationService service(std::move(dataset), options);
+  // The owning flavor consumes the loaded dataset; --mmap serves the
+  // estimators straight from the mapped file pages.
+  auto service_ptr =
+      args.use_mmap
+          ? std::make_unique<vsj::EstimationService>(view, options)
+          : std::make_unique<vsj::EstimationService>(std::move(dataset),
+                                                     options);
+  vsj::EstimationService& service = *service_ptr;
   std::cerr << "index: " << args.tables << " table(s), k = " << args.k
             << ", built in " << vsj::TablePrinter::Fmt(
                    service.index_build_seconds() * 1e3, 1)
