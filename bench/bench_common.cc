@@ -1,9 +1,13 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "vsj/util/env.h"
 #include "vsj/util/hash.h"
@@ -167,6 +171,49 @@ void PrintRuntimeSummary(const std::vector<AccuracyCell>& cells) {
   }
   table.Print(std::cout);
   std::cout << "\n";
+}
+
+BenchJson::BenchJson(int argc, char** argv, const std::string& bench_name)
+    : bench_name_(bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "BenchJson: --json needs a path; no JSON will be "
+                     "written\n";
+        return;
+      }
+      path_ = argv[i + 1];
+      return;
+    }
+  }
+  const char* env = std::getenv("VSJ_BENCH_JSON");
+  if (env != nullptr && *env != '\0') path_ = env;
+}
+
+void BenchJson::Add(const std::string& name, const std::string& unit,
+                    double value, size_t iterations) {
+  if (!enabled()) return;
+  records_.push_back(Record{name, unit, value, iterations});
+}
+
+bool BenchJson::Write() const {
+  if (!enabled()) return true;
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"results\": [";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << r.name
+        << "\", \"unit\": \"" << r.unit << "\", \"value\": " << r.value
+        << ", \"iterations\": " << r.iterations << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::ofstream os(path_);
+  os << out.str();
+  if (!os) {
+    std::cerr << "BenchJson: cannot write " << path_ << "\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace vsj::bench

@@ -87,6 +87,40 @@ void PrintRuntimeSummary(const std::vector<AccuracyCell>& cells);
 /// Default estimator context for a workbench.
 EstimatorContext MakeContext(const Workbench& bench);
 
+/// Machine-readable bench output: `--json <path>` on a bench's command line
+/// (or the VSJ_BENCH_JSON environment variable) makes the bench write its
+/// headline numbers as one JSON document, so CI can archive a BENCH_*.json
+/// perf trajectory across PRs. Without a path every method is a no-op.
+class BenchJson {
+ public:
+  /// Resolves the output path from argv (`--json <path>`) or
+  /// VSJ_BENCH_JSON; `bench_name` is recorded in the document.
+  BenchJson(int argc, char** argv, const std::string& bench_name);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement. `name` identifies the series ("static_build",
+  /// ...), `unit` its unit ("ms", "mutations_per_sec"), `iterations` how
+  /// many repetitions produced `value`.
+  void Add(const std::string& name, const std::string& unit, double value,
+           size_t iterations);
+
+  /// Writes the document; returns false (after printing to stderr) when the
+  /// file cannot be written. Call once at the end of main.
+  bool Write() const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::string unit;
+    double value;
+    size_t iterations;
+  };
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Record> records_;
+};
+
 }  // namespace vsj::bench
 
 #endif  // VSJ_BENCH_BENCH_COMMON_H_

@@ -13,7 +13,8 @@
 //
 // Scale knobs: VSJ_N (corpus size, default 4000), VSJ_PAIRS (pairs per
 // measurement, default 200000), VSJ_ITERS (measurement repetitions,
-// default 3 — CI smoke runs set 1), VSJ_SEED.
+// default 3 — CI smoke runs set 1), VSJ_SEED. `--json <path>` (or
+// VSJ_BENCH_JSON) writes the headline numbers as JSON.
 
 #include <cstdint>
 #include <iostream>
@@ -93,8 +94,9 @@ double LinearDot(VectorRef a, VectorRef b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const vsj::bench::Scale scale = vsj::bench::LoadScale(4000);
+  vsj::bench::BenchJson json(argc, argv, "bench_dot_kernel");
   const auto num_pairs =
       static_cast<size_t>(vsj::EnvInt64("VSJ_PAIRS", 200000));
   const auto iters = static_cast<size_t>(vsj::EnvInt64("VSJ_ITERS", 3));
@@ -135,6 +137,8 @@ int main() {
   layout.AddRow({"CSR arena", vsj::TablePrinter::Fmt(csr_ns, 1),
                  vsj::TablePrinter::Fmt(old_ns / csr_ns, 2) + "x"});
   layout.Print(std::cout);
+  json.Add("dot_per_vector_heap", "ns_per_pair", old_ns, iters);
+  json.Add("dot_csr_arena", "ns_per_pair", csr_ns, iters);
 
   // Skewed pairs: small vectors dotted against ratio-times-longer ones;
   // ratios >= 8 take the galloping path.
@@ -188,8 +192,11 @@ int main() {
                  ratio >= vsj::kGallopRatio ? "gallop" : "linear",
                  vsj::TablePrinter::Fmt(ns, 1),
                  vsj::TablePrinter::Fmt(linear_ns, 1)});
+    json.Add("dot_skew_" + std::to_string(ratio) + "to1", "ns_per_pair", ns,
+             iters);
   }
   skew.Print(std::cout);
+  if (!json.Write()) return 1;
   std::cout << "\nper-pair cost is the paper-relevant unit (1-core dev "
                "containers show no parallel speedup)\n";
   return 0;

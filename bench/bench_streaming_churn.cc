@@ -14,6 +14,8 @@
 // Scale knobs (see bench_common.h): VSJ_N (corpus size, default 6000),
 // VSJ_K (functions per table, default 12), VSJ_TRIALS (trials per request,
 // default 2), VSJ_SEED; VSJ_TABLES (default 2), VSJ_ROUNDS (default 8).
+// `--json <path>` (or VSJ_BENCH_JSON) writes per-churn-rate numbers as
+// JSON.
 
 #include <deque>
 #include <iostream>
@@ -41,8 +43,9 @@ std::vector<vsj::EstimateRequest> MakeBatch(size_t trials, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const vsj::bench::Scale scale = vsj::bench::LoadScale(6000, 12, 2);
+  vsj::bench::BenchJson json(argc, argv, "bench_streaming_churn");
   const auto tables =
       static_cast<uint32_t>(vsj::EnvInt64("VSJ_TABLES", 2));
   const auto rounds = static_cast<size_t>(vsj::EnvInt64("VSJ_ROUNDS", 8));
@@ -102,6 +105,15 @@ int main() {
     }
 
     const vsj::EstimateCacheStats cache_stats = service.cache().stats();
+    if (churn > 0) {
+      json.Add("mutations_per_sec_churn" + std::to_string(churn),
+               "mutations_per_sec",
+               static_cast<double>(churn * rounds) / mutation_seconds,
+               rounds);
+    }
+    json.Add("estimates_per_sec_churn" + std::to_string(churn),
+             "estimates_per_sec",
+             static_cast<double>(estimates) / batch_seconds, rounds);
     report.AddRow(
         {std::to_string(churn),
          churn == 0 ? "-"
@@ -118,6 +130,7 @@ int main() {
          vsj::TablePrinter::Pct(cache_stats.HitRate())});
   }
   report.Print(std::cout);
+  if (!json.Write()) return 1;
   std::cout << "\nchurned batches recompute (epoch invalidation); only the "
                "churn-0 row can hit the cache\n";
   return 0;

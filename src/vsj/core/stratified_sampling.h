@@ -12,12 +12,15 @@
 #ifndef VSJ_CORE_STRATIFIED_SAMPLING_H_
 #define VSJ_CORE_STRATIFIED_SAMPLING_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <type_traits>
 
 #include "vsj/util/check.h"
 #include "vsj/util/rng.h"
 #include "vsj/vector/dataset_view.h"
 #include "vsj/vector/similarity.h"
+#include "vsj/vector/vector_ref.h"
 
 namespace vsj {
 
@@ -32,22 +35,52 @@ enum class DampeningMode {
   kAdaptiveNlOverDelta,
 };
 
+/// Pairs drawn per batch by SampleStratumH, and how many pairs ahead of the
+/// evaluation cursor the feature columns are prefetched. Tuning knobs only:
+/// neither changes any draw or result.
+inline constexpr uint64_t kPairEvalBatch = 64;
+inline constexpr uint64_t kPairPrefetchDistance = 8;
+
 /// SampleH of Algorithm 1: draw m_h same-bucket pairs through `sample_pair`
 /// (any callable Rng& -> VectorPair-like with .first/.second positions into
 /// `dataset`), count hits against τ, scale by N_H / m_h.
+///
+/// Evaluation is batched: each round draws up to kPairEvalBatch pairs
+/// first, then evaluates them with the feature columns of the pair
+/// kPairPrefetchDistance ahead being prefetched — random pairs touch
+/// uncorrelated arena offsets, so without the hint every Similarity starts
+/// on a cold line. Bit-identity is preserved because stratum-H draws never
+/// depend on evaluation results: the RNG consumes exactly the same
+/// sequence as the draw-evaluate-draw loop, and the hit count is an
+/// order-insensitive sum.
 template <typename SamplePairFn>
 double SampleStratumH(DatasetView dataset, SimilarityMeasure measure,
                       double tau, uint64_t num_pairs_h, uint64_t m_h,
                       SamplePairFn&& sample_pair, Rng& rng,
                       uint64_t* evaluated) {
   if (num_pairs_h == 0) return 0.0;
+  using Pair = std::decay_t<decltype(sample_pair(rng))>;
+  Pair batch[kPairEvalBatch];
   uint64_t hits = 0;
-  for (uint64_t s = 0; s < m_h; ++s) {
-    const auto pair = sample_pair(rng);
-    if (Similarity(measure, dataset[pair.first], dataset[pair.second]) >=
-        tau) {
-      ++hits;
+  for (uint64_t done = 0; done < m_h;) {
+    const uint64_t count = std::min(kPairEvalBatch, m_h - done);
+    for (uint64_t i = 0; i < count; ++i) batch[i] = sample_pair(rng);
+    const uint64_t lead = std::min(count, kPairPrefetchDistance);
+    for (uint64_t i = 0; i < lead; ++i) {
+      PrefetchFeatures(dataset[batch[i].first]);
+      PrefetchFeatures(dataset[batch[i].second]);
     }
+    for (uint64_t i = 0; i < count; ++i) {
+      if (i + kPairPrefetchDistance < count) {
+        PrefetchFeatures(dataset[batch[i + kPairPrefetchDistance].first]);
+        PrefetchFeatures(dataset[batch[i + kPairPrefetchDistance].second]);
+      }
+      if (Similarity(measure, dataset[batch[i].first],
+                     dataset[batch[i].second]) >= tau) {
+        ++hits;
+      }
+    }
+    done += count;
   }
   *evaluated += m_h;
   return static_cast<double>(hits) * static_cast<double>(num_pairs_h) /
@@ -58,6 +91,11 @@ double SampleStratumH(DatasetView dataset, SimilarityMeasure measure,
 /// true pairs are found (reliable: Ĵ_L = hits · N_L / i) or the budget m_l
 /// is exhausted, in which case `*reliable` is cleared and the dampening
 /// policy decides between the safe lower bound and a dampened scale-up.
+///
+/// Unlike stratum H this loop cannot batch its draws: how many pairs are
+/// drawn depends on each evaluation (the hits-vs-δ race), so drawing ahead
+/// would consume RNG state the unbatched loop never would — changing every
+/// subsequent draw and breaking the bit-identity contract.
 template <typename SamplePairFn>
 double SampleStratumL(DatasetView dataset, SimilarityMeasure measure,
                       double tau, uint64_t num_pairs_l, uint64_t m_l,

@@ -20,9 +20,10 @@ BitSamplingFamily::BitSamplingFamily(uint64_t seed, uint32_t dimension)
   VSJ_CHECK(dimension > 0);
 }
 
-void BitSamplingFamily::HashRange(VectorRef v,
-                                  uint32_t function_offset, uint32_t k,
-                                  uint64_t* out) const {
+void BitSamplingFamily::DoHashRange(VectorRef v,
+                                    uint32_t function_offset, uint32_t k,
+                                    uint64_t* out,
+                                    HashScratch& /*scratch*/) const {
   for (uint32_t j = 0; j < k; ++j) {
     const uint64_t fn_seed = HashCombine(seed_, function_offset + j);
     const auto coordinate =

@@ -26,8 +26,6 @@ class BitSamplingFamily final : public LshFamily {
  public:
   BitSamplingFamily(uint64_t seed, uint32_t dimension);
 
-  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
-                 uint64_t* out) const override;
   double CollisionProbability(double similarity) const override;
   /// Hamming similarity is not in the SimilarityMeasure enum (it needs the
   /// ambient dimension); the join predicate for this family is the
@@ -41,6 +39,10 @@ class BitSamplingFamily final : public LshFamily {
   const char* name() const override { return "bit-sampling"; }
 
   uint32_t dimension() const { return dimension_; }
+
+ protected:
+  void DoHashRange(VectorRef v, uint32_t function_offset, uint32_t k,
+                   uint64_t* out, HashScratch& scratch) const override;
 
  private:
   uint64_t seed_;

@@ -1,0 +1,101 @@
+#include "vsj/lsh/bucket_grouper.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace vsj {
+
+namespace {
+
+struct KeyedId {
+  uint64_t key;
+  VectorId id;
+};
+
+/// Stable LSD radix sort of `items` by key, least-significant byte first.
+/// Byte passes where all keys agree are skipped (cheap detection from the
+/// counting pass); with hash-random keys all 8 passes usually run.
+void RadixSortByKey(std::vector<KeyedId>& items) {
+  const size_t n = items.size();
+  if (n < 2) return;
+  std::vector<KeyedId> buffer(n);
+  KeyedId* src = items.data();
+  KeyedId* dst = buffer.data();
+  bool swapped = false;
+  for (uint32_t pass = 0; pass < 8; ++pass) {
+    const uint32_t shift = pass * 8;
+    std::array<uint32_t, 256> count{};
+    for (size_t i = 0; i < n; ++i) {
+      ++count[(src[i].key >> shift) & 0xff];
+    }
+    if (std::any_of(count.begin(), count.end(),
+                    [n](uint32_t c) { return c == n; })) {
+      continue;  // all keys share this byte; the pass is the identity
+    }
+    uint32_t offset = 0;
+    std::array<uint32_t, 256> start;
+    for (size_t b = 0; b < 256; ++b) {
+      start[b] = offset;
+      offset += count[b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[start[(src[i].key >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+  if (swapped) items.swap(buffer);
+}
+
+}  // namespace
+
+BucketGrouping GroupByBucketKey(const std::vector<uint64_t>& keys) {
+  const size_t n = keys.size();
+  BucketGrouping grouping;
+  grouping.bucket_of.resize(n);
+  grouping.members.resize(n);
+
+  std::vector<KeyedId> sorted(n);
+  for (size_t id = 0; id < n; ++id) {
+    sorted[id] = KeyedId{keys[id], static_cast<VectorId>(id)};
+  }
+  RadixSortByKey(sorted);
+
+  // Runs of equal key = buckets. The sort is stable over an ascending-id
+  // input, so run[0].id is the key's first occurrence; ordering runs by it
+  // reproduces the first-occurrence bucket indices of the map-based build.
+  struct Run {
+    VectorId first_id;
+    uint32_t start;
+    uint32_t length;
+  };
+  std::vector<Run> runs;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && sorted[j].key == sorted[i].key) ++j;
+    runs.push_back(Run{sorted[i].id, static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.first_id < b.first_id; });
+
+  grouping.offsets.reserve(runs.size() + 1);
+  grouping.bucket_keys.reserve(runs.size());
+  grouping.offsets.push_back(0);
+  uint32_t out = 0;
+  for (size_t b = 0; b < runs.size(); ++b) {
+    const Run& run = runs[b];
+    grouping.bucket_keys.push_back(sorted[run.start].key);
+    for (uint32_t i = 0; i < run.length; ++i) {
+      const VectorId id = sorted[run.start + i].id;
+      grouping.members[out++] = id;
+      grouping.bucket_of[id] = static_cast<uint32_t>(b);
+    }
+    grouping.offsets.push_back(out);
+  }
+  return grouping;
+}
+
+}  // namespace vsj

@@ -1,0 +1,47 @@
+// Sort-based grouping of precomputed bucket keys into the CSR bucket arena
+// of LshTable — the build-side replacement for unordered_map insertion.
+//
+// Hash-map grouping walks pointer-chased nodes and rehashes on growth; for
+// a build where the keys are already materialized, a radix sort of
+// (key, id) pairs followed by one run scan produces the same partition from
+// contiguous memory. Determinism contract (golden fixtures depend on it):
+//
+//   * bucket indices are assigned in order of each key's FIRST occurrence
+//     in id order (exactly the order unordered_map try_emplace assigned);
+//   * members within a bucket are in ascending id order (exactly the order
+//     push_back produced, since ids are scanned 0..n−1).
+//
+// The LSD radix sort is stable, so ids stay ascending within equal keys;
+// the run list is then re-sorted by first member id to recover
+// first-occurrence bucket order.
+
+#ifndef VSJ_LSH_BUCKET_GROUPER_H_
+#define VSJ_LSH_BUCKET_GROUPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vsj/vector/vector_ref.h"
+
+namespace vsj {
+
+/// CSR partition of ids 0..n−1 by bucket key.
+struct BucketGrouping {
+  /// Prefix offsets into `members`; bucket b spans
+  /// [offsets[b], offsets[b+1]). Size num_buckets + 1.
+  std::vector<uint32_t> offsets;
+  /// All n ids, grouped by bucket, ascending within each bucket.
+  std::vector<VectorId> members;
+  /// Bucket key per bucket, in bucket-index order.
+  std::vector<uint64_t> bucket_keys;
+  /// Bucket index per id.
+  std::vector<uint32_t> bucket_of;
+};
+
+/// Groups ids 0..keys.size()−1 by keys[id] under the determinism contract
+/// above.
+BucketGrouping GroupByBucketKey(const std::vector<uint64_t>& keys);
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_BUCKET_GROUPER_H_

@@ -17,7 +17,7 @@ DynamicLshIndex::DynamicLshIndex(const LshFamily& family, uint32_t k,
 
 void DynamicLshIndex::Insert(VectorId id, VectorRef vector) {
   VSJ_CHECK_MSG(!Contains(id), "vector %u already present", id);
-  for (auto& table : tables_) table->Insert(id, vector);
+  for (auto& table : tables_) table->Insert(id, vector, scratch_);
   live_position_[id] = live_.size();
   live_.push_back(id);
 }
@@ -55,7 +55,7 @@ void DynamicLshIndex::RestoreReplay(
                   "table %zu replay order covers %zu of %zu live ids", t,
                   table_orders[t].size(), live_order.size());
     for (const VectorId id : table_orders[t]) {
-      tables_[t]->Insert(id, vectors[id]);
+      tables_[t]->Insert(id, vectors[id], scratch_);
     }
   }
   live_ = live_order;

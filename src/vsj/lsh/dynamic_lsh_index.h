@@ -47,7 +47,9 @@ class DynamicLshIndex {
     return live_[rng.Below(live_.size())];
   }
 
-  /// Inserts `id` into every table; `id` must not be present.
+  /// Inserts `id` into every table; `id` must not be present. Hashing
+  /// reuses the index-owned scratch (and its attached projection cache),
+  /// so the ℓ HashRange calls of one insert allocate nothing once warm.
   void Insert(VectorId id, VectorRef vector);
 
   /// Removes `id` from every table; it must be present.
@@ -58,6 +60,15 @@ class DynamicLshIndex {
   /// True iff both vectors are live and share a bucket in at least one
   /// table (the virtual-bucket membership test of Appendix B.2.1).
   bool SameBucketInAnyTable(VectorId u, VectorId v) const;
+
+  /// Attaches a sealed Gaussian projection cache consulted by every
+  /// subsequent Insert (SimHash skips re-deriving hyperplane components
+  /// for cached dimensions; hashes are bit-identical either way). The
+  /// cache must be sealed, belong to this index's family, cover functions
+  /// [0, k·ℓ), and outlive the index. nullptr detaches.
+  void AttachProjectionCache(const GaussianProjectionCache* cache) {
+    scratch_.gaussian_cache = cache;
+  }
 
   /// Snapshot support: per-table replay orders (entry t is
   /// table(t).ReplayOrder()). Together with live_ids() this captures every
@@ -82,6 +93,10 @@ class DynamicLshIndex {
   std::vector<std::unique_ptr<DynamicLshTable>> tables_;
   std::vector<VectorId> live_;
   std::unordered_map<VectorId, size_t> live_position_;  // id -> index in live_
+  // Mutation-path hashing scratch. Mutations are externally synchronized
+  // (the streaming service's contract), so one scratch suffices; read-only
+  // methods never touch it.
+  HashScratch scratch_;
 };
 
 }  // namespace vsj

@@ -10,11 +10,23 @@
 //   * weighted bucket sampling through a Fenwick tree over the pair
 //     weights C(b_j, 2) — O(log n) per update and per draw, replacing the
 //     static table's O(n) alias rebuild.
+//
+// Storage: bucket members live in one arena (member_arena_) with
+// per-bucket {offset, size, capacity} slots. Buckets keep geometric
+// capacity slack, so an insert is usually one store into reserved space; a
+// full bucket relocates to the arena tail with doubled capacity, and the
+// arena compacts (offsets move, slot order and member order do not) once
+// relocation garbage exceeds the live footprint. Bucket slot indices and
+// within-bucket member order — everything ReplayOrder captures — evolve
+// exactly as they did with per-bucket vectors: slots append on first key
+// sighting and persist through emptiness, members push at the tail and
+// remove by swap-pop.
 
 #ifndef VSJ_LSH_DYNAMIC_LSH_TABLE_H_
 #define VSJ_LSH_DYNAMIC_LSH_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +49,12 @@ class DynamicLshTable {
   size_t num_vectors() const { return members_.size(); }
   size_t num_buckets() const { return num_nonempty_buckets_; }
 
-  /// Inserts vector `id`; `id` must not be present.
+  /// Inserts vector `id`, hashing through `scratch` (the hot path; the
+  /// scratch may carry a sealed projection cache). `id` must not be
+  /// present.
+  void Insert(VectorId id, VectorRef vector, HashScratch& scratch);
+
+  /// Scratch-allocating overload (cold paths, tests).
   void Insert(VectorId id, VectorRef vector);
 
   /// Removes vector `id`; it must be present.
@@ -76,12 +93,42 @@ class DynamicLshTable {
     uint32_t position;  // index within the bucket's member list
   };
 
-  uint64_t BucketKeyFor(VectorRef vector) const;
+  /// Arena slot of one bucket: members at
+  /// member_arena_[offset .. offset + size), reserved space to
+  /// offset + capacity.
+  struct BucketSlot {
+    uint32_t offset;
+    uint32_t size;
+    uint32_t capacity;
+  };
+
+  uint64_t BucketKeyFor(VectorRef vector, HashScratch& scratch) const;
+
+  /// The current members of bucket `b` (O(1); no per-bucket vector).
+  std::span<const VectorId> BucketMembers(uint32_t b) const {
+    const BucketSlot& slot = slots_[b];
+    return {member_arena_.data() + slot.offset, slot.size};
+  }
+
+  /// Relocates bucket `b` to the arena tail with doubled capacity.
+  void GrowBucket(uint32_t b);
+
+  /// Compacts when relocation garbage + removal slack dominate the live
+  /// members (O(1) trigger; see the .cc for the bound). Only called from
+  /// mutation tails — never while a member write is pending.
+  void MaybeCompactArena();
+
+  /// Rewrites the arena slot-by-slot, dropping relocation garbage and
+  /// trimming each bucket's capacity to the next power of two of its
+  /// current size. Offsets and capacities change; slot indices and member
+  /// order do not.
+  void CompactArena();
 
   const LshFamily* family_;
   uint32_t k_;
   uint32_t function_offset_;
-  std::vector<std::vector<VectorId>> buckets_;
+  std::vector<BucketSlot> slots_;  // index = bucket id, append-only
+  std::vector<VectorId> member_arena_;
   std::unordered_map<uint64_t, uint32_t> key_to_bucket_;
   std::unordered_map<VectorId, Membership> members_;
   FenwickTree pair_weights_;  // slot per bucket, weight C(b, 2)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "vsj/lsh/gaussian_projection_cache.h"
 #include "vsj/lsh/minhash.h"
 #include "vsj/lsh/simhash.h"
 #include "vsj/util/check.h"
@@ -11,6 +12,12 @@ namespace vsj {
 double LshFamily::BandCollisionProbability(double similarity,
                                            uint32_t k) const {
   return std::pow(CollisionProbability(similarity), static_cast<double>(k));
+}
+
+std::unique_ptr<GaussianProjectionCache> LshFamily::MakeProjectionCache(
+    DatasetView /*dataset*/, uint32_t /*num_functions*/,
+    ThreadPool* /*pool*/) const {
+  return nullptr;
 }
 
 std::unique_ptr<LshFamily> MakeLshFamily(SimilarityMeasure measure,

@@ -12,17 +12,47 @@
 // estimator that relies on the curve (J_U, LSH-S) queries it through this
 // interface, so both exact-Def.-3 and real cosine LSH are supported
 // (DESIGN.md §3.3).
+//
+// Hashing is the index-build hot path, so HashRange takes a caller-provided
+// HashScratch: reusable buffers (no per-call allocation once warm) plus an
+// optional read-only GaussianProjectionCache that SimHash consults instead
+// of re-deriving hyperplane components. The scratchless overload exists for
+// cold paths and tests; it allocates a scratch per call.
 
 #ifndef VSJ_LSH_LSH_FAMILY_H_
 #define VSJ_LSH_LSH_FAMILY_H_
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "vsj/vector/dataset_view.h"
+#include "vsj/vector/set_embedding.h"
 #include "vsj/vector/similarity.h"
 #include "vsj/vector/vector_ref.h"
 
 namespace vsj {
+
+class GaussianProjectionCache;
+class ThreadPool;
+
+/// Reusable hashing state, owned by the caller and threaded through every
+/// hot-path HashRange call. One scratch per thread: the buffers are mutated
+/// freely, so a scratch must never be shared between concurrent hashers
+/// (the pointed-to projection cache is sealed read-only and may be).
+struct HashScratch {
+  /// SimHash: the k running projections of the current call.
+  std::vector<double> projections;
+  /// Per-function seed material (SimHash: fn seeds; MinHash: fold terms).
+  std::vector<uint64_t> lane_seeds;
+  /// Combined-key staging for ComputeBucketKeys-style callers.
+  std::vector<uint64_t> signature;
+  /// MinHash: the set embedding of the current vector.
+  std::vector<SetElement> embed;
+  /// Optional sealed Gaussian cache (see GaussianProjectionCache); families
+  /// that cannot use it ignore it, SimHash validates the tag before use.
+  const GaussianProjectionCache* gaussian_cache = nullptr;
+};
 
 /// Abstract LSH family; implementations are stateless beyond their seed and
 /// safe to share across threads.
@@ -33,9 +63,19 @@ class LshFamily {
   /// Writes h_offset(v), ..., h_{offset+k-1}(v) into `out`. Batched because
   /// implementations share one pass over the vector's features; an LSH index
   /// with ℓ tables of k functions each gives table t the range
-  /// [t·k, (t+1)·k).
-  virtual void HashRange(VectorRef v, uint32_t function_offset,
-                         uint32_t k, uint64_t* out) const = 0;
+  /// [t·k, (t+1)·k). `scratch` is reused across calls — hot loops hold one
+  /// per thread.
+  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
+                 uint64_t* out, HashScratch& scratch) const {
+    DoHashRange(v, function_offset, k, out, scratch);
+  }
+
+  /// Convenience overload allocating a fresh scratch (cold paths, tests).
+  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
+                 uint64_t* out) const {
+    HashScratch scratch;
+    DoHashRange(v, function_offset, k, out, scratch);
+  }
 
   /// Value of a single hash function on `v`.
   uint64_t Hash(VectorRef v, uint32_t function_index) const {
@@ -43,6 +83,14 @@ class LshFamily {
     HashRange(v, function_index, 1, &out);
     return out;
   }
+
+  /// Builds a sealed projection cache covering functions [0, num_functions)
+  /// over the dimensions of `dataset`, filled across `pool` when given.
+  /// Families whose hashing cannot be table-driven return nullptr (the
+  /// default); callers treat a null cache as "hash uncached" — results are
+  /// bit-identical either way.
+  virtual std::unique_ptr<GaussianProjectionCache> MakeProjectionCache(
+      DatasetView dataset, uint32_t num_functions, ThreadPool* pool) const;
 
   /// p(s): single-function collision probability at similarity `s`.
   virtual double CollisionProbability(double similarity) const = 0;
@@ -55,6 +103,12 @@ class LshFamily {
 
   /// P(g(u) = g(v)) for g = (h_1, ..., h_k): p(s)^k.
   double BandCollisionProbability(double similarity, uint32_t k) const;
+
+ protected:
+  /// The one hashing entry point implementations provide; both public
+  /// overloads funnel here.
+  virtual void DoHashRange(VectorRef v, uint32_t function_offset, uint32_t k,
+                           uint64_t* out, HashScratch& scratch) const = 0;
 };
 
 /// The canonical family for `measure`: SimHash for cosine, MinHash for

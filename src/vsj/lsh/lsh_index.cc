@@ -1,7 +1,9 @@
 #include "vsj/lsh/lsh_index.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "vsj/lsh/gaussian_projection_cache.h"
 #include "vsj/util/check.h"
 
 namespace vsj {
@@ -12,34 +14,56 @@ LshIndex::LshIndex(const LshFamily& family, DatasetView dataset,
   VSJ_CHECK(num_tables > 0);
   tables_.reserve(num_tables);
 
-  if (pool == nullptr || pool->num_threads() == 0) {
+  ThreadPool* workers =
+      (pool != nullptr && pool->num_threads() > 0) ? pool : nullptr;
+
+  // The Gaussian projection cache memoizes every (dim, function) hyperplane
+  // component the build will need — the fill pass is O(distinct dims · ℓ·k)
+  // where the uncached build derives O(n · features · ℓ·k) of them. It is
+  // filled (in parallel when a pool is given), sealed, then shared
+  // read-only by every hashing worker; families without a table-driven
+  // form return nullptr and hash uncached. Build results are bit-identical
+  // with and without the cache.
+  const std::unique_ptr<GaussianProjectionCache> cache =
+      family.MakeProjectionCache(dataset, k * num_tables, workers);
+
+  const auto n = static_cast<VectorId>(dataset.size());
+
+  if (workers == nullptr) {
+    std::vector<uint64_t> keys(n);
+    HashScratch scratch;
+    scratch.gaussian_cache = cache.get();
     for (uint32_t t = 0; t < num_tables; ++t) {
-      tables_.push_back(std::make_unique<LshTable>(family, dataset, k, t * k));
+      LshTable::ComputeBucketKeys(family, dataset, k, t * k, 0, n,
+                                  keys.data(), scratch);
+      tables_.push_back(std::make_unique<LshTable>(dataset, k, keys));
     }
     return;
   }
 
   // Phase 1: hash every (table, vector) pair across the pool. The ℓ·n key
   // computations are independent; chunk them in units of vectors so one
-  // parallel-for item is a contiguous slice of one table's key array.
-  const auto n = static_cast<VectorId>(dataset.size());
+  // parallel-for item is a contiguous slice of one table's key array. Each
+  // chunk owns a scratch; the sealed cache is shared by all of them.
   std::vector<std::vector<uint64_t>> keys(num_tables);
   for (auto& table_keys : keys) table_keys.resize(n);
 
   constexpr VectorId kChunk = 2048;
   const size_t chunks_per_table =
       n == 0 ? 0 : (n + kChunk - 1) / kChunk;
-  pool->ParallelFor(chunks_per_table * num_tables, [&](size_t item) {
+  workers->ParallelFor(chunks_per_table * num_tables, [&](size_t item) {
     const auto t = static_cast<uint32_t>(item / chunks_per_table);
     const auto begin = static_cast<VectorId>((item % chunks_per_table) * kChunk);
     const VectorId end = std::min<VectorId>(n, begin + kChunk);
+    HashScratch scratch;
+    scratch.gaussian_cache = cache.get();
     LshTable::ComputeBucketKeys(family, dataset, k, t * k, begin, end,
-                                keys[t].data() + begin);
+                                keys[t].data() + begin, scratch);
   });
 
   // Phase 2: group into buckets — sequential per table, tables in parallel.
   tables_.resize(num_tables);
-  pool->ParallelFor(num_tables, [&](size_t t) {
+  workers->ParallelFor(num_tables, [&](size_t t) {
     tables_[t] = std::make_unique<LshTable>(dataset, k, keys[t]);
   });
 }

@@ -9,6 +9,13 @@
 //   * O(1) uniform sampling of a pair from stratum H, implemented as an
 //     alias-table draw of a bucket with weight C(b_j, 2) followed by a
 //     uniform pair draw inside the bucket (SampleH, Algorithm 1).
+//
+// Storage: buckets live in one CSR-style arena (bucket_offsets_[] into
+// bucket_members_[]), not per-bucket vectors — SampleH and the bucket
+// scans of the multi-table estimators walk contiguous memory, and bucket
+// sizes are O(1) offset differences (no per-bucket headers to chase).
+// Grouping ids into the arena is sort-based (lsh/bucket_grouper.h) and
+// reproduces the historical map-based bucket order exactly.
 
 #ifndef VSJ_LSH_LSH_TABLE_H_
 #define VSJ_LSH_LSH_TABLE_H_
@@ -16,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -56,7 +64,14 @@ class LshTable {
   /// Computes the combined 64-bit bucket key of vectors [begin, end) into
   /// out[0 .. end-begin): the HashCombine fold of the k hash values
   /// [function_offset, function_offset + k). Pure and thread-safe; disjoint
-  /// ranges may be computed concurrently.
+  /// ranges may be computed concurrently with per-caller scratches (the
+  /// scratch's projection cache, if any, is sealed and shared read-only).
+  static void ComputeBucketKeys(const LshFamily& family, DatasetView dataset,
+                                uint32_t k, uint32_t function_offset,
+                                VectorId begin, VectorId end, uint64_t* out,
+                                HashScratch& scratch);
+
+  /// Scratch-allocating overload (cold paths, tests).
   static void ComputeBucketKeys(const LshFamily& family,
                                 DatasetView dataset, uint32_t k,
                                 uint32_t function_offset, VectorId begin,
@@ -66,14 +81,17 @@ class LshTable {
   size_t num_vectors() const { return bucket_of_.size(); }
 
   /// Number of non-empty buckets n_g.
-  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_buckets() const { return bucket_keys_.size(); }
 
-  /// Members of bucket `b`.
-  const std::vector<VectorId>& bucket(size_t b) const { return buckets_[b]; }
+  /// Members of bucket `b`: a contiguous slice of the member arena.
+  std::span<const VectorId> bucket(size_t b) const {
+    return {bucket_members_.data() + bucket_offsets_[b],
+            bucket_offsets_[b + 1] - bucket_offsets_[b]};
+  }
 
-  /// Bucket count b_j.
+  /// Bucket count b_j — an O(1) offset difference, no bucket materialized.
   uint32_t bucket_count(size_t b) const {
-    return static_cast<uint32_t>(buckets_[b].size());
+    return bucket_offsets_[b + 1] - bucket_offsets_[b];
   }
 
   /// Index of the bucket containing vector `id` (B(v) in the paper).
@@ -120,11 +138,13 @@ class LshTable {
 
  private:
   /// Groups vectors into buckets by key and builds the sampling structures.
-  void BuildFromKeys(DatasetView dataset,
-                     const std::vector<uint64_t>& keys);
+  void BuildFromKeys(const std::vector<uint64_t>& keys);
 
   uint32_t k_;
-  std::vector<std::vector<VectorId>> buckets_;
+  // CSR bucket arena: bucket b's members are
+  // bucket_members_[bucket_offsets_[b] .. bucket_offsets_[b+1]).
+  std::vector<uint32_t> bucket_offsets_;
+  std::vector<VectorId> bucket_members_;
   std::vector<uint64_t> bucket_keys_;
   std::vector<uint32_t> bucket_of_;  // vector id -> bucket index
   std::unordered_map<uint64_t, uint32_t> key_to_bucket_;

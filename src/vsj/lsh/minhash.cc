@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "vsj/lsh/simhash_kernel.h"
 #include "vsj/util/check.h"
 #include "vsj/util/hash.h"
 #include "vsj/vector/set_embedding.h"
@@ -23,18 +24,22 @@ MinHashFamily::MinHashFamily(uint64_t seed, double resolution)
   VSJ_CHECK(resolution > 0.0);
 }
 
-void MinHashFamily::HashRange(VectorRef v, uint32_t function_offset,
-                              uint32_t k, uint64_t* out) const {
-  std::vector<uint64_t> fn_seeds(k);
+void MinHashFamily::DoHashRange(VectorRef v, uint32_t function_offset,
+                                uint32_t k, uint64_t* out,
+                                HashScratch& scratch) const {
+  scratch.lane_seeds.resize(k);
+  uint64_t* terms = scratch.lane_seeds.data();
   for (uint32_t j = 0; j < k; ++j) {
-    fn_seeds[j] = HashCombine(seed_, function_offset + j);
+    // term_j = fn_seed_j·γ + 1 reduces HashCombine(key, fn_seed_j) to
+    // Mix64(Mix64(key) + term_j) inside the lane fold.
+    terms[j] = HashCombine(seed_, function_offset + j) * kHashCombineGamma + 1;
   }
   std::fill(out, out + k, std::numeric_limits<uint64_t>::max());
-  for (const SetElement& e : EmbedAsSet(v, resolution_)) {
-    const uint64_t key = ElementKey(e.dim, e.copy);
-    for (uint32_t j = 0; j < k; ++j) {
-      out[j] = std::min(out[j], HashCombine(key, fn_seeds[j]));
-    }
+  // The embedding buffer is computed once per vector and reused across the
+  // k functions (and across calls, via the caller's scratch).
+  EmbedAsSet(v, resolution_, &scratch.embed);
+  for (const SetElement& e : scratch.embed) {
+    MinFoldLanes(Mix64(ElementKey(e.dim, e.copy)), terms, out, k);
   }
 }
 

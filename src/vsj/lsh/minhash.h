@@ -22,8 +22,6 @@ class MinHashFamily final : public LshFamily {
   /// binary vectors embed as plain sets.
   explicit MinHashFamily(uint64_t seed = 0, double resolution = 1.0);
 
-  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
-                 uint64_t* out) const override;
   double CollisionProbability(double similarity) const override;
   SimilarityMeasure measure() const override {
     return SimilarityMeasure::kJaccard;
@@ -31,6 +29,10 @@ class MinHashFamily final : public LshFamily {
   const char* name() const override { return "minhash"; }
 
   double resolution() const { return resolution_; }
+
+ protected:
+  void DoHashRange(VectorRef v, uint32_t function_offset, uint32_t k,
+                   uint64_t* out, HashScratch& scratch) const override;
 
  private:
   uint64_t seed_;

@@ -10,9 +10,10 @@ SignatureDatabase::SignatureDatabase(const LshFamily& family,
     : k_(k) {
   VSJ_CHECK(k > 0);
   values_.resize(static_cast<size_t>(dataset.size()) * k);
+  HashScratch scratch;
   for (VectorId id = 0; id < dataset.size(); ++id) {
     family.HashRange(dataset[id], function_offset, k,
-                     values_.data() + static_cast<size_t>(id) * k);
+                     values_.data() + static_cast<size_t>(id) * k, scratch);
   }
 }
 

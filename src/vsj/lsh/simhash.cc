@@ -4,27 +4,64 @@
 #include <cmath>
 #include <vector>
 
+#include "vsj/lsh/gaussian_projection_cache.h"
+#include "vsj/lsh/simhash_kernel.h"
 #include "vsj/util/hash.h"
 
 namespace vsj {
 
 SimHashFamily::SimHashFamily(uint64_t seed) : seed_(Mix64(seed)) {}
 
-void SimHashFamily::HashRange(VectorRef v, uint32_t function_offset,
-                              uint32_t k, uint64_t* out) const {
-  // One pass over the features, k running projections. This is the build
-  // hot path: each (feature, function) pair costs one hash-derived Gaussian.
-  std::vector<double> projections(k, 0.0);
-  std::vector<uint64_t> fn_seeds(k);
+void SimHashFamily::DoHashRange(VectorRef v, uint32_t function_offset,
+                                uint32_t k, uint64_t* out,
+                                HashScratch& scratch) const {
+  // One pass over the features, k running projections — lane j of the
+  // kernels owns function (function_offset + j), so accumulation order per
+  // function is the scalar order at every SIMD width.
+  scratch.projections.assign(k, 0.0);
+  double* projections = scratch.projections.data();
+  scratch.lane_seeds.resize(k);
+  uint64_t* fn_seeds = scratch.lane_seeds.data();
   for (uint32_t j = 0; j < k; ++j) {
     fn_seeds[j] = HashCombine(seed_, function_offset + j);
   }
+
+  // A cache is usable only if it was built by this family (tag = mixed
+  // seed) and covers the requested function range; rows hold exactly the
+  // GaussianFromHash values, so cached and uncached hashes are bit-equal.
+  const GaussianProjectionCache* cache = scratch.gaussian_cache;
+  if (cache != nullptr &&
+      (cache->family_tag() != seed_ ||
+       static_cast<uint64_t>(function_offset) + k > cache->num_functions())) {
+    cache = nullptr;
+  }
+
   for (const Feature f : v) {
-    for (uint32_t j = 0; j < k; ++j) {
-      projections[j] += f.weight * GaussianFromHash(f.dim, fn_seeds[j]);
+    const double* row = cache != nullptr ? cache->Row(f.dim) : nullptr;
+    if (row != nullptr) {
+      AccumulateProjectionLanes(row + function_offset,
+                                static_cast<double>(f.weight), projections,
+                                k);
+    } else {
+      for (uint32_t j = 0; j < k; ++j) {
+        projections[j] += f.weight * GaussianFromHash(f.dim, fn_seeds[j]);
+      }
     }
   }
   for (uint32_t j = 0; j < k; ++j) out[j] = projections[j] >= 0.0 ? 1 : 0;
+}
+
+std::unique_ptr<GaussianProjectionCache> SimHashFamily::MakeProjectionCache(
+    DatasetView dataset, uint32_t num_functions, ThreadPool* pool) const {
+  std::vector<uint64_t> fn_seeds(num_functions);
+  for (uint32_t f = 0; f < num_functions; ++f) {
+    fn_seeds[f] = HashCombine(seed_, f);
+  }
+  auto cache =
+      std::make_unique<GaussianProjectionCache>(seed_, std::move(fn_seeds));
+  for (VectorRef v : dataset) cache->AddDims(v);
+  cache->Fill(pool);
+  return cache;
 }
 
 double SimHashFamily::CollisionProbability(double similarity) const {

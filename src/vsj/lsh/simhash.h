@@ -6,6 +6,13 @@
 // The Gaussian entry r[d] for hash function j is derived on the fly from
 // Mix64(d, seed_j); no d-dimensional projection matrices are stored, so the
 // family supports 10^5+-dimensional vocabularies at zero memory cost.
+//
+// Hot path: when the caller's HashScratch carries a sealed
+// GaussianProjectionCache built by this family, the per-(feature, function)
+// derivation becomes a contiguous row load fed to the SIMD accumulation
+// kernel (simhash_kernel.h) — bit-identical to the uncached scalar loop,
+// since the cache stores exactly the GaussianFromHash values and each SIMD
+// lane owns one function.
 
 #ifndef VSJ_LSH_SIMHASH_H_
 #define VSJ_LSH_SIMHASH_H_
@@ -19,13 +26,19 @@ class SimHashFamily final : public LshFamily {
  public:
   explicit SimHashFamily(uint64_t seed = 0);
 
-  void HashRange(VectorRef v, uint32_t function_offset, uint32_t k,
-                 uint64_t* out) const override;
+  std::unique_ptr<GaussianProjectionCache> MakeProjectionCache(
+      DatasetView dataset, uint32_t num_functions,
+      ThreadPool* pool) const override;
+
   double CollisionProbability(double similarity) const override;
   SimilarityMeasure measure() const override {
     return SimilarityMeasure::kCosine;
   }
   const char* name() const override { return "simhash"; }
+
+ protected:
+  void DoHashRange(VectorRef v, uint32_t function_offset, uint32_t k,
+                   uint64_t* out, HashScratch& scratch) const override;
 
  private:
   uint64_t seed_;

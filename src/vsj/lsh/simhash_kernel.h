@@ -1,0 +1,45 @@
+// Vectorized hashing kernels for the LSH families — the index-build hot
+// path made SIMD-wide while staying bit-identical to the scalar code.
+//
+// Both kernels vectorize *across the k hash functions of one feature*:
+// lane j owns function j, so the per-function accumulation (or min-fold)
+// order over the features is exactly the scalar order and no floating-point
+// reassociation ever happens. Concretely:
+//
+//   * AccumulateProjectionLanes — SimHash. acc[j] += weight * gaussians[j]
+//     per lane, as one IEEE multiply followed by one IEEE add (never an
+//     FMA; the translation unit is built with -ffp-contract=off so the
+//     scalar fallback cannot contract either). Identical rounding per lane
+//     at every width.
+//
+//   * MinFoldLanes — MinHash. mins[j] = min(mins[j], Mix64(key + terms[j]))
+//     per lane; pure 64-bit integer arithmetic, so bit-identity is trivial
+//     once the lane owns the function.
+//
+// Width is chosen at runtime from util/cpu.h (scalar / SSE2 / AVX2; the
+// AVX2 bodies are compiled with a function-level target attribute, so the
+// binary stays runnable on plain x86-64). The dispatch bit-identity suite
+// (tests/lsh/simd_dispatch_test.cc) pins all widths against scalar.
+
+#ifndef VSJ_LSH_SIMHASH_KERNEL_H_
+#define VSJ_LSH_SIMHASH_KERNEL_H_
+
+#include <cstdint>
+
+namespace vsj {
+
+/// acc[j] += weight * gaussians[j] for j in [0, k) — the SimHash inner loop
+/// over one feature, given the feature's k cached Gaussian components.
+void AccumulateProjectionLanes(const double* gaussians, double weight,
+                               double* acc, uint32_t k);
+
+/// mins[j] = min(mins[j], Mix64(mixed_key + seed_terms[j])) for j in
+/// [0, k) — the MinHash inner loop over one set element. `mixed_key` is
+/// Mix64(element key); `seed_terms[j]` is fn_seed_j * kGoldenGamma + 1, so
+/// the lane computes exactly HashCombine(element key, fn_seed_j).
+void MinFoldLanes(uint64_t mixed_key, const uint64_t* seed_terms,
+                  uint64_t* mins, uint32_t k);
+
+}  // namespace vsj
+
+#endif  // VSJ_LSH_SIMHASH_KERNEL_H_

@@ -120,6 +120,9 @@ StreamingEstimationService::StreamingEstimationService(
       pool_(options.num_threads),
       cache_(options.cache_tau_bucket_width, options.cache_capacity) {
   cache_.RestoreEpoch(epoch_);
+  // Replay (RestoreReplay, called right after construction) re-hashes
+  // every live vector; attach the memoized hyperplane components first.
+  BuildProjectionCache();
 }
 
 IoStatus StreamingEstimationService::Restore(

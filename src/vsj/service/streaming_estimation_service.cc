@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "vsj/lsh/gaussian_projection_cache.h"
 #include "vsj/service/dataset_fingerprint.h"
 #include "vsj/service/trial_runner.h"
 #include "vsj/util/check.h"
@@ -33,7 +34,16 @@ StreamingEstimationService::StreamingEstimationService(
       estimator_(DatasetView::IdAddressed(store_), index_, options.measure,
                  options.lsh_ss),
       pool_(options.num_threads),
-      cache_(options.cache_tau_bucket_width, options.cache_capacity) {}
+      cache_(options.cache_tau_bucket_width, options.cache_capacity) {
+  BuildProjectionCache();
+}
+
+void StreamingEstimationService::BuildProjectionCache() {
+  projection_cache_ = family_->MakeProjectionCache(
+      DatasetView(store_), options_.k * options_.num_tables,
+      pool_.num_threads() > 0 ? &pool_ : nullptr);
+  index_.AttachProjectionCache(projection_cache_.get());
+}
 
 uint64_t StreamingEstimationService::effective_fingerprint() const {
   return HashCombine(base_fingerprint_, epoch_);

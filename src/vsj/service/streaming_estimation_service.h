@@ -32,6 +32,7 @@
 #include "vsj/core/streaming_lsh_ss_estimator.h"
 #include "vsj/io/io_status.h"
 #include "vsj/lsh/dynamic_lsh_index.h"
+#include "vsj/lsh/gaussian_projection_cache.h"
 #include "vsj/lsh/lsh_family.h"
 #include "vsj/service/estimate_cache.h"
 #include "vsj/service/estimate_request.h"
@@ -170,11 +171,19 @@ class StreamingEstimationService {
   EstimateResponse Compute(const EstimateRequest& request,
                            size_t request_index) const;
 
+  /// Builds and attaches the sealed Gaussian projection cache over the
+  /// current backing store (ℓ·k functions), so every index mutation hashes
+  /// from memoized hyperplane components. Vectors appended after
+  /// construction may introduce uncached dimensions; those hash uncached,
+  /// bit-identically. Called from both constructors.
+  void BuildProjectionCache();
+
   StreamingEstimationServiceOptions options_;
   StreamingCsrStorage store_;
   uint64_t base_fingerprint_;
   uint64_t epoch_ = 0;
   std::unique_ptr<LshFamily> family_;
+  std::unique_ptr<GaussianProjectionCache> projection_cache_;
   DynamicLshIndex index_;
   StreamingLshSsEstimator estimator_;
   ThreadPool pool_;

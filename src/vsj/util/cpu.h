@@ -1,0 +1,49 @@
+// Runtime SIMD dispatch for the hashing kernels.
+//
+// The hot-path kernels (lsh/simhash_kernel.h) are compiled in up to three
+// widths — scalar, SSE2 (2 lanes) and AVX2 (4 lanes) — and selected once at
+// runtime from CPU feature detection. All widths are bit-identical by
+// construction (DESIGN.md "Hot-path kernels"), so the level is a pure
+// throughput knob; the dispatch bit-identity suite pins the contract.
+//
+// Overrides, strongest first:
+//   VSJ_FORCE_SCALAR=1        force the scalar kernels (the CI cross-check)
+//   VSJ_SIMD=scalar|sse2|avx2 cap the level (clamped to what the CPU has)
+//   SetSimdLevelForTest()     in-process override for the dispatch suite
+
+#ifndef VSJ_UTIL_CPU_H_
+#define VSJ_UTIL_CPU_H_
+
+namespace vsj {
+
+/// Kernel widths, ordered: a CPU supporting level L supports all levels
+/// below it.
+enum class SimdLevel {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Short lowercase name ("scalar", "sse2", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// The widest level the CPU supports, ignoring every override. Non-x86
+/// builds always report kScalar (only the scalar kernels are compiled).
+SimdLevel DetectSimdLevel();
+
+/// The level the kernels actually dispatch to: detection, capped by the
+/// VSJ_FORCE_SCALAR / VSJ_SIMD environment overrides (read once) and by
+/// SetSimdLevelForTest.
+SimdLevel ActiveSimdLevel();
+
+/// Test-only override of ActiveSimdLevel(), clamped to DetectSimdLevel().
+/// Returns the level actually installed. Not thread-safe: call only while
+/// no kernel runs concurrently (the dispatch suite is single-threaded).
+SimdLevel SetSimdLevelForTest(SimdLevel level);
+
+/// Drops the test override, restoring detection + environment.
+void ResetSimdLevelForTest();
+
+}  // namespace vsj
+
+#endif  // VSJ_UTIL_CPU_H_

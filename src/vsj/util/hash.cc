@@ -17,7 +17,7 @@ uint64_t HashCombine(uint64_t a, uint64_t b) {
   // Mix the first operand before combining so that small (a, b) pairs do
   // not alias in the pre-mix value (the classic boost combine collides for
   // small integers).
-  return Mix64(Mix64(a) + b * 0x9e3779b97f4a7c15ULL + 1);
+  return Mix64(Mix64(a) + b * kHashCombineGamma + 1);
 }
 
 double UniformFromHash(uint64_t key, uint64_t seed) {

@@ -16,7 +16,13 @@ namespace vsj {
 /// Mixes the bits of `x` (SplitMix64/Murmur3 finalizer); bijective.
 uint64_t Mix64(uint64_t x);
 
-/// Hashes the pair (a, b) into 64 bits.
+/// The multiplier HashCombine applies to its second operand (the 64-bit
+/// golden ratio). Exposed so hot loops can precompute b·γ + 1 once and
+/// fold HashCombine(a, b) as Mix64(Mix64(a) + term) — see MinHash.
+inline constexpr uint64_t kHashCombineGamma = 0x9e3779b97f4a7c15ULL;
+
+/// Hashes the pair (a, b) into 64 bits:
+/// Mix64(Mix64(a) + b·kHashCombineGamma + 1).
 uint64_t HashCombine(uint64_t a, uint64_t b);
 
 /// Deterministic standard-normal value derived from `key` and `seed`.

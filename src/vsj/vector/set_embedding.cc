@@ -17,16 +17,22 @@ uint32_t NumCopies(float weight, double resolution) {
 }  // namespace
 
 std::vector<SetElement> EmbedAsSet(VectorRef v, double resolution) {
-  VSJ_CHECK(resolution > 0.0);
   std::vector<SetElement> elements;
   elements.reserve(v.size());
+  EmbedAsSet(v, resolution, &elements);
+  return elements;
+}
+
+void EmbedAsSet(VectorRef v, double resolution,
+                std::vector<SetElement>* out) {
+  VSJ_CHECK(resolution > 0.0);
+  out->clear();
   for (const Feature f : v) {
     const uint32_t copies = NumCopies(f.weight, resolution);
     for (uint32_t c = 0; c < copies; ++c) {
-      elements.push_back(SetElement{f.dim, c});
+      out->push_back(SetElement{f.dim, c});
     }
   }
-  return elements;
 }
 
 double EmbeddedJaccard(VectorRef u, VectorRef v, double resolution) {

@@ -28,6 +28,11 @@ struct SetElement {
 /// resolution 1 this is the identity embedding.
 std::vector<SetElement> EmbedAsSet(VectorRef v, double resolution);
 
+/// Scratch-buffer overload for hot loops (MinHash hashes every vector of an
+/// index build): clears and refills `*out`, reusing its capacity so a warm
+/// caller embeds without allocating.
+void EmbedAsSet(VectorRef v, double resolution, std::vector<SetElement>* out);
+
 /// Jaccard similarity of the embedded multisets of `u` and `v`.
 ///
 /// Equals JaccardSimilarity(u, v) exactly for binary vectors with

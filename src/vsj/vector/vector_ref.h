@@ -126,6 +126,20 @@ class VectorRef {
 /// picks the cheaper traversal.
 inline constexpr size_t kGallopRatio = 8;
 
+/// Hints the cache hierarchy to start loading the head of both feature
+/// columns of `v`. Used by batched pair evaluation (stratified sampling
+/// draws pairs ahead of evaluating them): typical corpus vectors fit their
+/// dims and weights in one or two cache lines each, so two prefetches
+/// hide most of the pointer-chase latency of a random pair.
+inline void PrefetchFeatures(VectorRef v) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(v.dims());
+  __builtin_prefetch(v.weights());
+#else
+  (void)v;
+#endif
+}
+
 }  // namespace vsj
 
 #endif  // VSJ_VECTOR_VECTOR_REF_H_

@@ -1,5 +1,6 @@
 #include "vsj/lsh/dynamic_lsh_table.h"
 
+#include <algorithm>
 #include <map>
 
 #include <gtest/gtest.h>
@@ -141,6 +142,88 @@ TEST(DynamicLshTableTest, ThousandsOfChurnCyclesMatchFreshRebuild) {
           << u << "," << v;
     }
   }
+}
+
+TEST(DynamicLshTableTest, ArenaSurvivesRelocationsAndCompaction) {
+  // The bucket arena grows buckets by relocation (doubling slack) and
+  // compacts once relocation garbage exceeds the live footprint. k = 1
+  // SimHash yields two giant buckets, so heavy churn forces many
+  // relocations and several compactions; every estimator-facing quantity
+  // must keep matching a fresh rebuild of the survivors throughout.
+  VectorDataset dataset = testing::SmallClusteredCorpus(2000, 31);
+  SimHashFamily family(32);
+  DynamicLshTable churned(family, 1);
+  Rng rng(33);
+  std::vector<bool> present(dataset.size(), false);
+  for (int op = 0; op < 30000; ++op) {
+    const auto id = static_cast<VectorId>(rng.Below(dataset.size()));
+    if (present[id]) {
+      churned.Remove(id);
+    } else {
+      churned.Insert(id, dataset[id]);
+    }
+    present[id] = !present[id];
+    ASSERT_DOUBLE_EQ(churned.PairWeightTotal(),
+                     static_cast<double>(churned.NumSameBucketPairs()));
+  }
+
+  DynamicLshTable fresh(family, 1);
+  std::vector<VectorId> live;
+  for (VectorId id = 0; id < dataset.size(); ++id) {
+    if (present[id]) {
+      fresh.Insert(id, dataset[id]);
+      live.push_back(id);
+    }
+  }
+  EXPECT_EQ(churned.num_vectors(), live.size());
+  EXPECT_EQ(churned.NumSameBucketPairs(), fresh.NumSameBucketPairs());
+  EXPECT_EQ(churned.num_buckets(), fresh.num_buckets());
+
+  // ReplayOrder must be exactly the live set, grouped by bucket: replaying
+  // it into an empty table reproduces the sampling state (the snapshot
+  // contract), which implies the arena's slices are intact.
+  const std::vector<VectorId> order = churned.ReplayOrder();
+  ASSERT_EQ(order.size(), live.size());
+  std::vector<VectorId> sorted_order = order;
+  std::sort(sorted_order.begin(), sorted_order.end());
+  EXPECT_EQ(sorted_order, live);
+  DynamicLshTable replayed(family, 1);
+  for (const VectorId id : order) replayed.Insert(id, dataset[id]);
+  EXPECT_EQ(replayed.NumSameBucketPairs(), churned.NumSameBucketPairs());
+  Rng draw_churned(55);
+  Rng draw_replayed(55);
+  for (int draw = 0; draw < 2000; ++draw) {
+    const VectorPair a = churned.SampleSameBucketPair(draw_churned);
+    const VectorPair b = replayed.SampleSameBucketPair(draw_replayed);
+    ASSERT_EQ(a.first, b.first);
+    ASSERT_EQ(a.second, b.second);
+    ASSERT_NE(a.first, a.second);
+    ASSERT_TRUE(churned.SameBucket(a.first, a.second));
+  }
+
+  // Mass expiry: shrink the live set to a sliver of the arena's reserved
+  // capacity, which must trip the trimming compaction (the live members
+  // drop far below the historical bucket capacities). Then regrow through
+  // the trimmed capacities. Quantities must match fresh rebuilds at both
+  // extremes; ASan guards the relocations.
+  std::vector<VectorId> expired;
+  for (const VectorId id : live) {
+    if (expired.size() + 50 < live.size()) {
+      churned.Remove(id);
+      expired.push_back(id);
+    }
+  }
+  DynamicLshTable sliver(family, 1);
+  for (const VectorId id : live) {
+    if (churned.Contains(id)) sliver.Insert(id, dataset[id]);
+  }
+  EXPECT_EQ(churned.num_vectors(), 50u);
+  EXPECT_EQ(churned.NumSameBucketPairs(), sliver.NumSameBucketPairs());
+  for (const VectorId id : expired) churned.Insert(id, dataset[id]);
+  EXPECT_EQ(churned.num_vectors(), live.size());
+  EXPECT_EQ(churned.NumSameBucketPairs(), fresh.NumSameBucketPairs());
+  ASSERT_DOUBLE_EQ(churned.PairWeightTotal(),
+                   static_cast<double>(churned.NumSameBucketPairs()));
 }
 
 TEST(DynamicLshTableTest, SamplingIsUniformOverSameBucketPairs) {

@@ -5,6 +5,7 @@
 
 #include "vsj/service/estimation_service.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -99,7 +100,11 @@ TEST(EstimationServiceTest, ParallelIndexBuildMatchesSerial) {
     EXPECT_EQ(a.NumSameBucketPairs(), b.NumSameBucketPairs()) << t;
     for (size_t bucket = 0; bucket < a.num_buckets(); ++bucket) {
       ASSERT_EQ(a.BucketKey(bucket), b.BucketKey(bucket)) << t;
-      ASSERT_EQ(a.bucket(bucket), b.bucket(bucket)) << t;
+      const auto bucket_a = a.bucket(bucket);
+      const auto bucket_b = b.bucket(bucket);
+      ASSERT_TRUE(std::equal(bucket_a.begin(), bucket_a.end(),
+                             bucket_b.begin(), bucket_b.end()))
+          << t;
     }
     for (VectorId id = 0; id < dataset.size(); ++id) {
       ASSERT_EQ(a.BucketOf(id), b.BucketOf(id)) << t;
