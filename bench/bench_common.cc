@@ -9,6 +9,8 @@
 #include <map>
 #include <sstream>
 
+#include "vsj/obs/metrics.h"
+#include "vsj/obs/stat_reporter.h"
 #include "vsj/util/env.h"
 #include "vsj/util/hash.h"
 #include "vsj/util/timer.h"
@@ -196,6 +198,16 @@ void BenchJson::Add(const std::string& name, const std::string& unit,
   records_.push_back(Record{name, unit, value, iterations});
 }
 
+void BenchJson::AddMetricsSnapshot() {
+  if (!enabled()) return;
+  const obs::RegistrySnapshot snapshot =
+      obs::MetricRegistry::Global().Snapshot();
+  if (snapshot.samples.empty()) return;
+  std::ostringstream out;
+  obs::AppendMetricsJson(snapshot, out);
+  metrics_json_ = out.str();
+}
+
 bool BenchJson::Write() const {
   if (!enabled()) return true;
   std::ostringstream out;
@@ -206,7 +218,11 @@ bool BenchJson::Write() const {
         << "\", \"unit\": \"" << r.unit << "\", \"value\": " << r.value
         << ", \"iterations\": " << r.iterations << "}";
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ]";
+  if (!metrics_json_.empty()) {
+    out << ",\n  \"metrics\": " << metrics_json_;
+  }
+  out << "\n}\n";
   std::ofstream os(path_);
   os << out.str();
   if (!os) {

@@ -105,6 +105,12 @@ class BenchJson {
   void Add(const std::string& name, const std::string& unit, double value,
            size_t iterations);
 
+  /// Captures the global MetricRegistry as a "metrics" section of the
+  /// document (counters, gauges, histogram percentiles). Call after the
+  /// measured work, before Write(). A no-op without an output path or when
+  /// metrics never recorded anything.
+  void AddMetricsSnapshot();
+
   /// Writes the document; returns false (after printing to stderr) when the
   /// file cannot be written. Call once at the end of main.
   bool Write() const;
@@ -119,6 +125,7 @@ class BenchJson {
   std::string bench_name_;
   std::string path_;
   std::vector<Record> records_;
+  std::string metrics_json_;  // serialized registry snapshot, may be empty
 };
 
 }  // namespace vsj::bench

@@ -196,6 +196,7 @@ int main(int argc, char** argv) {
              iters);
   }
   skew.Print(std::cout);
+  json.AddMetricsSnapshot();
   if (!json.Write()) return 1;
   std::cout << "\nper-pair cost is the paper-relevant unit (1-core dev "
                "containers show no parallel speedup)\n";

@@ -205,6 +205,7 @@ int main(int argc, char** argv) {
                vsj::SimdLevelName(vsj::ActiveSimdLevel()) + "_kernels",
            "ms", vector_best * 1e3, iters);
   json.Add("static_build_speedup", "x", baseline_best / vector_best, iters);
+  json.AddMetricsSnapshot();
   if (!json.Write()) return 1;
   std::cout << "\nper-build wall time is the unit (1-core dev containers "
                "show no parallel speedup); baseline replica is pre-PR code\n";

@@ -130,6 +130,7 @@ int main(int argc, char** argv) {
          vsj::TablePrinter::Pct(cache_stats.HitRate())});
   }
   report.Print(std::cout);
+  json.AddMetricsSnapshot();
   if (!json.Write()) return 1;
   std::cout << "\nchurned batches recompute (epoch invalidation); only the "
                "churn-0 row can hit the cache\n";

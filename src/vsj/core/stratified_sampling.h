@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 #include "vsj/util/rng.h"
 #include "vsj/vector/dataset_view.h"
@@ -83,6 +84,8 @@ double SampleStratumH(DatasetView dataset, SimilarityMeasure measure,
     done += count;
   }
   *evaluated += m_h;
+  // Bulk post-loop adds: the pair loop itself stays instrumentation-free.
+  VSJ_COUNTER_ADD("estimate.pairs_h", m_h);
   return static_cast<double>(hits) * static_cast<double>(num_pairs_h) /
          static_cast<double>(m_h);
 }
@@ -115,8 +118,11 @@ double SampleStratumL(DatasetView dataset, SimilarityMeasure measure,
     ++samples;
   }
   *evaluated += samples;
+  VSJ_COUNTER_ADD("estimate.pairs_l", samples);
+  if (hits >= delta) VSJ_COUNTER_ADD("estimate.sample_l_early_exit", 1);
 
   if (samples >= m_l && hits < delta) {
+    VSJ_COUNTER_ADD("estimate.sample_l_dampened", 1);
     // The answer-size threshold was not met: scaling up by N_L/i carries no
     // guarantee (Example 1 of the paper). Return the safe lower bound n_L,
     // or the dampened scale-up of Theorem 2.

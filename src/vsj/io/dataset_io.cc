@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "vsj/io/vsjb_format.h"
+#include "vsj/obs/obs.h"
 
 namespace vsj {
 
@@ -223,6 +224,7 @@ IoStatus ReadDataset(std::istream& is, VectorDataset* dataset,
 }
 
 IoStatus SaveDatasetToFile(DatasetView dataset, const std::string& path) {
+  VSJ_TRACE_SPAN(save_span, "io.save_ns");
   std::ofstream os(path, std::ios::binary);
   if (!os) {
     return IoStatus::Fail(IoError::kNotFound,
@@ -230,18 +232,30 @@ IoStatus SaveDatasetToFile(DatasetView dataset, const std::string& path) {
                               std::strerror(errno),
                           0, path);
   }
-  return WriteDataset(dataset, os).WithPath(path);
+  IoStatus status = WriteDataset(dataset, os).WithPath(path);
+  if (status) {
+    const std::streampos bytes = os.tellp();
+    if (bytes > 0) VSJ_COUNTER_ADD("io.bytes_written", bytes);
+  }
+  return status;
 }
 
 IoStatus LoadDatasetFromFile(const std::string& path, VectorDataset* dataset,
                              uint32_t* format_version) {
+  VSJ_TRACE_SPAN(load_span, "io.load_ns");
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     return IoStatus::Fail(IoError::kNotFound,
                           std::string("cannot open: ") + std::strerror(errno),
                           0, path);
   }
-  return ReadDataset(is, dataset, format_version).WithPath(path);
+  IoStatus status = ReadDataset(is, dataset, format_version).WithPath(path);
+  if (status) {
+    is.clear();  // tellg is -1 on an eof-flagged stream
+    const std::streampos bytes = is.tellg();
+    if (bytes > 0) VSJ_COUNTER_ADD("io.bytes_read", bytes);
+  }
+  return status;
 }
 
 }  // namespace vsj

@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "vsj/obs/obs.h"
+
 namespace vsj {
 
 namespace {
@@ -226,11 +228,13 @@ IoStatus ReadVsjbFile(std::istream& is, const char (&magic)[4],
                                 " is truncated",
                             entry.offset);
     }
+    VSJ_TRACE_SPAN(checksum_span, "io.checksum_verify_ns");
     if (VsjbChecksum(payload.data(), payload.size()) != entry.checksum) {
       return IoStatus::Fail(IoError::kChecksumMismatch,
                             "section " + SectionIdName(entry.id),
                             entry.offset);
     }
+    checksum_span.End();
     position = entry.offset + entry.length;
   }
   return IoStatus::Ok();
@@ -279,11 +283,14 @@ IoStatus ValidateVsjbImage(const void* base, size_t size,
                                 " extends past end of file",
                             entry.offset);
     }
-    if (verify_checksums &&
-        VsjbChecksum(bytes + entry.offset, entry.length) != entry.checksum) {
-      return IoStatus::Fail(IoError::kChecksumMismatch,
-                            "section " + SectionIdName(entry.id),
-                            entry.offset);
+    if (verify_checksums) {
+      VSJ_TRACE_SPAN(checksum_span, "io.checksum_verify_ns");
+      if (VsjbChecksum(bytes + entry.offset, entry.length) !=
+          entry.checksum) {
+        return IoStatus::Fail(IoError::kChecksumMismatch,
+                              "section " + SectionIdName(entry.id),
+                              entry.offset);
+      }
     }
   }
   return IoStatus::Ok();

@@ -1,5 +1,6 @@
 #include "vsj/lsh/dynamic_lsh_index.h"
 
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 
 namespace vsj {
@@ -17,6 +18,7 @@ DynamicLshIndex::DynamicLshIndex(const LshFamily& family, uint32_t k,
 
 void DynamicLshIndex::Insert(VectorId id, VectorRef vector) {
   VSJ_CHECK_MSG(!Contains(id), "vector %u already present", id);
+  VSJ_COUNTER_ADD("lsh.dyn.inserts", 1);
   for (auto& table : tables_) table->Insert(id, vector, scratch_);
   live_position_[id] = live_.size();
   live_.push_back(id);
@@ -25,6 +27,7 @@ void DynamicLshIndex::Insert(VectorId id, VectorRef vector) {
 void DynamicLshIndex::Remove(VectorId id) {
   auto it = live_position_.find(id);
   VSJ_CHECK_MSG(it != live_position_.end(), "vector %u not present", id);
+  VSJ_COUNTER_ADD("lsh.dyn.removes", 1);
   for (auto& table : tables_) table->Remove(id);
   // Swap-pop the live list; fix the displaced id's position.
   const size_t position = it->second;

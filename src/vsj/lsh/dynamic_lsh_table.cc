@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 #include "vsj/util/hash.h"
 
@@ -48,6 +49,9 @@ uint64_t DynamicLshTable::BucketKeyFor(VectorRef vector,
 }
 
 void DynamicLshTable::GrowBucket(uint32_t b) {
+  // A grow relocates the bucket's members to fresh arena space — rare
+  // (amortized by doubling), so a counter here is off the common path.
+  VSJ_COUNTER_ADD("lsh.dyn.relocations", 1);
   BucketSlot& slot = slots_[b];
   const uint32_t new_capacity = slot.capacity * 2;
   const auto new_offset = static_cast<uint32_t>(member_arena_.size());
@@ -76,6 +80,8 @@ void DynamicLshTable::MaybeCompactArena() {
 }
 
 void DynamicLshTable::CompactArena() {
+  VSJ_COUNTER_ADD("lsh.dyn.compactions", 1);
+  VSJ_TRACE_SPAN(compact_span, "lsh.dyn.compact_ns");
   size_t trimmed_total = 0;
   for (const BucketSlot& slot : slots_) {
     trimmed_total += TrimmedCapacity(slot.size);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "vsj/lsh/gaussian_projection_cache.h"
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 
 namespace vsj {
@@ -13,6 +14,7 @@ LshIndex::LshIndex(const LshFamily& family, DatasetView dataset,
     : family_(&family), dataset_(dataset), k_(k) {
   VSJ_CHECK(num_tables > 0);
   tables_.reserve(num_tables);
+  VSJ_COUNTER_ADD("lsh.build.tables", num_tables);
 
   ThreadPool* workers =
       (pool != nullptr && pool->num_threads() > 0) ? pool : nullptr;
@@ -24,8 +26,10 @@ LshIndex::LshIndex(const LshFamily& family, DatasetView dataset,
   // read-only by every hashing worker; families without a table-driven
   // form return nullptr and hash uncached. Build results are bit-identical
   // with and without the cache.
+  VSJ_TRACE_SPAN(projcache_span, "lsh.build.projcache_fill_ns");
   const std::unique_ptr<GaussianProjectionCache> cache =
       family.MakeProjectionCache(dataset, k * num_tables, workers);
+  projcache_span.End();
 
   const auto n = static_cast<VectorId>(dataset.size());
 
@@ -34,6 +38,7 @@ LshIndex::LshIndex(const LshFamily& family, DatasetView dataset,
     HashScratch scratch;
     scratch.gaussian_cache = cache.get();
     for (uint32_t t = 0; t < num_tables; ++t) {
+      VSJ_TRACE_SPAN(table_span, "lsh.build.table_ns");
       LshTable::ComputeBucketKeys(family, dataset, k, t * k, 0, n,
                                   keys.data(), scratch);
       tables_.push_back(std::make_unique<LshTable>(dataset, k, keys));
@@ -48,6 +53,7 @@ LshIndex::LshIndex(const LshFamily& family, DatasetView dataset,
   std::vector<std::vector<uint64_t>> keys(num_tables);
   for (auto& table_keys : keys) table_keys.resize(n);
 
+  VSJ_TRACE_SPAN(hash_span, "lsh.build.hash_ns");
   constexpr VectorId kChunk = 2048;
   const size_t chunks_per_table =
       n == 0 ? 0 : (n + kChunk - 1) / kChunk;
@@ -61,7 +67,10 @@ LshIndex::LshIndex(const LshFamily& family, DatasetView dataset,
                                 keys[t].data() + begin, scratch);
   });
 
+  hash_span.End();
+
   // Phase 2: group into buckets — sequential per table, tables in parallel.
+  VSJ_TRACE_SPAN(group_span, "lsh.build.group_ns");
   tables_.resize(num_tables);
   workers->ParallelFor(num_tables, [&](size_t t) {
     tables_[t] = std::make_unique<LshTable>(dataset, k, keys[t]);

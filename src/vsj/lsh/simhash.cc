@@ -6,6 +6,7 @@
 
 #include "vsj/lsh/gaussian_projection_cache.h"
 #include "vsj/lsh/simhash_kernel.h"
+#include "vsj/obs/obs.h"
 #include "vsj/util/hash.h"
 
 namespace vsj {
@@ -36,6 +37,9 @@ void SimHashFamily::DoHashRange(VectorRef v, uint32_t function_offset,
     cache = nullptr;
   }
 
+  // Cache hit accounting is local and flushed in bulk after the loop —
+  // the per-feature path carries no atomics.
+  uint64_t cache_misses = 0;
   for (const Feature f : v) {
     const double* row = cache != nullptr ? cache->Row(f.dim) : nullptr;
     if (row != nullptr) {
@@ -43,11 +47,14 @@ void SimHashFamily::DoHashRange(VectorRef v, uint32_t function_offset,
                                 static_cast<double>(f.weight), projections,
                                 k);
     } else {
+      ++cache_misses;
       for (uint32_t j = 0; j < k; ++j) {
         projections[j] += f.weight * GaussianFromHash(f.dim, fn_seeds[j]);
       }
     }
   }
+  VSJ_COUNTER_ADD("lsh.projcache.lookups", v.size());
+  if (cache_misses > 0) VSJ_COUNTER_ADD("lsh.projcache.misses", cache_misses);
   for (uint32_t j = 0; j < k; ++j) out[j] = projections[j] >= 0.0 ? 1 : 0;
 }
 

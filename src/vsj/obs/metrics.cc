@@ -1,0 +1,204 @@
+#include "vsj/obs/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+#include "vsj/util/check.h"
+
+namespace vsj::obs {
+
+namespace {
+
+bool MetricsEnabledFromEnv() {
+  const char* env = std::getenv("VSJ_METRICS");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{MetricsEnabledFromEnv()};
+  return enabled;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void EnableMetrics(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t MonotonicNowNs() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+size_t CounterShardIndex() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) %
+      Counter::kShards;
+  return shard;
+}
+
+uint64_t Histogram::SlotLowerBound(size_t slot) {
+  if (slot < kSubBucketCount) return slot;
+  const size_t shift = slot / kSubBucketCount - 1;
+  const uint64_t sub = slot % kSubBucketCount;
+  return (kSubBucketCount + sub) << shift;
+}
+
+uint64_t Histogram::SlotUpperBound(size_t slot) {
+  if (slot < kSubBucketCount) return slot;
+  const size_t shift = slot / kSubBucketCount - 1;
+  return SlotLowerBound(slot) + ((1ull << shift) - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.slots.resize(kNumSlots);
+  for (size_t s = 0; s < kNumSlots; ++s) {
+    const uint64_t c = slots_[s].load(std::memory_order_relaxed);
+    snapshot.slots[s] = c;
+    snapshot.count += c;
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  snapshot.underflow = underflow_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (slots.empty()) slots.resize(Histogram::kNumSlots);
+  VSJ_CHECK(other.slots.empty() || other.slots.size() == slots.size());
+  for (size_t s = 0; s < other.slots.size(); ++s) slots[s] += other.slots[s];
+  count += other.count;
+  sum += other.sum;
+  underflow += other.underflow;
+  if (other.max > max) max = other.max;
+}
+
+uint64_t HistogramSnapshot::ValueAtPercentile(double p) const {
+  if (count == 0) return 0;
+  const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t s = 0; s < slots.size(); ++s) {
+    cumulative += slots[s];
+    if (cumulative >= rank) return Histogram::SlotUpperBound(s);
+  }
+  return Histogram::SlotUpperBound(slots.size() - 1);
+}
+
+const MetricSample* RegistrySnapshot::Find(const std::string& name) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    counters_.emplace_back();
+    Entry entry;
+    entry.type = MetricType::kCounter;
+    entry.counter = &counters_.back();
+    it = entries_.emplace(name, entry).first;
+  }
+  VSJ_CHECK_MSG(it->second.type == MetricType::kCounter,
+                "metric '%s' is not a counter", name.c_str());
+  return *it->second.counter;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    gauges_.emplace_back();
+    Entry entry;
+    entry.type = MetricType::kGauge;
+    entry.gauge = &gauges_.back();
+    it = entries_.emplace(name, entry).first;
+  }
+  VSJ_CHECK_MSG(it->second.type == MetricType::kGauge,
+                "metric '%s' is not a gauge", name.c_str());
+  return *it->second.gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    histograms_.emplace_back();
+    Entry entry;
+    entry.type = MetricType::kHistogram;
+    entry.histogram = &histograms_.back();
+    it = entries_.emplace(name, entry).first;
+  }
+  VSJ_CHECK_MSG(it->second.type == MetricType::kHistogram,
+                "metric '%s' is not a histogram", name.c_str());
+  return *it->second.histogram;
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  snapshot.taken_at_ns = MonotonicNowNs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.samples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.type = entry.type;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        sample.counter_value = entry.counter->Value();
+        break;
+      case MetricType::kGauge:
+        sample.gauge_value = entry.gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        sample.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Counter& c : counters_) c.Reset();
+  for (Gauge& g : gauges_) g.Reset();
+  for (Histogram& h : histograms_) h.Reset();
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace vsj::obs

@@ -1,0 +1,246 @@
+// Metric primitives and the process-wide MetricRegistry.
+//
+// The observability layer (DESIGN.md "Observability") is built from three
+// primitives, all safe for concurrent recording:
+//
+//   * Counter — monotone event count, sharded across cache-line-padded
+//     atomic slots so concurrent writers from the thread pool never
+//     contend on one line. Value() sums the shards.
+//   * Gauge — a single signed level (queue depth, epoch). One relaxed
+//     atomic; Set/Add.
+//   * Histogram — HdrHistogram-style log-linear bucketing of uint64
+//     values (latencies in nanoseconds, sizes in bytes). Buckets are
+//     exact below 2^kSubBucketBits and within a relative width of
+//     1/2^kSubBucketBits above it, so p50/p90/p99/p999 carry a bounded
+//     relative error (~3.1% at the default 5 bits) at a fixed 1920-slot
+//     footprint covering the full uint64 range — no overflow bucket is
+//     ever needed, and negative inputs clamp to slot 0 with a separate
+//     underflow count. Recording is one relaxed fetch_add; snapshots are
+//     plain structs that merge associatively across thread-local or
+//     per-run shards.
+//
+// The registry maps stable names ("cache.hits", "estimate.trial_ns") to
+// primitives, created on first use and never destroyed (deque storage, so
+// references stay valid for the process lifetime — instrumentation sites
+// cache them in function-local statics, see obs.h). Snapshot() returns a
+// name-sorted value copy suitable for tables, JSON and deltas.
+//
+// None of this machinery touches estimator state: metrics record *into*
+// the registry and never feed back, which is why the bit-identity
+// contract (tests/obs/metrics_equivalence_test.cc) survives
+// instrumentation by construction.
+
+#ifndef VSJ_OBS_METRICS_H_
+#define VSJ_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vsj::obs {
+
+/// True when metric recording is on. Off by default; flipped by
+/// EnableMetrics() or the VSJ_METRICS environment variable (any value but
+/// "0" / empty). One relaxed atomic load — the instrumentation macros
+/// check it before touching any metric, so a disabled build's hot-path
+/// cost is a predictable branch.
+bool MetricsEnabled();
+
+/// Turns metric recording on or off at runtime.
+void EnableMetrics(bool enabled);
+
+/// Nanoseconds since the first call (process-relative steady clock).
+uint64_t MonotonicNowNs();
+
+/// The shard a recording thread writes to; threads are assigned
+/// round-robin on first use.
+size_t CounterShardIndex();
+
+/// Sharded monotone event counter.
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Add(uint64_t n) {
+    shards_[CounterShardIndex()].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// A signed level (queue depth, live count, epoch).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Value-type copy of a histogram's state. Mergeable: Merge() is an
+/// elementwise sum, hence associative and commutative across shards.
+struct HistogramSnapshot {
+  uint64_t count = 0;      // Σ slots (recomputed, so it matches them)
+  uint64_t sum = 0;        // Σ recorded values
+  uint64_t max = 0;        // largest recorded value
+  uint64_t underflow = 0;  // negative RecordSigned inputs (clamped to 0)
+  std::vector<uint64_t> slots;
+
+  void Merge(const HistogramSnapshot& other);
+
+  /// The upper bound of the bucket holding the p-th percentile recorded
+  /// value (p in [0, 100]); 0 when empty. Never smaller than the true
+  /// percentile, and at most one bucket width (relative 1/2^kSubBucketBits)
+  /// above it.
+  uint64_t ValueAtPercentile(double p) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Log-linear bucketed histogram over the full uint64 range.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr uint64_t kSubBucketCount = 1ull << kSubBucketBits;
+  /// Slots 0..kSubBucketCount-1 are exact; each further octave adds
+  /// kSubBucketCount slots of relative width 1/kSubBucketCount.
+  static constexpr size_t kNumSlots =
+      static_cast<size_t>(64 - kSubBucketBits + 1) * kSubBucketCount;
+
+  /// The slot of `v`; exact below kSubBucketCount, log-linear above.
+  static size_t SlotFor(uint64_t v) {
+    if (v < kSubBucketCount) return static_cast<size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBucketBits;
+    return static_cast<size_t>(kSubBucketCount) +
+           static_cast<size_t>(shift) * kSubBucketCount +
+           static_cast<size_t>((v >> shift) - kSubBucketCount);
+  }
+
+  /// Smallest / largest value mapping to `slot`.
+  static uint64_t SlotLowerBound(size_t slot);
+  static uint64_t SlotUpperBound(size_t slot);
+
+  void Record(uint64_t v) {
+    slots_[SlotFor(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev && !max_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Negative values clamp to 0 and bump the underflow count.
+  void RecordSigned(int64_t v) {
+    if (v < 0) {
+      underflow_.fetch_add(1, std::memory_order_relaxed);
+      Record(0);
+      return;
+    }
+    Record(static_cast<uint64_t>(v));
+  }
+
+  /// Consistent-enough copy under concurrent recording: slot loads are
+  /// relaxed, and count is recomputed from the copied slots so percentile
+  /// ranks always refer to the snapshot itself.
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumSlots> slots_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> underflow_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One named metric's value in a RegistrySnapshot.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  HistogramSnapshot histogram;
+};
+
+/// Name-sorted value copy of every registered metric.
+struct RegistrySnapshot {
+  uint64_t taken_at_ns = 0;  // MonotonicNowNs() at snapshot time
+  std::vector<MetricSample> samples;
+
+  /// The sample registered under `name`, or nullptr.
+  const MetricSample* Find(const std::string& name) const;
+};
+
+/// Process-wide name → metric table. Metrics are created on first use,
+/// live forever (stable addresses) and may be recorded from any thread.
+/// Asking for an existing name with a different type aborts — names are
+/// a global contract.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every metric's value, keeping registrations (tests, benches).
+  void ResetValues();
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  // Deques never relocate elements: handed-out references stay valid.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Entry> entries_;  // ordered → sorted snapshots
+};
+
+}  // namespace vsj::obs
+
+#endif  // VSJ_OBS_METRICS_H_

@@ -1,0 +1,229 @@
+#include "vsj/obs/stat_reporter.h"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "vsj/util/table_printer.h"
+
+namespace vsj::obs {
+
+namespace {
+
+/// True for histogram metrics holding nanosecond durations (the `_ns`
+/// naming convention; see obs.h).
+bool IsDurationMetric(const std::string& name) {
+  return name.find("_ns") != std::string::npos;
+}
+
+std::string FormatDuration(uint64_t ns) {
+  if (ns < 1000) return std::to_string(ns) + "ns";
+  if (ns < 1000ull * 1000) {
+    return TablePrinter::Fmt(static_cast<double>(ns) / 1e3, 1) + "us";
+  }
+  if (ns < 1000ull * 1000 * 1000) {
+    return TablePrinter::Fmt(static_cast<double>(ns) / 1e6, 2) + "ms";
+  }
+  return TablePrinter::Fmt(static_cast<double>(ns) / 1e9, 2) + "s";
+}
+
+std::string FormatValue(const std::string& name, uint64_t v) {
+  return IsDurationMetric(name) ? FormatDuration(v) : TablePrinter::Count(
+                                                          static_cast<double>(v));
+}
+
+/// Events per second between two totals, "" when no baseline exists.
+std::string FormatRate(uint64_t now_total, const MetricSample* prev_sample,
+                       uint64_t prev_total, double dt_seconds) {
+  if (dt_seconds <= 0.0) return "";
+  const uint64_t before = prev_sample != nullptr ? prev_total : 0;
+  if (now_total < before) return "";  // registry was reset between ticks
+  const double rate = static_cast<double>(now_total - before) / dt_seconds;
+  return TablePrinter::Count(rate) + "/s";
+}
+
+}  // namespace
+
+void PrintMetricsTable(const RegistrySnapshot& snapshot,
+                       const RegistrySnapshot* previous, std::ostream& os,
+                       const std::string& title) {
+  const double dt_seconds =
+      previous != nullptr && snapshot.taken_at_ns > previous->taken_at_ns
+          ? static_cast<double>(snapshot.taken_at_ns -
+                                previous->taken_at_ns) /
+                1e9
+          : 0.0;
+
+  TablePrinter table(title);
+  table.SetHeader(
+      {"metric", "value", "rate", "p50", "p90", "p99", "p999", "max"});
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    const MetricSample* prev =
+        previous != nullptr ? previous->Find(sample.name) : nullptr;
+    switch (sample.type) {
+      case MetricType::kCounter: {
+        if (sample.counter_value == 0) continue;
+        if (sample.name == "cache.hits") cache_hits = sample.counter_value;
+        if (sample.name == "cache.misses") {
+          cache_misses = sample.counter_value;
+        }
+        table.AddRow({sample.name,
+                      TablePrinter::Count(
+                          static_cast<double>(sample.counter_value)),
+                      FormatRate(sample.counter_value, prev,
+                                 prev != nullptr ? prev->counter_value : 0,
+                                 dt_seconds)});
+        break;
+      }
+      case MetricType::kGauge: {
+        if (sample.gauge_value == 0) continue;
+        table.AddRow({sample.name, std::to_string(sample.gauge_value)});
+        break;
+      }
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = sample.histogram;
+        if (h.count == 0) continue;
+        table.AddRow(
+            {sample.name,
+             TablePrinter::Count(static_cast<double>(h.count)),
+             FormatRate(h.count, prev,
+                        prev != nullptr ? prev->histogram.count : 0,
+                        dt_seconds),
+             FormatValue(sample.name, h.ValueAtPercentile(50.0)),
+             FormatValue(sample.name, h.ValueAtPercentile(90.0)),
+             FormatValue(sample.name, h.ValueAtPercentile(99.0)),
+             FormatValue(sample.name, h.ValueAtPercentile(99.9)),
+             FormatValue(sample.name, h.max)});
+        break;
+      }
+    }
+  }
+  table.Print(os);
+  if (cache_hits + cache_misses > 0) {
+    os << "cache hit rate: "
+       << TablePrinter::Pct(static_cast<double>(cache_hits) /
+                            static_cast<double>(cache_hits + cache_misses))
+       << "\n";
+  }
+  os.flush();
+}
+
+void AppendMetricsJson(const RegistrySnapshot& snapshot, std::ostream& os) {
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream histograms;
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_histogram = true;
+  for (const MetricSample& sample : snapshot.samples) {
+    switch (sample.type) {
+      case MetricType::kCounter:
+        counters << (first_counter ? "" : ",") << "\"" << sample.name
+                 << "\":" << sample.counter_value;
+        first_counter = false;
+        break;
+      case MetricType::kGauge:
+        gauges << (first_gauge ? "" : ",") << "\"" << sample.name
+               << "\":" << sample.gauge_value;
+        first_gauge = false;
+        break;
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = sample.histogram;
+        histograms << (first_histogram ? "" : ",") << "\"" << sample.name
+                   << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+                   << ",\"max\":" << h.max << ",\"mean\":" << h.Mean()
+                   << ",\"p50\":" << h.ValueAtPercentile(50.0)
+                   << ",\"p90\":" << h.ValueAtPercentile(90.0)
+                   << ",\"p99\":" << h.ValueAtPercentile(99.0)
+                   << ",\"p999\":" << h.ValueAtPercentile(99.9) << "}";
+        first_histogram = false;
+        break;
+      }
+    }
+  }
+  os << "{\"t_ms\":" << snapshot.taken_at_ns / 1000000 << ",\"counters\":{"
+     << counters.str() << "},\"gauges\":{" << gauges.str()
+     << "},\"histograms\":{" << histograms.str() << "}}";
+}
+
+bool WriteMetricsJson(const RegistrySnapshot& snapshot,
+                      const std::string& path, std::string* error) {
+  std::ofstream os(path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  AppendMetricsJson(snapshot, os);
+  os << "\n";
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+StatReporter::StatReporter(StatReporterOptions options)
+    : options_(std::move(options)) {
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+StatReporter::~StatReporter() { Stop(); }
+
+void StatReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
+uint64_t StatReporter::ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+void StatReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [&] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+  lock.unlock();
+  Tick();  // final tick so short runs still report once
+}
+
+void StatReporter::Tick() {
+  RegistrySnapshot snapshot = MetricRegistry::Global().Snapshot();
+  if (options_.out != nullptr) {
+    PrintMetricsTable(snapshot, have_previous_ ? &previous_ : nullptr,
+                      *options_.out, "live metrics");
+    *options_.out << "\n";
+  }
+  if (!options_.jsonl_path.empty()) {
+    std::ofstream os(options_.jsonl_path, std::ios::app);
+    if (os) {
+      AppendMetricsJson(snapshot, os);
+      os << "\n";
+    }
+  }
+  previous_ = std::move(snapshot);
+  have_previous_ = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ticks_;
+}
+
+}  // namespace vsj::obs

@@ -1,0 +1,93 @@
+// LeanStore-style periodic live profiling table + JSON-lines snapshots.
+//
+// A StatReporter owns a background thread that snapshots the global
+// MetricRegistry every `interval_ms`, renders a profiling table (counters
+// with totals and per-second rates computed from the previous tick,
+// histograms with count/p50/p90/p99/p999, *_ns values shown as
+// milliseconds) to a stream — stderr for the CLI's --stats-interval so
+// golden stdout fixtures stay byte-identical — and appends one JSON line
+// per tick to an optional file for offline analysis. Stop() (and the
+// destructor) emit a final tick so short runs always produce at least one
+// report.
+//
+// The table renderer and the JSON serializer are exposed standalone:
+// vsjoin_estimate --metrics prints one end-of-run table through
+// PrintMetricsTable, --metrics-json writes one document through
+// WriteMetricsJson, and BenchJson embeds AppendMetricsJson output in
+// BENCH_*.json.
+
+#ifndef VSJ_OBS_STAT_REPORTER_H_
+#define VSJ_OBS_STAT_REPORTER_H_
+
+#include <condition_variable>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "vsj/obs/metrics.h"
+
+namespace vsj::obs {
+
+/// Renders `snapshot` as an aligned profiling table. When `previous` is
+/// non-null, counter/histogram rows gain a per-second rate column over
+/// the wall-time delta between the two snapshots. Metrics with no
+/// recorded value are skipped; a cache.hits/cache.misses pair is
+/// summarized as a hit-rate line under the table.
+void PrintMetricsTable(const RegistrySnapshot& snapshot,
+                       const RegistrySnapshot* previous, std::ostream& os,
+                       const std::string& title = "metrics");
+
+/// Appends `snapshot` as one JSON object (no trailing newline):
+/// {"t_ms":..., "counters":{...}, "gauges":{...},
+///  "histograms":{name:{count,sum,max,mean,p50,p90,p99,p999}}}.
+void AppendMetricsJson(const RegistrySnapshot& snapshot, std::ostream& os);
+
+/// Writes AppendMetricsJson output (plus newline) to `path`; returns
+/// false with `*error` filled on failure.
+bool WriteMetricsJson(const RegistrySnapshot& snapshot,
+                      const std::string& path, std::string* error);
+
+struct StatReporterOptions {
+  /// Tick period. The final Stop() tick fires regardless.
+  int interval_ms = 1000;
+  /// Stream receiving the live table; nullptr disables table output.
+  std::ostream* out = nullptr;
+  /// Append one JSON line per tick here; empty disables.
+  std::string jsonl_path;
+};
+
+/// Background periodic reporter over the global registry.
+class StatReporter {
+ public:
+  explicit StatReporter(StatReporterOptions options);
+  ~StatReporter();
+
+  StatReporter(const StatReporter&) = delete;
+  StatReporter& operator=(const StatReporter&) = delete;
+
+  /// Joins the reporter thread after one final tick. Idempotent.
+  void Stop();
+
+  /// Number of ticks emitted so far (including the final one).
+  uint64_t ticks() const;
+
+ private:
+  void Loop();
+  void Tick();
+
+  StatReporterOptions options_;
+  RegistrySnapshot previous_;
+  bool have_previous_ = false;
+  uint64_t ticks_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace vsj::obs
+
+#endif  // VSJ_OBS_STAT_REPORTER_H_

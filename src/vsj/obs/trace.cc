@@ -1,0 +1,118 @@
+#include "vsj/obs/trace.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "vsj/obs/metrics.h"
+
+namespace vsj::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Small dense per-thread id for trace events (thread::id is opaque and
+/// unstable across runs; a first-use counter keeps lanes readable).
+uint32_t ThreadTraceId() {
+  static std::atomic<uint32_t> next_thread{1};
+  thread_local const uint32_t id =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::Append(const char* name, uint64_t start_ns,
+                            uint64_t dur_ns) {
+  const uint32_t tid = ThreadTraceId();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{name, start_ns, dur_ns, tid});
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceCollector::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i != 0) os << ",";
+    // Chrome's ts/dur are microseconds; keep ns resolution as zero-padded
+    // fractional digits.
+    os << "\n{\"name\":\"" << e.name
+       << "\",\"cat\":\"vsj\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.start_ns / 1000 << "." << std::setfill('0')
+       << std::setw(3) << e.start_ns % 1000 << ",\"dur\":" << e.dur_ns / 1000
+       << "." << std::setw(3) << e.dur_ns % 1000 << std::setfill(' ') << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool TraceCollector::WriteChromeTraceFile(const std::string& path,
+                                          std::string* error) const {
+  std::ofstream os(path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  WriteChromeTrace(os);
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!MetricsEnabled() && !TracingEnabled()) return;
+  name_ = name;
+  start_ns_ = MonotonicNowNs();
+  armed_ = true;
+}
+
+void TraceSpan::End() {
+  if (!armed_) return;
+  armed_ = false;
+  const uint64_t dur_ns = MonotonicNowNs() - start_ns_;
+  if (MetricsEnabled()) {
+    MetricRegistry::Global().GetHistogram(name_).Record(dur_ns);
+  }
+  if (TracingEnabled()) {
+    TraceCollector::Global().Append(name_, start_ns_, dur_ns);
+  }
+}
+
+}  // namespace vsj::obs

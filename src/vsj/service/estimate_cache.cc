@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 
 namespace vsj {
@@ -38,10 +39,12 @@ std::optional<EstimateResponse> EstimateCache::Lookup(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++stats_.misses;
+    misses_.Add(1);
+    VSJ_COUNTER_ADD("cache.misses", 1);
     return std::nullopt;
   }
-  ++stats_.hits;
+  hits_.Add(1);
+  VSJ_COUNTER_ADD("cache.hits", 1);
   lru_.splice(lru_.begin(), lru_, it->second);
   EstimateResponse response = it->second->response;
   response.from_cache = true;
@@ -53,7 +56,8 @@ void EstimateCache::Insert(const EstimateRequest& request,
                            const EstimateResponse& response) {
   std::string key = MakeKey(request, fingerprint);
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.insertions;
+  insertions_.Add(1);
+  VSJ_COUNTER_ADD("cache.insertions", 1);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->response = response;
@@ -63,20 +67,20 @@ void EstimateCache::Insert(const EstimateRequest& request,
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.Add(1);
+    VSJ_COUNTER_ADD("cache.evictions", 1);
   }
   lru_.push_front(Entry{key, response});
   index_.emplace(std::move(key), lru_.begin());
 }
 
 void EstimateCache::NoteInvalidation() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.epoch;
+  epoch_.Add(1);
+  VSJ_COUNTER_ADD("cache.invalidations", 1);
 }
 
 void EstimateCache::RestoreEpoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.epoch = epoch;
+  epoch_.Set(static_cast<int64_t>(epoch));
 }
 
 void EstimateCache::Clear() {
@@ -91,8 +95,13 @@ size_t EstimateCache::size() const {
 }
 
 EstimateCacheStats EstimateCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  EstimateCacheStats snapshot;
+  snapshot.hits = hits_.Value();
+  snapshot.misses = misses_.Value();
+  snapshot.insertions = insertions_.Value();
+  snapshot.evictions = evictions_.Value();
+  snapshot.epoch = static_cast<uint64_t>(epoch_.Value());
+  return snapshot;
 }
 
 }  // namespace vsj

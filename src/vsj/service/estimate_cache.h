@@ -27,11 +27,16 @@
 #include <string>
 #include <unordered_map>
 
+#include "vsj/obs/metrics.h"
 #include "vsj/service/estimate_request.h"
 
 namespace vsj {
 
-/// Hit/miss counters of an EstimateCache.
+/// Value snapshot of an EstimateCache's counters, assembled by stats().
+/// The live counts are obs::Counter/obs::Gauge members of the cache
+/// (mirrored into the global MetricRegistry as cache.* when metrics are
+/// enabled) — this struct is a read-only view, not a second stats
+/// mechanism.
 struct EstimateCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -107,7 +112,15 @@ class EstimateCache {
   // Most recently used at the front; the map points into the list.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  EstimateCacheStats stats_;
+
+  // Live stats: lock-free obs primitives so stats() never contends with
+  // the LRU mutex and per-instance counts stay available even with the
+  // global metrics flag off (tests rely on them unconditionally).
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter insertions_;
+  obs::Counter evictions_;
+  obs::Gauge epoch_;
 };
 
 }  // namespace vsj

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "vsj/obs/obs.h"
 #include "vsj/service/dataset_fingerprint.h"
 #include "vsj/service/trial_runner.h"
 #include "vsj/util/check.h"
@@ -36,8 +37,11 @@ void EstimationService::BuildIndexAndContext() {
   VSJ_CHECK_MSG(view_.size() >= 2,
                 "EstimationService needs at least two vectors");
   Timer timer;
-  index_ = std::make_unique<LshIndex>(*family_, view_, options_.k,
-                                      options_.num_tables, &pool_);
+  {
+    VSJ_TRACE_SPAN(build_span, "service.index_build_ns");
+    index_ = std::make_unique<LshIndex>(*family_, view_, options_.k,
+                                        options_.num_tables, &pool_);
+  }
   index_build_seconds_ = timer.ElapsedSeconds();
 
   context_ = options_.estimator_options;

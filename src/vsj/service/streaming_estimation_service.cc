@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "vsj/lsh/gaussian_projection_cache.h"
+#include "vsj/obs/obs.h"
 #include "vsj/service/dataset_fingerprint.h"
 #include "vsj/service/trial_runner.h"
 #include "vsj/util/check.h"
@@ -52,6 +53,9 @@ uint64_t StreamingEstimationService::effective_fingerprint() const {
 void StreamingEstimationService::BumpEpoch() {
   ++epoch_;
   cache_.NoteInvalidation();
+  // One counter per mutation — the only per-mutation instrumentation on
+  // the streaming path, protecting the sub-µs mutation budget.
+  VSJ_COUNTER_ADD("service.mutations", 1);
 }
 
 VectorId StreamingEstimationService::AddVector(const SparseVector& vector) {

@@ -1,11 +1,28 @@
 #include "vsj/service/trial_runner.h"
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 
 namespace vsj {
+
+namespace {
+
+/// Runtime-composed histogram name for per-request latency at
+/// estimator × τ-bucket granularity (τ rounded to one decimal, matching
+/// the EstimateCache key bucketing). Composed only when metrics are on —
+/// request granularity, so the string build is off every hot path.
+std::string LatencyMetricName(const std::string& estimator_name, double tau) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".tau%.1f", tau);
+  return "estimate.latency_ns." + estimator_name + suffix;
+}
+
+}  // namespace
 
 EstimateResponse RunDeterministicTrials(
     const EstimateRequest& request, size_t request_index,
@@ -16,15 +33,25 @@ EstimateResponse RunDeterministicTrials(
   response.estimator_name = request.estimator_name;
   response.trials = request.trials;
 
+  const uint64_t request_start_ns = obs::MonotonicNowNs();
+  VSJ_COUNTER_ADD("estimate.requests", 1);
+  VSJ_COUNTER_ADD("estimate.trials", request.trials);
+
   const Rng request_stream = Rng(request.seed).Fork(request_index);
   std::vector<double> estimates;
   estimates.reserve(request.trials);
   for (size_t t = 0; t < request.trials; ++t) {
     Rng rng = request_stream.Fork(t);
+    VSJ_TRACE_SPAN(trial_span, "estimate.trial_ns");
     const EstimationResult result = run_trial(t, rng);
     estimates.push_back(result.estimate);
     response.pairs_evaluated += result.pairs_evaluated;
     if (!result.guaranteed) ++response.num_unguaranteed;
+  }
+  if (VSJ_METRICS_COMPILED && obs::MetricsEnabled()) {
+    obs::MetricRegistry::Global()
+        .GetHistogram(LatencyMetricName(request.estimator_name, request.tau))
+        .Record(obs::MonotonicNowNs() - request_start_ns);
   }
 
   double sum = 0.0;
@@ -65,9 +92,19 @@ std::vector<EstimateResponse> RunCachedBatch(
     on_miss(i);
     misses.push_back(i);
   }
+  VSJ_COUNTER_ADD("estimate.batch_requests", requests.size());
+  VSJ_COUNTER_ADD("estimate.batch_misses", misses.size());
 
-  pool.ParallelFor(misses.size(),
-                   [&](size_t m) { responses[misses[m]] = compute(misses[m]); });
+  // Dispatch timestamp for the queue-wait histogram: how long a miss sat
+  // between batch dispatch and a pool worker picking it up, vs. how long
+  // the estimate itself took. Timing only — work order is untouched.
+  const uint64_t dispatch_ns = obs::MonotonicNowNs();
+  pool.ParallelFor(misses.size(), [&](size_t m) {
+    VSJ_HIST_RECORD("estimate.queue_wait_ns",
+                    obs::MonotonicNowNs() - dispatch_ns);
+    VSJ_TRACE_SPAN(execute_span, "estimate.execute_ns");
+    responses[misses[m]] = compute(misses[m]);
+  });
 
   if (cache != nullptr) {
     for (size_t i : misses) {

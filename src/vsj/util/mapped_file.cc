@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "vsj/obs/obs.h"
+
 #if defined(_WIN32)
 #include <cstdio>
 #else
@@ -72,6 +74,8 @@ bool MappedFile::Open(const std::string& path, std::string* error) {
   data_ = buffer;
   size_ = static_cast<size_t>(length);
   heap_fallback_ = true;
+  VSJ_COUNTER_ADD("io.mmap_opens", 1);
+  VSJ_COUNTER_ADD("io.mmap_bytes", size_);
   return true;
 }
 
@@ -106,6 +110,8 @@ bool MappedFile::Open(const std::string& path, std::string* error) {
     return false;
   }
   data_ = mapping;
+  VSJ_COUNTER_ADD("io.mmap_opens", 1);
+  VSJ_COUNTER_ADD("io.mmap_bytes", size_);
   return true;
 }
 

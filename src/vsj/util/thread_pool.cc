@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 
 namespace vsj {
@@ -83,10 +84,22 @@ void ThreadPool::Submit(std::function<void()> task) {
     task();
     return;
   }
+  VSJ_COUNTER_ADD("pool.tasks", 1);
+  if (VSJ_METRICS_COMPILED && obs::MetricsEnabled()) {
+    // Wrap to measure time spent queued. Metrics-on only, so the extra
+    // std::function allocation never appears on the default path.
+    const uint64_t enqueue_ns = obs::MonotonicNowNs();
+    task = [inner = std::move(task), enqueue_ns] {
+      VSJ_HIST_RECORD("pool.task_wait_ns",
+                      obs::MonotonicNowNs() - enqueue_ns);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     VSJ_CHECK_MSG(!stopping_, "Submit on a stopping ThreadPool");
     tasks_.push_back(std::move(task));
+    VSJ_GAUGE_SET("pool.queue_depth", tasks_.size());
   }
   task_available_.notify_one();
 }
@@ -138,6 +151,7 @@ void ThreadPool::WorkerLoop() {
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      VSJ_GAUGE_SET("pool.queue_depth", tasks_.size());
     }
     task();
   }

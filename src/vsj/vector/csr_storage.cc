@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
 
 namespace vsj {
@@ -86,6 +87,8 @@ void StreamingCsrStorage::MaybeCompact() {
 }
 
 void StreamingCsrStorage::Compact() {
+  VSJ_COUNTER_ADD("storage.compactions", 1);
+  VSJ_TRACE_SPAN(compact_span, "storage.compact_ns");
   CsrStorage merged;
   size_t live_features = 0;
   for (VectorId id = 0; id < slots_.size(); ++id) {

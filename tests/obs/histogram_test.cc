@@ -1,0 +1,180 @@
+// Histogram math: slot mapping over the full uint64 range, percentile
+// bounds within one bucket width, associative snapshot merging, signed
+// underflow clamping, and data-race-free concurrent Record/Snapshot (the
+// TSan leg runs this binary).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vsj/obs/metrics.h"
+
+namespace vsj::obs {
+namespace {
+
+TEST(HistogramSlotTest, ExactBelowSubBucketCount) {
+  for (uint64_t v = 0; v < Histogram::kSubBucketCount; ++v) {
+    EXPECT_EQ(Histogram::SlotFor(v), v);
+    EXPECT_EQ(Histogram::SlotLowerBound(v), v);
+    EXPECT_EQ(Histogram::SlotUpperBound(v), v);
+  }
+}
+
+TEST(HistogramSlotTest, SlotsAreContiguousAtTheLogBoundary) {
+  // Values 32..63 land in the first log octave with shift 0, so they stay
+  // exact; the first widening happens at 64.
+  for (uint64_t v = Histogram::kSubBucketCount;
+       v < 2 * Histogram::kSubBucketCount; ++v) {
+    EXPECT_EQ(Histogram::SlotLowerBound(Histogram::SlotFor(v)), v);
+    EXPECT_EQ(Histogram::SlotUpperBound(Histogram::SlotFor(v)), v);
+  }
+  EXPECT_EQ(Histogram::SlotFor(64), Histogram::SlotFor(65));
+}
+
+TEST(HistogramSlotTest, BoundsBracketTheValueEverywhere) {
+  std::vector<uint64_t> probes = {0, 1, 31, 32, 63, 64, 65, 100, 1000,
+                                  12345, 1u << 20, (1ull << 40) + 17};
+  probes.push_back(UINT64_MAX);
+  probes.push_back(UINT64_MAX - 1);
+  for (uint64_t v : probes) {
+    const size_t slot = Histogram::SlotFor(v);
+    ASSERT_LT(slot, Histogram::kNumSlots) << v;
+    EXPECT_LE(Histogram::SlotLowerBound(slot), v) << v;
+    EXPECT_GE(Histogram::SlotUpperBound(slot), v) << v;
+    EXPECT_EQ(Histogram::SlotFor(Histogram::SlotLowerBound(slot)), slot) << v;
+    EXPECT_EQ(Histogram::SlotFor(Histogram::SlotUpperBound(slot)), slot) << v;
+  }
+  // The very last slot exists and tops out at UINT64_MAX: no overflow
+  // bucket is ever needed.
+  EXPECT_EQ(Histogram::SlotFor(UINT64_MAX), Histogram::kNumSlots - 1);
+  EXPECT_EQ(Histogram::SlotUpperBound(Histogram::kNumSlots - 1), UINT64_MAX);
+}
+
+TEST(HistogramTest, PercentilesAreWithinOneBucketWidth) {
+  Histogram h;
+  std::vector<uint64_t> values;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    const uint64_t v = i * 97 + (i * i) % 1013;  // deterministic spread
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot snapshot = h.Snapshot();
+  ASSERT_EQ(snapshot.count, values.size());
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(p / 100.0 * values.size())));
+    const uint64_t truth = values[rank - 1];
+    const uint64_t reported = snapshot.ValueAtPercentile(p);
+    // Never below the true percentile, at most one bucket width above it:
+    // bucket upper bounds are within a relative 1/kSubBucketCount of any
+    // member value.
+    EXPECT_GE(reported, truth) << "p" << p;
+    const double max_rel =
+        1.0 / static_cast<double>(Histogram::kSubBucketCount);
+    EXPECT_LE(static_cast<double>(reported),
+              static_cast<double>(truth) * (1.0 + max_rel) + 1.0)
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, SmallValuesReportExactPercentiles) {
+  Histogram h;
+  for (uint64_t v = 0; v < 20; ++v) h.Record(v);
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.ValueAtPercentile(50.0), 9u);   // rank 10 of 20
+  EXPECT_EQ(snapshot.ValueAtPercentile(100.0), 19u);
+  EXPECT_EQ(snapshot.ValueAtPercentile(0.0), 0u);
+  EXPECT_EQ(snapshot.max, 19u);
+  EXPECT_EQ(snapshot.sum, 190u);
+}
+
+TEST(HistogramTest, EmptySnapshotReportsZero) {
+  Histogram h;
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.ValueAtPercentile(50.0), 0u);
+  EXPECT_EQ(snapshot.Mean(), 0.0);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  Histogram a, b, c;
+  for (uint64_t v = 1; v < 500; v += 3) a.Record(v * 11);
+  for (uint64_t v = 1; v < 400; v += 2) b.Record(v * 1000);
+  for (uint64_t v = 1; v < 100; ++v) c.Record(v);
+
+  auto merged = [](const HistogramSnapshot& x, const HistogramSnapshot& y) {
+    HistogramSnapshot out = x;
+    out.Merge(y);
+    return out;
+  };
+  const HistogramSnapshot sa = a.Snapshot(), sb = b.Snapshot(),
+                          sc = c.Snapshot();
+  const HistogramSnapshot left = merged(merged(sa, sb), sc);
+  const HistogramSnapshot right = merged(sa, merged(sb, sc));
+  const HistogramSnapshot swapped = merged(merged(sc, sb), sa);
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.sum, right.sum);
+  EXPECT_EQ(left.max, right.max);
+  EXPECT_EQ(left.slots, right.slots);
+  EXPECT_EQ(left.slots, swapped.slots);
+  for (double p : {50.0, 99.0, 99.9}) {
+    EXPECT_EQ(left.ValueAtPercentile(p), right.ValueAtPercentile(p));
+    EXPECT_EQ(left.ValueAtPercentile(p), swapped.ValueAtPercentile(p));
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampWithUnderflowCount) {
+  Histogram h;
+  h.RecordSigned(-5);
+  h.RecordSigned(-1);
+  h.RecordSigned(7);
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.underflow, 2u);
+  EXPECT_EQ(snapshot.count, 3u);  // clamped zeros still count
+  EXPECT_EQ(snapshot.max, 7u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(123);
+  h.RecordSigned(-1);
+  h.Reset();
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0u);
+  EXPECT_EQ(snapshot.max, 0u);
+  EXPECT_EQ(snapshot.underflow, 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordAndSnapshotIsRaceFree) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + i % 997);
+      }
+    });
+  }
+  // Interleaved snapshots must stay internally consistent: count always
+  // equals the slot sum by construction (Snapshot recomputes it).
+  for (int s = 0; s < 50; ++s) {
+    const HistogramSnapshot snapshot = h.Snapshot();
+    uint64_t slot_total = 0;
+    for (uint64_t c : snapshot.slots) slot_total += c;
+    EXPECT_EQ(snapshot.count, slot_total);
+  }
+  for (std::thread& t : recorders) t.join();
+  EXPECT_EQ(h.Snapshot().count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace vsj::obs

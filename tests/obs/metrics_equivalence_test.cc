@@ -1,0 +1,148 @@
+// The observability bit-identity contract: enabling metrics and tracing
+// must not change a single estimate bit. Instrumentation records counts
+// and clock readings only — it never draws from an Rng, reorders float
+// accumulation, or feeds back into estimation — so every registered
+// estimator, and the dynamic-index mutation path, must produce identical
+// results with recording on and off (see obs.h and DESIGN.md
+// "Observability").
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/core/estimator_registry.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/lsh/simhash.h"
+#include "vsj/obs/metrics.h"
+#include "vsj/obs/trace.h"
+#include "vsj/util/rng.h"
+#include "vsj/vector/csr_storage.h"
+#include "vsj/vector/dataset_view.h"
+
+namespace vsj {
+namespace {
+
+constexpr uint64_t kSeed = 0xfeed5eedULL;
+constexpr uint32_t kK = 8;
+
+/// The exact bits of a double, for equality stronger than operator==.
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+class MetricsEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+    dataset_ = testing::SmallClusteredCorpus(300, 7);
+    family_ = std::make_unique<SimHashFamily>(kSeed);
+    index_ = std::make_unique<LshIndex>(*family_, DatasetView(dataset_), kK,
+                                        2);
+  }
+
+  void TearDown() override {
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+  }
+
+  EstimatorContext Context() const {
+    EstimatorContext context;
+    context.dataset = DatasetView(dataset_);
+    context.index = index_.get();
+    context.measure = SimilarityMeasure::kCosine;
+    return context;
+  }
+
+  VectorDataset dataset_;
+  std::unique_ptr<SimHashFamily> family_;
+  std::unique_ptr<LshIndex> index_;
+};
+
+TEST_F(MetricsEquivalenceTest, AllEstimatorsAreBitIdenticalWithMetricsOn) {
+  for (const std::string& name : AllEstimatorNames()) {
+    const auto estimator = CreateEstimator(name, Context());
+    for (const double tau : {0.3, 0.6, 0.9}) {
+      const uint64_t rng_seed = kSeed ^ static_cast<uint64_t>(tau * 1024);
+
+      obs::EnableMetrics(false);
+      obs::EnableTracing(false);
+      Rng baseline_rng(rng_seed);
+      const EstimationResult baseline = estimator->Estimate(tau, baseline_rng);
+
+      obs::EnableMetrics(true);
+      obs::EnableTracing(true);
+      Rng instrumented_rng(rng_seed);
+      const EstimationResult instrumented =
+          estimator->Estimate(tau, instrumented_rng);
+      obs::EnableMetrics(false);
+      obs::EnableTracing(false);
+
+      EXPECT_EQ(BitsOf(instrumented.estimate), BitsOf(baseline.estimate))
+          << name << " tau=" << tau;
+      EXPECT_EQ(instrumented.pairs_evaluated, baseline.pairs_evaluated)
+          << name << " tau=" << tau;
+    }
+  }
+  obs::TraceCollector::Global().Clear();
+}
+
+// The streaming storage mutation path (append / remove / compact) is also
+// instrumented; churn two identical stores with recording off and on and
+// require the same live set and the same estimates over the results.
+TEST_F(MetricsEquivalenceTest, StreamingChurnIsBitIdenticalWithMetricsOn) {
+  auto churn = [this](bool metrics_on) {
+    obs::EnableMetrics(metrics_on);
+    obs::EnableTracing(metrics_on);
+    StreamingStorageOptions options;
+    options.chunk_features = 1024;
+    options.compact_dead_fraction = 0.0;
+    StreamingCsrStorage storage(options);
+    std::vector<VectorId> junk;
+    for (VectorId id = 0; id < dataset_.size(); ++id) {
+      if (id % 3 == 0) {
+        junk.push_back(
+            storage.Append(SparseVector::FromDims({id, id + 1}).ref()));
+      }
+      storage.Append(dataset_[id]);
+    }
+    for (VectorId id : junk) storage.Remove(id);
+    storage.Compact();
+    obs::EnableMetrics(false);
+    obs::EnableTracing(false);
+
+    // Estimate over the churned store with recording OFF in both arms, so
+    // any divergence must come from the instrumented mutations above.
+    DatasetView view(storage);
+    EXPECT_EQ(view.size(), dataset_.size());
+    LshIndex index(*family_, view, kK, 2);
+    EstimatorContext context;
+    context.dataset = view;
+    context.index = &index;
+    context.measure = SimilarityMeasure::kCosine;
+    const auto estimator = CreateEstimator("LSH-SS", context);
+    std::vector<uint64_t> bits;
+    for (const double tau : {0.3, 0.6, 0.9}) {
+      Rng rng(kSeed + 99);
+      const EstimationResult result = estimator->Estimate(tau, rng);
+      bits.push_back(BitsOf(result.estimate));
+      bits.push_back(result.pairs_evaluated);
+    }
+    return bits;
+  };
+
+  const std::vector<uint64_t> baseline = churn(false);
+  const std::vector<uint64_t> instrumented = churn(true);
+  EXPECT_EQ(instrumented, baseline);
+  obs::TraceCollector::Global().Clear();
+}
+
+}  // namespace
+}  // namespace vsj

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI gate for observability hot-path overhead.
+
+Compares BenchJson documents from the same bench binary run with metrics
+recording disabled (--off) and enabled (--on). For every result series
+present in both, takes the best (minimum) value across the given runs —
+all series are "lower is better" (ns_per_pair etc.) — and fails when the
+enabled best is more than --max-overhead-pct above the disabled best.
+
+Usage:
+  check_metrics_overhead.py --off a.json b.json --on c.json d.json \
+      [--max-overhead-pct 5] [--series REGEX]
+
+--series restricts the gate to matching result names: smoke-scale micro
+series (e.g. heavy-skew pairings with few effective iterations) can have
+>20% run-to-run noise, so CI gates on the stable headline kernels only.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def best_values(paths):
+    """name -> minimum value across the runs (all units: lower is better)."""
+    best = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for record in doc.get("results", []):
+            name, value = record["name"], float(record["value"])
+            if name not in best or value < best[name]:
+                best[name] = value
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--off", nargs="+", required=True,
+                        help="BenchJson files from runs with metrics off")
+    parser.add_argument("--on", nargs="+", required=True,
+                        help="BenchJson files from runs with metrics on")
+    parser.add_argument("--max-overhead-pct", type=float, default=5.0)
+    parser.add_argument("--series", default=None,
+                        help="regex; only gate result names matching it")
+    args = parser.parse_args()
+
+    off = best_values(args.off)
+    on = best_values(args.on)
+    shared = sorted(set(off) & set(on))
+    if args.series is not None:
+        pattern = re.compile(args.series)
+        shared = [name for name in shared if pattern.search(name)]
+    if not shared:
+        print("check_metrics_overhead: no shared result series", file=sys.stderr)
+        return 1
+
+    failed = False
+    for name in shared:
+        if off[name] <= 0:
+            continue
+        overhead_pct = (on[name] - off[name]) / off[name] * 100.0
+        status = "ok"
+        if overhead_pct > args.max_overhead_pct:
+            status = "FAIL"
+            failed = True
+        print(f"{name}: off={off[name]:.3f} on={on[name]:.3f} "
+              f"overhead={overhead_pct:+.2f}% [{status}]")
+
+    if failed:
+        print(f"check_metrics_overhead: overhead above "
+              f"{args.max_overhead_pct:.1f}% threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,15 @@
 //   --save-snapshot PATH  checkpoint the streaming engine after the op file
 //   --load-snapshot PATH  start the streaming engine from a snapshot
 //                         (replaces --dataset/--synthetic; needs --stream)
+//
+// Observability flags (all output goes to stderr or files — stdout stays
+// reserved for the report tables, keeping the golden CLI fixtures intact):
+//   --metrics             end-of-run profiling table on stderr
+//   --metrics-json PATH   write the metrics snapshot as one JSON document
+//   --trace PATH          write collected spans as Chrome trace_event JSON
+//                         (loadable in chrome://tracing / Perfetto)
+//   --stats-interval MS   live profiling table on stderr every MS ms while
+//                         the op stream replays (needs --stream)
 
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +62,8 @@
 #include "vsj/vector/mapped_csr_storage.h"
 #include "vsj/gen/workloads.h"
 #include "vsj/join/brute_force_join.h"
+#include "vsj/obs/obs.h"
+#include "vsj/obs/stat_reporter.h"
 #include "vsj/service/estimation_service.h"
 #include "vsj/service/streaming_estimation_service.h"
 #include "vsj/util/table_printer.h"
@@ -80,6 +91,14 @@ struct Args {
   bool use_mmap = false;
   bool taus_set = false;       // --tau / --batch-taus given explicitly
   bool estimator_set = false;  // --estimator given explicitly
+
+  // Observability flags. All of their output goes to stderr or to files,
+  // never stdout — the golden CLI fixtures diff stdout only and must stay
+  // byte-identical with metrics enabled.
+  bool metrics = false;            // end-of-run profiling table on stderr
+  std::string metrics_json_path;   // one metrics JSON document
+  std::string trace_path;          // Chrome trace_event JSON
+  int stats_interval_ms = 0;       // live table period (--stream only)
 };
 
 bool ParseTauList(const char* value, std::vector<double>* taus) {
@@ -180,6 +199,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->load_snapshot_path = v;
     } else if (flag == "--mmap") {
       args->use_mmap = true;
+    } else if (flag == "--metrics") {
+      args->metrics = true;
+    } else if (flag == "--metrics-json") {
+      const char* v = next("--metrics-json");
+      if (!v) return false;
+      args->metrics_json_path = v;
+    } else if (flag == "--trace") {
+      const char* v = next("--trace");
+      if (!v) return false;
+      args->trace_path = v;
+    } else if (flag == "--stats-interval") {
+      const char* v = next("--stats-interval");
+      if (!v) return false;
+      args->stats_interval_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (args->stats_interval_ms <= 0) {
+        std::cerr << "--stats-interval needs a positive millisecond period\n";
+        return false;
+      }
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -217,6 +254,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (args->stats_interval_ms > 0 && args->stream_ops_path.empty()) {
+    std::cerr << "--stats-interval prints live tables while an op stream "
+                 "replays; it needs --stream OPFILE (batch runs report "
+                 "once via --metrics)\n";
+    return false;
+  }
   if (!args->save_snapshot_path.empty() && args->stream_ops_path.empty()) {
     std::cerr << "--save-snapshot checkpoints the streaming engine; it "
                  "needs --stream OPFILE\n";
@@ -252,6 +295,8 @@ void PrintUsage() {
          "       [--k K] [--tables L] [--trials R] [--seed S]\n"
          "       [--threads T] [--repeat R] [--exact] [--stream OPFILE]\n"
          "       [--mmap] [--save-dataset FILE] [--save-snapshot FILE]\n"
+         "       [--metrics] [--metrics-json FILE] [--trace FILE]\n"
+         "       [--stats-interval MS]\n"
          "estimators: LSH-SS LSH-SS(D) RS(pop) RS(cross) LSH-S J_U LC\n"
          "            Adaptive Bifocal LSH-SS(median) LSH-SS(vbucket)\n"
          "stream op file: 'insert I [J]' | 'remove I [J]' | "
@@ -277,6 +322,62 @@ bool ParseDouble(const std::string& token, double* out) {
   return end != token.c_str() && *end == '\0';
 }
 
+/// Flips the runtime observability switches requested on the command line
+/// and warns when the build compiled them out.
+void ArmObservability(const Args& args) {
+  const bool want_metrics = args.metrics || !args.metrics_json_path.empty() ||
+                            args.stats_interval_ms > 0;
+  if (!VSJ_METRICS_COMPILED && (want_metrics || !args.trace_path.empty())) {
+    std::cerr << "warning: built with VSJ_METRICS=OFF; "
+                 "--metrics/--metrics-json/--trace/--stats-interval will "
+                 "record nothing\n";
+  }
+  if (want_metrics) vsj::obs::EnableMetrics(true);
+  if (!args.trace_path.empty()) vsj::obs::EnableTracing(true);
+}
+
+/// Emits the end-of-run observability artifacts on destruction, so every
+/// exit path of main reports: the profiling table on stderr (--metrics),
+/// one metrics JSON document (--metrics-json) and the Chrome trace file
+/// (--trace). Stdout is never touched.
+struct ObservabilityGuard {
+  explicit ObservabilityGuard(const Args& args) : args(args) {}
+
+  ~ObservabilityGuard() {
+    if (args.metrics || !args.metrics_json_path.empty()) {
+      const vsj::obs::RegistrySnapshot snapshot =
+          vsj::obs::MetricRegistry::Global().Snapshot();
+      if (args.metrics) {
+        vsj::obs::PrintMetricsTable(snapshot, nullptr, std::cerr, "metrics");
+      }
+      if (!args.metrics_json_path.empty()) {
+        std::string error;
+        if (!vsj::obs::WriteMetricsJson(snapshot, args.metrics_json_path,
+                                        &error)) {
+          std::cerr << "failed to write metrics json: " << error << "\n";
+        }
+      }
+    }
+    if (!args.trace_path.empty()) {
+      const vsj::obs::TraceCollector& collector =
+          vsj::obs::TraceCollector::Global();
+      std::string error;
+      if (!collector.WriteChromeTraceFile(args.trace_path, &error)) {
+        std::cerr << "failed to write trace: " << error << "\n";
+      } else {
+        std::cerr << "trace: " << collector.size() << " span(s) written to "
+                  << args.trace_path;
+        if (collector.dropped() > 0) {
+          std::cerr << " (" << collector.dropped() << " dropped)";
+        }
+        std::cerr << "\n";
+      }
+    }
+  }
+
+  const Args& args;
+};
+
 vsj::StreamingEstimationServiceOptions StreamOptions(const Args& args) {
   vsj::StreamingEstimationServiceOptions options;
   options.k = args.k;
@@ -295,6 +396,16 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
   if (!ops) {
     std::cerr << "failed to open op file " << args.stream_ops_path << "\n";
     return 1;
+  }
+
+  // Live profiling tables on stderr while the op file replays; the
+  // reporter's destructor emits one final tick on every return path below.
+  std::unique_ptr<vsj::obs::StatReporter> reporter;
+  if (args.stats_interval_ms > 0) {
+    vsj::obs::StatReporterOptions reporter_options;
+    reporter_options.interval_ms = args.stats_interval_ms;
+    reporter_options.out = &std::cerr;
+    reporter = std::make_unique<vsj::obs::StatReporter>(reporter_options);
   }
 
   vsj::TablePrinter report("streaming estimates (LSH-SS, " +
@@ -351,6 +462,7 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
                       << " was erased and cannot return\n";
             return 1;
           }
+          VSJ_TRACE_SPAN(op_span, "stream.op.insert_ns");
           service->Insert(vector_id);
         } else if (op == "erase") {
           if (!service->store().Contains(vector_id)) {
@@ -358,6 +470,7 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
                       << " was already erased\n";
             return 1;
           }
+          VSJ_TRACE_SPAN(op_span, "stream.op.erase_ns");
           service->Erase(vector_id);
         } else {
           if (!service->Contains(vector_id)) {
@@ -365,9 +478,11 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
                       << " is not live\n";
             return 1;
           }
+          VSJ_TRACE_SPAN(op_span, "stream.op.remove_ns");
           service->Remove(vector_id);
         }
         ++mutations;
+        VSJ_COUNTER_ADD("stream.mutations", 1);
       }
     } else if (op == "estimate") {
       std::vector<vsj::EstimateRequest> batch;
@@ -389,8 +504,11 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
         std::cerr << "line " << line_number << ": estimate needs a tau\n";
         return 1;
       }
-      const std::vector<vsj::EstimateResponse> responses =
-          service->EstimateBatch(batch);
+      std::vector<vsj::EstimateResponse> responses;
+      {
+        VSJ_TRACE_SPAN(op_span, "stream.op.estimate_ns");
+        responses = service->EstimateBatch(batch);
+      }
       for (const vsj::EstimateResponse& response : responses) {
         report.AddRow({std::to_string(line_number),
                        std::to_string(service->epoch()),
@@ -409,6 +527,7 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
         return 1;
       }
       if (op == "checkpoint") {
+        VSJ_TRACE_SPAN(op_span, "stream.op.checkpoint_ns");
         const vsj::IoStatus status = service->Checkpoint(words[1]);
         if (!status.ok()) {
           std::cerr << "line " << line_number
@@ -416,6 +535,7 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
           return 1;
         }
       } else {
+        VSJ_TRACE_SPAN(op_span, "stream.op.restore_ns");
         std::unique_ptr<vsj::StreamingEstimationService> restored;
         const vsj::IoStatus status = vsj::StreamingEstimationService::Restore(
             words[1], &restored, StreamOptions(args));
@@ -460,6 +580,8 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  ArmObservability(args);
+  ObservabilityGuard observability(args);
 
   // Snapshot-restored stream mode carries its own dataset.
   if (!args.load_snapshot_path.empty()) {
