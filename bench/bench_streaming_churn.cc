@@ -11,9 +11,17 @@
 // fraction of batch answers served from the epoch-keyed cache (0% whenever
 // c > 0 — every mutation bumps the epoch, so nothing stale is reusable).
 //
+// The final row is the client fan-out scenario: VSJ_CLIENTS concurrent
+// clients each submit the same standard-threshold sweep between churn
+// bursts. Cross-request miss grouping computes each distinct (estimator, τ)
+// once per batch and serves the other copies from the leader's response, so
+// estimates/sec scales with the client count instead of paying a full
+// re-sample per duplicate.
+//
 // Scale knobs (see bench_common.h): VSJ_N (corpus size, default 6000),
 // VSJ_K (functions per table, default 12), VSJ_TRIALS (trials per request,
-// default 2), VSJ_SEED; VSJ_TABLES (default 2), VSJ_ROUNDS (default 8).
+// default 2), VSJ_SEED; VSJ_TABLES (default 2), VSJ_ROUNDS (default 8),
+// VSJ_CLIENTS (fan-out width, default 512).
 // `--json <path>` (or VSJ_BENCH_JSON) writes per-churn-rate numbers as
 // JSON.
 
@@ -39,6 +47,23 @@ std::vector<vsj::EstimateRequest> MakeBatch(size_t trials, uint64_t seed) {
     batch.push_back(request);
   }
   return batch;
+}
+
+/// Expires the `churn` oldest live documents and admits the same number of
+/// fresh arrivals, recycling expired ids on wraparound.
+void ChurnWindow(vsj::StreamingEstimationService& service,
+                 std::deque<vsj::VectorId>& live, vsj::VectorId& next,
+                 size_t churn) {
+  const auto universe = static_cast<vsj::VectorId>(service.dataset().size());
+  for (size_t c = 0; c < churn; ++c) {
+    service.Remove(live.front());
+    live.pop_front();
+    // Admit the next non-live id, recycling expired ids on wraparound.
+    while (service.Contains(next)) next = (next + 1) % universe;
+    service.Insert(next);
+    live.push_back(next);
+    next = (next + 1) % universe;
+  }
 }
 
 }  // namespace
@@ -85,17 +110,7 @@ int main(int argc, char** argv) {
     size_t estimates = 0;
     for (size_t round = 0; round < rounds; ++round) {
       vsj::Timer mutation_timer;
-      const auto universe =
-          static_cast<vsj::VectorId>(service.dataset().size());
-      for (size_t c = 0; c < churn; ++c) {
-        service.Remove(live.front());
-        live.pop_front();
-        // Admit the next non-live id, recycling expired ids on wraparound.
-        while (service.Contains(next)) next = (next + 1) % universe;
-        service.Insert(next);
-        live.push_back(next);
-        next = (next + 1) % universe;
-      }
+      ChurnWindow(service, live, next, churn);
       mutation_seconds += mutation_timer.ElapsedSeconds();
 
       vsj::Timer batch_timer;
@@ -128,6 +143,59 @@ int main(int argc, char** argv) {
                                     batch_seconds,
                                 1),
          vsj::TablePrinter::Pct(cache_stats.HitRate())});
+  }
+
+  // Client fan-out: every round churns 16 documents (so the epoch bump
+  // forces a full recompute — no stale cache hits) and then submits one
+  // batch holding `clients` copies of the standard sweep. Miss grouping
+  // elects one leader per distinct (estimator, τ) and the other clients
+  // ride along.
+  const auto clients =
+      static_cast<size_t>(vsj::EnvInt64("VSJ_CLIENTS", 512));
+  const size_t fan_churn = 16;
+  {
+    vsj::StreamingEstimationServiceOptions options;
+    options.k = scale.k;
+    options.num_tables = tables;
+    options.family_seed = scale.seed ^ 0x5eedULL;
+    vsj::StreamingEstimationService service(vsj::GenerateCorpus(config),
+                                            options);
+    std::deque<vsj::VectorId> live;
+    vsj::VectorId next = 0;
+    for (; next < window; ++next) {
+      service.Insert(next);
+      live.push_back(next);
+    }
+    std::vector<vsj::EstimateRequest> fan_batch;
+    fan_batch.reserve(clients * batch.size());
+    for (size_t c = 0; c < clients; ++c) {
+      fan_batch.insert(fan_batch.end(), batch.begin(), batch.end());
+    }
+
+    double batch_seconds = 0.0;
+    size_t estimates = 0;
+    for (size_t round = 0; round < rounds; ++round) {
+      ChurnWindow(service, live, next, fan_churn);
+      vsj::Timer batch_timer;
+      const auto responses = service.EstimateBatch(fan_batch);
+      batch_seconds += batch_timer.ElapsedSeconds();
+      estimates += responses.size();
+    }
+
+    json.Add("estimates_per_sec_fanout" + std::to_string(clients),
+             "estimates_per_sec",
+             static_cast<double>(estimates) / batch_seconds, rounds);
+    report.AddRow(
+        {std::to_string(fan_churn) + " x" + std::to_string(clients) +
+             " clients",
+         "-",
+         vsj::TablePrinter::Fmt(batch_seconds * 1e3 /
+                                    static_cast<double>(rounds),
+                                1),
+         vsj::TablePrinter::Fmt(static_cast<double>(estimates) /
+                                    batch_seconds,
+                                1),
+         vsj::TablePrinter::Pct(service.cache().stats().HitRate())});
   }
   report.Print(std::cout);
   json.AddMetricsSnapshot();

@@ -60,27 +60,21 @@ double SampleStratumH(DatasetView dataset, SimilarityMeasure measure,
                       SamplePairFn&& sample_pair, Rng& rng,
                       uint64_t* evaluated) {
   if (num_pairs_h == 0) return 0.0;
-  using Pair = std::decay_t<decltype(sample_pair(rng))>;
-  Pair batch[kPairEvalBatch];
+  // Zero sample budget: the loop would never run and the N_H/m_h scale-up
+  // would be 0/0. An unsampled stratum contributes nothing.
+  if (m_h == 0) return 0.0;
+  VectorId firsts[kPairEvalBatch];
+  VectorId seconds[kPairEvalBatch];
   uint64_t hits = 0;
   for (uint64_t done = 0; done < m_h;) {
     const uint64_t count = std::min(kPairEvalBatch, m_h - done);
-    for (uint64_t i = 0; i < count; ++i) batch[i] = sample_pair(rng);
-    const uint64_t lead = std::min(count, kPairPrefetchDistance);
-    for (uint64_t i = 0; i < lead; ++i) {
-      PrefetchFeatures(dataset[batch[i].first]);
-      PrefetchFeatures(dataset[batch[i].second]);
-    }
     for (uint64_t i = 0; i < count; ++i) {
-      if (i + kPairPrefetchDistance < count) {
-        PrefetchFeatures(dataset[batch[i + kPairPrefetchDistance].first]);
-        PrefetchFeatures(dataset[batch[i + kPairPrefetchDistance].second]);
-      }
-      if (Similarity(measure, dataset[batch[i].first],
-                     dataset[batch[i].second]) >= tau) {
-        ++hits;
-      }
+      const auto pair = sample_pair(rng);
+      firsts[i] = pair.first;
+      seconds[i] = pair.second;
     }
+    hits += CountPairsAtOrAbove(measure, dataset, firsts, seconds, count,
+                                tau, kPairPrefetchDistance);
     done += count;
   }
   *evaluated += m_h;
@@ -106,6 +100,18 @@ double SampleStratumL(DatasetView dataset, SimilarityMeasure measure,
                       double dampening_factor, SamplePairFn&& sample_pair,
                       Rng& rng, uint64_t* evaluated, bool* reliable) {
   if (num_pairs_l == 0) return 0.0;
+  // Degenerate budgets: with δ = 0 the adaptive loop never draws (hits < 0
+  // is unsatisfiable), with m_L = 0 it never may, and either way the
+  // "reliable" scale-up n_L · N_L / i would be 0 · N_L / 0 = NaN. Nothing
+  // was sampled, so nothing is known about stratum L: return the empty
+  // safe lower bound (0) with *reliable cleared — the caller sees an
+  // unguaranteed conservative answer, never a NaN. Service engines reject
+  // these values at the EstimateRequest validation layer; this guard
+  // covers direct template callers.
+  if (m_l == 0 || delta == 0) {
+    *reliable = false;
+    return 0.0;
+  }
 
   uint64_t hits = 0;     // n_L in Algorithm 1
   uint64_t samples = 0;  // i in Algorithm 1

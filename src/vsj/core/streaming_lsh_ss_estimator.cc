@@ -16,10 +16,21 @@ StreamingLshSsEstimator::StreamingLshSsEstimator(
 
 std::string StreamingLshSsEstimator::name() const { return "LSH-SS(stream)"; }
 
-EstimationResult StreamingLshSsEstimator::EstimateWithTable(double tau,
-                                                            uint32_t t,
-                                                            Rng& rng) const {
+void StreamingSampleContext::Build(const DynamicLshIndex& index,
+                                   size_t id_bound) {
+  bucket_of.resize(index.num_tables());
+  for (uint32_t t = 0; t < index.num_tables(); ++t) {
+    bucket_of[t].assign(id_bound, kAbsentBucket);
+    index.table(t).ExportBucketOf(bucket_of[t]);
+  }
+}
+
+EstimationResult StreamingLshSsEstimator::EstimateWithTable(
+    double tau, uint32_t t, Rng& rng, const StreamingSampleContext* context,
+    const StreamingLshSsOptions* override_options) const {
   VSJ_CHECK(t < index_->num_tables());
+  const StreamingLshSsOptions& opts =
+      override_options != nullptr ? *override_options : options_;
   EstimationResult result;
   const uint64_t n = index_->num_vectors();
   if (n < 2) return result;
@@ -29,15 +40,18 @@ EstimationResult StreamingLshSsEstimator::EstimateWithTable(double tau,
     return result;
   }
 
-  const uint64_t m_h = options_.sample_size_h != 0 ? options_.sample_size_h : n;
-  const uint64_t m_l = options_.sample_size_l != 0 ? options_.sample_size_l : n;
+  const uint64_t m_h = opts.sample_size_h != 0 ? opts.sample_size_h : n;
+  const uint64_t m_l = opts.sample_size_l != 0 ? opts.sample_size_l : n;
   const uint64_t delta =
-      options_.delta != 0
-          ? options_.delta
+      opts.delta != 0
+          ? opts.delta
           : static_cast<uint64_t>(
                 std::max(1.0, std::log2(static_cast<double>(n))));
 
   const DynamicLshTable& table = index_->table(t);
+  const uint32_t* bucket_of = context != nullptr && !context->empty()
+                                  ? context->bucket_of[t].data()
+                                  : nullptr;
   bool reliable = true;
   result.stratum_h_estimate = SampleStratumH(
       dataset_, measure_, tau, table.NumSameBucketPairs(), m_h,
@@ -56,7 +70,9 @@ EstimationResult StreamingLshSsEstimator::EstimateWithTable(double tau,
         do {
           u = index_->SampleLiveId(r);
           v = index_->SampleLiveId(r);
-        } while (u == v || table.SameBucket(u, v));
+        } while (u == v || (bucket_of != nullptr
+                                ? bucket_of[u] == bucket_of[v]
+                                : table.SameBucket(u, v)));
         return VectorPair{u, v};
       },
       rng, &result.pairs_evaluated, &reliable);

@@ -20,6 +20,9 @@
 #ifndef VSJ_CORE_STREAMING_LSH_SS_ESTIMATOR_H_
 #define VSJ_CORE_STREAMING_LSH_SS_ESTIMATOR_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "vsj/core/estimator.h"
 #include "vsj/core/stratified_sampling.h"
 #include "vsj/lsh/dynamic_lsh_index.h"
@@ -34,6 +37,33 @@ struct StreamingLshSsOptions {
   uint64_t sample_size_h = 0;
   uint64_t sample_size_l = 0;
   uint64_t delta = 0;
+};
+
+/// Flat per-table bucket-of arrays amortizing the SampleL index walk across
+/// every trial of a batch. The rejection test `table.SameBucket(u, v)` costs
+/// two hash-map lookups per drawn pair; with ~n draws per trial and T·R
+/// trials per batch that dominates the SampleL walk. Build() exports each
+/// table's membership once, after which the test is two array loads.
+/// Equality on the arrays answers exactly SameBucket for live ids (live ids
+/// are present in every table), so accept/reject decisions — and therefore
+/// every RNG draw — are bit-identical to the uncontexted path.
+///
+/// Validity: the arrays snapshot the index's state at Build() time; any
+/// Insert/Remove invalidates them. The service rebuilds per batch (its
+/// mutations are serialized against batches).
+struct StreamingSampleContext {
+  /// Pre-fill for ids absent from a table. Two absent ids compare equal
+  /// under it — indistinguishable from sharing a bucket — which SampleL
+  /// never observes: it draws only live ids.
+  static constexpr uint32_t kAbsentBucket = UINT32_MAX;
+
+  std::vector<std::vector<uint32_t>> bucket_of;  // [table][id] -> bucket slot
+
+  /// (Re)builds the arrays from the index's current membership. `id_bound`
+  /// must exceed every live id (the backing dataset's size qualifies).
+  void Build(const DynamicLshIndex& index, size_t id_bound);
+
+  bool empty() const { return bucket_of.empty(); }
 };
 
 /// Algorithm 1 over the live subset of a DynamicLshIndex.
@@ -52,7 +82,17 @@ class StreamingLshSsEstimator final : public JoinSizeEstimator {
 
   /// Same, stratifying by table `t` — callers with ℓ > 1 tables can spread
   /// independent trials across tables to decorrelate the stratification.
-  EstimationResult EstimateWithTable(double tau, uint32_t t, Rng& rng) const;
+  ///
+  /// `context`, when non-null and built, replaces the SameBucket hash-map
+  /// rejection test with the context's flat arrays (same decisions, same
+  /// draws — see StreamingSampleContext). `override_options`, when
+  /// non-null, replaces the constructor options for this call only (zero
+  /// fields still mean "derive from n") — how per-request sampling
+  /// overrides reach a shared estimator without rebuilding it.
+  EstimationResult EstimateWithTable(
+      double tau, uint32_t t, Rng& rng,
+      const StreamingSampleContext* context = nullptr,
+      const StreamingLshSsOptions* override_options = nullptr) const;
 
   std::string name() const override;
 

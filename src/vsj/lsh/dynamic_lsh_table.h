@@ -65,6 +65,18 @@ class DynamicLshTable {
   /// True iff both vectors are present and share a bucket.
   bool SameBucket(VectorId u, VectorId v) const;
 
+  /// Writes the bucket slot of every present id into `out[id]`; entries of
+  /// absent ids are left untouched (callers pre-fill a sentinel). One flat
+  /// O(n) export replaces the two hash-map lookups SameBucket pays per
+  /// rejection test — the amortization behind the batched SampleL walk:
+  /// bucket equality on the exported array answers exactly SameBucket for
+  /// any two present ids. `out.size()` must exceed every present id.
+  void ExportBucketOf(std::span<uint32_t> out) const {
+    for (const auto& [id, membership] : members_) {
+      out[id] = membership.bucket;
+    }
+  }
+
   /// N_H over the currently present vectors.
   uint64_t NumSameBucketPairs() const { return num_same_bucket_pairs_; }
 

@@ -1,16 +1,46 @@
 #include "vsj/service/estimate_cache.h"
 
 #include <cmath>
+#include <cstring>
+#include <functional>
 
 #include "vsj/obs/obs.h"
 #include "vsj/util/check.h"
+#include "vsj/util/hash.h"
 
 namespace vsj {
 
-EstimateCache::EstimateCache(double tau_bucket_width, size_t capacity)
-    : tau_bucket_width_(tau_bucket_width), capacity_(capacity) {
+namespace {
+
+/// The exact bit pattern of `value` — the key must distinguish every
+/// distinct double (0.70 vs 0.72 vs the next representable neighbor), which
+/// decimal formatting cannot guarantee.
+uint64_t DoubleBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void AppendOverride(std::string& key, const std::optional<uint64_t>& value) {
+  key.push_back('|');
+  if (value.has_value()) {
+    key.append(std::to_string(*value));
+  } else {
+    key.push_back('-');
+  }
+}
+
+}  // namespace
+
+EstimateCache::EstimateCache(double tau_bucket_width, size_t capacity,
+                             size_t num_shards)
+    : tau_bucket_width_(tau_bucket_width),
+      capacity_(capacity),
+      shard_capacity_((capacity + num_shards - 1) / num_shards),
+      shards_(num_shards) {
   VSJ_CHECK(tau_bucket_width > 0.0);
   VSJ_CHECK(capacity > 0);
+  VSJ_CHECK(num_shards > 0);
 }
 
 int64_t EstimateCache::TauBucket(double tau) const {
@@ -20,32 +50,49 @@ int64_t EstimateCache::TauBucket(double tau) const {
 std::string EstimateCache::MakeKey(const EstimateRequest& request,
                                    uint64_t fingerprint) const {
   std::string key;
-  key.reserve(request.estimator_name.size() + 72);
+  key.reserve(request.estimator_name.size() + 104);
   key.append(request.estimator_name);
   key.push_back('|');
-  key.append(std::to_string(TauBucket(request.tau)));
+  key.append(std::to_string(DoubleBits(request.tau)));
   key.push_back('|');
   key.append(std::to_string(fingerprint));
   key.push_back('|');
   key.append(std::to_string(request.trials));
   key.push_back('|');
   key.append(std::to_string(request.seed));
+  key.push_back('|');
+  key.append(std::to_string(DoubleBits(request.max_rel_error)));
+  AppendOverride(key, request.sample_size_h);
+  AppendOverride(key, request.sample_size_l);
+  AppendOverride(key, request.delta);
   return key;
+}
+
+EstimateCache::Shard& EstimateCache::ShardFor(const EstimateRequest& request) {
+  // The shard hint: estimator × τ-bucket, so an optimizer's sweep of
+  // nearby thresholds lands in one shard and competes only with itself
+  // for eviction. Exact τ bits stay out of the hint on purpose — they are
+  // the key's job.
+  const uint64_t hint =
+      HashCombine(std::hash<std::string>{}(request.estimator_name),
+                  static_cast<uint64_t>(TauBucket(request.tau)));
+  return shards_[hint % shards_.size()];
 }
 
 std::optional<EstimateResponse> EstimateCache::Lookup(
     const EstimateRequest& request, uint64_t fingerprint) {
   const std::string key = MakeKey(request, fingerprint);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  Shard& shard = ShardFor(request);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
     misses_.Add(1);
     VSJ_COUNTER_ADD("cache.misses", 1);
     return std::nullopt;
   }
   hits_.Add(1);
   VSJ_COUNTER_ADD("cache.hits", 1);
-  lru_.splice(lru_.begin(), lru_, it->second);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   EstimateResponse response = it->second->response;
   response.from_cache = true;
   return response;
@@ -55,23 +102,24 @@ void EstimateCache::Insert(const EstimateRequest& request,
                            uint64_t fingerprint,
                            const EstimateResponse& response) {
   std::string key = MakeKey(request, fingerprint);
-  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& shard = ShardFor(request);
+  std::lock_guard<std::mutex> lock(shard.mutex);
   insertions_.Add(1);
   VSJ_COUNTER_ADD("cache.insertions", 1);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     it->second->response = response;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+  if (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
     evictions_.Add(1);
     VSJ_COUNTER_ADD("cache.evictions", 1);
   }
-  lru_.push_front(Entry{key, response});
-  index_.emplace(std::move(key), lru_.begin());
+  shard.lru.push_front(Entry{key, response});
+  shard.index.emplace(std::move(key), shard.lru.begin());
 }
 
 void EstimateCache::NoteInvalidation() {
@@ -84,14 +132,20 @@ void EstimateCache::RestoreEpoch(uint64_t epoch) {
 }
 
 void EstimateCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+  }
 }
 
 size_t EstimateCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
 }
 
 EstimateCacheStats EstimateCache::stats() const {

@@ -1,21 +1,34 @@
-// LRU cache of estimation responses for optimizer-style repeated probing.
+// Sharded LRU cache of estimation responses for optimizer-style repeated
+// probing.
 //
-// A query optimizer asks for J(τ) at many nearby thresholds while costing
-// plans (the threshold_explorer and query_optimizer examples show the
-// pattern). Estimates are statistics, not exact answers, so two probes whose
-// thresholds fall into the same narrow τ-bucket may share one sampled
-// response. The cache key is (estimator name, τ-bucket, dataset
-// fingerprint, trials, seed): changing the estimator, moving τ across a
-// bucket boundary, editing the dataset, or asking under a different
-// statistical policy (trial count or RNG seed) all miss, while re-probing
-// an already-answered question hits without re-sampling. Keying on trials
-// and seed keeps two invariants that a bare (estimator, τ) key would break:
-// a request for an 8-trial error bar is never served a cached single-trial
-// response with std_error = 0, and changing the seed really draws a fresh
-// sample instead of replaying another seed's result.
+// A query optimizer asks for J(τ) at many thresholds while costing plans
+// (the threshold_explorer and query_optimizer examples show the pattern),
+// and the batched pipeline drives the cache from every pool worker at
+// once. Two design points follow:
 //
-// Thread safety: all methods are mutex-guarded; the cache may be shared by
-// concurrent CardinalityProviders.
+//   * The key is exact. It is (estimator name, exact τ bits, dataset
+//     fingerprint, trials, seed, max_rel_error bits, sampling overrides):
+//     an estimate is a statement about one specific threshold under one
+//     specific statistical policy, and serving a τ=0.72 probe a response
+//     sampled at τ=0.70 silently mislabels the estimate, its error bar and
+//     its sampling cost. (Earlier versions keyed on a τ-bucket and did
+//     exactly that; tests/service/estimate_cache_test.cc now pins the
+//     never-alias behavior.) Keying on trials and seed keeps two further
+//     invariants: a request for an 8-trial error bar is never served a
+//     cached single-trial response, and changing the seed really draws a
+//     fresh sample.
+//
+//   * Storage is sharded. Entries spread over `num_shards` independent
+//     LRU maps, each behind its own mutex, so concurrent workers of a
+//     batch don't serialize on one global lock. The τ-bucket
+//     (floor(τ / tau_bucket_width)) survives as the *shard hint*: it picks
+//     the shard (together with the estimator name), colocating an
+//     optimizer's sweep of nearby thresholds so one plan-costing session
+//     evicts its own history before anyone else's. LRU order is exact per
+//     shard, approximate globally — capacity splits evenly across shards.
+//
+// Thread safety: all methods are shard-mutex-guarded; the cache may be
+// shared by concurrent CardinalityProviders.
 
 #ifndef VSJ_SERVICE_ESTIMATE_CACHE_H_
 #define VSJ_SERVICE_ESTIMATE_CACHE_H_
@@ -26,6 +39,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "vsj/obs/metrics.h"
 #include "vsj/service/estimate_request.h"
@@ -54,16 +68,22 @@ struct EstimateCacheStats {
   }
 };
 
-/// Bounded LRU map from (estimator, τ-bucket, dataset fingerprint, trials,
-/// seed) to a previously computed EstimateResponse.
+/// Sharded bounded LRU map from the exact request key to a previously
+/// computed EstimateResponse.
 class EstimateCache {
  public:
-  /// `tau_bucket_width` controls how close two thresholds must be to share
-  /// a response; `capacity` bounds the number of cached responses (> 0).
-  explicit EstimateCache(double tau_bucket_width = 0.01,
-                         size_t capacity = 1024);
+  static constexpr size_t kDefaultNumShards = 8;
 
-  /// The bucket index of `tau` (floor(tau / width)).
+  /// `tau_bucket_width` controls how nearby thresholds colocate in one
+  /// shard (a hint — never part of the key); `capacity` bounds the total
+  /// number of cached responses across shards (> 0); `num_shards` is the
+  /// lock-splitting factor (> 0; 1 gives a single exact global LRU).
+  explicit EstimateCache(double tau_bucket_width = 0.01,
+                         size_t capacity = 1024,
+                         size_t num_shards = kDefaultNumShards);
+
+  /// The bucket index of `tau` (floor(tau / width)) — the shard/eviction
+  /// hint, not a key component.
   int64_t TauBucket(double tau) const;
 
   /// Returns the cached response for `request`'s key over the dataset with
@@ -73,7 +93,7 @@ class EstimateCache {
                                          uint64_t fingerprint);
 
   /// Inserts (or overwrites) the response under `request`'s key, evicting
-  /// the least recently used entry when full.
+  /// the shard's least recently used entry when the shard is full.
   void Insert(const EstimateRequest& request, uint64_t fingerprint,
               const EstimateResponse& response);
 
@@ -93,6 +113,7 @@ class EstimateCache {
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
   double tau_bucket_width() const { return tau_bucket_width_; }
   EstimateCacheStats stats() const;
 
@@ -102,20 +123,29 @@ class EstimateCache {
     EstimateResponse response;
   };
 
+  /// One independently locked LRU map. Most recently used at the front;
+  /// the index points into the list.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
   std::string MakeKey(const EstimateRequest& request,
                       uint64_t fingerprint) const;
+  Shard& ShardFor(const EstimateRequest& request);
 
   double tau_bucket_width_;
-  size_t capacity_;
+  size_t capacity_;        // nominal total across shards
+  size_t shard_capacity_;  // per-shard bound, ceil(capacity / num_shards)
 
-  mutable std::mutex mutex_;
-  // Most recently used at the front; the map points into the list.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  // Constructed once at the ctor; never resized (Shard is immovable).
+  std::vector<Shard> shards_;
 
-  // Live stats: lock-free obs primitives so stats() never contends with
-  // the LRU mutex and per-instance counts stay available even with the
-  // global metrics flag off (tests rely on them unconditionally).
+  // Live stats: lock-free obs primitives shared by all shards, so stats()
+  // never contends with any shard mutex and per-instance counts stay
+  // available even with the global metrics flag off (tests rely on them
+  // unconditionally).
   obs::Counter hits_;
   obs::Counter misses_;
   obs::Counter insertions_;

@@ -1,0 +1,29 @@
+#include "vsj/service/estimate_request.h"
+
+#include <cmath>
+
+namespace vsj {
+
+const char* ValidateEstimateRequest(const EstimateRequest& request) {
+  if (request.trials == 0) {
+    return "trials must be > 0";
+  }
+  if (!std::isfinite(request.tau)) {
+    return "tau must be finite";
+  }
+  if (!std::isfinite(request.max_rel_error) || request.max_rel_error < 0.0) {
+    return "max_rel_error must be finite and >= 0";
+  }
+  if (request.sample_size_h.has_value() && *request.sample_size_h == 0) {
+    return "sample_size_h override must be > 0";
+  }
+  if (request.sample_size_l.has_value() && *request.sample_size_l == 0) {
+    return "sample_size_l override must be > 0";
+  }
+  if (request.delta.has_value() && *request.delta == 0) {
+    return "delta override must be > 0";
+  }
+  return nullptr;
+}
+
+}  // namespace vsj

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace vsj {
@@ -25,7 +26,39 @@ struct EstimateRequest {
   /// seed and the same position in a batch produce identical results
   /// regardless of thread count (see EstimationService).
   uint64_t seed = 1;
+
+  /// Any-τ early exit: when > 0, the service stops running trials as soon
+  /// as at least two have completed and the running standard error of the
+  /// mean is within `max_rel_error · |mean|`. `trials` becomes the budget
+  /// rather than the exact count; the trials that do run are unchanged
+  /// (each draws from its own value-derived stream), so an early-exited
+  /// response is a prefix of the full-budget response's trial sequence.
+  /// 0 disables (all `trials` always run).
+  double max_rel_error = 0.0;
+
+  /// Per-request overrides of the estimator's sampling budgets (m_H, m_L,
+  /// δ of Algorithm 1). nullopt defers to the engine's configured options;
+  /// an engaged zero is invalid — the zero-budget NaN edges are rejected
+  /// here, at the validation layer, before reaching the sampling loops.
+  std::optional<uint64_t> sample_size_h;
+  std::optional<uint64_t> sample_size_l;
+  std::optional<uint64_t> delta;
+
+  /// True when any sampling override is engaged.
+  bool HasSamplingOverrides() const {
+    return sample_size_h.has_value() || sample_size_l.has_value() ||
+           delta.has_value();
+  }
 };
+
+/// The request validation layer shared by both service engines: returns
+/// nullptr when `request` is servable, else a static description of the
+/// first violated rule. Rejected: zero trials, non-finite or out-of-range
+/// τ budgets of the error-bound knob, and engaged-zero sampling overrides
+/// (a zero m_H, m_L, or δ would hit the degenerate-budget edges of the
+/// sampling templates; engines refuse them up front instead of serving an
+/// unguaranteed 0).
+const char* ValidateEstimateRequest(const EstimateRequest& request);
 
 /// Aggregated outcome of one request.
 struct EstimateResponse {

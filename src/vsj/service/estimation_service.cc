@@ -18,7 +18,8 @@ EstimationService::EstimationService(VectorDataset dataset,
       fingerprint_(DatasetFingerprint(view_)),
       family_(MakeLshFamily(options.measure, options.family_seed)),
       pool_(options.num_threads),
-      cache_(options.cache_tau_bucket_width, options.cache_capacity) {
+      cache_(options.cache_tau_bucket_width, options.cache_capacity,
+             options.cache_num_shards) {
   BuildIndexAndContext();
 }
 
@@ -29,7 +30,8 @@ EstimationService::EstimationService(DatasetView dataset,
       fingerprint_(DatasetFingerprint(view_)),
       family_(MakeLshFamily(options.measure, options.family_seed)),
       pool_(options.num_threads),
-      cache_(options.cache_tau_bucket_width, options.cache_capacity) {
+      cache_(options.cache_tau_bucket_width, options.cache_capacity,
+             options.cache_num_shards) {
   BuildIndexAndContext();
 }
 
@@ -56,24 +58,51 @@ EstimateResponse EstimationService::Estimate(const EstimateRequest& request) {
 
 std::vector<EstimateResponse> EstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests) {
+  for (const EstimateRequest& request : requests) {
+    const char* error = ValidateEstimateRequest(request);
+    VSJ_CHECK_MSG(error == nullptr, "invalid EstimateRequest: %s", error);
+  }
   // The miss pre-pass makes sure every requested estimator instance exists
   // before workers start, so they only ever read.
   std::vector<const JoinSizeEstimator*> estimators(requests.size(), nullptr);
   return RunCachedBatch(
       requests, options_.enable_cache ? &cache_ : nullptr, fingerprint_,
       pool_,
-      [&](size_t i) {
-        estimators[i] = &EstimatorFor(requests[i].estimator_name);
-      },
+      [&](size_t i) { estimators[i] = &EstimatorFor(requests[i]); },
       [&](size_t i) { return Compute(requests[i], i, *estimators[i]); });
 }
 
 const JoinSizeEstimator& EstimationService::EstimatorFor(
-    const std::string& name) {
+    const EstimateRequest& request) {
+  std::string key = request.estimator_name;
+  if (request.HasSamplingOverrides()) {
+    for (const auto& field : {request.sample_size_h, request.sample_size_l,
+                              request.delta}) {
+      key.push_back('|');
+      if (field.has_value()) {
+        key.append(std::to_string(*field));
+      } else {
+        key.push_back('-');
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(estimators_mutex_);
-  auto it = estimators_.find(name);
+  auto it = estimators_.find(key);
   if (it == estimators_.end()) {
-    it = estimators_.emplace(name, CreateEstimator(name, context_)).first;
+    EstimatorContext context = context_;
+    if (request.sample_size_h.has_value()) {
+      context.lsh_ss.sample_size_h = *request.sample_size_h;
+    }
+    if (request.sample_size_l.has_value()) {
+      context.lsh_ss.sample_size_l = *request.sample_size_l;
+    }
+    if (request.delta.has_value()) {
+      context.lsh_ss.delta = *request.delta;
+    }
+    it = estimators_
+             .emplace(std::move(key),
+                      CreateEstimator(request.estimator_name, context))
+             .first;
   }
   return *it->second;
 }

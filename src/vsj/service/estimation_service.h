@@ -56,6 +56,7 @@ struct EstimationServiceOptions {
   bool enable_cache = true;
   double cache_tau_bucket_width = 0.01;
   size_t cache_capacity = 1024;
+  size_t cache_num_shards = EstimateCache::kDefaultNumShards;
 };
 
 /// Long-lived, thread-pooled estimation engine over one dataset.
@@ -104,10 +105,13 @@ class EstimationService {
   /// Shared tail of both constructors: index build + estimator context.
   void BuildIndexAndContext();
 
-  /// Returns the shared estimator instance for `name`, constructing it on
-  /// first use. Estimate() is const on estimators, so one instance serves
-  /// all threads.
-  const JoinSizeEstimator& EstimatorFor(const std::string& name);
+  /// Returns the shared estimator instance serving `request` —
+  /// constructed on first use and keyed by estimator name plus any
+  /// engaged sampling overrides (an overridden request gets its own
+  /// instance with the overrides folded into its LSH-SS options).
+  /// Estimate() is const on estimators, so one instance serves all
+  /// threads.
+  const JoinSizeEstimator& EstimatorFor(const EstimateRequest& request);
 
   /// Runs the trials of `request` with the deterministic stream of batch
   /// position `request_index`.

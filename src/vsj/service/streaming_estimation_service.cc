@@ -35,7 +35,8 @@ StreamingEstimationService::StreamingEstimationService(
       estimator_(DatasetView::IdAddressed(store_), index_, options.measure,
                  options.lsh_ss),
       pool_(options.num_threads),
-      cache_(options.cache_tau_bucket_width, options.cache_capacity) {
+      cache_(options.cache_tau_bucket_width, options.cache_capacity,
+             options.cache_num_shards) {
   BuildProjectionCache();
 }
 
@@ -90,26 +91,55 @@ EstimateResponse StreamingEstimationService::Estimate(
 
 std::vector<EstimateResponse> StreamingEstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests) {
+  for (const EstimateRequest& request : requests) {
+    const char* error = ValidateEstimateRequest(request);
+    VSJ_CHECK_MSG(error == nullptr, "invalid EstimateRequest: %s", error);
+  }
+  // The batch's sample context: flat bucket-of arrays amortizing the
+  // SampleL rejection test across every trial of every miss. Built lazily
+  // on the first miss — still in the sequential pre-pass, so a fully
+  // cache-served batch never pays the O(ℓ·n) export and workers only
+  // read. Mutations are externally synchronized against EstimateBatch, so
+  // the arrays stay valid for the whole batch.
+  StreamingSampleContext context;
   return RunCachedBatch(
       requests, options_.enable_cache ? &cache_ : nullptr,
       effective_fingerprint(), pool_,
       [&](size_t i) {
         VSJ_CHECK_MSG(requests[i].estimator_name == "LSH-SS",
                       "streaming engine only serves LSH-SS");
+        if (context.empty()) context.Build(index_, dataset().size());
       },
-      [&](size_t i) { return Compute(requests[i], i); });
+      [&](size_t i) { return Compute(requests[i], i, context); });
 }
 
 EstimateResponse StreamingEstimationService::Compute(
-    const EstimateRequest& request, size_t request_index) const {
+    const EstimateRequest& request, size_t request_index,
+    const StreamingSampleContext& context) const {
   const uint32_t num_tables = index_.num_tables();
+  StreamingLshSsOptions override_storage;
+  const StreamingLshSsOptions* overrides = nullptr;
+  if (request.HasSamplingOverrides()) {
+    override_storage = options_.lsh_ss;
+    if (request.sample_size_h.has_value()) {
+      override_storage.sample_size_h = *request.sample_size_h;
+    }
+    if (request.sample_size_l.has_value()) {
+      override_storage.sample_size_l = *request.sample_size_l;
+    }
+    if (request.delta.has_value()) {
+      override_storage.delta = *request.delta;
+    }
+    overrides = &override_storage;
+  }
   // Spread trials round-robin across the ℓ tables: each table is an
   // independent stratification of the same pair set, so averaging across
   // them decorrelates the estimate at no extra cost.
   return RunDeterministicTrials(
       request, request_index, [&](size_t t, Rng& rng) {
         return estimator_.EstimateWithTable(
-            request.tau, static_cast<uint32_t>(t % num_tables), rng);
+            request.tau, static_cast<uint32_t>(t % num_tables), rng,
+            &context, overrides);
       });
 }
 

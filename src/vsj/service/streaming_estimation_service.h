@@ -66,6 +66,7 @@ struct StreamingEstimationServiceOptions {
   bool enable_cache = true;
   double cache_tau_bucket_width = 0.01;
   size_t cache_capacity = 1024;
+  size_t cache_num_shards = EstimateCache::kDefaultNumShards;
 
   /// Chunk size / compaction policy of the backing arena.
   StreamingStorageOptions storage;
@@ -168,8 +169,11 @@ class StreamingEstimationService {
   /// the two counters stay in lockstep. Every mutating method ends here.
   void BumpEpoch();
 
+  /// `context` holds the batch's flat bucket-of arrays (built once in the
+  /// sequential pre-pass of EstimateBatch; workers only read it).
   EstimateResponse Compute(const EstimateRequest& request,
-                           size_t request_index) const;
+                           size_t request_index,
+                           const StreamingSampleContext& context) const;
 
   /// Builds and attaches the sealed Gaussian projection cache over the
   /// current backing store (ℓ·k functions), so every index mutation hashes

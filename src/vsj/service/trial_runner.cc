@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "vsj/obs/obs.h"
@@ -14,12 +17,63 @@ namespace {
 
 /// Runtime-composed histogram name for per-request latency at
 /// estimator × τ-bucket granularity (τ rounded to one decimal, matching
-/// the EstimateCache key bucketing). Composed only when metrics are on —
+/// the EstimateCache shard hint). Composed only when metrics are on —
 /// request granularity, so the string build is off every hot path.
 std::string LatencyMetricName(const std::string& estimator_name, double tau) {
   char suffix[32];
   std::snprintf(suffix, sizeof(suffix), ".tau%.1f", tau);
   return "estimate.latency_ns." + estimator_name + suffix;
+}
+
+double MeanOf(const std::vector<double>& estimates) {
+  double sum = 0.0;
+  for (double e : estimates) sum += e;
+  return sum / static_cast<double>(estimates.size());
+}
+
+double SampleStdDevOf(const std::vector<double>& estimates, double mean) {
+  double sq = 0.0;
+  for (double e : estimates) {
+    const double d = e - mean;
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(estimates.size() - 1));
+}
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// The duplicate-compute key of a request within one batch: every field
+/// the computed response depends on *except* the batch position (whose
+/// forgiveness is the point of grouping — the cache key has no batch
+/// position either, so a follower served its leader's response sees
+/// exactly what a cache hit would have shown it). The dataset fingerprint
+/// is constant across a batch and stays out.
+std::string GroupKey(const EstimateRequest& request) {
+  std::string key;
+  key.reserve(request.estimator_name.size() + 88);
+  key.append(request.estimator_name);
+  key.push_back('|');
+  key.append(std::to_string(DoubleBits(request.tau)));
+  key.push_back('|');
+  key.append(std::to_string(request.trials));
+  key.push_back('|');
+  key.append(std::to_string(request.seed));
+  key.push_back('|');
+  key.append(std::to_string(DoubleBits(request.max_rel_error)));
+  for (const auto& field : {request.sample_size_h, request.sample_size_l,
+                            request.delta}) {
+    key.push_back('|');
+    if (field.has_value()) {
+      key.append(std::to_string(*field));
+    } else {
+      key.push_back('-');
+    }
+  }
+  return key;
 }
 
 }  // namespace
@@ -31,11 +85,9 @@ EstimateResponse RunDeterministicTrials(
   EstimateResponse response;
   response.tau = request.tau;
   response.estimator_name = request.estimator_name;
-  response.trials = request.trials;
 
   const uint64_t request_start_ns = obs::MonotonicNowNs();
   VSJ_COUNTER_ADD("estimate.requests", 1);
-  VSJ_COUNTER_ADD("estimate.trials", request.trials);
 
   const Rng request_stream = Rng(request.seed).Fork(request_index);
   std::vector<double> estimates;
@@ -47,24 +99,38 @@ EstimateResponse RunDeterministicTrials(
     estimates.push_back(result.estimate);
     response.pairs_evaluated += result.pairs_evaluated;
     if (!result.guaranteed) ++response.num_unguaranteed;
+    // Any-τ early exit: `trials` is a budget, not a mandate. Once at least
+    // two trials bound the spread and the running standard error of the
+    // mean is inside the requested relative band, further trials buy
+    // precision nobody asked for. Completed trials are untouched (each
+    // drew from its own Fork(t) stream), so the early-exited response is a
+    // prefix of the full-budget trial sequence — deterministic, just
+    // shorter.
+    if (request.max_rel_error > 0.0 && estimates.size() >= 2 &&
+        estimates.size() < request.trials) {
+      const double mean = MeanOf(estimates);
+      const double std_error =
+          SampleStdDevOf(estimates, mean) /
+          std::sqrt(static_cast<double>(estimates.size()));
+      if (std_error <= request.max_rel_error * std::abs(mean)) {
+        VSJ_COUNTER_ADD("estimate.early_exit", 1);
+        VSJ_COUNTER_ADD("estimate.trials_saved",
+                        request.trials - estimates.size());
+        break;
+      }
+    }
   }
+  response.trials = estimates.size();
+  VSJ_COUNTER_ADD("estimate.trials", estimates.size());
   if (VSJ_METRICS_COMPILED && obs::MetricsEnabled()) {
     obs::MetricRegistry::Global()
         .GetHistogram(LatencyMetricName(request.estimator_name, request.tau))
         .Record(obs::MonotonicNowNs() - request_start_ns);
   }
 
-  double sum = 0.0;
-  for (double e : estimates) sum += e;
-  response.mean_estimate = sum / static_cast<double>(estimates.size());
+  response.mean_estimate = MeanOf(estimates);
   if (estimates.size() > 1) {
-    double sq = 0.0;
-    for (double e : estimates) {
-      const double d = e - response.mean_estimate;
-      sq += d * d;
-    }
-    response.std_dev =
-        std::sqrt(sq / static_cast<double>(estimates.size() - 1));
+    response.std_dev = SampleStdDevOf(estimates, response.mean_estimate);
     response.std_error =
         response.std_dev / std::sqrt(static_cast<double>(estimates.size()));
   }
@@ -78,22 +144,36 @@ std::vector<EstimateResponse> RunCachedBatch(
     const std::function<EstimateResponse(size_t)>& compute) {
   std::vector<EstimateResponse> responses(requests.size());
 
+  // Misses holds the group leaders — the requests actually computed. A
+  // later miss whose GroupKey matches an earlier one becomes a follower:
+  // it skips dispatch and copies its leader's response after the pool
+  // drains, exactly what a cache hit on the leader's entry would have
+  // produced (the cache key carries no batch position either). No
+  // relabeling happens on hits or followers: with the exact-τ cache key
+  // and the exact GroupKey, a served response already describes precisely
+  // the τ/estimator/policy that was asked.
   std::vector<size_t> misses;
   misses.reserve(requests.size());
+  std::vector<std::pair<size_t, size_t>> followers;  // (follower, leader)
+  std::unordered_map<std::string, size_t> leader_of;
   for (size_t i = 0; i < requests.size(); ++i) {
     if (cache != nullptr) {
       if (auto hit = cache->Lookup(requests[i], fingerprint)) {
         responses[i] = *hit;
-        responses[i].tau = requests[i].tau;
-        responses[i].estimator_name = requests[i].estimator_name;
         continue;
       }
+    }
+    const auto [it, inserted] = leader_of.emplace(GroupKey(requests[i]), i);
+    if (!inserted) {
+      followers.emplace_back(i, it->second);
+      continue;
     }
     on_miss(i);
     misses.push_back(i);
   }
   VSJ_COUNTER_ADD("estimate.batch_requests", requests.size());
   VSJ_COUNTER_ADD("estimate.batch_misses", misses.size());
+  VSJ_COUNTER_ADD("estimate.batch_grouped", followers.size());
 
   // Dispatch timestamp for the queue-wait histogram: how long a miss sat
   // between batch dispatch and a pool worker picking it up, vs. how long
@@ -105,6 +185,10 @@ std::vector<EstimateResponse> RunCachedBatch(
     VSJ_TRACE_SPAN(execute_span, "estimate.execute_ns");
     responses[misses[m]] = compute(misses[m]);
   });
+
+  for (const auto& [follower, leader] : followers) {
+    responses[follower] = responses[leader];
+  }
 
   if (cache != nullptr) {
     for (size_t i : misses) {

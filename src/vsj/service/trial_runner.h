@@ -23,22 +23,31 @@
 
 namespace vsj {
 
-/// Runs `request.trials` draws of `run_trial(t, rng)` — rng being the
-/// stream Rng(request.seed).Fork(request_index).Fork(t) — and aggregates
-/// them. `request.trials` must be > 0.
+/// Runs up to `request.trials` draws of `run_trial(t, rng)` — rng being
+/// the stream Rng(request.seed).Fork(request_index).Fork(t) — and
+/// aggregates them. `request.trials` must be > 0. With
+/// `request.max_rel_error > 0` the trial loop exits early once the running
+/// standard error of the mean is inside the requested relative band (see
+/// EstimateRequest::max_rel_error); the response's `trials` reports the
+/// count actually run.
 EstimateResponse RunDeterministicTrials(
     const EstimateRequest& request, size_t request_index,
     const std::function<EstimationResult(size_t, Rng&)>& run_trial);
 
 /// The cached-batch protocol shared by the service engines:
-///   1. sequential pre-pass in request order — resolve hits from `cache`
-///      (entries are re-stamped with the request's τ and estimator name)
-///      and call `on_miss(i)` once per miss so engine state (estimator
-///      instances, precondition checks) is settled before workers start;
-///   2. parallel compute of the misses across `pool` — `compute(i)` writes
-///      response slot i, deterministic because i is the RNG stream index;
-///   3. sequential post-pass in request order — publish misses to `cache`.
-/// Pass `cache == nullptr` to disable caching.
+///   1. sequential pre-pass in request order — resolve hits from `cache`,
+///      group the remaining misses by compute key (estimator, exact τ
+///      bits, trials, seed, error bound, sampling overrides — everything
+///      but the batch position) so each group computes once, and call
+///      `on_miss(i)` once per group leader so engine state (estimator
+///      instances, sample contexts) is settled before workers start;
+///   2. parallel compute of the leaders across `pool` — `compute(i)`
+///      writes response slot i, deterministic because i is the RNG stream
+///      index;
+///   3. sequential post-pass — followers copy their leader's response
+///      (what a cache hit on it would have served), then leaders publish
+///      to `cache`.
+/// Pass `cache == nullptr` to disable caching (grouping still applies).
 std::vector<EstimateResponse> RunCachedBatch(
     const std::vector<EstimateRequest>& requests, EstimateCache* cache,
     uint64_t fingerprint, ThreadPool& pool,

@@ -14,6 +14,15 @@
 #   snapshot    checkpoint/restore mid-stream over the v2 fixture, then a
 #               second process resumes from the saved snapshot via
 #               --load-snapshot (both stdouts concatenated)
+#   single-trial  a --trials 1 batch (std error column must read "n/a" —
+#               one draw has no measurable spread) plus a --trials 6 batch
+#               with --max-rel-error 0.5 (any-τ early exit); both emit
+#               --json lines, concatenated after each table, which pin the
+#               omitted std_error fields and the early-exited trial counts
+#   reject      invalid flag values (--batch-taus out of range / duplicate /
+#               unparsable, negative --max-rel-error) — captures the first
+#               stderr diagnostic of each, which must name the offending
+#               token
 #
 # Runs the tool on the checked-in tiny dataset (data/tiny.vsjd /
 # data/tiny.vsjb, 120 vectors) and diffs stdout against golden/<mode>.out
@@ -68,6 +77,28 @@ case "$mode" in
              --threads 2 --trials 2 --seed 7 \
              --stream "$data/stream_resume_ops.txt" 2>/dev/null
       rm -f cli_stream_snapshot_mid.vsjs cli_stream_snapshot_end.vsjs
+    }
+    ;;
+  single-trial)
+    run() {
+      rm -f cli_single_trial.json cli_early_exit.json
+      "$bin" --dataset "$data/tiny.vsjd" --k 6 --threads 2 \
+             --batch-taus 0.3,0.6,0.9 --trials 1 --seed 7 \
+             --json cli_single_trial.json 2>/dev/null
+      cat cli_single_trial.json
+      "$bin" --dataset "$data/tiny.vsjd" --k 6 --threads 2 \
+             --batch-taus 0.3,0.6,0.9 --trials 6 --seed 7 \
+             --max-rel-error 0.5 --json cli_early_exit.json 2>/dev/null
+      cat cli_early_exit.json
+      rm -f cli_single_trial.json cli_early_exit.json
+    }
+    ;;
+  reject)
+    run() {
+      for flags in "--batch-taus 0.5,1.5" "--batch-taus 0.5,0.5" \
+                   "--batch-taus 0.5,abc" "--max-rel-error -0.5"; do
+        "$bin" --synthetic dblp --n 50 $flags 2>&1 >/dev/null | head -1
+      done
     }
     ;;
   *)

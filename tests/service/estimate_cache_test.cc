@@ -35,15 +35,54 @@ TEST(EstimateCacheTest, MissThenHit) {
   EXPECT_TRUE(hit->from_cache);
 }
 
-TEST(EstimateCacheTest, NearbyTauSharesBucket) {
+TEST(EstimateCacheTest, NearbyTauNeverAliases) {
+  // Regression: the key is the exact τ bit pattern, never the τ-bucket.
+  // 0.802 and 0.808 fall into bucket 80 at width 0.01 — an earlier
+  // bucket-keyed cache served one's response for the other, silently
+  // mislabeling the estimate, its error bar, and its sampling cost.
   EstimateCache cache(0.01, 16);
   cache.Insert(MakeRequest("LSH-SS", 0.802), 111, MakeResponse(0.802, 500.0));
-  // 0.802 and 0.808 fall into τ-bucket 80 at width 0.01.
-  const auto hit = cache.Lookup(MakeRequest("LSH-SS", 0.808), 111);
+  EXPECT_FALSE(cache.Lookup(MakeRequest("LSH-SS", 0.808), 111).has_value());
+  const auto hit = cache.Lookup(MakeRequest("LSH-SS", 0.802), 111);
   ASSERT_TRUE(hit.has_value());
   EXPECT_DOUBLE_EQ(hit->mean_estimate, 500.0);
-  // 0.825 falls into bucket 82: miss.
-  EXPECT_FALSE(cache.Lookup(MakeRequest("LSH-SS", 0.825), 111).has_value());
+  EXPECT_DOUBLE_EQ(hit->tau, 0.802);
+}
+
+TEST(EstimateCacheTest, KeyIncludesErrorBoundAndOverrides) {
+  EstimateCache cache(0.01, 16);
+  const EstimateRequest base = MakeRequest("LSH-SS", 0.805);
+  cache.Insert(base, 111, MakeResponse(0.805, 500.0));
+
+  EstimateRequest bounded = base;
+  bounded.max_rel_error = 0.05;
+  EXPECT_FALSE(cache.Lookup(bounded, 111).has_value());
+
+  EstimateRequest overridden = base;
+  overridden.delta = 16;
+  EXPECT_FALSE(cache.Lookup(overridden, 111).has_value());
+
+  overridden = base;
+  overridden.sample_size_h = 128;
+  EXPECT_FALSE(cache.Lookup(overridden, 111).has_value());
+
+  EXPECT_TRUE(cache.Lookup(base, 111).has_value());
+}
+
+TEST(EstimateCacheTest, ShardedCacheBoundsTotalSize) {
+  // Capacity splits across shards (ceil(8/4) = 2 each); no matter how the
+  // shard hints distribute, the total footprint never exceeds capacity and
+  // every overflow is an accounted eviction.
+  EstimateCache cache(0.01, 8, 4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  const int kInserted = 32;
+  for (int i = 0; i < kInserted; ++i) {
+    // Distinct estimator names spread the shard hint; distinct keys all.
+    const std::string name = "est" + std::to_string(i);
+    cache.Insert(MakeRequest(name.c_str(), 0.5), 1, MakeResponse(0.5, i));
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_EQ(cache.stats().evictions, kInserted - cache.size());
 }
 
 TEST(EstimateCacheTest, KeyIncludesEstimatorAndFingerprint) {
@@ -85,7 +124,9 @@ TEST(EstimateCacheTest, HitMissAccounting) {
 }
 
 TEST(EstimateCacheTest, EvictsLeastRecentlyUsed) {
-  EstimateCache cache(0.01, 2);
+  // One shard pins the exact global LRU order (with several shards the
+  // order is exact only per shard).
+  EstimateCache cache(0.01, 2, /*num_shards=*/1);
   cache.Insert(MakeRequest("A", 0.5), 1, MakeResponse(0.5, 1.0));
   cache.Insert(MakeRequest("B", 0.5), 1, MakeResponse(0.5, 2.0));
   // Touch A so B becomes the LRU entry.

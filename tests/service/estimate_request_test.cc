@@ -1,0 +1,68 @@
+// Tests of the EstimateRequest validation layer: the zero-budget NaN edges
+// of the sampling templates must be rejected before they reach an engine.
+
+#include "vsj/service/estimate_request.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace vsj {
+namespace {
+
+TEST(EstimateRequestTest, DefaultRequestIsValid) {
+  EXPECT_EQ(ValidateEstimateRequest(EstimateRequest{}), nullptr);
+}
+
+TEST(EstimateRequestTest, EngagedOverridesAreValidWhenPositive) {
+  EstimateRequest request;
+  request.sample_size_h = 100;
+  request.sample_size_l = 100;
+  request.delta = 8;
+  request.max_rel_error = 0.05;
+  EXPECT_EQ(ValidateEstimateRequest(request), nullptr);
+  EXPECT_TRUE(request.HasSamplingOverrides());
+  EXPECT_FALSE(EstimateRequest{}.HasSamplingOverrides());
+}
+
+TEST(EstimateRequestTest, RejectsZeroTrials) {
+  EstimateRequest request;
+  request.trials = 0;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+}
+
+TEST(EstimateRequestTest, RejectsNonFiniteTau) {
+  EstimateRequest request;
+  request.tau = std::numeric_limits<double>::infinity();
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.tau = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+}
+
+TEST(EstimateRequestTest, RejectsBadErrorBound) {
+  EstimateRequest request;
+  request.max_rel_error = -0.1;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.max_rel_error = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+}
+
+TEST(EstimateRequestTest, RejectsEngagedZeroBudgets) {
+  // delta = 0 and zero sample budgets are the NaN edges of SampleStratumL /
+  // SampleStratumH; an engaged zero must be refused, while nullopt (defer
+  // to engine defaults) stays valid.
+  EstimateRequest request;
+  request.delta = 0;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.delta.reset();
+  request.sample_size_h = 0;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.sample_size_h.reset();
+  request.sample_size_l = 0;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.sample_size_l.reset();
+  EXPECT_EQ(ValidateEstimateRequest(request), nullptr);
+}
+
+}  // namespace
+}  // namespace vsj

@@ -146,7 +146,12 @@ TEST(EstimationServiceTest, SecondBatchIsServedFromCache) {
   EXPECT_EQ(stats.misses, batch.size());
 }
 
-TEST(EstimationServiceTest, NearbyTauHitsSameCacheBucket) {
+TEST(EstimationServiceTest, NearbyTauNeverAliasesCachedEstimate) {
+  // Regression: 0.702 and 0.708 share τ-bucket 70 at width 0.01, and an
+  // earlier bucket-keyed cache served the 0.702 response for the 0.708
+  // probe relabelled with the asked τ — an estimate, error bar, and
+  // sampling cost computed at a different threshold. The exact-τ key must
+  // recompute, and the exact same τ must still hit.
   EstimationServiceOptions options = SmallOptions(1, true);
   options.cache_tau_bucket_width = 0.01;
   EstimationService service(TestCorpus(), options);
@@ -154,11 +159,90 @@ TEST(EstimationServiceTest, NearbyTauHitsSameCacheBucket) {
   EstimateRequest request;
   request.estimator_name = "LSH-SS";
   request.tau = 0.702;
-  service.Estimate(request);
-  request.tau = 0.708;  // same τ-bucket → no re-sampling
-  const EstimateResponse cached = service.Estimate(request);
-  EXPECT_TRUE(cached.from_cache);
-  EXPECT_EQ(cached.tau, 0.708);  // response is relabelled with the asked τ
+  const EstimateResponse first = service.Estimate(request);
+  request.tau = 0.708;
+  const EstimateResponse neighbor = service.Estimate(request);
+  EXPECT_FALSE(neighbor.from_cache);
+  EXPECT_EQ(neighbor.tau, 0.708);
+  request.tau = 0.702;
+  const EstimateResponse reprobe = service.Estimate(request);
+  EXPECT_TRUE(reprobe.from_cache);
+  EXPECT_EQ(reprobe.tau, 0.702);
+  EXPECT_EQ(reprobe.mean_estimate, first.mean_estimate);
+}
+
+TEST(EstimationServiceTest, DuplicateRequestsComputeOnceAndAgree) {
+  // Cross-request grouping: identical requests in one batch compute once
+  // (the leader's batch position feeds the RNG stream) and every follower
+  // is served the leader's response — what a cache hit on it would show.
+  EstimationService service(TestCorpus(), SmallOptions(2, true));
+  EstimateRequest request;
+  request.estimator_name = "LSH-SS";
+  request.tau = 0.7;
+  request.trials = 3;
+  request.seed = 11;
+  const std::vector<EstimateRequest> batch(4, request);
+
+  const auto responses = service.EstimateBatch(batch);
+  ASSERT_EQ(responses.size(), 4u);
+  for (const auto& response : responses) {
+    EXPECT_FALSE(response.from_cache);
+    EXPECT_EQ(response.mean_estimate, responses[0].mean_estimate);
+    EXPECT_EQ(response.pairs_evaluated, responses[0].pairs_evaluated);
+  }
+  EXPECT_EQ(service.cache().stats().insertions, 1u);
+
+  // The group's single compute matches a singleton batch (leader index 0).
+  EstimationService fresh(TestCorpus(), SmallOptions(1, false));
+  EXPECT_EQ(fresh.Estimate(request).mean_estimate,
+            responses[0].mean_estimate);
+}
+
+TEST(EstimationServiceTest, EarlyExitStopsWithinTrialBudget) {
+  EstimateRequest request;
+  request.estimator_name = "LSH-SS";
+  request.tau = 0.6;
+  request.trials = 8;
+  request.seed = 3;
+
+  EstimationService service(TestCorpus(), SmallOptions(1, false));
+  const EstimateResponse full = service.Estimate(request);
+  ASSERT_EQ(full.trials, 8u);
+
+  // A sloppy bound exits after the two-trial minimum; the trials that did
+  // run are the same prefix of the stream, so mean/std come from the first
+  // two full-budget trials.
+  request.max_rel_error = 1e6;
+  const EstimateResponse loose = service.Estimate(request);
+  EXPECT_EQ(loose.trials, 2u);
+  EXPECT_LT(loose.pairs_evaluated, full.pairs_evaluated);
+
+  // An unattainable bound runs the whole budget and matches the unbounded
+  // response trial for trial.
+  request.max_rel_error = 1e-15;
+  const EstimateResponse tight = service.Estimate(request);
+  EXPECT_EQ(tight.trials, 8u);
+  EXPECT_EQ(tight.mean_estimate, full.mean_estimate);
+  EXPECT_EQ(tight.pairs_evaluated, full.pairs_evaluated);
+}
+
+TEST(EstimationServiceTest, SamplingOverridesShrinkTheSample) {
+  EstimateRequest request;
+  request.estimator_name = "LSH-SS";
+  request.tau = 0.7;
+  request.trials = 2;
+  request.seed = 5;
+
+  EstimationService service(TestCorpus(), SmallOptions(1, false));
+  const EstimateResponse defaults = service.Estimate(request);
+
+  request.sample_size_h = 50;
+  request.sample_size_l = 50;
+  request.delta = 5;
+  const EstimateResponse overridden = service.Estimate(request);
+  EXPECT_LT(overridden.pairs_evaluated, defaults.pairs_evaluated);
+  // m_H = 50 per trial is a hard floor on the evaluation count.
+  EXPECT_GE(overridden.pairs_evaluated, 2u * 50u);
 }
 
 TEST(EstimationServiceTest, FingerprintTracksContent) {

@@ -242,6 +242,75 @@ TEST(StreamingEstimationServiceTest, EraseTombstonesAndCompactionKeepsIds) {
   EXPECT_LE(response.mean_estimate, static_cast<double>(live_pairs));
 }
 
+TEST(StreamingEstimationServiceTest, SampleContextPreservesBitIdentity) {
+  // The batched pipeline's SampleL amortization: the flat bucket-of arrays
+  // must produce the same accept/reject decision as the table's hash-map
+  // SameBucket on every drawn pair, so the walk with a context is
+  // bit-identical — same estimate, same evaluation count — to the direct
+  // walk.
+  VectorDataset dataset = testing::SmallClusteredCorpus(400, 17);
+  StreamingEstimationService service(std::move(dataset),
+                                     StreamOptions(1, false, /*tables=*/2));
+  for (VectorId id = 0; id < 350; ++id) service.Insert(id);
+  for (VectorId id = 0; id < 60; ++id) service.Remove(id);
+
+  const StreamingLshSsEstimator estimator(service.dataset(), service.index(),
+                                          service.options().measure,
+                                          service.options().lsh_ss);
+  StreamingSampleContext context;
+  context.Build(service.index(), service.dataset().size());
+  for (double tau : {0.4, 0.7, 0.9}) {
+    for (uint32_t t = 0; t < 2; ++t) {
+      for (uint64_t stream = 0; stream < 3; ++stream) {
+        Rng direct_rng = Rng(42).Fork(0).Fork(stream);
+        Rng context_rng = Rng(42).Fork(0).Fork(stream);
+        const EstimationResult direct =
+            estimator.EstimateWithTable(tau, t, direct_rng);
+        const EstimationResult amortized =
+            estimator.EstimateWithTable(tau, t, context_rng, &context);
+        EXPECT_EQ(direct.estimate, amortized.estimate)
+            << "tau=" << tau << " t=" << t << " stream=" << stream;
+        EXPECT_EQ(direct.pairs_evaluated, amortized.pairs_evaluated)
+            << "tau=" << tau << " t=" << t << " stream=" << stream;
+        EXPECT_EQ(direct.guaranteed, amortized.guaranteed);
+      }
+    }
+  }
+}
+
+TEST(StreamingEstimationServiceTest, PerRequestOverridesChangeTheSample) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(400, 23);
+  StreamingEstimationService service(std::move(dataset),
+                                     StreamOptions(1, false));
+  for (VectorId id = 0; id < 300; ++id) service.Insert(id);
+
+  EstimateRequest request = LshSsRequest(0.6, /*trials=*/2);
+  const EstimateResponse defaults = service.Estimate(request);
+
+  request.sample_size_h = 40;
+  request.sample_size_l = 40;
+  request.delta = 4;
+  const EstimateResponse overridden = service.Estimate(request);
+  EXPECT_LT(overridden.pairs_evaluated, defaults.pairs_evaluated);
+  EXPECT_GE(overridden.pairs_evaluated, 2u * 40u);
+}
+
+TEST(StreamingEstimationServiceTest, EarlyExitRunsFewerTrials) {
+  VectorDataset dataset = testing::SmallClusteredCorpus(400, 29);
+  StreamingEstimationService service(std::move(dataset),
+                                     StreamOptions(1, false));
+  for (VectorId id = 0; id < 300; ++id) service.Insert(id);
+
+  EstimateRequest request = LshSsRequest(0.5, /*trials=*/10);
+  const EstimateResponse full = service.Estimate(request);
+  ASSERT_EQ(full.trials, 10u);
+
+  request.max_rel_error = 1e6;  // any 2-trial interval satisfies this
+  const EstimateResponse early = service.Estimate(request);
+  EXPECT_EQ(early.trials, 2u);
+  EXPECT_LT(early.pairs_evaluated, full.pairs_evaluated);
+}
+
 TEST(StreamingEstimationServiceTest, MultiTableTrialsStayInFeasibleRange) {
   VectorDataset dataset = testing::SmallClusteredCorpus(300, 45);
   StreamingEstimationService service(

@@ -12,9 +12,13 @@
 // estimated as one concurrent batch, and --repeat re-submits the batch to
 // exercise the estimate cache (repeats are served without re-sampling).
 // Each row reports the mean over --trials runs, the standard error of that
-// mean, and the number of pair-similarity evaluations performed. With
-// --exact it also computes the exact join size for comparison (quadratic in
-// the worst case; intended for small datasets).
+// mean (n/a below two trials — a single draw has no measurable spread), and
+// the number of pair-similarity evaluations performed. --max-rel-error E
+// lets every request stop early once the running standard error of the mean
+// falls to E · |mean| (any-τ early exit; the row then shows the trials that
+// actually ran). --json FILE mirrors every report row as one JSON object
+// per line. With --exact it also computes the exact join size for
+// comparison (quadratic in the worst case; intended for small datasets).
 //
 // --stream OPFILE switches to the StreamingEstimationService: the dataset
 // becomes the backing store (no vector starts live) and OPFILE is replayed
@@ -47,6 +51,8 @@
 //   --stats-interval MS   live profiling table on stderr every MS ms while
 //                         the op stream replays (needs --stream)
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -83,7 +89,11 @@ struct Args {
   uint64_t seed = 1;
   size_t threads = 1;
   size_t repeat = 1;
+  /// Any-τ early exit (EstimateRequest::max_rel_error); 0 = run every
+  /// trial of the --trials budget.
+  double max_rel_error = 0.0;
   bool exact = false;
+  std::string json_path;  // JSON-lines estimate log (one object per row)
   std::string stream_ops_path;
   std::string save_dataset_path;
   std::string save_snapshot_path;
@@ -101,6 +111,26 @@ struct Args {
   int stats_interval_ms = 0;       // live table period (--stream only)
 };
 
+/// Strict numeric parses: the whole token must be consumed. Digits only —
+/// strtoull would silently wrap a sign-prefixed token like "-5".
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(token.c_str(), &end, 10);
+  return *end == '\0';
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+/// Parses and validates the --batch-taus CSV; prints the offending token
+/// to stderr on failure.
 bool ParseTauList(const char* value, std::vector<double>* taus) {
   taus->clear();
   std::stringstream stream(value);
@@ -109,10 +139,32 @@ bool ParseTauList(const char* value, std::vector<double>* taus) {
     if (item.empty()) continue;
     char* end = nullptr;
     const double tau = std::strtod(item.c_str(), &end);
-    if (end == item.c_str() || *end != '\0') return false;
+    if (end == item.c_str() || *end != '\0') {
+      std::cerr << "could not parse --batch-taus list: " << item << "\n";
+      return false;
+    }
+    // A join threshold is a similarity in (0, 1]; out-of-range values used
+    // to pass through silently and estimate nonsense (τ ≤ 0 returns every
+    // pair, τ > 1 returns none). Duplicates used to burn a full re-sample
+    // per copy for an answer the batch already carries.
+    if (!(tau > 0.0) || tau > 1.0) {
+      std::cerr << "out-of-range --batch-taus value (tau must be in (0, 1]): "
+                << item << "\n";
+      return false;
+    }
+    for (double seen : *taus) {
+      if (seen == tau) {
+        std::cerr << "duplicate --batch-taus value: " << item << "\n";
+        return false;
+      }
+    }
     taus->push_back(tau);
   }
-  return !taus->empty();
+  if (taus->empty()) {
+    std::cerr << "could not parse --batch-taus list: " << value << "\n";
+    return false;
+  }
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -150,10 +202,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--batch-taus") {
       const char* v = next("--batch-taus");
       if (!v) return false;
-      if (!ParseTauList(v, &args->taus)) {
-        std::cerr << "could not parse --batch-taus list: " << v << "\n";
-        return false;
-      }
+      if (!ParseTauList(v, &args->taus)) return false;
       args->taus_set = true;
     } else if (flag == "--k") {
       const char* v = next("--k");
@@ -179,6 +228,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--repeat");
       if (!v) return false;
       args->repeat = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--max-rel-error") {
+      const char* v = next("--max-rel-error");
+      if (!v) return false;
+      if (!ParseDouble(v, &args->max_rel_error) ||
+          !std::isfinite(args->max_rel_error) || args->max_rel_error < 0.0) {
+        std::cerr << "--max-rel-error needs a finite non-negative bound: "
+                  << v << "\n";
+        return false;
+      }
+    } else if (flag == "--json") {
+      const char* v = next("--json");
+      if (!v) return false;
+      args->json_path = v;
     } else if (flag == "--exact") {
       args->exact = true;
     } else if (flag == "--stream") {
@@ -293,7 +355,8 @@ void PrintUsage() {
          "dblp|nyt|pubmed | --load-snapshot FILE) --tau T\n"
          "       [--batch-taus T1,T2,...] [--estimator NAME] [--n N]\n"
          "       [--k K] [--tables L] [--trials R] [--seed S]\n"
-         "       [--threads T] [--repeat R] [--exact] [--stream OPFILE]\n"
+         "       [--threads T] [--repeat R] [--max-rel-error E]\n"
+         "       [--json FILE] [--exact] [--stream OPFILE]\n"
          "       [--mmap] [--save-dataset FILE] [--save-snapshot FILE]\n"
          "       [--metrics] [--metrics-json FILE] [--trace FILE]\n"
          "       [--stats-interval MS]\n"
@@ -304,22 +367,36 @@ void PrintUsage() {
          "'estimate T...' | 'checkpoint PATH' | 'restore PATH'\n";
 }
 
-/// Strict numeric parses: the whole token must be consumed. Digits only —
-/// strtoull would silently wrap a sign-prefixed token like "-5".
-bool ParseU64(const std::string& token, uint64_t* out) {
-  if (token.empty() ||
-      token.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  char* end = nullptr;
-  *out = std::strtoull(token.c_str(), &end, 10);
-  return *end == '\0';
+/// std error column: a single trial has no spread to measure, so the 0.0
+/// the aggregator leaves behind would read as "perfectly converged".
+std::string FmtStdError(const vsj::EstimateResponse& response) {
+  if (response.trials < 2) return "n/a";
+  return vsj::TablePrinter::Fmt(response.std_error, 1);
 }
 
-bool ParseDouble(const std::string& token, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(token.c_str(), &end);
-  return end != token.c_str() && *end == '\0';
+/// One response as a JSON-lines object for --json. std_dev / std_error are
+/// omitted below two trials — with a single draw the spread is unknown,
+/// not zero (the report table prints "n/a" for the same reason).
+void AppendResponseJson(std::ostream& out, const std::string& extra,
+                        const vsj::EstimateResponse& response) {
+  const auto number = [](double v) -> std::string {
+    if (!std::isfinite(v)) return "null";
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return buffer;
+  };
+  out << "{" << extra << "\"estimator\":\"" << response.estimator_name
+      << "\",\"tau\":" << number(response.tau)
+      << ",\"trials\":" << response.trials
+      << ",\"estimate\":" << number(response.mean_estimate);
+  if (response.trials >= 2) {
+    out << ",\"std_dev\":" << number(response.std_dev)
+        << ",\"std_error\":" << number(response.std_error);
+  }
+  out << ",\"pairs_evaluated\":" << response.pairs_evaluated
+      << ",\"num_unguaranteed\":" << response.num_unguaranteed
+      << ",\"from_cache\":" << (response.from_cache ? "true" : "false")
+      << "}\n";
 }
 
 /// Flips the runtime observability switches requested on the command line
@@ -406,6 +483,15 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
     reporter_options.interval_ms = args.stats_interval_ms;
     reporter_options.out = &std::cerr;
     reporter = std::make_unique<vsj::obs::StatReporter>(reporter_options);
+  }
+
+  std::ofstream json_out;
+  if (!args.json_path.empty()) {
+    json_out.open(args.json_path, std::ios::trunc);
+    if (!json_out) {
+      std::cerr << "failed to open --json file " << args.json_path << "\n";
+      return 1;
+    }
   }
 
   vsj::TablePrinter report("streaming estimates (LSH-SS, " +
@@ -498,6 +584,7 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
         request.tau = tau;
         request.trials = args.trials;
         request.seed = args.seed;
+        request.max_rel_error = args.max_rel_error;
         batch.push_back(request);
       }
       if (batch.empty()) {
@@ -515,10 +602,18 @@ int RunStreamMode(std::unique_ptr<vsj::StreamingEstimationService> service,
                        std::to_string(service->num_live()),
                        vsj::TablePrinter::Fmt(response.tau, 2),
                        vsj::TablePrinter::Fmt(response.mean_estimate, 1),
-                       vsj::TablePrinter::Fmt(response.std_error, 1),
+                       FmtStdError(response),
                        std::to_string(response.pairs_evaluated),
                        std::to_string(response.num_unguaranteed),
                        response.from_cache ? "yes" : "no"});
+        if (json_out.is_open()) {
+          AppendResponseJson(
+              json_out,
+              "\"line\":" + std::to_string(line_number) +
+                  ",\"epoch\":" + std::to_string(service->epoch()) +
+                  ",\"live\":" + std::to_string(service->num_live()) + ",",
+              response);
+        }
       }
     } else if (op == "checkpoint" || op == "restore") {
       if (words.size() != 2) {
@@ -681,7 +776,17 @@ int main(int argc, char** argv) {
     request.tau = tau;
     request.trials = args.trials;
     request.seed = args.seed;
+    request.max_rel_error = args.max_rel_error;
     batch.push_back(request);
+  }
+
+  std::ofstream json_out;
+  if (!args.json_path.empty()) {
+    json_out.open(args.json_path, std::ios::trunc);
+    if (!json_out) {
+      std::cerr << "failed to open --json file " << args.json_path << "\n";
+      return 1;
+    }
   }
 
   vsj::TablePrinter report("estimates (" + args.estimator + ", " +
@@ -697,10 +802,15 @@ int main(int argc, char** argv) {
       report.AddRow({std::to_string(pass + 1),
                      vsj::TablePrinter::Fmt(response.tau, 2),
                      vsj::TablePrinter::Fmt(response.mean_estimate, 1),
-                     vsj::TablePrinter::Fmt(response.std_error, 1),
+                     FmtStdError(response),
                      std::to_string(response.pairs_evaluated),
                      std::to_string(response.num_unguaranteed),
                      response.from_cache ? "yes" : "no"});
+      if (json_out.is_open()) {
+        AppendResponseJson(json_out,
+                           "\"pass\":" + std::to_string(pass + 1) + ",",
+                           response);
+      }
     }
     std::cerr << "pass " << pass + 1 << ": " << responses.size()
               << " estimate(s) in " << vsj::TablePrinter::Fmt(batch_ms, 1)
