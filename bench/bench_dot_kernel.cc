@@ -18,14 +18,17 @@
 
 #include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "vsj/util/cpu.h"
 #include "vsj/util/env.h"
 #include "vsj/util/rng.h"
 #include "vsj/util/timer.h"
 #include "vsj/vector/csr_storage.h"
 #include "vsj/vector/dataset_view.h"
+#include "vsj/vector/pair_eval.h"
 
 namespace {
 
@@ -72,6 +75,69 @@ std::pair<double, double> MeasureDot(const PairList& pairs, size_t iters,
   const double ns_per_pair =
       best_seconds * 1e9 / static_cast<double>(pairs.first.size());
   return {ns_per_pair, checksum};
+}
+
+/// Builds a cache-resident arena of `copies` (small, large) pairs whose
+/// dims are drawn from [0, vocab) — vocab controls intersection density —
+/// plus the aligned pair list addressing them.
+struct BatchArena {
+  vsj::CsrStorage storage;
+  PairList pairs;
+};
+
+BatchArena BuildBatchArena(size_t small_size, size_t large_size, size_t vocab,
+                           size_t num_pairs, uint64_t seed) {
+  BatchArena arena;
+  vsj::Rng rng(seed);
+  const size_t copies = 512;
+  for (size_t c = 0; c < copies; ++c) {
+    std::vector<vsj::DimId> small_dims, large_dims;
+    for (size_t i = 0; i < small_size; ++i) {
+      small_dims.push_back(static_cast<vsj::DimId>(rng.Below(vocab)));
+    }
+    for (size_t i = 0; i < large_size; ++i) {
+      large_dims.push_back(static_cast<vsj::DimId>(rng.Below(vocab)));
+    }
+    arena.storage.Append(vsj::SparseVector::FromDims(small_dims).ref());
+    arena.storage.Append(vsj::SparseVector::FromDims(large_dims).ref());
+  }
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const auto c = static_cast<VectorId>(2 * (i % copies));
+    arena.pairs.first.push_back(c);
+    arena.pairs.second.push_back(c + 1);
+  }
+  return arena;
+}
+
+/// ns/pair of CountPairsAtOrAbove over the arena's pair list at the
+/// *currently installed* SIMD level, best of `iters`, plus the hit count
+/// (the cross-level bit-identity check of the batched section).
+std::pair<double, uint64_t> MeasureBatched(const BatchArena& arena,
+                                           size_t iters, double tau) {
+  const vsj::DatasetView view(arena.storage);
+  uint64_t hits = 0;
+  double best_seconds = 1e300;
+  for (size_t it = 0; it < iters; ++it) {
+    vsj::Timer timer;
+    hits = vsj::CountPairsAtOrAbove(
+        vsj::SimilarityMeasure::kCosine, view, arena.pairs.first.data(),
+        arena.pairs.second.data(), arena.pairs.first.size(), tau,
+        vsj::kPairPrefetchDistance);
+    best_seconds = std::min(best_seconds, timer.ElapsedSeconds());
+  }
+  const double ns_per_pair =
+      best_seconds * 1e9 / static_cast<double>(arena.pairs.first.size());
+  return {ns_per_pair, hits};
+}
+
+/// The SIMD levels this host can run, widest-first for the table.
+std::vector<vsj::SimdLevel> BenchLevels() {
+  std::vector<vsj::SimdLevel> levels;
+  const vsj::SimdLevel max = vsj::DetectSimdLevel();
+  if (max >= vsj::SimdLevel::kAvx2) levels.push_back(vsj::SimdLevel::kAvx2);
+  if (max >= vsj::SimdLevel::kSse2) levels.push_back(vsj::SimdLevel::kSse2);
+  levels.push_back(vsj::SimdLevel::kScalar);
+  return levels;
 }
 
 /// The pre-gallop linear merge, for the skew comparison column.
@@ -196,6 +262,68 @@ int main(int argc, char** argv) {
              iters);
   }
   skew.Print(std::cout);
+
+  // Batched pair evaluation (CountPairsAtOrAbove → EvaluatePairBatch): the
+  // path the estimators actually run, measured per dispatched level over the
+  // skew ratios and an intersection-density sweep. dense_14 mirrors the
+  // dblp-like common case (the AVX2 full-residency rung); the 32-dim rows
+  // sweep density at the 17..32 rung; skew >= 8 takes the gallop at every
+  // level. Hit counts must agree across levels — bit-identity is what makes
+  // the level a pure throughput knob.
+  struct BatchedRow {
+    const char* name;
+    size_t small, large, vocab;
+  };
+  const BatchedRow batched_rows[] = {
+      {"skew_1to1", 32, 32, 4 * 32},
+      {"skew_8to1", 32, 256, 4 * 256},
+      {"skew_64to1", 32, 2048, 4 * 2048},
+      {"density_dense_14", 14, 14, 28},
+      {"density_dense_32", 32, 32, 64},
+      {"density_mid_32", 32, 32, 256},
+      {"density_sparse_32", 32, 32, 2048},
+  };
+  const std::vector<vsj::SimdLevel> levels = BenchLevels();
+  std::cout << "\n";
+  vsj::TablePrinter batched("Batched pair evaluation by SIMD level");
+  std::vector<std::string> header = {"row", "pair shape"};
+  for (const vsj::SimdLevel level : levels) {
+    header.push_back(std::string(vsj::SimdLevelName(level)) + " ns/pair");
+  }
+  header.push_back("best vs scalar");
+  batched.SetHeader(header);
+  for (const BatchedRow& row : batched_rows) {
+    const BatchArena arena = BuildBatchArena(
+        row.small, row.large, row.vocab, num_pairs / 8, scale.seed ^ row.vocab);
+    std::vector<std::string> cells = {
+        row.name, std::to_string(row.small) + "x" + std::to_string(row.large)};
+    double scalar_ns = 0.0, best_ns = 1e300;
+    uint64_t reference_hits = 0;
+    bool first_level = true;
+    for (const vsj::SimdLevel level : levels) {
+      vsj::SetSimdLevel(level);
+      const auto [ns, hits] = MeasureBatched(arena, iters, 0.5);
+      vsj::ResetSimdLevel();
+      if (first_level) {
+        reference_hits = hits;
+        first_level = false;
+      } else if (hits != reference_hits) {
+        std::cerr << "FATAL: batched hit counts diverge across levels ("
+                  << row.name << ": " << hits << " vs " << reference_hits
+                  << ")\n";
+        return 1;
+      }
+      if (level == vsj::SimdLevel::kScalar) scalar_ns = ns;
+      best_ns = std::min(best_ns, ns);
+      cells.push_back(vsj::TablePrinter::Fmt(ns, 1));
+      json.Add(std::string("batched_") + row.name + "_" +
+                   vsj::SimdLevelName(level),
+               "ns_per_pair", ns, iters);
+    }
+    cells.push_back(vsj::TablePrinter::Fmt(scalar_ns / best_ns, 2) + "x");
+    batched.AddRow(cells);
+  }
+  batched.Print(std::cout);
   json.AddMetricsSnapshot();
   if (!json.Write()) return 1;
   std::cout << "\nper-pair cost is the paper-relevant unit (1-core dev "

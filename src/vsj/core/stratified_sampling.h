@@ -20,6 +20,7 @@
 #include "vsj/util/check.h"
 #include "vsj/util/rng.h"
 #include "vsj/vector/dataset_view.h"
+#include "vsj/vector/pair_eval.h"
 #include "vsj/vector/similarity.h"
 #include "vsj/vector/vector_ref.h"
 
@@ -36,24 +37,19 @@ enum class DampeningMode {
   kAdaptiveNlOverDelta,
 };
 
-/// Pairs drawn per batch by SampleStratumH, and how many pairs ahead of the
-/// evaluation cursor the feature columns are prefetched. Tuning knobs only:
-/// neither changes any draw or result.
-inline constexpr uint64_t kPairEvalBatch = 64;
-inline constexpr uint64_t kPairPrefetchDistance = 8;
+// kPairEvalBatch / kPairPrefetchDistance moved to vector/pair_eval.h with
+// the batch evaluator; both templates below use them unchanged.
 
 /// SampleH of Algorithm 1: draw m_h same-bucket pairs through `sample_pair`
 /// (any callable Rng& -> VectorPair-like with .first/.second positions into
 /// `dataset`), count hits against τ, scale by N_H / m_h.
 ///
 /// Evaluation is batched: each round draws up to kPairEvalBatch pairs
-/// first, then evaluates them with the feature columns of the pair
-/// kPairPrefetchDistance ahead being prefetched — random pairs touch
-/// uncorrelated arena offsets, so without the hint every Similarity starts
-/// on a cold line. Bit-identity is preserved because stratum-H draws never
-/// depend on evaluation results: the RNG consumes exactly the same
-/// sequence as the draw-evaluate-draw loop, and the hit count is an
-/// order-insensitive sum.
+/// first, then evaluates them through the locality-ordered SIMD batch
+/// kernel (vector/pair_eval.h). Bit-identity is preserved because
+/// stratum-H draws never depend on evaluation results: the RNG consumes
+/// exactly the same sequence as the draw-evaluate-draw loop, and the hit
+/// count is an order-insensitive sum.
 template <typename SamplePairFn>
 double SampleStratumH(DatasetView dataset, SimilarityMeasure measure,
                       double tau, uint64_t num_pairs_h, uint64_t m_h,
@@ -89,10 +85,24 @@ double SampleStratumH(DatasetView dataset, SimilarityMeasure measure,
 /// is exhausted, in which case `*reliable` is cleared and the dampening
 /// policy decides between the safe lower bound and a dampened scale-up.
 ///
-/// Unlike stratum H this loop cannot batch its draws: how many pairs are
-/// drawn depends on each evaluation (the hits-vs-δ race), so drawing ahead
-/// would consume RNG state the unbatched loop never would — changing every
-/// subsequent draw and breaking the bit-identity contract.
+/// Unlike stratum H, how many pairs this loop draws depends on each
+/// evaluation (the hits-vs-δ race), so drawing a batch ahead consumes RNG
+/// state the unbatched loop never would. The batched form below stays
+/// bit-identical anyway by *rewinding*: the RNG state is checkpointed
+/// before every draw, and when the per-pair hit mask shows δ was reached
+/// at draw i of the batch, the RNG is restored to its post-draw-i
+/// checkpoint — exactly where the draw-evaluate-draw loop would have left
+/// it — and the evaluations past i are discarded. hits, samples, the RNG
+/// stream, and therefore every estimate are unchanged; only wasted
+/// evaluations (bounded by one batch per call, counted by
+/// `estimate.pairs_l_discarded`) differ.
+///
+/// Contract note for `sample_pair`: within one batch it may be invoked up
+/// to kPairEvalBatch times even when the unbatched loop would have stopped
+/// earlier, and it is never invoked again after the rewind — so it must
+/// draw as a pure function of the RNG state (true of the engine samplers;
+/// scripted test sources are safe because a script of length m_l is never
+/// over-consumed: batches never draw past the m_l budget).
 template <typename SamplePairFn>
 double SampleStratumL(DatasetView dataset, SimilarityMeasure measure,
                       double tau, uint64_t num_pairs_l, uint64_t m_l,
@@ -115,16 +125,47 @@ double SampleStratumL(DatasetView dataset, SimilarityMeasure measure,
 
   uint64_t hits = 0;     // n_L in Algorithm 1
   uint64_t samples = 0;  // i in Algorithm 1
+  VectorId firsts[kPairEvalBatch];
+  VectorId seconds[kPairEvalBatch];
+  Rng checkpoints[kPairEvalBatch];
+  uint64_t discarded = 0;
   while (hits < delta && samples < m_l) {
-    const auto pair = sample_pair(rng);
-    if (Similarity(measure, dataset[pair.first], dataset[pair.second]) >=
-        tau) {
-      ++hits;
+    const uint64_t want = std::min(kPairEvalBatch, m_l - samples);
+    for (uint64_t i = 0; i < want; ++i) {
+      checkpoints[i] = rng;
+      const auto pair = sample_pair(rng);
+      firsts[i] = pair.first;
+      seconds[i] = pair.second;
     }
-    ++samples;
+    uint64_t hit_bits = 0;
+    const uint64_t batch_hits =
+        EvaluatePairBatch(measure, dataset, firsts, seconds, want, tau,
+                          kPairPrefetchDistance, &hit_bits);
+    if (hits + batch_hits >= delta) {
+      // δ reached inside the batch: find the exact draw the unbatched loop
+      // would have stopped on and rewind the RNG to just after it.
+      uint64_t need = delta - hits;
+      uint64_t stop = 0;
+      for (uint64_t i = 0; i < want; ++i) {
+        if ((hit_bits >> i) & 1u) {
+          if (--need == 0) {
+            stop = i;
+            break;
+          }
+        }
+      }
+      hits = delta;
+      samples += stop + 1;
+      discarded += want - (stop + 1);
+      if (stop + 1 < want) rng = checkpoints[stop + 1];
+      break;
+    }
+    hits += batch_hits;
+    samples += want;
   }
   *evaluated += samples;
   VSJ_COUNTER_ADD("estimate.pairs_l", samples);
+  if (discarded > 0) VSJ_COUNTER_ADD("estimate.pairs_l_discarded", discarded);
   if (hits >= delta) VSJ_COUNTER_ADD("estimate.sample_l_early_exit", 1);
 
   if (samples >= m_l && hits < delta) {

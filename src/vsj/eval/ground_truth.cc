@@ -1,5 +1,11 @@
 #include "vsj/eval/ground_truth.h"
 
+// GroundTruth delegates to the inverted-index SimilarityHistogram, which
+// accumulates numerators per posting rather than intersecting pairs — the
+// pairwise ground-truth path used by the acceptance suite and `--exact` is
+// join/brute_force_join, which runs the batched SIMD pair evaluator
+// (vector/pair_eval.h).
+
 namespace vsj {
 
 std::vector<double> StandardThresholds() {

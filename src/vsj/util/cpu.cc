@@ -69,14 +69,12 @@ SimdLevel DetectSimdLevel() { return Detect(); }
 
 SimdLevel ActiveSimdLevel() { return g_active_level; }
 
-SimdLevel SetSimdLevelForTest(SimdLevel level) {
+SimdLevel SetSimdLevel(SimdLevel level) {
   const SimdLevel detected = Detect();
   g_active_level = level < detected ? level : detected;
   return g_active_level;
 }
 
-void ResetSimdLevelForTest() {
-  g_active_level = ResolveEnvLevel();
-}
+void ResetSimdLevel() { g_active_level = ResolveEnvLevel(); }
 
 }  // namespace vsj

@@ -1,15 +1,17 @@
-// Runtime SIMD dispatch for the hashing kernels.
+// Runtime SIMD dispatch for the hot-path kernels.
 //
-// The hot-path kernels (lsh/simhash_kernel.h) are compiled in up to three
-// widths — scalar, SSE2 (2 lanes) and AVX2 (4 lanes) — and selected once at
-// runtime from CPU feature detection. All widths are bit-identical by
-// construction (DESIGN.md "Hot-path kernels"), so the level is a pure
-// throughput knob; the dispatch bit-identity suite pins the contract.
+// The hot-path kernels (lsh/simhash_kernel.h hashing, vector/pair_eval.h
+// sparse intersection) are compiled in up to three widths — scalar, SSE2 and
+// AVX2 — and selected once at runtime from CPU feature detection. All widths
+// are bit-identical by construction (DESIGN.md "Hot-path kernels", "Batch
+// pair evaluation"), so the level is a pure throughput knob; the dispatch
+// bit-identity suites pin the contract.
 //
 // Overrides, strongest first:
 //   VSJ_FORCE_SCALAR=1        force the scalar kernels (the CI cross-check)
 //   VSJ_SIMD=scalar|sse2|avx2 cap the level (clamped to what the CPU has)
-//   SetSimdLevelForTest()     in-process override for the dispatch suite
+//   SetSimdLevel()            in-process override (--simd flag, benches,
+//                             the dispatch suites)
 
 #ifndef VSJ_UTIL_CPU_H_
 #define VSJ_UTIL_CPU_H_
@@ -33,16 +35,25 @@ SimdLevel DetectSimdLevel();
 
 /// The level the kernels actually dispatch to: detection, capped by the
 /// VSJ_FORCE_SCALAR / VSJ_SIMD environment overrides (read once) and by
-/// SetSimdLevelForTest.
+/// SetSimdLevel.
 SimdLevel ActiveSimdLevel();
 
-/// Test-only override of ActiveSimdLevel(), clamped to DetectSimdLevel().
-/// Returns the level actually installed. Not thread-safe: call only while
-/// no kernel runs concurrently (the dispatch suite is single-threaded).
-SimdLevel SetSimdLevelForTest(SimdLevel level);
+/// In-process override of ActiveSimdLevel(), clamped to DetectSimdLevel().
+/// Returns the level actually installed. Backs the CLI `--simd` flag, the
+/// per-level bench rows, and the dispatch test suites. Not thread-safe:
+/// call only while no kernel runs concurrently (all current callers are
+/// single-threaded setup code).
+SimdLevel SetSimdLevel(SimdLevel level);
 
-/// Drops the test override, restoring detection + environment.
-void ResetSimdLevelForTest();
+/// Drops the in-process override, restoring detection + environment.
+void ResetSimdLevel();
+
+/// Historical names for SetSimdLevel / ResetSimdLevel, kept so the dispatch
+/// suites read as intended (tests are the dominant caller).
+inline SimdLevel SetSimdLevelForTest(SimdLevel level) {
+  return SetSimdLevel(level);
+}
+inline void ResetSimdLevelForTest() { ResetSimdLevel(); }
 
 }  // namespace vsj
 

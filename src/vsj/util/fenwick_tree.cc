@@ -15,6 +15,7 @@ size_t FenwickTree::Append() {
   const size_t low = i - (i & (~i + 1));
   range_sum = PrefixSum(i - 1) - PrefixSum(low);
   tree_.push_back(range_sum);
+  RefreshTotals();
   return values_.size() - 1;
 }
 
@@ -24,12 +25,23 @@ void FenwickTree::Set(size_t i, double weight) {
   const double delta = weight - values_[i];
   values_[i] = weight;
   Add(i, delta);
+  RefreshTotals();
 }
 
 void FenwickTree::Add(size_t i, double delta) {
   for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
     tree_[j] += delta;
   }
+}
+
+void FenwickTree::RefreshTotals() {
+  // One O(log n) walk per *mutation* instead of one per *draw*: Sample()
+  // used to start with Total() — a full PrefixSum descent — on a tree that
+  // is mutated thousands of times less often than it is sampled.
+  total_ = PrefixSum(values_.size());
+  size_t mask = 1;
+  while (mask * 2 < tree_.size()) mask *= 2;
+  top_mask_ = tree_.size() > 1 ? mask : 0;
 }
 
 double FenwickTree::PrefixSum(size_t i) const {
@@ -42,15 +54,20 @@ size_t FenwickTree::Sample(Rng& rng) const {
   const double total = Total();
   VSJ_CHECK_MSG(total > 0.0, "cannot sample from an all-zero tree");
   double target = rng.NextDouble() * total;
-  // Descend the implicit tree: classic Fenwick lower_bound.
+  // Descend the implicit tree: classic Fenwick lower_bound. Written so the
+  // take/skip decision compiles to conditional moves — the decision at each
+  // level is close to a coin flip, and the mispredict per level dominated
+  // the descent. The comparisons are unchanged, so the chosen slot is
+  // identical to the branchy form.
   size_t pos = 0;
-  size_t mask = 1;
-  while (mask * 2 < tree_.size()) mask *= 2;
-  for (; mask > 0; mask /= 2) {
+  const size_t n = tree_.size();
+  for (size_t mask = top_mask_; mask > 0; mask >>= 1) {
     const size_t next = pos + mask;
-    if (next < tree_.size() && tree_[next] < target) {
-      target -= tree_[next];
-      pos = next;
+    if (next < n) {
+      const double w = tree_[next];
+      const bool take = w < target;
+      pos = take ? next : pos;
+      target -= take ? w : 0.0;
     }
   }
   // pos is the largest index with prefix sum < target → slot index pos.

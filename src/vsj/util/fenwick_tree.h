@@ -21,7 +21,10 @@ class FenwickTree {
  public:
   // tree_ is 1-based; element 0 is a dummy root present even when empty.
   FenwickTree() : tree_(1, 0.0) {}
-  explicit FenwickTree(size_t size) : tree_(size + 1, 0.0), values_(size, 0.0) {}
+  explicit FenwickTree(size_t size)
+      : tree_(size + 1, 0.0), values_(size, 0.0) {
+    RefreshTotals();
+  }
 
   size_t size() const { return values_.size(); }
 
@@ -37,8 +40,13 @@ class FenwickTree {
   /// Sum of weights of slots [0, i).
   double PrefixSum(size_t i) const;
 
-  /// Total weight.
-  double Total() const { return PrefixSum(values_.size()); }
+  /// Total weight. Served from a cache refreshed on every mutation by the
+  /// same PrefixSum walk this used to run per call — the draw path samples
+  /// millions of times between mutations, and recomputing the total
+  /// dominated Sample()'s cost. The cached value is the PrefixSum result
+  /// itself (not an incremental running sum), so it is bit-identical to
+  /// what recomputation would return.
+  double Total() const { return total_; }
 
   /// Draws a slot with probability proportional to its weight. Requires
   /// Total() > 0.
@@ -46,9 +54,12 @@ class FenwickTree {
 
  private:
   void Add(size_t i, double delta);
+  void RefreshTotals();
 
   std::vector<double> tree_;    // 1-based implicit binary indexed tree
   std::vector<double> values_;  // current weights (for Set deltas)
+  double total_ = 0.0;          // PrefixSum(size()), refreshed on mutation
+  size_t top_mask_ = 0;         // highest power of two < tree_.size()
 };
 
 }  // namespace vsj

@@ -37,12 +37,6 @@ StreamingCsrStorage::StreamingCsrStorage(StreamingStorageOptions options)
   chunks_.emplace_back();
 }
 
-VectorRef StreamingCsrStorage::Ref(VectorId id) const {
-  VSJ_CHECK_MSG(Contains(id), "vector %u not live in streaming storage", id);
-  const Slot slot = slots_[id];
-  return chunks_[slot.chunk].Ref(slot.index);
-}
-
 VectorId StreamingCsrStorage::Append(VectorRef vector) {
   if (chunks_.back().total_features() >= options_.chunk_features) {
     chunks_.emplace_back();

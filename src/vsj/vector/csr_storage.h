@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "vsj/util/check.h"
 #include "vsj/vector/vector_ref.h"
 
 namespace vsj {
@@ -114,8 +115,15 @@ class StreamingCsrStorage {
 
   /// View of live vector `id` (checked: tombstoned/unknown ids abort,
   /// like every other misuse in the library); valid until the next
-  /// mutation.
-  VectorRef Ref(VectorId id) const;
+  /// mutation. Inline: the batch pair evaluator materializes two refs per
+  /// sampled pair through this lookup, which made the out-of-line call
+  /// visible in the estimate profile.
+  VectorRef Ref(VectorId id) const {
+    VSJ_CHECK_MSG(Contains(id), "vector %u not live in streaming storage",
+                  id);
+    const Slot slot = slots_[id];
+    return chunks_[slot.chunk].Ref(slot.index);
+  }
 
   /// Total ids ever appended (the id space; includes tombstones).
   size_t num_ids() const { return slots_.size(); }

@@ -1,0 +1,542 @@
+// Dispatched sparse-intersection kernels and the locality-ordered batch
+// evaluator. Bit-identity rules of this file (DESIGN.md "Batch pair
+// evaluation"):
+//
+//  * Matched products are accumulated with one IEEE double multiply + add
+//    per match, in increasing-dimension order, by every strategy (linear
+//    merge, gallop, SSE2/AVX2 window search). The SIMD code only *finds*
+//    match positions; it never touches the accumulator.
+//  * This translation unit compiles with -ffp-contract=off (CMakeLists) so
+//    `sum += wa * wb` can never contract into an FMA on targets that have
+//    one — the scalar and SIMD paths must round identically everywhere,
+//    including -march=native builds.
+//  * The cosine threshold test reproduces CosineSimilarity() term for term
+//    (same denominator order, same clamp, same unit snap): the batch path
+//    must count exactly what the unbatched Similarity loop counts.
+
+#include "vsj/vector/pair_eval.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "vsj/obs/obs.h"
+#include "vsj/util/check.h"
+#include "vsj/util/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define VSJ_PAIR_EVAL_X86 1
+#include <immintrin.h>
+#else
+#define VSJ_PAIR_EVAL_X86 0
+#endif
+
+namespace vsj {
+
+namespace {
+
+// First index in [begin, n) with dims[idx] >= target, found by exponential
+// probing from `begin` followed by a binary search over the bracketed run.
+// The merge loops below advance `begin` monotonically, so consecutive
+// gallops touch disjoint prefixes of the long side.
+inline size_t GallopLowerBound(const DimId* dims, size_t n, size_t begin,
+                               DimId target) {
+  if (begin >= n || dims[begin] >= target) return begin;
+  size_t bound = 1;
+  while (begin + bound < n && dims[begin + bound] < target) bound <<= 1;
+  const size_t lo = begin + (bound >> 1);
+  const size_t hi = std::min(n, begin + bound);
+  return static_cast<size_t>(
+      std::lower_bound(dims + lo, dims + hi, target) - dims);
+}
+
+struct DotAccum {
+  double sum = 0.0;
+  uint32_t matches = 0;
+};
+
+// Reference traversal: linear merge, or galloping when the long side is
+// >= kGallopRatio× the short one. Match positions arrive in increasing-
+// dimension order under both strategies, which is what keeps every other
+// kernel in this file exactly equal to this one.
+DotAccum DotScalar(VectorRef small, VectorRef large) {
+  const size_t an = small.size();
+  const size_t bn = large.size();
+  const DimId* a = small.dims();
+  const DimId* b = large.dims();
+  DotAccum acc;
+
+  if (bn >= kGallopRatio * an) {
+    size_t j = 0;
+    for (size_t i = 0; i < an; ++i) {
+      j = GallopLowerBound(b, bn, j, a[i]);
+      if (j == bn) return acc;
+      if (b[j] == a[i]) {
+        acc.sum +=
+            static_cast<double>(small.weight(i)) * large.weight(j);
+        ++acc.matches;
+        ++j;
+      }
+    }
+    return acc;
+  }
+
+  size_t i = 0, j = 0;
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      acc.sum += static_cast<double>(small.weight(i)) * large.weight(j);
+      ++acc.matches;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+#if VSJ_PAIR_EVAL_X86
+
+// SIMD window search, the balanced-length path. For each dim of the short
+// side (walked in order, so accumulation order matches the linear merge) a
+// broadcast-compare checks one W-wide window of the long side at once; the
+// window advances by W whenever its maximum falls below the probe. Every
+// short-side dim has at most one partner (dims are strictly increasing),
+// and the window only ever advances past values smaller than all remaining
+// probes, so no match is missed or duplicated. The branchy 3-way compare of
+// the scalar merge — mispredicted roughly once per element on real corpora
+// — becomes a branchless compare+movemask that only branches on an actual
+// match.
+DotAccum DotSse2(VectorRef small, VectorRef large) {
+  const size_t an = small.size();
+  const size_t bn = large.size();
+  const DimId* a = small.dims();
+  const DimId* b = large.dims();
+  const float* wa = small.weights();
+  const float* wb = large.weights();
+  DotAccum acc;
+
+  size_t i = 0, j = 0;
+  while (i < an && j + 4 <= bn) {
+    const DimId probe = a[i];
+    if (b[j + 3] < probe) {
+      j += 4;
+      continue;
+    }
+    const __m128i va = _mm_set1_epi32(static_cast<int>(probe));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    const int mask =
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+    if (mask != 0) {
+      const size_t jj =
+          j + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+      acc.sum += static_cast<double>(wa[i]) * wb[jj];
+      ++acc.matches;
+    }
+    ++i;
+  }
+
+  // Fewer than one window of the long side left: plain merge finishes.
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      acc.sum += static_cast<double>(wa[i]) * wb[j];
+      ++acc.matches;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+// Short-vector fast path: when the long side fits in two YMM registers the
+// whole side is masked-loaded ONCE and every probe is a single broadcast +
+// two compares — no window advance, no scalar tail. This is the common case
+// on dblp-like corpora (mean length ~14): the ≥16-element window loop below
+// barely engages there, exiting to its scalar tail after one advance.
+// Masked lanes load as zero and a real dim of 0 would alias them, so the
+// combined movemask is ANDed with the valid-lane mask before the hit test.
+// Probes walk the short side in increasing-dim order and each matches at
+// most one lane, so accumulation order — and therefore the rounded sum —
+// is identical to the linear merge.
+__attribute__((target("avx2"))) DotAccum DotAvx2Small(VectorRef small,
+                                                      VectorRef large) {
+  const size_t an = small.size();
+  const size_t bn = large.size();  // 2 <= bn <= 16
+  const DimId* a = small.dims();
+  const DimId* b = large.dims();
+  const float* wa = small.weights();
+  const float* wb = large.weights();
+  DotAccum acc;
+
+  const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i lo_mask =
+      _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(bn)), lane);
+  const __m256i b_lo =
+      _mm256_maskload_epi32(reinterpret_cast<const int*>(b), lo_mask);
+  __m256i b_hi = _mm256_setzero_si256();
+  if (bn > 8) {
+    const __m256i hi_mask = _mm256_cmpgt_epi32(
+        _mm256_set1_epi32(static_cast<int>(bn) - 8), lane);
+    b_hi = _mm256_maskload_epi32(reinterpret_cast<const int*>(b + 8),
+                                 hi_mask);
+  }
+  const uint32_t valid = (uint32_t{1} << bn) - 1u;
+
+  for (size_t i = 0; i < an; ++i) {
+    const __m256i probe = _mm256_set1_epi32(static_cast<int>(a[i]));
+    uint32_t hits = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(probe, b_lo))));
+    hits |= static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                _mm256_cmpeq_epi32(probe, b_hi))))
+            << 8;
+    hits &= valid;
+    if (hits != 0) {
+      const size_t jj = static_cast<size_t>(__builtin_ctz(hits));
+      acc.sum += static_cast<double>(wa[i]) * wb[jj];
+      ++acc.matches;
+    }
+  }
+  return acc;
+}
+
+// Same idea, one more rung: long sides of 17..32 dims live in four YMM
+// registers. Covers ~96% of dblp-like pairs together with the 2-register
+// path (vector lengths are lognormal around ~14; >32 dims is the ~2% tail).
+__attribute__((target("avx2"))) DotAccum DotAvx2Small32(VectorRef small,
+                                                        VectorRef large) {
+  const size_t an = small.size();
+  const size_t bn = large.size();  // 17 <= bn <= 32
+  const DimId* a = small.dims();
+  const DimId* b = large.dims();
+  const float* wa = small.weights();
+  const float* wb = large.weights();
+  DotAccum acc;
+
+  const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i b0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i b1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 8));
+  const __m256i m2 = _mm256_cmpgt_epi32(
+      _mm256_set1_epi32(static_cast<int>(bn) - 16), lane);
+  const __m256i b2 =
+      _mm256_maskload_epi32(reinterpret_cast<const int*>(b + 16), m2);
+  __m256i b3 = _mm256_setzero_si256();
+  if (bn > 24) {
+    const __m256i m3 = _mm256_cmpgt_epi32(
+        _mm256_set1_epi32(static_cast<int>(bn) - 24), lane);
+    b3 = _mm256_maskload_epi32(reinterpret_cast<const int*>(b + 24), m3);
+  }
+  const uint32_t valid =
+      bn == 32 ? 0xffffffffu : (uint32_t{1} << bn) - 1u;
+
+  for (size_t i = 0; i < an; ++i) {
+    const __m256i probe = _mm256_set1_epi32(static_cast<int>(a[i]));
+    uint32_t hits = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(probe, b0))));
+    hits |= static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                _mm256_cmpeq_epi32(probe, b1))))
+            << 8;
+    hits |= static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                _mm256_cmpeq_epi32(probe, b2))))
+            << 16;
+    hits |= static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                _mm256_cmpeq_epi32(probe, b3))))
+            << 24;
+    hits &= valid;
+    if (hits != 0) {
+      const size_t jj = static_cast<size_t>(__builtin_ctz(hits));
+      acc.sum += static_cast<double>(wa[i]) * wb[jj];
+      ++acc.matches;
+    }
+  }
+  return acc;
+}
+
+__attribute__((target("avx2"))) DotAccum DotAvx2(VectorRef small,
+                                                 VectorRef large) {
+  if (large.size() <= 16) return DotAvx2Small(small, large);
+  if (large.size() <= 32) return DotAvx2Small32(small, large);
+
+  const size_t an = small.size();
+  const size_t bn = large.size();
+  const DimId* a = small.dims();
+  const DimId* b = large.dims();
+  const float* wa = small.weights();
+  const float* wb = large.weights();
+  DotAccum acc;
+
+  size_t i = 0, j = 0;
+  while (i < an && j + 8 <= bn) {
+    const DimId probe = a[i];
+    if (b[j + 7] < probe) {
+      j += 8;
+      continue;
+    }
+    const __m256i va = _mm256_set1_epi32(static_cast<int>(probe));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+    if (mask != 0) {
+      const size_t jj =
+          j + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+      acc.sum += static_cast<double>(wa[i]) * wb[jj];
+      ++acc.matches;
+    }
+    ++i;
+  }
+
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      acc.sum += static_cast<double>(wa[i]) * wb[j];
+      ++acc.matches;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+#endif  // VSJ_PAIR_EVAL_X86
+
+// The short-circuits, the small/large swap, and the gallop-vs-window choice,
+// templated on the balanced-length kernel so the batch loop below can bind
+// the dispatched level ONCE per batch instead of re-reading it per pair
+// (ActiveSimdLevel() is an out-of-line call; at ~14-dim dblp vectors it was
+// measurable in the estimate profile). Degenerate pairs (either side empty,
+// or dimension ranges fully disjoint) return {0, 0} before any kernel runs,
+// so every level is indistinguishable on them; pair_eval_test pins this.
+// Ordered so no dims pointer is dereferenced until both sides are known
+// non-empty.
+template <typename KernelFn>
+inline PairDotResult PairDotCountWith(VectorRef a, VectorRef b,
+                                      KernelFn kernel) {
+  if (a.empty() || b.empty()) return {};
+  if (a.dim(a.size() - 1) < b.dim(0) || b.dim(b.size() - 1) < a.dim(0)) {
+    return {};
+  }
+
+  VectorRef small = a;
+  VectorRef large = b;
+  if (small.size() > large.size()) std::swap(small, large);
+
+  DotAccum acc;
+  // Heavily skewed pairs take the galloping skip at every level: it visits
+  // O(small · log large) elements, already sublinear in the window scan.
+  if (large.size() >= kGallopRatio * small.size()) {
+    acc = DotScalar(small, large);
+  } else {
+    acc = kernel(small, large);
+  }
+  return PairDotResult{acc.sum, acc.matches};
+}
+
+// CosineSimilarity() with the Dot already in hand — term-for-term the same
+// expression (denominator order, clamp, unit snap), so the batch evaluator
+// reaches bit-identical similarity values while reusing the traversal's
+// match count for the density histogram.
+inline double CosineFromDot(double dot, VectorRef u, VectorRef v) {
+  const double denom = u.norm() * v.norm();
+  if (denom == 0.0) return 0.0;
+  return SnapUnitSimilarity(std::min(dot / denom, 1.0));
+}
+
+struct BatchStats {
+  uint64_t matches = 0;
+  uint64_t min_len = 0;
+};
+
+// The cosine batch loop, templated on the kernel: dispatch resolved by the
+// caller, per-pair work is just prefetch + traversal + threshold test.
+template <typename KernelFn>
+inline uint64_t RunCosineBatch(const VectorRef* u, const VectorRef* v,
+                               const uint8_t* order, size_t count, double tau,
+                               size_t prefetch_distance, KernelFn kernel,
+                               BatchStats* stats) {
+  uint64_t mask = 0;
+  for (size_t k = 0; k < count; ++k) {
+    if (k + prefetch_distance < count) {
+      PrefetchFeatures(u[order[k + prefetch_distance]]);
+      PrefetchFeatures(v[order[k + prefetch_distance]]);
+    }
+    const size_t i = order[k];
+    const PairDotResult r = PairDotCountWith(u[i], v[i], kernel);
+    stats->matches += r.matches;
+    stats->min_len += std::min(u[i].size(), v[i].size());
+    if (CosineFromDot(r.dot, u[i], v[i]) >= tau) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+PairDotResult PairDotCount(VectorRef a, VectorRef b) {
+  // Single-pair entry (VectorRef::Dot/OverlapSize): one dispatch per call.
+  // Batch callers go through EvaluatePairBatch, which hoists this switch.
+  switch (ActiveSimdLevel()) {
+#if VSJ_PAIR_EVAL_X86
+    case SimdLevel::kAvx2:
+      return PairDotCountWith(
+          a, b, [](VectorRef s, VectorRef l) { return DotAvx2(s, l); });
+    case SimdLevel::kSse2:
+      return PairDotCountWith(
+          a, b, [](VectorRef s, VectorRef l) { return DotSse2(s, l); });
+#endif
+    default:
+      return PairDotCountWith(
+          a, b, [](VectorRef s, VectorRef l) { return DotScalar(s, l); });
+  }
+}
+
+uint64_t EvaluatePairBatch(SimilarityMeasure measure, DatasetView dataset,
+                           const VectorId* firsts, const VectorId* seconds,
+                           size_t count, double tau, size_t prefetch_distance,
+                           uint64_t* hit_mask) {
+  VSJ_CHECK(count <= kPairEvalBatch);
+  if (count == 0) {
+    if (hit_mask != nullptr) *hit_mask = 0;
+    return 0;
+  }
+
+  // Materialize every VectorRef once. The storage indirection (DatasetView's
+  // ref_fn_) used to run three times per side per pair — prefetch lead,
+  // prefetch ahead, evaluation — which on the streaming backing means three
+  // slot-table lookups through a function pointer. Once is enough.
+  VectorRef u[kPairEvalBatch];
+  VectorRef v[kPairEvalBatch];
+  uint8_t order[kPairEvalBatch];
+  for (size_t i = 0; i < count; ++i) {
+    u[i] = dataset[firsts[i]];
+    v[i] = dataset[seconds[i]];
+    order[i] = static_cast<uint8_t>(i);
+  }
+
+  // Locality order (NeedleTail): evaluate pairs sorted by the smallest
+  // arena offset they touch, so consecutive evaluations walk the feature
+  // arena near-sequentially instead of hopping between random chunks.
+  // Pointers are compared as integers because streaming chunks are separate
+  // allocations. The sort runs over packed (offset key, index) words — the
+  // low 6 bits carry the batch index, which both breaks ties and rides
+  // along for free. Reordering only pays when the batch actually spans more
+  // memory than the cache can hold: when every pair in the batch already
+  // sits within a cache-scale span (kLocalitySortSpanBytes, roughly L2),
+  // evaluation order cannot change what is resident and the sort would be
+  // pure overhead, so draw order is kept. Hit bits stay keyed by the
+  // original index either way, so callers see draw order; the count is
+  // order-insensitive (pinned by the reorder-invariance tests).
+  uint64_t keyed[kPairEvalBatch];
+  uint64_t min_key = ~uint64_t{0};
+  uint64_t max_key = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const auto up = reinterpret_cast<uintptr_t>(u[i].dims());
+    const auto vp = reinterpret_cast<uintptr_t>(v[i].dims());
+    const uint64_t key = static_cast<uint64_t>(up < vp ? up : vp);
+    min_key = key < min_key ? key : min_key;
+    max_key = key > max_key ? key : max_key;
+    keyed[i] = (key << 6) | static_cast<uint64_t>(i);
+  }
+  const bool locality_sorted = max_key - min_key > kLocalitySortSpanBytes;
+  if (locality_sorted) {
+    std::sort(keyed, keyed + count);
+    for (size_t i = 0; i < count; ++i) {
+      order[i] = static_cast<uint8_t>(keyed[i] & 63u);
+    }
+  }
+
+  const size_t lead = std::min(count, prefetch_distance);
+  for (size_t k = 0; k < lead; ++k) {
+    PrefetchFeatures(u[order[k]]);
+    PrefetchFeatures(v[order[k]]);
+  }
+
+  // Dispatch bound once for the whole batch: the cosine loop instantiates
+  // per level, so the per-pair path has no level read, no measure test, and
+  // a direct kernel call. Jaccard's weighted min/max walk over the union is
+  // order-sensitive FP accumulation that the dot traversal cannot reproduce,
+  // so that measure keeps the scalar Similarity routine per pair.
+  const SimdLevel level = ActiveSimdLevel();
+  uint64_t mask = 0;
+  BatchStats stats;
+  if (measure == SimilarityMeasure::kCosine) {
+    switch (level) {
+#if VSJ_PAIR_EVAL_X86
+      case SimdLevel::kAvx2:
+        mask = RunCosineBatch(
+            u, v, order, count, tau, prefetch_distance,
+            [](VectorRef s, VectorRef l) { return DotAvx2(s, l); }, &stats);
+        break;
+      case SimdLevel::kSse2:
+        mask = RunCosineBatch(
+            u, v, order, count, tau, prefetch_distance,
+            [](VectorRef s, VectorRef l) { return DotSse2(s, l); }, &stats);
+        break;
+#endif
+      default:
+        mask = RunCosineBatch(
+            u, v, order, count, tau, prefetch_distance,
+            [](VectorRef s, VectorRef l) { return DotScalar(s, l); }, &stats);
+        break;
+    }
+  } else {
+    for (size_t k = 0; k < count; ++k) {
+      if (k + prefetch_distance < count) {
+        PrefetchFeatures(u[order[k + prefetch_distance]]);
+        PrefetchFeatures(v[order[k + prefetch_distance]]);
+      }
+      const size_t i = order[k];
+      if (JaccardSimilarity(u[i], v[i]) >= tau) mask |= uint64_t{1} << i;
+    }
+  }
+
+  // Bulk post-batch instrumentation only; the pair loop stays bare (the
+  // metrics overhead gate in CI holds the dot kernel to <= 5%).
+  VSJ_COUNTER_ADD("pair_eval.batches", 1);
+  VSJ_COUNTER_ADD("pair_eval.pairs", count);
+  if (locality_sorted) VSJ_COUNTER_ADD("pair_eval.locality_sorted", 1);
+  switch (level) {
+    case SimdLevel::kAvx2:
+      VSJ_COUNTER_ADD("pair_eval.dispatch.avx2", 1);
+      break;
+    case SimdLevel::kSse2:
+      VSJ_COUNTER_ADD("pair_eval.dispatch.sse2", 1);
+      break;
+    case SimdLevel::kScalar:
+      VSJ_COUNTER_ADD("pair_eval.dispatch.scalar", 1);
+      break;
+  }
+  VSJ_HIST_RECORD("pair_eval.batch_fill_pct",
+                  count * 100 / kPairEvalBatch);
+  if (measure == SimilarityMeasure::kCosine && stats.min_len > 0) {
+    VSJ_HIST_RECORD("pair_eval.intersection_density_pct",
+                    stats.matches * 100 / stats.min_len);
+  }
+
+  if (hit_mask != nullptr) *hit_mask = mask;
+  return static_cast<uint64_t>(__builtin_popcountll(mask));
+}
+
+uint64_t CountPairsAtOrAbove(SimilarityMeasure measure, DatasetView dataset,
+                             const VectorId* firsts, const VectorId* seconds,
+                             size_t count, double tau,
+                             size_t prefetch_distance) {
+  uint64_t hits = 0;
+  for (size_t off = 0; off < count; off += kPairEvalBatch) {
+    const size_t chunk = std::min<size_t>(kPairEvalBatch, count - off);
+    hits += EvaluatePairBatch(measure, dataset, firsts + off, seconds + off,
+                              chunk, tau, prefetch_distance, nullptr);
+  }
+  return hits;
+}
+
+}  // namespace vsj

@@ -34,46 +34,6 @@ double JaccardSimilarity(VectorRef u, VectorRef v) {
   return SnapUnitSimilarity(min_sum / max_sum);
 }
 
-namespace {
-
-template <typename SimFn>
-uint64_t CountBatch(DatasetView dataset, const VectorId* firsts,
-                    const VectorId* seconds, size_t count, double tau,
-                    size_t prefetch_distance, SimFn&& sim) {
-  uint64_t hits = 0;
-  const size_t lead = std::min(count, prefetch_distance);
-  for (size_t i = 0; i < lead; ++i) {
-    PrefetchFeatures(dataset[firsts[i]]);
-    PrefetchFeatures(dataset[seconds[i]]);
-  }
-  for (size_t i = 0; i < count; ++i) {
-    if (i + prefetch_distance < count) {
-      PrefetchFeatures(dataset[firsts[i + prefetch_distance]]);
-      PrefetchFeatures(dataset[seconds[i + prefetch_distance]]);
-    }
-    if (sim(dataset[firsts[i]], dataset[seconds[i]]) >= tau) ++hits;
-  }
-  return hits;
-}
-
-}  // namespace
-
-uint64_t CountPairsAtOrAbove(SimilarityMeasure measure, DatasetView dataset,
-                             const VectorId* firsts, const VectorId* seconds,
-                             size_t count, double tau,
-                             size_t prefetch_distance) {
-  switch (measure) {
-    case SimilarityMeasure::kCosine:
-      return CountBatch(dataset, firsts, seconds, count, tau,
-                        prefetch_distance, CosineSimilarity);
-    case SimilarityMeasure::kJaccard:
-      return CountBatch(dataset, firsts, seconds, count, tau,
-                        prefetch_distance, JaccardSimilarity);
-  }
-  VSJ_CHECK(false);
-  return 0;
-}
-
 double Similarity(SimilarityMeasure measure, VectorRef u, VectorRef v) {
   switch (measure) {
     case SimilarityMeasure::kCosine:

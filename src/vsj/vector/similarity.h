@@ -10,7 +10,6 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "vsj/vector/dataset_view.h"
 #include "vsj/vector/vector_ref.h"
 
 namespace vsj {
@@ -42,21 +41,8 @@ double JaccardSimilarity(VectorRef u, VectorRef v);
 /// Dispatches on `measure`.
 double Similarity(SimilarityMeasure measure, VectorRef u, VectorRef v);
 
-/// Batched pair evaluation for the sampling hot loops (the evaluate-in-
-/// batches half of the batched estimation pipeline): counts how many of the
-/// `count` pairs (firsts[i], seconds[i]) have similarity >= tau under
-/// `measure`. The per-pair arithmetic is exactly Similarity() — the same
-/// gallop Dot kernel, the same unit snap — so a hit here is a hit in the
-/// unbatched loop and vice versa (the bit-identity contract). What the
-/// batch form buys: the measure dispatch is hoisted out of the loop, and
-/// the feature columns of the pair `prefetch_distance` ahead of the
-/// evaluation cursor are prefetched — random pairs touch uncorrelated
-/// arena offsets, so without the hint every evaluation starts on a cold
-/// line.
-uint64_t CountPairsAtOrAbove(SimilarityMeasure measure, DatasetView dataset,
-                             const VectorId* firsts, const VectorId* seconds,
-                             size_t count, double tau,
-                             size_t prefetch_distance);
+// Batched pair evaluation (CountPairsAtOrAbove / EvaluatePairBatch) lives
+// in vector/pair_eval.h next to the intersection kernels it drives.
 
 /// Short lowercase name ("cosine", "jaccard") for reports.
 const char* SimilarityMeasureName(SimilarityMeasure measure);

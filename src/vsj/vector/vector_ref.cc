@@ -1,84 +1,19 @@
 #include "vsj/vector/vector_ref.h"
 
 #include <algorithm>
-#include <utility>
+
+#include "vsj/vector/pair_eval.h"
 
 namespace vsj {
 
-namespace {
+// The merge kernels themselves live in pair_eval.cc so the single-pair and
+// batched entry points share one dispatched implementation (and one
+// -ffp-contract=off translation unit).
 
-// First index in [begin, n) with dims[idx] >= target, found by exponential
-// probing from `begin` followed by a binary search over the bracketed run.
-// The merge loops below advance `begin` monotonically, so consecutive
-// gallops touch disjoint prefixes of the long side.
-inline size_t GallopLowerBound(const DimId* dims, size_t n, size_t begin,
-                               DimId target) {
-  if (begin >= n || dims[begin] >= target) return begin;
-  size_t bound = 1;
-  while (begin + bound < n && dims[begin + bound] < target) bound <<= 1;
-  const size_t lo = begin + (bound >> 1);
-  const size_t hi = std::min(n, begin + bound);
-  return static_cast<size_t>(
-      std::lower_bound(dims + lo, dims + hi, target) - dims);
-}
-
-// Shared traversal of Dot and OverlapSize. `on_match(i, j)` sees the match
-// positions in increasing-dimension order regardless of which strategy ran,
-// which is what keeps the two strategies exactly equal.
-template <typename OnMatch>
-void MergeMatches(VectorRef small, VectorRef large, OnMatch on_match) {
-  const size_t an = small.size();
-  const size_t bn = large.size();
-  const DimId* a = small.dims();
-  const DimId* b = large.dims();
-
-  if (bn >= kGallopRatio * an) {
-    size_t j = 0;
-    for (size_t i = 0; i < an; ++i) {
-      j = GallopLowerBound(b, bn, j, a[i]);
-      if (j == bn) return;
-      if (b[j] == a[i]) {
-        on_match(i, j);
-        ++j;
-      }
-    }
-    return;
-  }
-
-  size_t i = 0, j = 0;
-  while (i < an && j < bn) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      on_match(i, j);
-      ++i;
-      ++j;
-    }
-  }
-}
-
-}  // namespace
-
-double VectorRef::Dot(VectorRef other) const {
-  VectorRef small = *this;
-  VectorRef large = other;
-  if (small.size() > large.size()) std::swap(small, large);
-  double sum = 0.0;
-  MergeMatches(small, large, [&](size_t i, size_t j) {
-    sum += static_cast<double>(small.weight(i)) * large.weight(j);
-  });
-  return sum;
-}
+double VectorRef::Dot(VectorRef other) const { return PairDot(*this, other); }
 
 size_t VectorRef::OverlapSize(VectorRef other) const {
-  VectorRef small = *this;
-  VectorRef large = other;
-  if (small.size() > large.size()) std::swap(small, large);
-  size_t count = 0;
-  MergeMatches(small, large, [&](size_t, size_t) { ++count; });
-  return count;
+  return PairOverlap(*this, other);
 }
 
 bool operator==(VectorRef a, VectorRef b) {

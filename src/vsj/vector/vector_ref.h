@@ -4,11 +4,11 @@
 // Every vector in the library, whether owned by a SparseVector, packed into
 // a CsrStorage arena, or living in a streaming chunk, is read through a
 // VectorRef: two raw pointers, a length, and the cached norms. The Dot /
-// OverlapSize kernels at the bottom of every estimator run over this flat
-// layout; for skewed-size pairs they switch from the linear merge to a
-// galloping (exponential-search) merge, which visits O(small · log large)
-// elements instead of O(small + large) while producing bit-identical sums
-// (matches are accumulated in increasing-dimension order either way).
+// OverlapSize members forward to the dispatched intersection kernels in
+// vector/pair_eval.h — linear merge, galloping merge for skewed-size pairs,
+// SIMD window search for balanced ones — all of which produce bit-identical
+// results (matches are accumulated in increasing-dimension order by every
+// strategy).
 
 #ifndef VSJ_VECTOR_VECTOR_REF_H_
 #define VSJ_VECTOR_VECTOR_REF_H_

@@ -1,0 +1,367 @@
+// Bit-identity and correctness suite for the batch pair-evaluation engine
+// (vector/pair_eval.h). The contract under test, from DESIGN.md "Batch pair
+// evaluation":
+//
+//  * Every dispatched width of the sparse-intersection kernel — scalar
+//    merge, galloping merge, SSE2 window, the AVX2 small-vector fast paths
+//    (long side <= 16 and 17..32 dims) and the AVX2 window — returns doubles
+//    bit-identical to a plain linear merge, because only the *search* for
+//    matching dims is vectorized while the FP accumulation stays scalar in
+//    increasing-dimension order.
+//  * Degenerate pairs (an empty side, fully disjoint dim ranges) short-
+//    circuit to {0.0, 0} before any level-specific code runs.
+//  * EvaluatePairBatch's hit mask equals the unbatched Similarity() loop
+//    bit for bit, keyed by original batch index, regardless of the internal
+//    locality reordering; CountPairsAtOrAbove is invariant under any
+//    permutation of its pair list.
+//
+// CI runs this binary twice — default dispatch and VSJ_FORCE_SCALAR=1 —
+// like the hashing-side simd_dispatch_test.
+
+#include "vsj/vector/pair_eval.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vsj/core/estimator_registry.h"
+#include "vsj/lsh/lsh_index.h"
+#include "vsj/lsh/minhash.h"
+#include "vsj/util/cpu.h"
+#include "vsj/util/rng.h"
+#include "vsj/vector/csr_storage.h"
+#include "vsj/vector/dataset_view.h"
+#include "vsj/vector/similarity.h"
+#include "vsj/vector/sparse_vector.h"
+#include "vsj/vector/vector_dataset.h"
+
+namespace vsj {
+namespace {
+
+constexpr uint64_t kSeed = 0x9a17e7a1ULL;
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  const SimdLevel detected = DetectSimdLevel();
+  if (detected >= SimdLevel::kSse2) levels.push_back(SimdLevel::kSse2);
+  if (detected >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+template <typename Body>
+auto RunAtEveryLevel(Body&& body) -> std::vector<decltype(body())> {
+  std::vector<decltype(body())> results;
+  for (const SimdLevel level : SupportedLevels()) {
+    EXPECT_EQ(SetSimdLevelForTest(level), level)
+        << "host cannot force " << SimdLevelName(level);
+    results.push_back(body());
+  }
+  ResetSimdLevelForTest();
+  return results;
+}
+
+/// The reference the kernels are measured against: a plain linear merge,
+/// no gallop, no windows — one double multiply + add per match in
+/// increasing-dimension order. Written locally so a bug in the production
+/// scalar path cannot hide by also being the oracle.
+PairDotResult ReferenceDotCount(VectorRef a, VectorRef b) {
+  PairDotResult r;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.dim(i) < b.dim(j)) {
+      ++i;
+    } else if (a.dim(i) > b.dim(j)) {
+      ++j;
+    } else {
+      r.dot += static_cast<double>(a.weight(i)) * b.weight(j);
+      ++r.matches;
+      ++i;
+      ++j;
+    }
+  }
+  return r;
+}
+
+/// Random strictly-increasing dims: `len` distinct ids from [0, range),
+/// weights in (0.1, 2.1). `range` controls intersection density — a tight
+/// range forces dense overlap, a wide one makes matches rare.
+SparseVector RandomSortedVector(Rng& rng, size_t len, uint32_t range) {
+  std::set<DimId> dims;
+  while (dims.size() < len) {
+    dims.insert(static_cast<DimId>(rng.Below(range)));
+  }
+  std::vector<Feature> features;
+  features.reserve(len);
+  for (const DimId d : dims) {
+    features.push_back(
+        Feature{d, static_cast<float>(0.1 + rng.NextDouble() * 2.0)});
+  }
+  return SparseVector(std::move(features));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: degenerate pairs must short-circuit identically at
+// every level. Empty sides and fully disjoint dim ranges return {0.0, 0}
+// before any kernel-specific code runs, so scalar and SIMD cannot diverge
+// even in principle.
+
+TEST(PairEvalTest, EmptyAndDisjointPairsShortCircuitAtEveryLevel) {
+  const SparseVector empty;
+  const SparseVector low = SparseVector::FromDims({1, 4, 9});
+  const SparseVector high = SparseVector::FromDims({1000, 1004, 1009});
+  const SparseVector touching = SparseVector::FromDims({9, 500, 1000});
+
+  for (const SimdLevel level : SupportedLevels()) {
+    SetSimdLevelForTest(level);
+    for (const auto& [a, b] : std::vector<std::pair<VectorRef, VectorRef>>{
+             {empty, empty},
+             {empty, low},
+             {low, empty},
+             {low, high},   // ranges fully disjoint
+             {high, low}}) {
+      const PairDotResult r = PairDotCount(a, b);
+      EXPECT_EQ(r.dot, 0.0) << SimdLevelName(level);
+      EXPECT_EQ(r.matches, 0u) << SimdLevelName(level);
+      EXPECT_EQ(PairOverlap(a, b), 0u) << SimdLevelName(level);
+      EXPECT_EQ(PairDot(a, b), 0.0) << SimdLevelName(level);
+    }
+    // Ranges that merely *touch* must not be treated as disjoint.
+    const PairDotResult t = PairDotCount(low, touching);
+    EXPECT_EQ(t.matches, 1u) << SimdLevelName(level);
+    EXPECT_EQ(t.dot, 1.0) << SimdLevelName(level);
+  }
+  ResetSimdLevelForTest();
+}
+
+TEST(PairEvalTest, BatchWithEmptyVectorsMatchesUnbatchedLoop) {
+  // An arena holding empty vectors alongside real ones: pairs touching an
+  // empty side must behave identically in the batch path (which
+  // materializes refs and reorders) and the plain Similarity loop.
+  CsrStorage storage;
+  Rng rng(kSeed ^ 0xe);
+  const SparseVector empty;
+  for (int i = 0; i < 24; ++i) {
+    if (i % 3 == 0) {
+      storage.Append(empty);
+    } else {
+      storage.Append(RandomSortedVector(rng, 1 + rng.Below(12), 64));
+    }
+  }
+  const DatasetView view(storage);
+  std::vector<VectorId> firsts, seconds;
+  for (VectorId i = 0; i < 24; ++i) {
+    for (VectorId j = 0; j < 24; ++j) {
+      firsts.push_back(i);
+      seconds.push_back(j);
+    }
+  }
+  for (const auto measure :
+       {SimilarityMeasure::kCosine, SimilarityMeasure::kJaccard}) {
+    const auto counts = RunAtEveryLevel([&] {
+      return CountPairsAtOrAbove(measure, view, firsts.data(), seconds.data(),
+                                 firsts.size(), 0.3, kPairPrefetchDistance);
+    });
+    uint64_t expected = 0;
+    for (size_t p = 0; p < firsts.size(); ++p) {
+      if (Similarity(measure, view[firsts[p]], view[seconds[p]]) >= 0.3) {
+        ++expected;
+      }
+    }
+    for (const uint64_t c : counts) {
+      EXPECT_EQ(c, expected) << SimilarityMeasureName(measure);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property grid: every kernel path bitwise-equal to the local
+// linear-merge reference across skew (gallop engages at >= kGallopRatio),
+// long-side length (the AVX2 <=16 / 17..32 / window rungs) and dim range
+// (intersection density from near-total overlap to near-disjoint).
+
+TEST(PairEvalTest, KernelGridMatchesLinearMergeReferenceBitwise) {
+  // (short length, long length): chosen to land in every traversal path.
+  const std::pair<size_t, size_t> kShapes[] = {
+      {1, 1},   {2, 5},   {7, 14},  {13, 16}, {16, 16},  // AVX2 <=16 rung
+      {9, 24},  {17, 32},                                // AVX2 17..32 rung
+      {20, 40}, {33, 48}, {40, 64},                      // AVX2/SSE2 window
+      {1, 12},  {2, 30},  {4, 64},  {3, 200},            // gallop (>=8x skew)
+  };
+  ASSERT_GE(kGallopRatio, 8u) << "gallop rows above assume ratio 8";
+
+  uint64_t trial_seed = kSeed;
+  for (const auto& [short_len, long_len] : kShapes) {
+    for (const uint32_t range_factor : {2u, 4u, 16u}) {
+      const auto range =
+          static_cast<uint32_t>(std::max<size_t>(long_len * range_factor, 2));
+      for (int trial = 0; trial < 4; ++trial) {
+        Rng rng(++trial_seed);
+        const SparseVector a = RandomSortedVector(rng, short_len, range);
+        const SparseVector b = RandomSortedVector(rng, long_len, range);
+        const PairDotResult want = ReferenceDotCount(a, b);
+
+        // Both argument orders: the small/large swap must not change the
+        // accumulation order (matches arrive by increasing dim either way).
+        const auto results = RunAtEveryLevel([&] {
+          const PairDotResult fwd = PairDotCount(a, b);
+          const PairDotResult rev = PairDotCount(b, a);
+          return std::pair<PairDotResult, PairDotResult>(fwd, rev);
+        });
+        for (size_t l = 0; l < results.size(); ++l) {
+          const auto& [fwd, rev] = results[l];
+          ASSERT_EQ(fwd.dot, want.dot)
+              << short_len << "x" << long_len << " range " << range
+              << " level " << l;
+          ASSERT_EQ(fwd.matches, want.matches)
+              << short_len << "x" << long_len << " range " << range
+              << " level " << l;
+          ASSERT_EQ(rev.dot, want.dot) << "swapped, level " << l;
+          ASSERT_EQ(rev.matches, want.matches) << "swapped, level " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(PairEvalTest, DenseIdenticalVectorsMatchEveryLane) {
+  // Every probe hits, across all lane positions of the small kernels: the
+  // valid-lane masking must not drop lane 15 / 31 and dim id 0 must not
+  // alias a masked-out zero lane (weights differ so a false lane-0 match
+  // would change the sum).
+  for (const size_t len : {1u, 8u, 15u, 16u, 17u, 24u, 31u, 32u, 33u, 48u}) {
+    std::vector<Feature> fa, fb;
+    for (size_t d = 0; d < len; ++d) {
+      fa.push_back(Feature{static_cast<DimId>(d), 1.0f + d * 0.25f});
+      fb.push_back(Feature{static_cast<DimId>(d), 2.0f - d * 0.03f});
+    }
+    const SparseVector a(std::move(fa));
+    const SparseVector b(std::move(fb));
+    const PairDotResult want = ReferenceDotCount(a, b);
+    ASSERT_EQ(want.matches, len);
+    const auto results = RunAtEveryLevel([&] { return PairDotCount(a, b); });
+    for (size_t l = 0; l < results.size(); ++l) {
+      ASSERT_EQ(results[l].dot, want.dot) << "len " << len << " level " << l;
+      ASSERT_EQ(results[l].matches, len) << "len " << len << " level " << l;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch semantics: hit mask bit-identical to the unbatched Similarity loop,
+// keyed by original index; counts invariant under pair-list permutation.
+
+TEST(PairEvalTest, BatchHitMaskMatchesUnbatchedSimilarityLoop) {
+  const VectorDataset dataset = testing::SmallClusteredCorpus(300, 29);
+  const DatasetView view(dataset);
+  Rng pair_rng(kSeed ^ 0x5);
+  for (const auto measure :
+       {SimilarityMeasure::kCosine, SimilarityMeasure::kJaccard}) {
+    for (const double tau : {0.1, 0.5, 0.9}) {
+      // Odd count: exercises a partial batch alongside full ones.
+      constexpr size_t kCount = 37;
+      VectorId firsts[kCount], seconds[kCount];
+      for (size_t i = 0; i < kCount; ++i) {
+        firsts[i] = static_cast<VectorId>(pair_rng.Below(view.size()));
+        seconds[i] = static_cast<VectorId>(pair_rng.Below(view.size()));
+      }
+      uint64_t expected_mask = 0;
+      for (size_t i = 0; i < kCount; ++i) {
+        if (Similarity(measure, view[firsts[i]], view[seconds[i]]) >= tau) {
+          expected_mask |= uint64_t{1} << i;
+        }
+      }
+      const auto masks = RunAtEveryLevel([&] {
+        uint64_t mask = 0;
+        const uint64_t hits =
+            EvaluatePairBatch(measure, view, firsts, seconds, kCount, tau,
+                              kPairPrefetchDistance, &mask);
+        EXPECT_EQ(hits, static_cast<uint64_t>(__builtin_popcountll(mask)));
+        return mask;
+      });
+      for (const uint64_t mask : masks) {
+        ASSERT_EQ(mask, expected_mask)
+            << SimilarityMeasureName(measure) << " tau " << tau;
+      }
+    }
+  }
+}
+
+TEST(PairEvalTest, EmptyBatchIsANoOp) {
+  const VectorDataset dataset = testing::SmallClusteredCorpus(16, 3);
+  const DatasetView view(dataset);
+  uint64_t mask = ~uint64_t{0};
+  EXPECT_EQ(EvaluatePairBatch(SimilarityMeasure::kCosine, view, nullptr,
+                              nullptr, 0, 0.5, kPairPrefetchDistance, &mask),
+            0u);
+  EXPECT_EQ(mask, 0u);
+  EXPECT_EQ(CountPairsAtOrAbove(SimilarityMeasure::kCosine, view, nullptr,
+                                nullptr, 0, 0.5, kPairPrefetchDistance),
+            0u);
+}
+
+TEST(PairEvalTest, CountPairsIsReorderInvariant) {
+  const VectorDataset dataset = testing::SmallClusteredCorpus(400, 31);
+  const DatasetView view(dataset);
+  Rng rng(kSeed ^ 0x7);
+  // 300 pairs: four full batches plus a 44-pair tail.
+  constexpr size_t kCount = 300;
+  std::vector<VectorId> firsts(kCount), seconds(kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    firsts[i] = static_cast<VectorId>(rng.Below(view.size()));
+    seconds[i] = static_cast<VectorId>(rng.Below(view.size()));
+  }
+  const uint64_t baseline =
+      CountPairsAtOrAbove(SimilarityMeasure::kCosine, view, firsts.data(),
+                          seconds.data(), kCount, 0.4, kPairPrefetchDistance);
+  for (int round = 0; round < 3; ++round) {
+    // Deterministic Fisher–Yates, pairs kept aligned.
+    for (size_t i = kCount - 1; i > 0; --i) {
+      const size_t j = rng.Below(i + 1);
+      std::swap(firsts[i], firsts[j]);
+      std::swap(seconds[i], seconds[j]);
+    }
+    const auto counts = RunAtEveryLevel([&] {
+      return CountPairsAtOrAbove(SimilarityMeasure::kCosine, view,
+                                 firsts.data(), seconds.data(), kCount, 0.4,
+                                 kPairPrefetchDistance);
+    });
+    for (const uint64_t c : counts) EXPECT_EQ(c, baseline);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the estimators reach pair evaluation through SampleH/SampleL;
+// the whole registry must be bit-identical across levels under the Jaccard
+// measure too (the cosine leg lives in lsh/simd_dispatch_test — together
+// they pin both batch-evaluator paths).
+
+TEST(PairEvalTest, AllEstimatorsBitIdenticalAcrossLevelsUnderJaccard) {
+  const VectorDataset dataset = testing::SmallClusteredCorpus(250, 19);
+  const MinHashFamily family(kSeed ^ 0xb);
+  for (const std::string& name : AllEstimatorNames()) {
+    const auto results = RunAtEveryLevel([&] {
+      const LshIndex index(family, dataset, 6, 2);
+      EstimatorContext context;
+      context.dataset = DatasetView(dataset);
+      context.index = &index;
+      context.measure = SimilarityMeasure::kJaccard;
+      const auto estimator = CreateEstimator(name, context);
+      std::vector<double> estimates;
+      for (const double tau : {0.3, 0.6, 0.9}) {
+        Rng rng(kSeed ^ static_cast<uint64_t>(tau * 512));
+        estimates.push_back(estimator->Estimate(tau, rng).estimate);
+      }
+      return estimates;
+    });
+    for (size_t l = 1; l < results.size(); ++l) {
+      ASSERT_EQ(results[l], results[0]) << name << " level " << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsj
