@@ -1,0 +1,94 @@
+#include "vsj/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace vsj::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    // The wake fd is a registered callback like any other: reading the
+    // counter resets it, and the dispatched event is the wakeup itself.
+    Add(wake_fd_, EPOLLIN | EPOLLET, [this](uint32_t) {
+      uint64_t count = 0;
+      while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+      }
+    });
+  }
+}
+
+EventLoop::~EventLoop() {
+  for (const auto& [fd, callback] : callbacks_) {
+    if (fd != wake_fd_) ::close(fd);
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::Add(int fd, uint32_t events, Callback callback) {
+  struct epoll_event event = {};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) return false;
+  callbacks_[fd] = std::move(callback);
+  return true;
+}
+
+bool EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event event = {};
+  event.events = events;
+  event.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0;
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::DeferClose(int fd) {
+  Remove(fd);
+  if (dispatching_) {
+    deferred_closes_.push_back(fd);
+  } else {
+    ::close(fd);
+  }
+}
+
+int EventLoop::Poll(int timeout_ms) {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return n;
+  dispatching_ = true;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    // A callback earlier in the batch may have removed this fd; its
+    // registration is gone, so the stale event is skipped.
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    // Invoke a copy: the callback may unregister its own fd (destroying
+    // the stored std::function) or add fds (rehashing the map).
+    const Callback callback = it->second;
+    callback(events[i].events);
+  }
+  dispatching_ = false;
+  for (const int fd : deferred_closes_) ::close(fd);
+  deferred_closes_.clear();
+  return n;
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace vsj::net

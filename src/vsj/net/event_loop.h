@@ -1,0 +1,71 @@
+// Thin epoll wrapper for the serving layer's single loop thread.
+//
+// One EventLoop owns one epoll instance plus an eventfd for cross-thread
+// wakeups. Registered fds dispatch to per-fd callbacks from Poll(), which
+// the owner drives from exactly one thread; only Wake() may be called
+// from other threads. Registration is edge-triggered by convention — the
+// server's read/write handlers always run their fd to EAGAIN.
+//
+// Deferred close: a callback that tears down another registered fd during
+// the same dispatch batch must go through DeferClose(), which removes the
+// registration immediately (so a stale event later in the batch is
+// skipped) but delays the ::close() to the end of the batch — otherwise
+// the kernel could recycle the fd number mid-batch and a stale event
+// would fire on the wrong connection.
+
+#ifndef VSJ_NET_EVENT_LOOP_H_
+#define VSJ_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace vsj::net {
+
+class EventLoop {
+ public:
+  /// Receives the epoll event mask (EPOLLIN | EPOLLOUT | EPOLLHUP | ...).
+  using Callback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/eventfd creation failed at construction.
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` for `events` (caller includes EPOLLET as desired).
+  bool Add(int fd, uint32_t events, Callback callback);
+
+  /// Changes the event mask of a registered fd.
+  bool Modify(int fd, uint32_t events);
+
+  /// Unregisters `fd` without closing it.
+  void Remove(int fd);
+
+  /// Unregisters `fd` and closes it after the current dispatch batch
+  /// (immediately when called outside Poll()).
+  void DeferClose(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = forever) and dispatches every ready
+  /// event. Returns the number of events dispatched, 0 on timeout, -1 on
+  /// a poll error. Wakeups from Wake() count as dispatched events.
+  int Poll(int timeout_ms);
+
+  /// Thread-safe: makes a concurrent / subsequent Poll() return promptly.
+  void Wake();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::unordered_map<int, Callback> callbacks_;
+  std::vector<int> deferred_closes_;
+  bool dispatching_ = false;
+};
+
+}  // namespace vsj::net
+
+#endif  // VSJ_NET_EVENT_LOOP_H_

@@ -1,0 +1,118 @@
+// Minimal JSON document model for the network protocol.
+//
+// The serving layer frames JSON payloads (net/wire.h), so it needs a
+// parser that is strict about untrusted bytes — the protocol-robustness
+// contract is that garbage from a socket becomes a typed error, never UB
+// or an abort. This is a deliberately small strict-JSON implementation:
+//
+//   * Parsing is recursive descent with an explicit depth limit (a frame
+//     of 100k '[' characters must fail cleanly, not overflow the stack),
+//     rejects trailing bytes, bad escapes, bare NaN/Infinity tokens and
+//     malformed numbers, and reports a byte offset with every error.
+//   * Numbers are doubles. Overflowing literals like 1e999 parse to ±inf
+//     rather than failing — non-finite values are representable on purpose
+//     so the *request validation* layer (ValidateEstimateRequest) can
+//     reject them with a named diagnostic instead of a generic parse
+//     error (see the estimate_request_test regression suite).
+//   * Serialization escapes control characters, emits integers exactly
+//     (no ".0" suffix, no precision loss below 2^53) and doubles with
+//     %.17g so a round-trip through the wire preserves the exact bits —
+//     the server's bit-identity golden test depends on this.
+//
+// Objects preserve insertion order and allow duplicate keys on parse
+// (last one wins on Find), matching how lenient peers behave.
+
+#ifndef VSJ_NET_JSON_H_
+#define VSJ_NET_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vsj::net {
+
+/// One JSON value (null, bool, number, string, array or object).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the caller must have checked the type (the value is
+  /// default-initialized otherwise, never UB).
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Element count of an array or object (0 for scalars).
+  size_t size() const;
+
+  /// Array element access; `i` must be < size().
+  const JsonValue& operator[](size_t i) const { return array_[i]; }
+
+  /// Object member lookup; nullptr when absent (or not an object). With
+  /// duplicate keys the last occurrence wins.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// The members of an object / elements of an array, for iteration.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+  const std::vector<JsonValue>& elements() const { return array_; }
+
+  /// Builders (arrays append, objects set; both return *this for
+  /// chaining). Calling them coerces the value to the container type.
+  JsonValue& Append(JsonValue element);
+  JsonValue& Set(std::string key, JsonValue value);
+
+  /// Serializes to compact JSON. Non-finite numbers become null (they
+  /// never appear in well-formed responses; the encoder must still not
+  /// emit invalid JSON if one slips through).
+  void SerializeTo(std::string* out) const;
+  std::string Serialize() const;
+
+  /// Appends `v` to `out` the way the serializer would: integers within
+  /// the exact double range print exactly, other finite values as %.17g
+  /// (round-trip exact), non-finite as "null".
+  static void AppendNumber(std::string* out, double v);
+
+  /// Appends the quoted, escaped form of `s`.
+  static void AppendQuoted(std::string* out, std::string_view s);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Strict parse of exactly one JSON document (plus surrounding
+/// whitespace). On failure returns false and fills `*error` with a
+/// message that includes the byte offset. `*value` is unspecified on
+/// failure. Nesting beyond `max_depth` is rejected.
+bool ParseJson(std::string_view text, JsonValue* value, std::string* error,
+               size_t max_depth = 64);
+
+}  // namespace vsj::net
+
+#endif  // VSJ_NET_JSON_H_

@@ -1,0 +1,635 @@
+#include "vsj/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "vsj/net/wire.h"
+#include "vsj/obs/obs.h"
+
+namespace vsj::net {
+
+namespace {
+
+/// Per-tenant metrics use dynamic names, so they go through the registry
+/// directly instead of the literal-name macros; same compile/runtime
+/// gating.
+void RecordTenantRequest(const std::string& tenant, uint64_t latency_ns) {
+#if VSJ_METRICS_COMPILED
+  if (!obs::MetricsEnabled() || tenant.empty()) return;
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("server.tenant." + tenant + ".requests").Add(1);
+  registry.GetHistogram("server.tenant." + tenant + ".latency_ns")
+      .Record(latency_ns);
+#else
+  (void)tenant;
+  (void)latency_ns;
+#endif
+}
+
+void RecordTenantBatch(const std::string& tenant, size_t batch_size) {
+#if VSJ_METRICS_COMPILED
+  if (!obs::MetricsEnabled() || tenant.empty()) return;
+  obs::MetricRegistry::Global()
+      .GetHistogram("server.tenant." + tenant + ".batch_size")
+      .Record(batch_size);
+#else
+  (void)tenant;
+  (void)batch_size;
+#endif
+}
+
+void AddTenantQueueDepth(const std::string& tenant, int64_t delta) {
+#if VSJ_METRICS_COMPILED
+  if (!obs::MetricsEnabled() || tenant.empty()) return;
+  obs::MetricRegistry::Global()
+      .GetGauge("server.tenant." + tenant + ".queue_depth")
+      .Add(delta);
+#else
+  (void)tenant;
+  (void)delta;
+#endif
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+Server::~Server() {
+  Stop();
+  WaitUntilStopped();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+IoStatus Server::Start() {
+  if (options_.registry == nullptr) {
+    return IoStatus::Fail(IoError::kIoError, "server requires a registry");
+  }
+  if (!loop_.ok()) {
+    return IoStatus::Fail(IoError::kIoError, "epoll setup failed");
+  }
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return IoStatus::Fail(IoError::kIoError, "socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return IoStatus::Fail(IoError::kIoError,
+                          "bad bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return IoStatus::Fail(
+        IoError::kIoError,
+        "bind to " + options_.bind_address + " failed: " +
+            std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return IoStatus::Fail(IoError::kIoError, "listen() failed");
+  }
+  struct sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  if (!loop_.Add(listen_fd_, EPOLLIN | EPOLLET,
+                 [this](uint32_t) { OnAcceptable(); })) {
+    return IoStatus::Fail(IoError::kIoError, "epoll registration failed");
+  }
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerThread(); });
+  }
+  started_.store(true, std::memory_order_release);
+  return IoStatus::Ok();
+}
+
+void Server::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  loop_.Wake();
+}
+
+void Server::Stop() {
+  draining_.store(true, std::memory_order_release);
+  stop_requested_.store(true, std::memory_order_release);
+  stop_workers_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  loop_.Wake();
+}
+
+void Server::WaitUntilStopped() {
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+// ---------------------------------------------------------------- loop
+
+void Server::LoopThread() {
+  bool accepting = true;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_acquire) && accepting) {
+      // Drain step 1: no new connections. Closing the listening socket
+      // (not just deregistering it) makes the kernel refuse connects
+      // immediately — otherwise the backlog would keep accepting peers
+      // that can never be served.
+      loop_.Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      accepting = false;
+    }
+    // While draining, poll with a timeout so drain-completion is checked
+    // even if no event arrives.
+    const int timeout_ms =
+        draining_.load(std::memory_order_acquire) ? 50 : -1;
+    loop_.Poll(timeout_ms);
+    DrainCompletions();
+    if (draining_.load(std::memory_order_acquire) && DrainComplete()) break;
+  }
+  // Workers stop once the loop is down (on graceful drain their queues
+  // are already empty; on hard stop leftover queue entries are dropped).
+  stop_workers_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  for (const auto& [id, conn] : connections_) loop_.DeferClose(conn->fd);
+  connections_.clear();
+  if (accepting) {
+    loop_.Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  stopped_.store(true, std::memory_order_release);
+}
+
+void Server::OnAcceptable() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;  // EAGAIN, or a transient accept error
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+    conn->id = id;
+    conn->fd = fd;
+    if (!loop_.Add(fd, EPOLLIN | EPOLLRDHUP | EPOLLET,
+                   [this, id](uint32_t events) {
+                     OnConnectionEvent(id, events);
+                   })) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(id, std::move(conn));
+    VSJ_COUNTER_ADD("server.accepts", 1);
+    VSJ_GAUGE_ADD("server.connections", 1);
+  }
+}
+
+void Server::OnConnectionEvent(uint64_t conn_id, uint32_t events) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  bool peer_closed = false;
+  if (events & EPOLLIN) {
+    char buffer[65536];
+    while (true) {
+      const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        conn.decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        peer_closed = true;
+      }
+      break;
+    }
+    std::string_view payload;
+    while (!conn.close_after_flush) {
+      const FrameDecoder::Status status = conn.decoder.Next(&payload);
+      if (status == FrameDecoder::Status::kFrame) {
+        HandleFrame(conn, payload);
+        continue;
+      }
+      if (status == FrameDecoder::Status::kTooLarge) {
+        // The prefix was rejected before any payload buffering; the
+        // stream cannot be resynchronized, so answer and hang up.
+        VSJ_COUNTER_ADD("server.bad_frames", 1);
+        Respond(conn,
+                MakeErrorPayload(
+                    0, RpcError::kBadFrame,
+                    "frame length exceeds the " +
+                        std::to_string(options_.max_frame_bytes) +
+                        " byte limit"));
+        conn.close_after_flush = true;
+      }
+      break;
+    }
+  }
+  if (events & EPOLLOUT) FlushWrites(conn);
+  if (peer_closed || (events & (EPOLLHUP | EPOLLERR))) {
+    // Peer is gone: responses still in flight for this connection are
+    // dropped when the completion finds no connection to deliver to.
+    CloseConnection(conn_id);
+    return;
+  }
+  if (events & EPOLLRDHUP) conn.close_after_flush = true;
+  if (conn.close_after_flush && conn.out_offset == conn.out.size()) {
+    CloseConnection(conn_id);
+  }
+}
+
+void Server::HandleFrame(Connection& conn, std::string_view payload) {
+  VSJ_COUNTER_ADD("server.requests", 1);
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(payload, &doc, &error)) {
+    Respond(conn, MakeErrorPayload(0, RpcError::kBadJson, error));
+    return;
+  }
+  RpcRequest request;
+  const RpcError code = ParseRpcRequest(doc, &request, &error);
+  if (code != RpcError::kNone) {
+    Respond(conn, MakeErrorPayload(request.id, code, error));
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    Respond(conn, MakeErrorPayload(request.id, RpcError::kShuttingDown,
+                                   "server is draining"));
+    return;
+  }
+  if (request.op == RpcOp::kPing) {
+    Respond(conn, MakeOkResponse(request.id)
+                      .Set("pong", JsonValue::Bool(true))
+                      .Serialize());
+    return;
+  }
+  if (inflight_.load(std::memory_order_acquire) >= options_.max_inflight) {
+    VSJ_COUNTER_ADD("server.overloaded", 1);
+    Respond(conn, MakeErrorPayload(
+                      request.id, RpcError::kOverloaded,
+                      "server is at its in-flight request limit (" +
+                          std::to_string(options_.max_inflight) + ")"));
+    return;
+  }
+  Enqueue(conn, std::move(request));
+}
+
+void Server::Enqueue(Connection& conn, RpcRequest request) {
+  const uint64_t timeout_ms = request.timeout_ms != 0
+                                  ? request.timeout_ms
+                                  : options_.default_timeout_ms;
+  Pending pending;
+  pending.conn_id = conn.id;
+  pending.enqueued = Clock::now();
+  pending.deadline = timeout_ms == 0
+                         ? Clock::time_point::max()
+                         : pending.enqueued +
+                               std::chrono::milliseconds(timeout_ms);
+  pending.request = std::move(request);
+  // Tenantless debug ops (sleep) queue under "" — their own serial queue.
+  const std::string key = pending.request.tenant;
+  AddTenantQueueDepth(key, 1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    TenantQueue& tq = tenant_queues_[key];
+    tq.queue.push_back(std::move(pending));
+    if (!tq.busy && !tq.scheduled) {
+      tq.scheduled = true;
+      ready_.push_back(key);
+    }
+  }
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  VSJ_GAUGE_SET("server.inflight",
+                static_cast<int64_t>(inflight_.load(std::memory_order_relaxed)));
+  work_cv_.notify_one();
+}
+
+void Server::Respond(Connection& conn, std::string payload) {
+  AppendFrame(&conn.out, payload);
+  VSJ_COUNTER_ADD("server.responses", 1);
+  FlushWrites(conn);
+}
+
+void Server::FlushWrites(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
+                              conn.out.size() - conn.out_offset);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // Undeliverable (EPIPE & co): drop the buffer and let the top-level
+    // close check reap the connection.
+    conn.out.clear();
+    conn.out_offset = 0;
+    conn.close_after_flush = true;
+    break;
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+    if (conn.want_write) {
+      loop_.Modify(conn.fd, EPOLLIN | EPOLLRDHUP | EPOLLET);
+      conn.want_write = false;
+    }
+  } else if (!conn.want_write) {
+    loop_.Modify(conn.fd, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET);
+    conn.want_write = true;
+  }
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  loop_.DeferClose(it->second->fd);
+  connections_.erase(it);
+  VSJ_GAUGE_ADD("server.connections", -1);
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    auto it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;  // disconnected mid-request
+    Connection& conn = *it->second;
+    if (conn.close_after_flush) continue;
+    Respond(conn, std::move(completion.payload));
+    if (conn.close_after_flush && conn.out_offset == conn.out.size()) {
+      CloseConnection(completion.conn_id);
+    }
+  }
+}
+
+bool Server::DrainComplete() {
+  if (inflight_.load(std::memory_order_acquire) != 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    if (!completions_.empty()) return false;
+  }
+  for (const auto& [id, conn] : connections_) {
+    if (conn->out_offset != conn->out.size()) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- workers
+
+void Server::WorkerThread() {
+  while (true) {
+    std::string name;
+    std::vector<Pending> run;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_workers_.load(std::memory_order_acquire) ||
+               !ready_.empty();
+      });
+      if (stop_requested_.load(std::memory_order_acquire)) return;
+      if (ready_.empty()) return;  // graceful stop, queues empty
+      name = std::move(ready_.front());
+      ready_.pop_front();
+      TenantQueue& tq = tenant_queues_[name];
+      tq.scheduled = false;
+      tq.busy = true;
+      const size_t take = std::min(options_.max_batch, tq.queue.size());
+      run.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        run.push_back(std::move(tq.queue.front()));
+        tq.queue.pop_front();
+      }
+    }
+    AddTenantQueueDepth(name, -static_cast<int64_t>(run.size()));
+    ProcessRun(name, std::move(run));
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      TenantQueue& tq = tenant_queues_[name];
+      tq.busy = false;
+      if (!tq.queue.empty()) {
+        if (!tq.scheduled) {
+          tq.scheduled = true;
+          ready_.push_back(name);
+        }
+        work_cv_.notify_one();
+      } else if (!tq.scheduled) {
+        tenant_queues_.erase(name);
+      }
+    }
+  }
+}
+
+void Server::Complete(std::vector<Completion>* out, const Pending& pending,
+                      std::string payload) {
+  const uint64_t latency_ns =
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                Clock::now() - pending.enqueued)
+                                .count());
+  VSJ_HIST_RECORD("server.latency_ns", latency_ns);
+  RecordTenantRequest(pending.request.tenant, latency_ns);
+  out->push_back(Completion{pending.conn_id, std::move(payload)});
+}
+
+void Server::ProcessRun(const std::string& tenant_name,
+                        std::vector<Pending> run) {
+  std::vector<Completion> out;
+  out.reserve(run.size());
+  const Clock::time_point now = Clock::now();
+
+  // Deadline sweep: a request that expired while queued gets its clean
+  // timeout without ever occupying an engine.
+  std::vector<Pending> live;
+  live.reserve(run.size());
+  for (Pending& pending : run) {
+    if (pending.deadline < now) {
+      VSJ_COUNTER_ADD("server.timeouts", 1);
+      Complete(&out, pending,
+               MakeErrorPayload(pending.request.id, RpcError::kTimeout,
+                                "deadline expired while queued"));
+    } else {
+      VSJ_HIST_RECORD(
+          "server.queue_wait_ns",
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - pending.enqueued)
+              .count());
+      live.push_back(std::move(pending));
+    }
+  }
+
+  std::shared_ptr<Tenant> tenant;
+  if (!tenant_name.empty() && !live.empty()) {
+    const IoStatus status = options_.registry->Acquire(tenant_name, &tenant);
+    if (!status.ok()) {
+      const RpcError code = status.code == IoError::kNotFound
+                                ? RpcError::kUnknownTenant
+                                : RpcError::kTenantUnavailable;
+      VSJ_COUNTER_ADD("server.tenant_failures", 1);
+      for (const Pending& pending : live) {
+        Complete(&out, pending,
+                 MakeErrorPayload(pending.request.id, code,
+                                  status.ToString()));
+      }
+      live.clear();
+    }
+  }
+
+  // Cross-connection batching: consecutive estimate requests of the run
+  // become one shared-stream batch — one cache pre-pass, one round of
+  // miss-grouping — while mutations flush the pending batch so per-tenant
+  // mutation/estimate order is preserved.
+  std::vector<EstimateRequest> batch;
+  std::vector<const Pending*> owners;
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    VSJ_COUNTER_ADD("server.batches", 1);
+    VSJ_HIST_RECORD("server.batch_size", batch.size());
+    RecordTenantBatch(tenant_name, batch.size());
+    const std::vector<EstimateResponse> responses =
+        tenant->EstimateBatchShared(batch);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      Complete(&out, *owners[i],
+               MakeEstimatePayload(owners[i]->request.id, responses[i]));
+    }
+    batch.clear();
+    owners.clear();
+  };
+
+  for (const Pending& pending : live) {
+    const RpcRequest& request = pending.request;
+    switch (request.op) {
+      case RpcOp::kEstimate: {
+        const TenantOpResult check = tenant->ValidateEstimate(request.estimate);
+        if (!check.ok()) {
+          Complete(&out, pending,
+                   MakeErrorPayload(request.id, RpcError::kBadRequest,
+                                    check.message));
+          break;
+        }
+        batch.push_back(request.estimate);
+        owners.push_back(&pending);
+        break;
+      }
+      case RpcOp::kInsert:
+      case RpcOp::kRemove:
+      case RpcOp::kErase:
+      case RpcOp::kAddVector: {
+        flush();
+        TenantOpResult result;
+        if (request.op == RpcOp::kInsert) {
+          result = tenant->Insert(request.vector_id);
+        } else if (request.op == RpcOp::kRemove) {
+          result = tenant->Remove(request.vector_id);
+        } else if (request.op == RpcOp::kErase) {
+          result = tenant->Erase(request.vector_id);
+        } else {
+          result = tenant->AddVector(request.features);
+        }
+        if (result.ok()) {
+          JsonValue ok = MakeOkResponse(request.id);
+          if (request.op == RpcOp::kAddVector) {
+            ok.Set("vector_id",
+                   JsonValue::Number(static_cast<double>(result.value)));
+          } else {
+            ok.Set("epoch",
+                   JsonValue::Number(static_cast<double>(result.value)));
+          }
+          Complete(&out, pending, ok.Serialize());
+        } else {
+          const RpcError code =
+              result.code == TenantOpResult::Code::kUnsupported
+                  ? RpcError::kUnsupported
+                  : RpcError::kBadRequest;
+          Complete(&out, pending,
+                   MakeErrorPayload(request.id, code, result.message));
+        }
+        break;
+      }
+      case RpcOp::kStats: {
+        flush();
+        const TenantStats stats = tenant->Stats();
+        JsonValue ok = MakeOkResponse(request.id);
+        ok.Set("tenant", JsonValue::Str(tenant_name));
+        ok.Set("streaming", JsonValue::Bool(stats.streaming));
+        ok.Set("epoch",
+               JsonValue::Number(static_cast<double>(stats.epoch)));
+        ok.Set("num_vectors",
+               JsonValue::Number(static_cast<double>(stats.num_vectors)));
+        ok.Set("num_live",
+               JsonValue::Number(static_cast<double>(stats.num_live)));
+        ok.Set("cache_hits",
+               JsonValue::Number(static_cast<double>(stats.cache_hits)));
+        ok.Set("cache_misses",
+               JsonValue::Number(static_cast<double>(stats.cache_misses)));
+        Complete(&out, pending, ok.Serialize());
+        break;
+      }
+      case RpcOp::kSleep: {
+        flush();
+        if (!options_.enable_debug_ops) {
+          Complete(&out, pending,
+                   MakeErrorPayload(request.id, RpcError::kBadRequest,
+                                    "sleep is a debug op; start the server "
+                                    "with debug ops enabled"));
+          break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(request.sleep_ms));
+        Complete(&out, pending,
+                 MakeOkResponse(request.id)
+                     .Set("slept_ms",
+                          JsonValue::Number(
+                              static_cast<double>(request.sleep_ms)))
+                     .Serialize());
+        break;
+      }
+      case RpcOp::kPing:
+        // Pings are answered on the loop thread; tolerate one here anyway.
+        Complete(&out, pending,
+                 MakeOkResponse(request.id)
+                     .Set("pong", JsonValue::Bool(true))
+                     .Serialize());
+        break;
+    }
+  }
+  flush();
+
+  const size_t processed = run.size();
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    for (Completion& completion : out) {
+      completions_.push_back(std::move(completion));
+    }
+  }
+  // Order matters for drain detection: completions are visible before the
+  // in-flight count drops, so inflight_ == 0 implies every response has
+  // been published.
+  inflight_.fetch_sub(processed, std::memory_order_acq_rel);
+  loop_.Wake();
+}
+
+}  // namespace vsj::net

@@ -1,0 +1,215 @@
+// The network serving layer: a non-blocking epoll server multiplexing
+// many client connections onto the estimation engines of a
+// TenantRegistry, with cross-connection request batching.
+//
+// Threading model
+// ---------------
+// One *loop thread* owns every socket: it accepts, reads, parses frames
+// (net/wire + net/json + net/protocol), writes responses, and never
+// touches an estimation engine. Parsed requests go into per-tenant FIFO
+// queues; N *worker threads* drain them. A worker takes one tenant's
+// pending run (up to max_batch requests, order preserved), resolves the
+// tenant through the registry (lazily opening snapshots), groups the
+// consecutive estimate requests of the run into ONE
+// EstimateBatchShared() call — this is the cross-connection batching:
+// requests that arrived on different sockets within the same drain
+// amortize the sequential cache pre-pass and the miss-grouping of the
+// trial runner — executes mutations in arrival order (each mutation
+// flushes the estimate run collected so far, preserving
+// mutation/estimate ordering per tenant), and pushes finished responses
+// onto a completion queue. An eventfd wake hands them back to the loop
+// thread, which frames and writes them.
+//
+// Because the batch call is the *shared-stream* flavor, every response
+// is bit-identical to an in-process Estimate() call with the same
+// parameters — how the server happened to pack concurrent connections
+// into batches is unobservable in the results.
+//
+// Admission control: at most max_inflight requests may be queued or
+// executing; beyond that requests are refused immediately with
+// "overloaded". Each request carries a deadline (its timeout_ms, or the
+// server default); a request whose deadline expires while still queued
+// gets a clean "timeout" error instead of occupying an engine.
+//
+// Graceful drain: BeginDrain() stops accepting connections and refuses
+// new requests with "shutting_down", but everything already admitted
+// runs to completion and every response is flushed before the loop
+// exits. The vsjoin_server tool wires SIGTERM to BeginDrain and flushes
+// dirty tenants after WaitUntilStopped().
+//
+// Robustness contract (pinned by tests/net/server_test.cc): truncated
+// frames, oversized length prefixes, garbage JSON, unknown tenants and
+// mid-request disconnects each produce a typed error (or a silently
+// dropped response, for disconnects) and never stop the server from
+// serving other connections.
+
+#ifndef VSJ_NET_SERVER_H_
+#define VSJ_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "vsj/io/io_status.h"
+#include "vsj/net/event_loop.h"
+#include "vsj/net/protocol.h"
+#include "vsj/net/wire.h"
+#include "vsj/service/tenant_registry.h"
+
+namespace vsj::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; Server::port() reports the bound one.
+  uint16_t port = 0;
+
+  /// Worker threads draining tenant queues.
+  size_t num_workers = 1;
+
+  /// Admission cap: requests queued or executing. Beyond it new requests
+  /// are refused with "overloaded".
+  size_t max_inflight = 1024;
+
+  /// Frame payload cap; larger length prefixes poison the connection
+  /// (typed "bad_frame" response, then close) without allocating.
+  uint32_t max_frame_bytes = 1u << 20;
+
+  /// Default per-request deadline (0 = none). A request's own timeout_ms
+  /// overrides it.
+  uint64_t default_timeout_ms = 0;
+
+  /// Most requests one worker drain takes from a tenant queue — the
+  /// upper bound on cross-connection batch size.
+  size_t max_batch = 64;
+
+  /// Enables the "sleep" debug op (tests use it to occupy workers
+  /// deterministically); off for production servers.
+  bool enable_debug_ops = false;
+
+  /// Borrowed; must outlive the server. Required.
+  TenantRegistry* registry = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the loop + worker threads. On failure the
+  /// IoStatus says why (address in use, bad bind address, ...).
+  IoStatus Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; see file comment. Safe from any thread / a signal
+  /// handler's forwarding thread.
+  void BeginDrain();
+
+  /// Hard stop: abandons queued requests (their responses are dropped)
+  /// and tears connections down. Safe from any thread.
+  void Stop();
+
+  /// Joins every server thread. Returns immediately if never started.
+  void WaitUntilStopped();
+
+  /// True once the loop thread has exited.
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string out;            ///< Bytes framed but not yet written.
+    size_t out_offset = 0;      ///< Prefix of `out` already written.
+    bool close_after_flush = false;
+    bool want_write = false;    ///< EPOLLOUT currently armed.
+
+    explicit Connection(uint32_t max_frame_bytes)
+        : decoder(max_frame_bytes) {}
+  };
+
+  struct Pending {
+    uint64_t conn_id = 0;
+    RpcRequest request;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  ///< Clock::time_point::max() = none.
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string payload;
+  };
+
+  struct TenantQueue {
+    std::deque<Pending> queue;
+    bool busy = false;       ///< A worker is draining this tenant.
+    bool scheduled = false;  ///< Present in ready_.
+  };
+
+  // --- loop thread ---
+  void LoopThread();
+  void OnAcceptable();
+  void OnConnectionEvent(uint64_t conn_id, uint32_t events);
+  void HandleFrame(Connection& conn, std::string_view payload);
+  void Respond(Connection& conn, std::string payload);
+  void FlushWrites(Connection& conn);
+  void CloseConnection(uint64_t conn_id);
+  void DrainCompletions();
+  bool DrainComplete();
+
+  // --- worker threads ---
+  void WorkerThread();
+  void ProcessRun(const std::string& tenant_name, std::vector<Pending> run);
+  void Complete(std::vector<Completion>* out, const Pending& pending,
+                std::string payload);
+
+  /// Enqueues an admitted request; called on the loop thread.
+  void Enqueue(Connection& conn, RpcRequest request);
+
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  EventLoop loop_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stop_workers_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex join_mutex_;
+
+  // Loop-thread-owned.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  // Shared queue state.
+  std::mutex queue_mutex_;
+  std::condition_variable work_cv_;
+  std::unordered_map<std::string, TenantQueue> tenant_queues_;
+  std::deque<std::string> ready_;
+  std::atomic<size_t> inflight_{0};
+
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace vsj::net
+
+#endif  // VSJ_NET_SERVER_H_

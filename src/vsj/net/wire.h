@@ -1,0 +1,76 @@
+// Length-prefixed binary framing for the network serving layer.
+//
+// A frame on the wire is a 4-byte little-endian unsigned payload length
+// followed by that many payload bytes (JSON for this protocol, but the
+// framing layer is payload-agnostic). The decoder is incremental — feed
+// it whatever the socket produced and poll for complete frames — and it
+// enforces the robustness contract the server tests pin down:
+//
+//   * The length prefix is inspected *before* any payload accumulation.
+//     An oversized prefix (a hostile peer claiming a 4 GiB frame) is
+//     rejected with kTooLarge without allocating payload space; the
+//     connection is then torn down by the caller.
+//   * Truncated input is simply kNeedMore — a peer that disconnects
+//     mid-frame leaves no partial frame visible to the protocol layer.
+//
+// The decoder owns one contiguous buffer and compacts lazily (consumed
+// bytes are dropped only when the unread remainder is small relative to
+// the buffer), so steady-state pipelined traffic does not memmove per
+// frame.
+
+#ifndef VSJ_NET_WIRE_H_
+#define VSJ_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vsj::net {
+
+/// Hard ceiling a decoder will accept as a frame length (16 MiB). Servers
+/// typically configure something far smaller; this bound exists so even a
+/// misconfigured limit cannot make the decoder allocate absurd buffers.
+inline constexpr uint32_t kAbsoluteMaxFrameBytes = 16u << 20;
+
+/// Appends one frame (length prefix + payload) to `out`. The payload must
+/// be at most kAbsoluteMaxFrameBytes.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Incremental frame decoder over a byte stream.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     ///< A complete frame is available in *payload.
+    kNeedMore,  ///< No complete frame buffered yet; feed more bytes.
+    kTooLarge,  ///< The length prefix exceeds the limit. Terminal: the
+                ///< stream is unsynchronized and must be closed.
+  };
+
+  /// `max_frame_bytes` caps the payload length this decoder will accept;
+  /// it is clamped to kAbsoluteMaxFrameBytes.
+  explicit FrameDecoder(uint32_t max_frame_bytes = kAbsoluteMaxFrameBytes);
+
+  /// Appends raw bytes from the stream to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame. On kFrame, *payload views the
+  /// payload bytes; the view stays valid until the next Feed/Next call.
+  /// Once kTooLarge is returned every further call returns kTooLarge.
+  Status Next(std::string_view* payload);
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  uint32_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  uint32_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace vsj::net
+
+#endif  // VSJ_NET_WIRE_H_

@@ -8,8 +8,22 @@ const char* ValidateEstimateRequest(const EstimateRequest& request) {
   if (request.trials == 0) {
     return "trials must be > 0";
   }
+  // τ is a similarity threshold: a non-finite value (which the network
+  // layer can produce from JSON like 1e999) or anything outside (0, 1]
+  // reaches the sampling loops as nonsense — τ ≤ 0 selects every pair,
+  // τ > 1 none, NaN poisons every comparison. One named diagnostic per
+  // shape so a rejected RPC can say exactly what was wrong.
+  if (std::isnan(request.tau)) {
+    return "tau must not be NaN";
+  }
   if (!std::isfinite(request.tau)) {
     return "tau must be finite";
+  }
+  if (!(request.tau > 0.0) || request.tau > 1.0) {
+    return "tau must be in (0, 1]";
+  }
+  if (std::isnan(request.max_rel_error)) {
+    return "max_rel_error must not be NaN";
   }
   if (!std::isfinite(request.max_rel_error) || request.max_rel_error < 0.0) {
     return "max_rel_error must be finite and >= 0";

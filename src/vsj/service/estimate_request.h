@@ -51,10 +51,14 @@ struct EstimateRequest {
   }
 };
 
-/// The request validation layer shared by both service engines: returns
-/// nullptr when `request` is servable, else a static description of the
-/// first violated rule. Rejected: zero trials, non-finite or out-of-range
-/// τ budgets of the error-bound knob, and engaged-zero sampling overrides
+/// The request validation layer shared by both service engines (and by the
+/// network server, which routes every parsed RPC through it before the
+/// request can reach an engine): returns nullptr when `request` is
+/// servable, else a static description of the first violated rule.
+/// Rejected: zero trials, NaN/±inf or out-of-(0,1] τ (JSON like 1e999
+/// parses to +inf and must die here, not in a sampling loop), NaN/±inf or
+/// negative budgets of the error-bound knob, and engaged-zero sampling
+/// overrides
 /// (a zero m_H, m_L, or δ would hit the degenerate-budget edges of the
 /// sampling templates; engines refuse them up front instead of serving an
 /// unguaranteed 0).

@@ -58,6 +58,16 @@ EstimateResponse EstimationService::Estimate(const EstimateRequest& request) {
 
 std::vector<EstimateResponse> EstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests) {
+  return EstimateBatchImpl(requests, /*shared_stream=*/false);
+}
+
+std::vector<EstimateResponse> EstimationService::EstimateBatchShared(
+    const std::vector<EstimateRequest>& requests) {
+  return EstimateBatchImpl(requests, /*shared_stream=*/true);
+}
+
+std::vector<EstimateResponse> EstimationService::EstimateBatchImpl(
+    const std::vector<EstimateRequest>& requests, bool shared_stream) {
   for (const EstimateRequest& request : requests) {
     const char* error = ValidateEstimateRequest(request);
     VSJ_CHECK_MSG(error == nullptr, "invalid EstimateRequest: %s", error);
@@ -69,7 +79,9 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
       requests, options_.enable_cache ? &cache_ : nullptr, fingerprint_,
       pool_,
       [&](size_t i) { estimators[i] = &EstimatorFor(requests[i]); },
-      [&](size_t i) { return Compute(requests[i], i, *estimators[i]); });
+      [&](size_t i) {
+        return Compute(requests[i], shared_stream ? 0 : i, *estimators[i]);
+      });
 }
 
 const JoinSizeEstimator& EstimationService::EstimatorFor(

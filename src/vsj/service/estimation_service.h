@@ -101,7 +101,22 @@ class EstimationService {
   std::vector<EstimateResponse> EstimateBatch(
       const std::vector<EstimateRequest>& requests);
 
+  /// The cross-connection batching flavor: every group leader draws from
+  /// RNG stream index 0 — exactly what a batch of size one (Estimate())
+  /// uses — instead of its batch position. Responses therefore do not
+  /// depend on how requests happened to be packed into the batch, which is
+  /// the contract the network server needs: a request batched with 63
+  /// strangers answers bit-identically to the same request served alone.
+  /// Duplicate requests still compute once (miss grouping dedups them
+  /// before any stream index is assigned).
+  std::vector<EstimateResponse> EstimateBatchShared(
+      const std::vector<EstimateRequest>& requests);
+
  private:
+  /// Common batch body; `shared_stream` picks stream index 0 (shared) or
+  /// the batch position (legacy positional decorrelation) for leaders.
+  std::vector<EstimateResponse> EstimateBatchImpl(
+      const std::vector<EstimateRequest>& requests, bool shared_stream);
   /// Shared tail of both constructors: index build + estimator context.
   void BuildIndexAndContext();
 

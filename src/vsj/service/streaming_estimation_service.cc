@@ -91,6 +91,16 @@ EstimateResponse StreamingEstimationService::Estimate(
 
 std::vector<EstimateResponse> StreamingEstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests) {
+  return EstimateBatchImpl(requests, /*shared_stream=*/false);
+}
+
+std::vector<EstimateResponse> StreamingEstimationService::EstimateBatchShared(
+    const std::vector<EstimateRequest>& requests) {
+  return EstimateBatchImpl(requests, /*shared_stream=*/true);
+}
+
+std::vector<EstimateResponse> StreamingEstimationService::EstimateBatchImpl(
+    const std::vector<EstimateRequest>& requests, bool shared_stream) {
   for (const EstimateRequest& request : requests) {
     const char* error = ValidateEstimateRequest(request);
     VSJ_CHECK_MSG(error == nullptr, "invalid EstimateRequest: %s", error);
@@ -110,7 +120,9 @@ std::vector<EstimateResponse> StreamingEstimationService::EstimateBatch(
                       "streaming engine only serves LSH-SS");
         if (context.empty()) context.Build(index_, dataset().size());
       },
-      [&](size_t i) { return Compute(requests[i], i, context); });
+      [&](size_t i) {
+        return Compute(requests[i], shared_stream ? 0 : i, context);
+      });
 }
 
 EstimateResponse StreamingEstimationService::Compute(

@@ -137,6 +137,13 @@ class StreamingEstimationService {
   std::vector<EstimateResponse> EstimateBatch(
       const std::vector<EstimateRequest>& requests);
 
+  /// Cross-connection batching flavor: group leaders draw from RNG stream
+  /// index 0 (what Estimate() uses) instead of their batch position, so
+  /// responses are independent of how the network server packed requests
+  /// into the batch. See EstimationService::EstimateBatchShared.
+  std::vector<EstimateResponse> EstimateBatchShared(
+      const std::vector<EstimateRequest>& requests);
+
   /// Serializes the engine to a VSJS snapshot at `path`: the backing store
   /// (compacted on write — only live payloads are written, tombstoned ids
   /// keep empty slots), the index rebuild recipe (family seed, k, ℓ) plus
@@ -168,6 +175,11 @@ class StreamingEstimationService {
   /// answer via the fingerprint fold) and bumps the cache's epoch stat so
   /// the two counters stay in lockstep. Every mutating method ends here.
   void BumpEpoch();
+
+  /// Common batch body; `shared_stream` picks stream index 0 (shared) or
+  /// the batch position for group leaders.
+  std::vector<EstimateResponse> EstimateBatchImpl(
+      const std::vector<EstimateRequest>& requests, bool shared_stream);
 
   /// `context` holds the batch's flat bucket-of arrays (built once in the
   /// sequential pre-pass of EstimateBatch; workers only read it).

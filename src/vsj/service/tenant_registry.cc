@@ -1,0 +1,321 @@
+#include "vsj/service/tenant_registry.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "vsj/core/estimator_registry.h"
+#include "vsj/obs/obs.h"
+
+namespace vsj {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Tenant::Tenant(std::string name, std::string snapshot_path,
+               std::unique_ptr<StreamingEstimationService> engine)
+    : name_(std::move(name)),
+      snapshot_path_(std::move(snapshot_path)),
+      streaming_(std::move(engine)),
+      persisted_epoch_(streaming_->epoch()) {}
+
+Tenant::Tenant(std::string name, std::string snapshot_path,
+               std::unique_ptr<MappedCsrStorage> storage,
+               std::unique_ptr<EstimationService> engine)
+    : name_(std::move(name)),
+      snapshot_path_(std::move(snapshot_path)),
+      mapped_(std::move(storage)),
+      static_(std::move(engine)) {}
+
+TenantOpResult Tenant::ValidateEstimate(const EstimateRequest& request) const {
+  // The engines enforce these rules with VSJ_CHECK (an abort); the server
+  // must turn them into bad_request responses instead, so they are
+  // re-checked here against the live registry before any engine call.
+  if (const char* error = ValidateEstimateRequest(request)) {
+    return TenantOpResult::BadRequest(error);
+  }
+  if (streaming_ != nullptr) {
+    if (request.estimator_name != "LSH-SS") {
+      return TenantOpResult::BadRequest(
+          "streaming tenant '" + name_ + "' only serves estimator LSH-SS");
+    }
+    return TenantOpResult::Ok();
+  }
+  const std::vector<std::string> known = AllEstimatorNames();
+  if (std::find(known.begin(), known.end(), request.estimator_name) ==
+      known.end()) {
+    return TenantOpResult::BadRequest("unknown estimator '" +
+                                      request.estimator_name + "'");
+  }
+  return TenantOpResult::Ok();
+}
+
+std::vector<EstimateResponse> Tenant::EstimateBatchShared(
+    const std::vector<EstimateRequest>& requests) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (streaming_ != nullptr) return streaming_->EstimateBatchShared(requests);
+  return static_->EstimateBatchShared(requests);
+}
+
+TenantOpResult Tenant::Insert(VectorId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (streaming_ == nullptr) {
+    return TenantOpResult::Unsupported(
+        "tenant '" + name_ + "' is a static dataset; mutations need a "
+        ".vsjs streaming snapshot");
+  }
+  if (!streaming_->store().Contains(id)) {
+    return TenantOpResult::BadRequest("vector_id " + std::to_string(id) +
+                                      " is not in the backing store");
+  }
+  if (streaming_->Contains(id)) {
+    return TenantOpResult::BadRequest("vector_id " + std::to_string(id) +
+                                      " is already live");
+  }
+  streaming_->Insert(id);
+  return TenantOpResult::Ok(streaming_->epoch());
+}
+
+TenantOpResult Tenant::Remove(VectorId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (streaming_ == nullptr) {
+    return TenantOpResult::Unsupported(
+        "tenant '" + name_ + "' is a static dataset; mutations need a "
+        ".vsjs streaming snapshot");
+  }
+  if (!streaming_->Contains(id)) {
+    return TenantOpResult::BadRequest("vector_id " + std::to_string(id) +
+                                      " is not live");
+  }
+  streaming_->Remove(id);
+  return TenantOpResult::Ok(streaming_->epoch());
+}
+
+TenantOpResult Tenant::Erase(VectorId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (streaming_ == nullptr) {
+    return TenantOpResult::Unsupported(
+        "tenant '" + name_ + "' is a static dataset; mutations need a "
+        ".vsjs streaming snapshot");
+  }
+  if (!streaming_->store().Contains(id)) {
+    return TenantOpResult::BadRequest("vector_id " + std::to_string(id) +
+                                      " is not in the backing store");
+  }
+  streaming_->Erase(id);
+  return TenantOpResult::Ok(streaming_->epoch());
+}
+
+TenantOpResult Tenant::AddVector(const std::vector<Feature>& features) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (streaming_ == nullptr) {
+    return TenantOpResult::Unsupported(
+        "tenant '" + name_ + "' is a static dataset; mutations need a "
+        ".vsjs streaming snapshot");
+  }
+  const VectorId id = streaming_->AddVector(SparseVector(features));
+  return TenantOpResult::Ok(id);
+}
+
+TenantStats Tenant::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantStats stats;
+  if (streaming_ != nullptr) {
+    stats.streaming = true;
+    stats.epoch = streaming_->epoch();
+    stats.num_vectors = streaming_->store().num_ids();
+    stats.num_live = streaming_->num_live();
+    const EstimateCacheStats cache = streaming_->cache().stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+  } else {
+    stats.num_vectors = static_->dataset().size();
+    stats.num_live = stats.num_vectors;
+    const EstimateCacheStats cache = static_->cache().stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+  }
+  return stats;
+}
+
+bool Tenant::dirty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return streaming_ != nullptr && streaming_->epoch() != persisted_epoch_;
+}
+
+IoStatus Tenant::WriteBack() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (streaming_ == nullptr || streaming_->epoch() == persisted_epoch_) {
+    return IoStatus::Ok();
+  }
+  // tmp + rename: a crash mid-checkpoint leaves the old snapshot intact,
+  // and readers never observe a half-written file.
+  const std::string tmp = snapshot_path_ + ".tmp";
+  IoStatus status = streaming_->Checkpoint(tmp);
+  if (!status.ok()) return status;
+  if (std::rename(tmp.c_str(), snapshot_path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return IoStatus::Fail(IoError::kIoError, "rename of checkpoint failed", 0,
+                          snapshot_path_);
+  }
+  persisted_epoch_ = streaming_->epoch();
+  return IoStatus::Ok();
+}
+
+bool ValidTenantName(const std::string& name) {
+  if (name.empty() || name.size() > 128 || name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TenantRegistry::TenantRegistry(TenantRegistryOptions options)
+    : options_(std::move(options)) {}
+
+TenantRegistry::~TenantRegistry() {
+  // Best effort: mutations held only in memory would otherwise vanish.
+  Flush();
+}
+
+IoStatus TenantRegistry::Acquire(const std::string& name,
+                                 std::shared_ptr<Tenant>* tenant) {
+  if (!ValidTenantName(name)) {
+    return IoStatus::Fail(IoError::kNotFound,
+                          "invalid tenant name '" + name + "'");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = resident_.find(name);
+    if (it != resident_.end()) {
+      lru_.remove(name);
+      lru_.push_front(name);
+      *tenant = it->second;
+      VSJ_COUNTER_ADD("registry.hits", 1);
+      return IoStatus::Ok();
+    }
+  }
+  // Cold miss: open outside the registry lock, so a slow restore does not
+  // stall requests for tenants that are already resident.
+  VSJ_COUNTER_ADD("registry.cold_opens", 1);
+  std::shared_ptr<Tenant> opened;
+  IoStatus status = Open(name, &opened);
+  if (!status.ok()) return status;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = resident_.find(name);
+    if (it != resident_.end()) {
+      // Another thread won the race; its tenant is the canonical one.
+      *tenant = it->second;
+      lru_.remove(name);
+      lru_.push_front(name);
+      return IoStatus::Ok();
+    }
+    resident_.emplace(name, opened);
+    lru_.push_front(name);
+    EvictLocked(name);
+  }
+  *tenant = std::move(opened);
+  return IoStatus::Ok();
+}
+
+IoStatus TenantRegistry::Open(const std::string& name,
+                              std::shared_ptr<Tenant>* tenant) {
+  const std::string stream_path = options_.root + "/" + name + ".vsjs";
+  const std::string static_path = options_.root + "/" + name + ".vsjb";
+  if (FileExists(stream_path)) {
+    std::unique_ptr<StreamingEstimationService> engine;
+    IoStatus status = StreamingEstimationService::Restore(
+        stream_path, &engine, options_.streaming_options);
+    if (!status.ok()) return status;
+    *tenant = std::make_shared<Tenant>(name, stream_path, std::move(engine));
+    return IoStatus::Ok();
+  }
+  if (FileExists(static_path)) {
+    auto storage = std::make_unique<MappedCsrStorage>();
+    IoStatus status = MappedCsrStorage::Open(static_path, storage.get());
+    if (!status.ok()) return status;
+    if (storage->size() < 2) {
+      // EstimationService aborts below two vectors; surface it as a
+      // snapshot problem instead.
+      return IoStatus::Fail(IoError::kCorrupt,
+                            "dataset has fewer than two vectors", 0,
+                            static_path);
+    }
+    auto engine = std::make_unique<EstimationService>(
+        DatasetView(*storage), options_.static_options);
+    *tenant = std::make_shared<Tenant>(name, static_path, std::move(storage),
+                                       std::move(engine));
+    return IoStatus::Ok();
+  }
+  return IoStatus::Fail(IoError::kNotFound,
+                        "no snapshot for tenant '" + name + "' (tried " +
+                            stream_path + " and " + static_path + ")",
+                        0, stream_path);
+}
+
+void TenantRegistry::EvictLocked(const std::string& keep) {
+  if (options_.max_resident == 0) return;
+  // Coldest first. A dirty pinned tenant is skipped (write-back under a
+  // live mutation stream could lose the mutations that land after the
+  // checkpoint); clean tenants leave the map even when pinned — the
+  // shared_ptr held by in-flight work keeps the engine alive.
+  auto it = lru_.end();
+  while (resident_.size() > options_.max_resident && it != lru_.begin()) {
+    --it;
+    const std::string& name = *it;
+    if (name == keep) continue;
+    auto found = resident_.find(name);
+    std::shared_ptr<Tenant>& candidate = found->second;
+    if (candidate->dirty()) {
+      const bool pinned = candidate.use_count() > 1;
+      if (pinned || !candidate->WriteBack().ok()) {
+        // Also kept on write-back failure: dropping it would lose data.
+        continue;
+      }
+    }
+    VSJ_COUNTER_ADD("registry.evictions", 1);
+    resident_.erase(found);
+    it = lru_.erase(it);
+  }
+}
+
+IoStatus TenantRegistry::Flush() {
+  // Snapshot the resident set, then write back without the registry lock
+  // (checkpoints are slow and take per-tenant locks).
+  std::vector<std::shared_ptr<Tenant>> tenants;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tenants.reserve(resident_.size());
+    for (const auto& [name, tenant] : resident_) tenants.push_back(tenant);
+  }
+  IoStatus first_failure = IoStatus::Ok();
+  for (const std::shared_ptr<Tenant>& tenant : tenants) {
+    IoStatus status = tenant->WriteBack();
+    if (!status.ok() && first_failure.ok()) first_failure = status;
+  }
+  return first_failure;
+}
+
+std::vector<std::string> TenantRegistry::ResidentNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::string>(lru_.begin(), lru_.end());
+}
+
+size_t TenantRegistry::num_resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_.size();
+}
+
+}  // namespace vsj

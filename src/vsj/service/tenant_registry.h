@@ -1,0 +1,226 @@
+// Multi-tenant dataset registry of the serving layer.
+//
+// The network server serves many named datasets ("tenants") from one
+// process. A tenant is a snapshot file under the registry root, resolved
+// lazily on first use:
+//
+//   <root>/<name>.vsjs  — a VSJS streaming-engine snapshot. Restores into
+//                         a StreamingEstimationService: mutable (insert/
+//                         remove/erase/add_vector), LSH-SS only. Takes
+//                         priority when both files exist.
+//   <root>/<name>.vsjb  — a VSJB v2 dataset. Opened zero-copy via
+//                         MappedCsrStorage (the mmap never copies vector
+//                         payloads) under a static EstimationService: all
+//                         registered estimators, mutations rejected as
+//                         unsupported.
+//
+// Residency is bounded: at most `max_resident` tenants stay open, evicted
+// least-recently-acquired first. Eviction is refcount-safe — tenants are
+// handed out as shared_ptr, so an evicted tenant stays fully usable by
+// in-flight requests and is destroyed when the last holder drops it.
+// Dirty streaming tenants (mutated since load/last write-back) are
+// checkpointed back to their .vsjs on eviction (tmp + rename, so a crash
+// mid-write never corrupts the snapshot); a dirty tenant that is still
+// pinned by in-flight work is skipped and retried at the next eviction
+// pass rather than checkpointed under a live mutation stream.
+//
+// Thread safety: the registry is fully synchronized (one mutex for the
+// resident map + LRU). Tenant serializes its own engine access with a
+// per-tenant mutex, because the engines are externally-synchronized. Lock
+// order is always registry → tenant, never the reverse.
+
+#ifndef VSJ_SERVICE_TENANT_REGISTRY_H_
+#define VSJ_SERVICE_TENANT_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vsj/io/io_status.h"
+#include "vsj/service/estimation_service.h"
+#include "vsj/service/streaming_estimation_service.h"
+#include "vsj/vector/mapped_csr_storage.h"
+#include "vsj/vector/sparse_vector.h"
+
+namespace vsj {
+
+/// Outcome of a tenant operation that can fail for protocol reasons
+/// (as opposed to io failures, which are IoStatus).
+struct TenantOpResult {
+  enum class Code {
+    kOk,
+    kUnsupported,  ///< Op not available on this tenant flavor.
+    kBadRequest,   ///< Precondition violated (unknown id, bad estimator).
+  };
+  Code code = Code::kOk;
+  std::string message;
+  /// Op-specific payload: the new vector id for AddVector, the post-op
+  /// epoch for mutations.
+  uint64_t value = 0;
+
+  bool ok() const { return code == Code::kOk; }
+  static TenantOpResult Ok(uint64_t value = 0) {
+    return TenantOpResult{Code::kOk, "", value};
+  }
+  static TenantOpResult Unsupported(std::string message) {
+    return TenantOpResult{Code::kUnsupported, std::move(message), 0};
+  }
+  static TenantOpResult BadRequest(std::string message) {
+    return TenantOpResult{Code::kBadRequest, std::move(message), 0};
+  }
+};
+
+/// Point-in-time tenant counters for the stats op and live profiling.
+struct TenantStats {
+  bool streaming = false;
+  uint64_t epoch = 0;
+  size_t num_vectors = 0;  ///< Backing store size (id space).
+  size_t num_live = 0;     ///< Indexed vectors (streaming: live set).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// One resident dataset with its estimation engine. All public methods
+/// are internally synchronized; callers hold it as shared_ptr obtained
+/// from TenantRegistry::Acquire.
+class Tenant {
+ public:
+  /// Streaming flavor (restored from .vsjs).
+  Tenant(std::string name, std::string snapshot_path,
+         std::unique_ptr<StreamingEstimationService> engine);
+  /// Static mmap flavor (.vsjb). `storage` must be the storage `engine`'s
+  /// view reads from; the Tenant keeps it mapped for the engine's life.
+  Tenant(std::string name, std::string snapshot_path,
+         std::unique_ptr<MappedCsrStorage> storage,
+         std::unique_ptr<EstimationService> engine);
+  ~Tenant() = default;
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& snapshot_path() const { return snapshot_path_; }
+  bool is_streaming() const { return streaming_ != nullptr; }
+
+  /// Pre-flight check of one estimate request against this tenant's
+  /// engine: ValidateEstimateRequest plus the estimator-name rules the
+  /// engines enforce with VSJ_CHECK (static: any registered estimator;
+  /// streaming: LSH-SS only). Returns kOk or kBadRequest — a rejected
+  /// request must not reach EstimateBatchShared.
+  TenantOpResult ValidateEstimate(const EstimateRequest& request) const;
+
+  /// Answers a batch with the shared-stream contract (every group leader
+  /// draws from RNG stream 0), so responses are bit-identical to
+  /// in-process Estimate() calls regardless of how the server packed
+  /// concurrent connections into the batch. Every request must have
+  /// passed ValidateEstimate.
+  std::vector<EstimateResponse> EstimateBatchShared(
+      const std::vector<EstimateRequest>& requests);
+
+  /// Mutations; kUnsupported on static tenants. Preconditions are checked
+  /// (not VSJ_CHECKed): unknown/duplicate ids come back as kBadRequest.
+  TenantOpResult Insert(VectorId id);
+  TenantOpResult Remove(VectorId id);
+  TenantOpResult Erase(VectorId id);
+  TenantOpResult AddVector(const std::vector<Feature>& features);
+
+  TenantStats Stats() const;
+
+  /// True when the tenant has mutations not yet written back.
+  bool dirty() const;
+
+  /// Writes the engine state back to the snapshot (streaming flavor;
+  /// no-op Ok on static/clean tenants). tmp + rename: the snapshot is
+  /// replaced atomically or not at all.
+  IoStatus WriteBack();
+
+ private:
+  const std::string name_;
+  const std::string snapshot_path_;
+
+  mutable std::mutex mutex_;
+  // Exactly one engine is set, selecting the flavor.
+  std::unique_ptr<StreamingEstimationService> streaming_;
+  std::unique_ptr<MappedCsrStorage> mapped_;
+  std::unique_ptr<EstimationService> static_;
+  /// Engine epoch the snapshot on disk reflects (streaming only).
+  uint64_t persisted_epoch_ = 0;
+};
+
+/// Configuration of a TenantRegistry.
+struct TenantRegistryOptions {
+  /// Directory holding <name>.vsjs / <name>.vsjb snapshots.
+  std::string root;
+
+  /// Resident-tenant cap; 0 = unbounded. Eviction is LRU by Acquire
+  /// order, with dirty write-back (see file comment).
+  size_t max_resident = 8;
+
+  /// Engine options applied to static (.vsjb) tenants.
+  EstimationServiceOptions static_options;
+
+  /// Runtime options applied to restored streaming tenants (format-
+  /// critical fields come from the snapshot itself).
+  StreamingEstimationServiceOptions streaming_options;
+};
+
+/// True iff `name` is acceptable as a tenant name: 1–128 chars drawn from
+/// [A-Za-z0-9._-], not starting with a dot. The name is spliced into a
+/// filesystem path, so this is the traversal guard ("../../etc/passwd"
+/// never reaches open()).
+bool ValidTenantName(const std::string& name);
+
+/// Lazily-opening, LRU-bounded map of resident tenants.
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(TenantRegistryOptions options);
+  ~TenantRegistry();
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Returns the resident tenant `name`, opening its snapshot on a cold
+  /// miss. Failures:
+  ///   kNotFound — invalid name, or neither <name>.vsjs nor <name>.vsjb
+  ///               exists under the root (path names the .vsjs candidate);
+  ///   anything else — the snapshot exists but failed to open; the
+  ///               IoStatus carries the underlying path + reason.
+  /// A successful Acquire marks `name` most recently used and may evict
+  /// colder tenants beyond the cap (never the one just acquired).
+  IoStatus Acquire(const std::string& name, std::shared_ptr<Tenant>* tenant);
+
+  /// Writes back every dirty resident tenant; returns the first failure
+  /// (but attempts all). Called on server drain so mutations survive
+  /// shutdown.
+  IoStatus Flush();
+
+  /// Resident tenant names, most recently used first.
+  std::vector<std::string> ResidentNames() const;
+
+  size_t num_resident() const;
+
+  const TenantRegistryOptions& options() const { return options_; }
+
+ private:
+  /// Opens the snapshot for `name` (registry lock NOT held — opens can
+  /// be slow and must not block unrelated tenants).
+  IoStatus Open(const std::string& name, std::shared_ptr<Tenant>* tenant);
+
+  /// Evicts beyond the cap, coldest first; `keep` is never evicted.
+  /// Registry lock held.
+  void EvictLocked(const std::string& keep);
+
+  TenantRegistryOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Tenant>> resident_;
+  /// Recency list, most recent first; invariant: same keys as resident_.
+  std::list<std::string> lru_;
+};
+
+}  // namespace vsj
+
+#endif  // VSJ_SERVICE_TENANT_REGISTRY_H_

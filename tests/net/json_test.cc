@@ -1,0 +1,185 @@
+// The strict JSON layer under the network protocol. The contracts that
+// matter to the serving stack: hostile bytes fail cleanly with a byte
+// offset (never UB, never unbounded recursion), numbers round-trip
+// bit-exactly (the server's bit-identity golden depends on it), and
+// overflowing literals deliberately parse to ±inf so request validation
+// can reject them by name.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "vsj/net/json.h"
+
+namespace vsj::net {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &value, &error)) << error;
+  return value;
+}
+
+std::string ParseError(const std::string& text, size_t max_depth = 64) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson(text, &value, &error, max_depth)) << text;
+  return error;
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool());
+  EXPECT_DOUBLE_EQ(MustParse("-12.5e2").AsNumber(), -1250.0);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+  EXPECT_EQ(MustParse("  42 ").AsNumber(), 42.0);
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  const JsonValue doc =
+      MustParse("{\"a\":[1,2,{\"b\":true}],\"c\":\"x\",\"d\":null}");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ((*a)[1].AsNumber(), 2.0);
+  EXPECT_TRUE((*a)[2].Find("b")->AsBool());
+  EXPECT_TRUE(doc.Find("d")->is_null());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DuplicateKeysLastWins) {
+  const JsonValue doc = MustParse("{\"k\":1,\"k\":2}");
+  EXPECT_EQ(doc.Find("k")->AsNumber(), 2.0);
+  EXPECT_EQ(doc.size(), 2u);  // both members preserved for iteration
+}
+
+TEST(JsonParseTest, DepthLimitRejectsDeepNesting) {
+  // A frame of pure '[' must fail cleanly, not overflow the stack.
+  const std::string bomb(100000, '[');
+  const std::string error = ParseError(bomb);
+  EXPECT_NE(error.find("too deep"), std::string::npos) << error;
+
+  // At the limit still parses (depth counts from 0, so max_depth = 8
+  // admits 9 nesting levels); one more level is rejected.
+  std::string ok;
+  for (int i = 0; i < 9; ++i) ok += '[';
+  for (int i = 0; i < 9; ++i) ok += ']';
+  JsonValue value;
+  std::string error2;
+  EXPECT_TRUE(ParseJson(ok, &value, &error2, 8));
+  EXPECT_FALSE(ParseJson("[" + ok + "]", &value, &error2, 8));
+}
+
+TEST(JsonParseTest, TrailingBytesRejected) {
+  EXPECT_NE(ParseError("{} {}"), "");
+  EXPECT_NE(ParseError("1 2"), "");
+  EXPECT_NE(ParseError("null x"), "");
+}
+
+TEST(JsonParseTest, MalformedInputsRejectedWithByteOffset) {
+  // The offset in the message points at (or near) the offending byte.
+  EXPECT_NE(ParseError("{\"a\":}").find("5"), std::string::npos);
+  EXPECT_NE(ParseError(""), "");
+  EXPECT_NE(ParseError("{"), "");
+  EXPECT_NE(ParseError("[1,]"), "");
+  EXPECT_NE(ParseError("{\"a\" 1}"), "");
+  EXPECT_NE(ParseError("\"unterminated"), "");
+  EXPECT_NE(ParseError("tru"), "");
+  EXPECT_NE(ParseError("NaN"), "");
+  EXPECT_NE(ParseError("Infinity"), "");
+  EXPECT_NE(ParseError("+1"), "");
+  EXPECT_NE(ParseError("01"), "");
+  EXPECT_NE(ParseError("1."), "");
+  EXPECT_NE(ParseError(".5"), "");
+  EXPECT_NE(ParseError("1e"), "");
+  EXPECT_NE(ParseError("'single'"), "");
+}
+
+TEST(JsonParseTest, OverflowingLiteralSaturatesToInfinity) {
+  // Deliberate: 1e999 is *representable* as +inf so the request
+  // validation layer rejects it with "tau must be finite" instead of the
+  // parser failing generically (the estimate_request regression).
+  EXPECT_TRUE(std::isinf(MustParse("1e999").AsNumber()));
+  EXPECT_TRUE(std::isinf(MustParse("-1e999").AsNumber()));
+  EXPECT_GT(MustParse("1e999").AsNumber(), 0.0);
+  // Underflow just goes to zero.
+  EXPECT_EQ(MustParse("1e-999").AsNumber(), 0.0);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(MustParse("\"a\\n\\t\\\"\\\\b\\/\"").AsString(), "a\n\t\"\\b/");
+  EXPECT_EQ(MustParse("\"\\u0041\"").AsString(), "A");
+  // Two-byte and three-byte UTF-8 from \u escapes.
+  EXPECT_EQ(MustParse("\"\\u00e9\"").AsString(), "\xc3\xa9");
+  EXPECT_EQ(MustParse("\"\\u20ac\"").AsString(), "\xe2\x82\xac");
+  // Surrogate pair -> 4-byte UTF-8 (U+1F600).
+  EXPECT_EQ(MustParse("\"\\ud83d\\ude00\"").AsString(),
+            "\xf0\x9f\x98\x80");
+  // Lone / malformed surrogates are rejected.
+  EXPECT_NE(ParseError("\"\\ud83d\""), "");
+  EXPECT_NE(ParseError("\"\\ud83dx\""), "");
+  EXPECT_NE(ParseError("\"\\ude00\""), "");
+  EXPECT_NE(ParseError("\"\\uzzzz\""), "");
+  // Raw control characters must be escaped.
+  EXPECT_NE(ParseError("\"a\nb\""), "");
+}
+
+TEST(JsonSerializeTest, RoundTripPreservesStructure) {
+  const std::string text =
+      "{\"a\":[1,2.5,{\"b\":true}],\"c\":\"x\\ny\",\"d\":null}";
+  const JsonValue doc = MustParse(text);
+  const JsonValue again = MustParse(doc.Serialize());
+  EXPECT_EQ(again.Serialize(), doc.Serialize());
+}
+
+TEST(JsonSerializeTest, NumbersPrintExactly) {
+  std::string out;
+  JsonValue::AppendNumber(&out, 42.0);
+  EXPECT_EQ(out, "42");
+  out.clear();
+  JsonValue::AppendNumber(&out, -7.0);
+  EXPECT_EQ(out, "-7");
+  out.clear();
+  // Largest exactly-representable integer prints without precision loss.
+  JsonValue::AppendNumber(&out, 9007199254740991.0);
+  EXPECT_EQ(out, "9007199254740991");
+  out.clear();
+  JsonValue::AppendNumber(&out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  JsonValue::AppendNumber(&out, std::nan(""));
+  EXPECT_EQ(out, "null");
+
+  // %.17g round-trip: parse(serialize(x)) == x bitwise.
+  for (const double v : {0.1, 1.0 / 3.0, 2.5e-17, 27.802916666666665}) {
+    out.clear();
+    JsonValue::AppendNumber(&out, v);
+    EXPECT_EQ(MustParse(out).AsNumber(), v) << out;
+  }
+}
+
+TEST(JsonSerializeTest, QuotedEscapesControlCharacters) {
+  std::string out;
+  JsonValue::AppendQuoted(&out, std::string_view("a\"\\\n\t\x01z", 7));
+  EXPECT_EQ(out, "\"a\\\"\\\\\\n\\t\\u0001z\"");
+  // And the escaped form parses back to the original bytes.
+  EXPECT_EQ(MustParse(out).AsString(), std::string("a\"\\\n\t\x01z", 7));
+}
+
+TEST(JsonSerializeTest, BuildersChain) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("id", JsonValue::Number(7))
+      .Set("ok", JsonValue::Bool(true))
+      .Set("tags", JsonValue::Array()
+                       .Append(JsonValue::Str("a"))
+                       .Append(JsonValue::Str("b")));
+  EXPECT_EQ(doc.Serialize(), "{\"id\":7,\"ok\":true,\"tags\":[\"a\",\"b\"]}");
+}
+
+}  // namespace
+}  // namespace vsj::net

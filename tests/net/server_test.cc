@@ -1,0 +1,531 @@
+// End-to-end tests of the epoll serving layer against a real loopback
+// socket. The two headline contracts:
+//
+//   * Bit-identity: an estimate answered over the wire is byte-for-byte
+//     the payload an in-process engine produces for the same request —
+//     across both tenant flavors, before and after mutations —
+//     regardless of how the server packed concurrent connections into
+//     EstimateBatchShared runs.
+//   * Robustness: truncated frames, oversized length prefixes, garbage
+//     JSON, unknown tenants and mid-request disconnects each produce a
+//     typed error (or a silently dropped response) and never stop the
+//     server from serving other connections.
+//
+// Plus the serving-policy behaviors: admission control (max_inflight →
+// "overloaded"), per-request deadlines ("timeout"), the sleep debug-op
+// gate, and graceful drain (admitted work finishes and flushes, new
+// work is refused with "shutting_down").
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vsj/gen/corpus_generator.h"
+#include "vsj/gen/workloads.h"
+#include "vsj/io/dataset_io.h"
+#include "vsj/net/protocol.h"
+#include "vsj/net/server.h"
+#include "vsj/net/wire.h"
+#include "vsj/service/streaming_estimation_service.h"
+#include "vsj/service/tenant_registry.h"
+
+namespace vsj::net {
+namespace {
+
+constexpr size_t kCorpusSize = 120;
+constexpr uint64_t kFamilySeed = 0x5eedULL;
+
+/// Minimal blocking client against the loopback server.
+class TestClient {
+ public:
+  ~TestClient() { Close(); }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Hang protection: a buggy server must fail the test, not wedge it.
+    timeval tv{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return true;
+  }
+
+  bool SendRaw(std::string_view bytes) {
+    for (size_t off = 0; off < bytes.size();) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Send(std::string_view json) {
+    std::string frame;
+    AppendFrame(&frame, json);
+    return SendRaw(frame);
+  }
+
+  /// Next response payload; "" on EOF / error / timeout.
+  std::string ReadPayload() {
+    std::string_view payload;
+    char buf[8192];
+    for (;;) {
+      if (decoder_.Next(&payload) == FrameDecoder::Status::kFrame) {
+        return std::string(payload);
+      }
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) return "";
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+
+  /// Reads `count` responses and keys them by correlation id (worker
+  /// scheduling may reorder responses across tenant queues).
+  std::map<uint64_t, std::string> ReadById(size_t count) {
+    std::map<uint64_t, std::string> by_id;
+    for (size_t i = 0; i < count; ++i) {
+      const std::string payload = ReadPayload();
+      if (payload.empty()) break;
+      JsonValue doc;
+      std::string error;
+      if (!ParseJson(payload, &doc, &error)) break;
+      by_id[static_cast<uint64_t>(doc.Find("id")->AsNumber())] = payload;
+    }
+    return by_id;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_{1u << 20};
+};
+
+/// Parses a payload and returns doc["error"] ("" for ok responses).
+std::string ErrorCode(const std::string& payload) {
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(payload, &doc, &error)) return "unparseable: " + payload;
+  const JsonValue* ok = doc.Find("ok");
+  if (ok == nullptr) return "no-ok-field: " + payload;
+  if (ok->AsBool()) return "";
+  return doc.Find("error")->AsString();
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/server_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::mkdir(root_.c_str(), 0755);
+    std::remove((root_ + "/churn.vsjs").c_str());
+    std::remove((root_ + "/wiki.vsjb").c_str());
+
+    StreamingEstimationService engine(
+        GenerateCorpus(DblpLikeConfig(kCorpusSize, 3)), StreamingOptions());
+    for (VectorId id = 0; id < kCorpusSize; ++id) engine.Insert(id);
+    ASSERT_TRUE(engine.Checkpoint(root_ + "/churn.vsjs").ok());
+    ASSERT_TRUE(SaveDatasetToFile(
+                    GenerateCorpus(DblpLikeConfig(kCorpusSize, 4)),
+                    root_ + "/wiki.vsjb")
+                    .ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      server_->WaitUntilStopped();
+    }
+  }
+
+  static StreamingEstimationServiceOptions StreamingOptions() {
+    StreamingEstimationServiceOptions options;
+    options.k = 8;
+    options.family_seed = kFamilySeed;
+    return options;
+  }
+
+  static EstimationServiceOptions StaticOptions() {
+    EstimationServiceOptions options;
+    options.k = 8;
+    options.family_seed = kFamilySeed;
+    return options;
+  }
+
+  void StartServer(size_t workers = 2, size_t max_inflight = 1024,
+                   bool debug_ops = true,
+                   uint32_t max_frame_bytes = 1u << 20) {
+    TenantRegistryOptions registry_options;
+    registry_options.root = root_;
+    registry_options.static_options = StaticOptions();
+    registry_ = std::make_unique<TenantRegistry>(registry_options);
+
+    ServerOptions options;
+    options.port = 0;
+    options.num_workers = workers;
+    options.max_inflight = max_inflight;
+    options.enable_debug_ops = debug_ops;
+    options.max_frame_bytes = max_frame_bytes;
+    options.registry = registry_.get();
+    server_ = std::make_unique<Server>(options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  uint16_t port() const { return server_->port(); }
+
+  static std::string EstimateJson(uint64_t id, const std::string& tenant,
+                                  double tau, size_t trials = 3,
+                                  uint64_t seed = 9,
+                                  const std::string& estimator = "LSH-SS") {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%llu,\"op\":\"estimate\",\"tenant\":\"%s\","
+                  "\"estimator\":\"%s\",\"tau\":%.3f,\"trials\":%zu,"
+                  "\"seed\":%llu}",
+                  static_cast<unsigned long long>(id), tenant.c_str(),
+                  estimator.c_str(), tau, trials,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+  }
+
+  static EstimateRequest Request(double tau, size_t trials = 3,
+                                 uint64_t seed = 9) {
+    EstimateRequest request;
+    request.estimator_name = "LSH-SS";
+    request.tau = tau;
+    request.trials = trials;
+    request.seed = seed;
+    return request;
+  }
+
+  std::string root_;
+  std::unique_ptr<TenantRegistry> registry_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingPong) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":3,\"op\":\"ping\"}"));
+  EXPECT_EQ(client.ReadPayload(), "{\"id\":3,\"ok\":true,\"pong\":true}");
+}
+
+TEST_F(ServerTest, BitIdentityAcrossBothTenantFlavors) {
+  StartServer();
+
+  // The reference engines, built exactly as the registry builds them.
+  std::unique_ptr<StreamingEstimationService> churn_engine;
+  ASSERT_TRUE(StreamingEstimationService::Restore(root_ + "/churn.vsjs",
+                                                  &churn_engine,
+                                                  StreamingOptions())
+                  .ok());
+  EstimationService wiki_engine(GenerateCorpus(DblpLikeConfig(kCorpusSize, 4)),
+                                StaticOptions());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  uint64_t id = 1;
+  for (const double tau : {0.6, 0.7, 0.8}) {
+    for (const std::string tenant : {"churn", "wiki"}) {
+      ASSERT_TRUE(client.Send(EstimateJson(id, tenant, tau)));
+      const std::string wire_payload = client.ReadPayload();
+      const EstimateResponse reference =
+          tenant == "churn" ? churn_engine->Estimate(Request(tau))
+                            : wiki_engine.Estimate(Request(tau));
+      EXPECT_EQ(wire_payload, MakeEstimatePayload(id, reference))
+          << tenant << " tau=" << tau;
+      ++id;
+    }
+  }
+}
+
+TEST_F(ServerTest, BitIdentitySurvivesMutations) {
+  StartServer();
+  std::unique_ptr<StreamingEstimationService> reference;
+  ASSERT_TRUE(StreamingEstimationService::Restore(root_ + "/churn.vsjs",
+                                                  &reference,
+                                                  StreamingOptions())
+                  .ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+
+  // Apply the same mutation stream to both sides.
+  ASSERT_TRUE(client.Send(
+      "{\"id\":1,\"op\":\"remove\",\"tenant\":\"churn\",\"vector_id\":5}"));
+  reference->Remove(5);
+  ASSERT_TRUE(client.Send(
+      "{\"id\":2,\"op\":\"insert\",\"tenant\":\"churn\",\"vector_id\":5}"));
+  reference->Insert(5);
+  ASSERT_TRUE(
+      client.Send("{\"id\":3,\"op\":\"add_vector\",\"tenant\":\"churn\","
+                  "\"features\":[[7,1.5],[19,0.25]]}"));
+  const VectorId added =
+      reference->AddVector(SparseVector({{7, 1.5f}, {19, 0.25f}}));
+  ASSERT_TRUE(client.Send("{\"id\":4,\"op\":\"insert\",\"tenant\":\"churn\","
+                          "\"vector_id\":" +
+                          std::to_string(added) + "}"));
+  reference->Insert(added);
+
+  // Mutation responses carry the post-op epoch / the new vector id.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(client.ReadPayload(), &doc, &error));
+  EXPECT_TRUE(doc.Find("ok")->AsBool());
+  EXPECT_NE(doc.Find("epoch"), nullptr);
+  ASSERT_TRUE(ParseJson(client.ReadPayload(), &doc, &error));  // insert 5
+  ASSERT_TRUE(ParseJson(client.ReadPayload(), &doc, &error));  // add_vector
+  ASSERT_EQ(doc.Find("vector_id")->AsNumber(),
+            static_cast<double>(added));
+  ASSERT_TRUE(ParseJson(client.ReadPayload(), &doc, &error));  // insert new
+
+  // Post-mutation estimates still match the in-process engine exactly.
+  ASSERT_TRUE(client.Send(EstimateJson(9, "churn", 0.7)));
+  EXPECT_EQ(client.ReadPayload(),
+            MakeEstimatePayload(9, reference->Estimate(Request(0.7))));
+
+  // And the stats op sees the mutated state.
+  ASSERT_TRUE(client.Send("{\"id\":10,\"op\":\"stats\",\"tenant\":\"churn\"}"));
+  ASSERT_TRUE(ParseJson(client.ReadPayload(), &doc, &error));
+  EXPECT_EQ(doc.Find("epoch")->AsNumber(),
+            static_cast<double>(reference->epoch()));
+  EXPECT_EQ(doc.Find("num_live")->AsNumber(),
+            static_cast<double>(kCorpusSize + 1));
+}
+
+TEST_F(ServerTest, CrossConnectionPipelinesStayCorrelated) {
+  StartServer();
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 16;
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<TestClient>());
+    ASSERT_TRUE(clients.back()->Connect(port()));
+  }
+  // Fire everything before reading anything: concurrent connections land
+  // in shared batches, but every response must echo its request id.
+  for (size_t i = 0; i < kPerClient; ++i) {
+    for (size_t c = 0; c < kClients; ++c) {
+      const std::string tenant = (c % 2 == 0) ? "churn" : "wiki";
+      ASSERT_TRUE(clients[c]->Send(
+          EstimateJson(100 * c + i, tenant, 0.6 + 0.1 * (i % 3))));
+    }
+  }
+  for (size_t c = 0; c < kClients; ++c) {
+    const std::map<uint64_t, std::string> responses =
+        clients[c]->ReadById(kPerClient);
+    ASSERT_EQ(responses.size(), kPerClient) << "client " << c;
+    for (const auto& [id, payload] : responses) {
+      EXPECT_EQ(ErrorCode(payload), "") << payload;
+      EXPECT_GE(id, 100 * c);
+      EXPECT_LT(id, 100 * c + kPerClient);
+    }
+  }
+}
+
+TEST_F(ServerTest, TruncatedFrameThenDisconnectLeavesServerServing) {
+  StartServer();
+  {
+    TestClient half;
+    ASSERT_TRUE(half.Connect(port()));
+    std::string frame;
+    AppendFrame(&frame, "{\"id\":1,\"op\":\"ping\"}");
+    ASSERT_TRUE(half.SendRaw(frame.substr(0, frame.size() / 2)));
+    // Disconnect mid-frame: no response owed, no server damage.
+  }
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":2,\"op\":\"ping\"}"));
+  EXPECT_EQ(ErrorCode(client.ReadPayload()), "");
+}
+
+TEST_F(ServerTest, OversizedPrefixGetsBadFrameAndHangup) {
+  StartServer(/*workers=*/1, /*max_inflight=*/1024, /*debug_ops=*/false,
+              /*max_frame_bytes=*/4096);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.SendRaw(std::string("\xff\xff\xff\xff", 4)));
+  const std::string payload = client.ReadPayload();
+  EXPECT_EQ(ErrorCode(payload), "bad_frame") << payload;
+  // The stream is unsynchronized: the server hangs up after responding.
+  EXPECT_EQ(client.ReadPayload(), "");
+
+  TestClient next;
+  ASSERT_TRUE(next.Connect(port()));
+  ASSERT_TRUE(next.Send("{\"id\":1,\"op\":\"ping\"}"));
+  EXPECT_EQ(ErrorCode(next.ReadPayload()), "");
+}
+
+TEST_F(ServerTest, GarbageJsonIsTypedAndNonFatal) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":1,"));
+  const std::string payload = client.ReadPayload();
+  EXPECT_EQ(ErrorCode(payload), "bad_json") << payload;
+  // The framing layer is still synchronized — same connection keeps
+  // working.
+  ASSERT_TRUE(client.Send("{\"id\":2,\"op\":\"ping\"}"));
+  EXPECT_EQ(ErrorCode(client.ReadPayload()), "");
+}
+
+TEST_F(ServerTest, RequestErrorTaxonomy) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+
+  const auto ask = [&](const std::string& json) {
+    EXPECT_TRUE(client.Send(json));
+    return ErrorCode(client.ReadPayload());
+  };
+
+  EXPECT_EQ(ask("{\"id\":1,\"op\":\"frobnicate\"}"), "unknown_op");
+  EXPECT_EQ(ask(EstimateJson(2, "ghost", 0.7)), "unknown_tenant");
+  EXPECT_EQ(ask(EstimateJson(3, "../churn", 0.7)), "unknown_tenant");
+  // Schema violations.
+  EXPECT_EQ(ask("{\"id\":4,\"op\":\"estimate\",\"tenant\":\"churn\"}"),
+            "bad_request");  // no tau
+  EXPECT_EQ(ask("{\"id\":5,\"op\":\"estimate\",\"tenant\":\"churn\","
+                "\"tau\":1e999,\"trials\":2}"),
+            "bad_request");  // non-finite tau, the 1e999 regression
+  EXPECT_EQ(ask("{\"id\":6,\"op\":\"estimate\",\"tenant\":\"churn\","
+                "\"tau\":0.7,\"trials\":2.5}"),
+            "bad_request");  // non-integral integer field
+  // Estimator rules per tenant flavor.
+  EXPECT_EQ(ask(EstimateJson(7, "churn", 0.7, 2, 9, "LSH-S")),
+            "bad_request");
+  EXPECT_EQ(ask(EstimateJson(8, "wiki", 0.7, 2, 9, "LSH-S")), "");
+  // Mutations on the static mmap tenant.
+  EXPECT_EQ(ask("{\"id\":9,\"op\":\"remove\",\"tenant\":\"wiki\","
+                "\"vector_id\":0}"),
+            "unsupported");
+  // Streaming preconditions.
+  EXPECT_EQ(ask("{\"id\":10,\"op\":\"insert\",\"tenant\":\"churn\","
+                "\"vector_id\":0}"),
+            "bad_request");  // already live
+  // Malformed features must be rejected in parsing, not abort the server.
+  EXPECT_EQ(ask("{\"id\":11,\"op\":\"add_vector\",\"tenant\":\"churn\","
+                "\"features\":[[5,1.0],[5,2.0]]}"),
+            "bad_request");  // non-increasing dims
+  EXPECT_EQ(ask("{\"id\":12,\"op\":\"add_vector\",\"tenant\":\"churn\","
+                "\"features\":[]}"),
+            "bad_request");
+}
+
+TEST_F(ServerTest, SleepIsGatedBehindDebugOps) {
+  StartServer(/*workers=*/1, /*max_inflight=*/1024, /*debug_ops=*/false);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":1,\"op\":\"sleep\",\"sleep_ms\":1}"));
+  EXPECT_EQ(ErrorCode(client.ReadPayload()), "bad_request");
+}
+
+TEST_F(ServerTest, MidRequestDisconnectDropsTheResponse) {
+  StartServer(/*workers=*/1);
+  {
+    TestClient doomed;
+    ASSERT_TRUE(doomed.Connect(port()));
+    ASSERT_TRUE(
+        doomed.Send("{\"id\":1,\"op\":\"sleep\",\"sleep_ms\":100}"));
+    // Close while the request is executing; its completion will find no
+    // connection and must be dropped, not crash.
+  }
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send(EstimateJson(2, "churn", 0.7)));
+  EXPECT_EQ(ErrorCode(client.ReadPayload()), "");
+}
+
+TEST_F(ServerTest, AdmissionControlRefusesBeyondMaxInflight) {
+  StartServer(/*workers=*/1, /*max_inflight=*/2);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  // Two sleeps fill the in-flight budget (one executing, one queued)...
+  ASSERT_TRUE(client.Send("{\"id\":1,\"op\":\"sleep\",\"sleep_ms\":300}"));
+  ASSERT_TRUE(client.Send("{\"id\":2,\"op\":\"sleep\",\"sleep_ms\":300}"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...so the third request is refused immediately.
+  ASSERT_TRUE(client.Send(EstimateJson(3, "churn", 0.7)));
+  const std::map<uint64_t, std::string> responses = client.ReadById(3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(ErrorCode(responses.at(3)), "overloaded");
+  EXPECT_EQ(ErrorCode(responses.at(1)), "");
+  EXPECT_EQ(ErrorCode(responses.at(2)), "");
+}
+
+TEST_F(ServerTest, QueuedDeadlineExpiryYieldsTimeout) {
+  StartServer(/*workers=*/1);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":1,\"op\":\"sleep\",\"sleep_ms\":300}"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // 50ms deadline, but the only worker is held for ~300ms: the deadline
+  // expires in queue and the request must never occupy the engine.
+  ASSERT_TRUE(client.Send(EstimateJson(2, "churn", 0.7) ));
+  std::string with_timeout = EstimateJson(3, "churn", 0.7);
+  with_timeout.insert(with_timeout.size() - 1, ",\"timeout_ms\":50");
+  ASSERT_TRUE(client.Send(with_timeout));
+  const std::map<uint64_t, std::string> responses = client.ReadById(3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(ErrorCode(responses.at(1)), "");
+  EXPECT_EQ(ErrorCode(responses.at(2)), "");  // no deadline: runs late
+  EXPECT_EQ(ErrorCode(responses.at(3)), "timeout");
+}
+
+TEST_F(ServerTest, GracefulDrainFinishesAdmittedWork) {
+  StartServer(/*workers=*/1);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":1,\"op\":\"sleep\",\"sleep_ms\":200}"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server_->BeginDrain();
+  // New work after the drain began is refused...
+  ASSERT_TRUE(client.Send("{\"id\":2,\"op\":\"ping\"}"));
+
+  const std::map<uint64_t, std::string> responses = client.ReadById(2);
+  ASSERT_EQ(responses.size(), 2u);
+  // ...but the admitted sleep ran to completion and its response was
+  // flushed before the server tore the connection down.
+  EXPECT_EQ(ErrorCode(responses.at(1)), "");
+  EXPECT_NE(responses.at(1).find("\"slept_ms\":200"), std::string::npos);
+  EXPECT_EQ(ErrorCode(responses.at(2)), "shutting_down");
+
+  EXPECT_EQ(client.ReadPayload(), "");  // server closed the connection
+  server_->WaitUntilStopped();
+  EXPECT_TRUE(server_->stopped());
+  // The listening socket closed with the drain: connects are refused by
+  // the kernel, not parked in a backlog nobody will ever accept.
+  TestClient late;
+  EXPECT_FALSE(late.Connect(port()));
+}
+
+}  // namespace
+}  // namespace vsj::net

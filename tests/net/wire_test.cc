@@ -1,0 +1,148 @@
+// Length-prefixed framing. The robustness contract (see wire.h): a
+// hostile length prefix is rejected *before* any payload allocation and
+// poisons the decoder terminally; truncated input is invisible to the
+// protocol layer until the frame completes.
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "vsj/net/wire.h"
+
+namespace vsj::net {
+namespace {
+
+using Status = FrameDecoder::Status;
+
+std::string Frame(std::string_view payload) {
+  std::string out;
+  AppendFrame(&out, payload);
+  return out;
+}
+
+TEST(WireTest, RoundTripSingleFrame) {
+  FrameDecoder decoder;
+  decoder.Feed(Frame("{\"op\":\"ping\"}"));
+  std::string_view payload;
+  ASSERT_EQ(decoder.Next(&payload), Status::kFrame);
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+  EXPECT_EQ(decoder.Next(&payload), Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireTest, EmptyPayloadIsAValidFrame) {
+  FrameDecoder decoder;
+  decoder.Feed(Frame(""));
+  std::string_view payload;
+  ASSERT_EQ(decoder.Next(&payload), Status::kFrame);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(WireTest, ByteAtATimeFeedsReassemble) {
+  const std::string wire = Frame("hello") + Frame("world");
+  FrameDecoder decoder;
+  std::string_view payload;
+  size_t frames = 0;
+  for (const char c : wire) {
+    decoder.Feed(std::string_view(&c, 1));
+    while (decoder.Next(&payload) == Status::kFrame) {
+      ++frames;
+      EXPECT_EQ(payload, frames == 1 ? "hello" : "world");
+    }
+  }
+  EXPECT_EQ(frames, 2u);
+}
+
+TEST(WireTest, SplitInsideLengthPrefix) {
+  const std::string wire = Frame("abc");
+  FrameDecoder decoder;
+  std::string_view payload;
+  decoder.Feed(wire.substr(0, 2));  // half the prefix
+  EXPECT_EQ(decoder.Next(&payload), Status::kNeedMore);
+  decoder.Feed(wire.substr(2));
+  ASSERT_EQ(decoder.Next(&payload), Status::kFrame);
+  EXPECT_EQ(payload, "abc");
+}
+
+TEST(WireTest, ManyPipelinedFramesInOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 100; ++i) AppendFrame(&wire, std::to_string(i));
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  std::string_view payload;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(decoder.Next(&payload), Status::kFrame);
+    EXPECT_EQ(payload, std::to_string(i));
+  }
+  EXPECT_EQ(decoder.Next(&payload), Status::kNeedMore);
+}
+
+TEST(WireTest, TruncatedFrameStaysInvisible) {
+  // A peer that disconnects mid-frame never surfaces a partial payload.
+  const std::string wire = Frame("full payload");
+  FrameDecoder decoder;
+  decoder.Feed(wire.substr(0, wire.size() - 1));
+  std::string_view payload;
+  EXPECT_EQ(decoder.Next(&payload), Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered_bytes(), wire.size() - 1);
+}
+
+TEST(WireTest, OversizedPrefixRejectedWithoutBuffering) {
+  FrameDecoder decoder(1024);
+  // A hostile peer claims a ~4 GiB frame; only the 4 prefix bytes arrive.
+  decoder.Feed(std::string("\xff\xff\xff\xff", 4));
+  std::string_view payload;
+  EXPECT_EQ(decoder.Next(&payload), Status::kTooLarge);
+  // The claimed payload was never accumulated: only the prefix is held.
+  EXPECT_LE(decoder.buffered_bytes(), 4u);
+}
+
+TEST(WireTest, PrefixJustOverTheLimitRejected) {
+  FrameDecoder decoder(16);
+  std::string wire;
+  AppendFrame(&wire, std::string(17, 'x'));
+  decoder.Feed(wire);
+  std::string_view payload;
+  EXPECT_EQ(decoder.Next(&payload), Status::kTooLarge);
+}
+
+TEST(WireTest, FrameExactlyAtTheLimitAccepted) {
+  FrameDecoder decoder(16);
+  decoder.Feed(Frame(std::string(16, 'x')));
+  std::string_view payload;
+  ASSERT_EQ(decoder.Next(&payload), Status::kFrame);
+  EXPECT_EQ(payload.size(), 16u);
+}
+
+TEST(WireTest, PoisonedDecoderStaysPoisoned) {
+  FrameDecoder decoder(8);
+  decoder.Feed(std::string("\xff\xff\xff\x7f", 4));
+  std::string_view payload;
+  ASSERT_EQ(decoder.Next(&payload), Status::kTooLarge);
+  // Even perfectly valid frames after the poison are refused — the
+  // stream is unsynchronized and must be torn down.
+  decoder.Feed(Frame("ok"));
+  EXPECT_EQ(decoder.Next(&payload), Status::kTooLarge);
+  EXPECT_EQ(decoder.Next(&payload), Status::kTooLarge);
+}
+
+TEST(WireTest, LimitClampsToAbsoluteMax) {
+  FrameDecoder decoder(0xffffffffu);
+  EXPECT_EQ(decoder.max_frame_bytes(), kAbsoluteMaxFrameBytes);
+}
+
+TEST(WireTest, SteadyStatePipelineCompacts) {
+  // Interleaved feed/drain must not grow the buffer without bound.
+  FrameDecoder decoder;
+  const std::string frame = Frame(std::string(100, 'p'));
+  std::string_view payload;
+  for (int i = 0; i < 10000; ++i) {
+    decoder.Feed(frame);
+    ASSERT_EQ(decoder.Next(&payload), Status::kFrame);
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace vsj::net

@@ -35,8 +35,44 @@ TEST(EstimateRequestTest, RejectsNonFiniteTau) {
   EstimateRequest request;
   request.tau = std::numeric_limits<double>::infinity();
   EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.tau = -std::numeric_limits<double>::infinity();
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
   request.tau = std::numeric_limits<double>::quiet_NaN();
   EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+}
+
+// Pre-PR regression: τ outside (0, 1] used to pass validation and reach
+// the sampling loops (τ ≤ 0 selects every pair, τ > 1 none) — the CLI had
+// its own range check but the service API accepted nonsense, so any
+// network request could smuggle it in.
+TEST(EstimateRequestTest, RejectsOutOfRangeTau) {
+  EstimateRequest request;
+  request.tau = 0.0;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.tau = -0.5;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.tau = 1.0000001;
+  EXPECT_NE(ValidateEstimateRequest(request), nullptr);
+  request.tau = 1.0;  // the inclusive upper edge stays valid
+  EXPECT_EQ(ValidateEstimateRequest(request), nullptr);
+  request.tau = 1e-9;  // tiny but positive stays valid
+  EXPECT_EQ(ValidateEstimateRequest(request), nullptr);
+}
+
+// The named-diagnostic contract: NaN, ±inf and out-of-range each get a
+// distinct message, so a typed RPC error can name the exact violation.
+TEST(EstimateRequestTest, DiagnosticsNameTheViolation) {
+  EstimateRequest request;
+  request.tau = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_STREQ(ValidateEstimateRequest(request), "tau must not be NaN");
+  request.tau = std::numeric_limits<double>::infinity();
+  EXPECT_STREQ(ValidateEstimateRequest(request), "tau must be finite");
+  request.tau = 2.0;
+  EXPECT_STREQ(ValidateEstimateRequest(request), "tau must be in (0, 1]");
+  request.tau = 0.8;
+  request.max_rel_error = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_STREQ(ValidateEstimateRequest(request),
+               "max_rel_error must not be NaN");
 }
 
 TEST(EstimateRequestTest, RejectsBadErrorBound) {

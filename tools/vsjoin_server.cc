@@ -1,0 +1,288 @@
+// vsjoin_server: the network serving daemon.
+//
+//   vsjoin_server --root snapshots/ [--port 7077] [--workers 2]
+//                 [--max-resident 8] [--max-inflight 1024]
+//                 [--default-timeout-ms 0] [--max-batch 64]
+//                 [--k 20] [--tables 1] [--threads 1] [--seed 1]
+//                 [--port-file PATH] [--debug-ops]
+//                 [--metrics] [--metrics-json PATH]
+//                 [--stats-interval MS] [--stats-json PATH]
+//
+// Serves every snapshot under --root as a tenant: <name>.vsjs restores a
+// mutable streaming engine, <name>.vsjb mmaps a static dataset behind an
+// EstimationService (see vsj/service/tenant_registry.h). Tenants open
+// lazily on first request and at most --max-resident stay open (LRU, with
+// dirty streaming tenants checkpointed back on eviction).
+//
+// The wire protocol is length-prefixed JSON (vsj/net/protocol.h); the
+// paired load generator / request client is vsjoin_client. --k/--tables/
+// --threads/--seed configure the engines of *static* tenants (streaming
+// snapshots carry their own index recipe); the LSH family seed derives as
+// seed ^ 0x5eed, matching vsjoin_estimate, so a static tenant served here
+// answers bit-identically to `vsjoin_estimate --dataset <name>.vsjb
+// --mmap --seed <seed> ...` with the same parameters.
+//
+// SIGTERM / SIGINT begin a graceful drain: no new connections or
+// requests, everything admitted finishes and flushes, then the process
+// writes dirty tenants back and exits. --port-file publishes the bound
+// port (useful with --port 0) for scripts; --stats-interval prints the
+// live per-tenant profiling table (requests, latency, batch size, queue
+// depth) to stderr every MS milliseconds, and --stats-json appends one
+// JSON line per tick.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "vsj/net/server.h"
+#include "vsj/obs/obs.h"
+#include "vsj/obs/stat_reporter.h"
+#include "vsj/service/tenant_registry.h"
+
+namespace {
+
+struct Args {
+  std::string root;
+  uint16_t port = 7077;
+  std::string port_file;
+  size_t workers = 2;
+  size_t max_resident = 8;
+  size_t max_inflight = 1024;
+  size_t max_batch = 64;
+  uint64_t default_timeout_ms = 0;
+  uint32_t max_frame_bytes = 1u << 20;
+  bool debug_ops = false;
+
+  // Static-tenant engine knobs (streaming snapshots carry their own).
+  uint32_t k = 20;
+  uint32_t tables = 1;
+  size_t threads = 1;
+  uint64_t seed = 1;
+
+  bool metrics = false;
+  std::string metrics_json_path;
+  int stats_interval_ms = 0;
+  std::string stats_json_path;
+};
+
+bool ParseU64(const char* token, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token, &end, 10);
+  if (end == token || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+void Usage() {
+  std::cerr
+      << "usage: vsjoin_server --root DIR [--port N] [--port-file PATH]\n"
+         "                     [--workers N] [--max-resident N]\n"
+         "                     [--max-inflight N] [--max-batch N]\n"
+         "                     [--default-timeout-ms N]\n"
+         "                     [--max-frame-bytes N] [--debug-ops]\n"
+         "                     [--k N] [--tables N] [--threads N] "
+         "[--seed N]\n"
+         "                     [--metrics] [--metrics-json PATH]\n"
+         "                     [--stats-interval MS] [--stats-json PATH]\n";
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    uint64_t u = 0;
+    if (flag == "--root") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->root = v;
+    } else if (flag == "--port") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u > 65535) return false;
+      args->port = static_cast<uint16_t>(u);
+    } else if (flag == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->port_file = v;
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->workers = u;
+    } else if (flag == "--max-resident") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u)) return false;
+      args->max_resident = u;
+    } else if (flag == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->max_inflight = u;
+    } else if (flag == "--max-batch") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->max_batch = u;
+    } else if (flag == "--default-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u)) return false;
+      args->default_timeout_ms = u;
+    } else if (flag == "--max-frame-bytes") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->max_frame_bytes = static_cast<uint32_t>(u);
+    } else if (flag == "--debug-ops") {
+      args->debug_ops = true;
+    } else if (flag == "--k") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->k = static_cast<uint32_t>(u);
+    } else if (flag == "--tables") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->tables = static_cast<uint32_t>(u);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->threads = u;
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u)) return false;
+      args->seed = u;
+    } else if (flag == "--metrics") {
+      args->metrics = true;
+    } else if (flag == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_json_path = v;
+    } else if (flag == "--stats-interval") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &u) || u == 0) return false;
+      args->stats_interval_ms = static_cast<int>(u);
+    } else if (flag == "--stats-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->stats_json_path = v;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return false;
+    }
+  }
+  return !args->root.empty();
+}
+
+vsj::net::Server* g_server = nullptr;
+
+// Only async-signal-safe work here: BeginDrain is an atomic store plus an
+// eventfd write.
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->BeginDrain();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  const bool want_metrics = args.metrics || !args.metrics_json_path.empty() ||
+                            args.stats_interval_ms > 0 ||
+                            !args.stats_json_path.empty();
+  if (want_metrics) {
+    if (!VSJ_METRICS_COMPILED) {
+      std::cerr << "warning: built with VSJ_METRICS=OFF; metrics flags will "
+                   "record nothing\n";
+    }
+    vsj::obs::EnableMetrics(true);
+  }
+
+  vsj::TenantRegistryOptions registry_options;
+  registry_options.root = args.root;
+  registry_options.max_resident = args.max_resident;
+  registry_options.static_options.k = args.k;
+  registry_options.static_options.num_tables = args.tables;
+  registry_options.static_options.num_threads = args.threads;
+  registry_options.static_options.family_seed = args.seed ^ 0x5eedULL;
+  registry_options.streaming_options.num_threads = args.threads;
+  vsj::TenantRegistry registry(registry_options);
+
+  vsj::net::ServerOptions server_options;
+  server_options.port = args.port;
+  server_options.num_workers = args.workers;
+  server_options.max_inflight = args.max_inflight;
+  server_options.max_batch = args.max_batch;
+  server_options.default_timeout_ms = args.default_timeout_ms;
+  server_options.max_frame_bytes = args.max_frame_bytes;
+  server_options.enable_debug_ops = args.debug_ops;
+  server_options.registry = &registry;
+  vsj::net::Server server(server_options);
+
+  const vsj::IoStatus status = server.Start();
+  if (!status.ok()) {
+    std::cerr << "vsjoin_server: " << status.ToString() << "\n";
+    return 1;
+  }
+  if (!args.port_file.empty()) {
+    std::ofstream out(args.port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::cerr << "vsjoin_server: cannot write " << args.port_file << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "vsjoin_server: serving " << args.root << " on port "
+            << server.port() << " (" << args.workers << " workers, cap "
+            << args.max_resident << " resident tenants)\n";
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  // A peer vanishing mid-write must surface as a write error, not kill
+  // the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::unique_ptr<vsj::obs::StatReporter> reporter;
+  if (args.stats_interval_ms > 0 || !args.stats_json_path.empty()) {
+    vsj::obs::StatReporterOptions reporter_options;
+    reporter_options.interval_ms =
+        args.stats_interval_ms > 0 ? args.stats_interval_ms : 1000;
+    reporter_options.out = args.stats_interval_ms > 0 ? &std::cerr : nullptr;
+    reporter_options.jsonl_path = args.stats_json_path;
+    reporter = std::make_unique<vsj::obs::StatReporter>(reporter_options);
+  }
+
+  server.WaitUntilStopped();
+  g_server = nullptr;
+  if (reporter != nullptr) reporter->Stop();
+
+  // Mutations applied over the wire persist across restarts.
+  const vsj::IoStatus flush = registry.Flush();
+  if (!flush.ok()) {
+    std::cerr << "vsjoin_server: write-back failed: " << flush.ToString()
+              << "\n";
+    return 1;
+  }
+
+  if (args.metrics) {
+    vsj::obs::PrintMetricsTable(vsj::obs::MetricRegistry::Global().Snapshot(),
+                                nullptr, std::cerr, "vsjoin_server");
+  }
+  if (!args.metrics_json_path.empty()) {
+    std::string error;
+    if (!vsj::obs::WriteMetricsJson(
+            vsj::obs::MetricRegistry::Global().Snapshot(),
+            args.metrics_json_path, &error)) {
+      std::cerr << "vsjoin_server: " << error << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "vsjoin_server: drained\n";
+  return 0;
+}
