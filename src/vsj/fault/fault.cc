@@ -1,0 +1,300 @@
+#include "vsj/fault/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "vsj/util/rng.h"
+
+namespace vsj::fault {
+namespace {
+
+struct ArmedPoint {
+  FaultSpec spec;
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+  Rng rng;
+
+  explicit ArmedPoint(const FaultSpec& s) : spec(s), rng(s.seed) {}
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, ArmedPoint> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+// True iff at least one point is armed; the macros' fast gate.
+std::atomic<bool> g_enabled{false};
+
+std::once_flag g_env_once;
+
+void InitFromEnvLocked() {
+  const char* env = std::getenv("VSJ_FAULTS");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string error;
+  if (!ArmFromString(env, &error)) {
+    // A malformed VSJ_FAULTS must not be silently ignored — a drill that
+    // thinks it armed a crash point but didn't would "pass" vacuously.
+    std::fprintf(stderr, "vsj: bad VSJ_FAULTS spec: %s\n", error.c_str());
+    std::abort();
+  }
+}
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kNone, "none"},
+    {FaultKind::kIoError, "io_error"},
+    {FaultKind::kNotFound, "not_found"},
+    {FaultKind::kBadMagic, "bad_magic"},
+    {FaultKind::kUnsupportedVersion, "unsupported_version"},
+    {FaultKind::kCorrupt, "corrupt"},
+    {FaultKind::kChecksumMismatch, "checksum"},
+    {FaultKind::kShortWrite, "short_write"},
+    {FaultKind::kReset, "reset"},
+    {FaultKind::kTorn, "torn"},
+    {FaultKind::kStall, "stall"},
+    {FaultKind::kCrash, "crash"},
+};
+
+bool KindFromName(const std::string& name, FaultKind* kind) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      *kind = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseUint(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  uint64_t parsed = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = parsed;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+bool Enabled() {
+  std::call_once(g_env_once, [] { InitFromEnvLocked(); });
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Arm(const FaultSpec& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.points.erase(spec.point);
+  registry.points.emplace(spec.point, ArmedPoint(spec));
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+bool ParseFaultSpec(const std::string& text, FaultSpec* spec,
+                    std::string* error) {
+  FaultSpec parsed;
+  size_t pos = 0;
+  size_t field = 0;
+  while (pos <= text.size()) {
+    size_t colon = text.find(':', pos);
+    if (colon == std::string::npos) colon = text.size();
+    const std::string part = text.substr(pos, colon - pos);
+    if (field == 0) {
+      if (part.empty()) {
+        if (error != nullptr) *error = "empty fault point name";
+        return false;
+      }
+      parsed.point = part;
+    } else if (part == "repeat") {
+      parsed.repeat = true;
+    } else {
+      const size_t eq = part.find('=');
+      if (eq == std::string::npos) {
+        if (error != nullptr) {
+          *error = "expected key=value in fault spec, got '" + part + "'";
+        }
+        return false;
+      }
+      const std::string key = part.substr(0, eq);
+      const std::string value = part.substr(eq + 1);
+      bool ok = true;
+      if (key == "kind") {
+        ok = KindFromName(value, &parsed.kind);
+      } else if (key == "nth") {
+        ok = ParseUint(value, &parsed.nth) && parsed.nth >= 1;
+      } else if (key == "seed") {
+        ok = ParseUint(value, &parsed.seed);
+      } else if (key == "arg") {
+        ok = ParseUint(value, &parsed.arg);
+      } else if (key == "p") {
+        char* end = nullptr;
+        parsed.probability = std::strtod(value.c_str(), &end);
+        ok = end != nullptr && *end == '\0' && parsed.probability >= 0.0 &&
+             parsed.probability <= 1.0;
+      } else {
+        ok = false;
+      }
+      if (!ok) {
+        if (error != nullptr) {
+          *error = "bad fault spec field '" + part + "' for point '" +
+                   parsed.point + "'";
+        }
+        return false;
+      }
+    }
+    ++field;
+    if (colon == text.size()) break;
+    pos = colon + 1;
+  }
+  *spec = std::move(parsed);
+  return true;
+}
+
+bool ArmFromString(const std::string& specs, std::string* error) {
+  size_t pos = 0;
+  while (pos <= specs.size()) {
+    size_t comma = specs.find(',', pos);
+    if (comma == std::string::npos) comma = specs.size();
+    const std::string item = specs.substr(pos, comma - pos);
+    if (!item.empty()) {
+      FaultSpec spec;
+      if (!ParseFaultSpec(item, &spec, error)) return false;
+      Arm(spec);
+    }
+    if (comma == specs.size()) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+bool Disarm(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const bool erased = registry.points.erase(point) > 0;
+  if (registry.points.empty()) {
+    g_enabled.store(false, std::memory_order_relaxed);
+  }
+  return erased;
+}
+
+void ClearAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.points.clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+uint64_t HitCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.points.find(point);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FiredCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.points.find(point);
+  return it == registry.points.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> ArmedPoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) names.push_back(name);
+  return names;
+}
+
+FaultHit CheckHit(const char* point) {
+  FaultHit hit;
+  uint64_t stall_ms = 0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.points.find(point);
+    if (it == registry.points.end()) return hit;
+    ArmedPoint& armed = it->second;
+    ++armed.hits;
+    bool fires;
+    if (armed.spec.probability > 0.0) {
+      fires = armed.rng.NextDouble() < armed.spec.probability;
+    } else if (armed.spec.repeat) {
+      fires = armed.hits >= armed.spec.nth;
+    } else {
+      fires = armed.hits == armed.spec.nth;
+    }
+    if (!fires) return hit;
+    ++armed.fired;
+    hit.kind = armed.spec.kind;
+    hit.arg = armed.spec.arg;
+  }
+  if (hit.kind == FaultKind::kCrash) {
+    // Die exactly like kill -9: no exit handlers, no stream flushing, no
+    // destructors. _Exit(137) is the (unreachable) fallback in case the
+    // signal is somehow blocked.
+    ::raise(SIGKILL);
+    std::_Exit(137);
+  }
+  if (hit.kind == FaultKind::kStall) {
+    stall_ms = hit.arg > 0 ? hit.arg : 50;
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    hit.kind = FaultKind::kNone;  // the op proceeds after the stall
+    hit.arg = 0;
+  }
+  return hit;
+}
+
+IoStatus InjectedIoStatus(const char* point, FaultKind kind,
+                          const std::string& path) {
+  IoError code;
+  switch (kind) {
+    case FaultKind::kNotFound:
+      code = IoError::kNotFound;
+      break;
+    case FaultKind::kBadMagic:
+      code = IoError::kBadMagic;
+      break;
+    case FaultKind::kUnsupportedVersion:
+      code = IoError::kUnsupportedVersion;
+      break;
+    case FaultKind::kCorrupt:
+      code = IoError::kCorrupt;
+      break;
+    case FaultKind::kChecksumMismatch:
+      code = IoError::kChecksumMismatch;
+      break;
+    default:
+      code = IoError::kIoError;
+      break;
+  }
+  return IoStatus::Fail(code, std::string("injected fault at ") + point, 0,
+                        path);
+}
+
+}  // namespace vsj::fault

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <vector>
 
+#include "vsj/io/atomic_file_writer.h"
 #include "vsj/io/vsjb_format.h"
 #include "vsj/obs/obs.h"
 
@@ -225,18 +226,14 @@ IoStatus ReadDataset(std::istream& is, VectorDataset* dataset,
 
 IoStatus SaveDatasetToFile(DatasetView dataset, const std::string& path) {
   VSJ_TRACE_SPAN(save_span, "io.save_ns");
-  std::ofstream os(path, std::ios::binary);
-  if (!os) {
-    return IoStatus::Fail(IoError::kNotFound,
-                          std::string("cannot open for writing: ") +
-                              std::strerror(errno),
-                          0, path);
-  }
-  IoStatus status = WriteDataset(dataset, os).WithPath(path);
-  if (status) {
-    const std::streampos bytes = os.tellp();
-    if (bytes > 0) VSJ_COUNTER_ADD("io.bytes_written", bytes);
-  }
+  AtomicFileWriter writer(path);
+  IoStatus status = writer.Open();
+  if (!status.ok()) return status;
+  status = WriteDataset(dataset, writer.stream()).WithPath(path);
+  if (!status.ok()) return status;  // writer dtor drops the tmp file
+  const std::streampos bytes = writer.stream().tellp();
+  status = writer.Commit();
+  if (status.ok() && bytes > 0) VSJ_COUNTER_ADD("io.bytes_written", bytes);
   return status;
 }
 

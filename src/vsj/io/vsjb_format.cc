@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "vsj/fault/fault.h"
 #include "vsj/obs/obs.h"
 
 namespace vsj {
@@ -83,6 +84,9 @@ IoStatus VsjbFileWriter::WriteTo(std::ostream& os) const {
   uint64_t position =
       table_offset + entries.size() * sizeof(VsjbSectionEntry);
   for (size_t i = 0; i < sections_.size(); ++i) {
+    // nth selects the 1-based section index — the drill kills a
+    // checkpoint mid-file at every section boundary through this point.
+    VSJ_FAULT_IO("io.vsjb.write_section", "");
     WritePadding(os, position, entries[i].offset);
     if (sections_[i].length > 0) {
       os.write(static_cast<const char*>(sections_[i].data),
@@ -229,7 +233,8 @@ IoStatus ReadVsjbFile(std::istream& is, const char (&magic)[4],
                             entry.offset);
     }
     VSJ_TRACE_SPAN(checksum_span, "io.checksum_verify_ns");
-    if (VsjbChecksum(payload.data(), payload.size()) != entry.checksum) {
+    if (VSJ_FAULT_HIT("io.checksum").fired() ||
+        VsjbChecksum(payload.data(), payload.size()) != entry.checksum) {
       return IoStatus::Fail(IoError::kChecksumMismatch,
                             "section " + SectionIdName(entry.id),
                             entry.offset);
@@ -285,8 +290,9 @@ IoStatus ValidateVsjbImage(const void* base, size_t size,
     }
     if (verify_checksums) {
       VSJ_TRACE_SPAN(checksum_span, "io.checksum_verify_ns");
-      if (VsjbChecksum(bytes + entry.offset, entry.length) !=
-          entry.checksum) {
+      if (VSJ_FAULT_HIT("io.checksum").fired() ||
+          VsjbChecksum(bytes + entry.offset, entry.length) !=
+              entry.checksum) {
         return IoStatus::Fail(IoError::kChecksumMismatch,
                               "section " + SectionIdName(entry.id),
                               entry.offset);

@@ -34,6 +34,17 @@ const char* RpcErrorName(RpcError error) {
   return "unknown";
 }
 
+bool RpcErrorRetryable(RpcError error) {
+  switch (error) {
+    case RpcError::kOverloaded:
+    case RpcError::kTimeout:
+    case RpcError::kShuttingDown:
+      return true;
+    default:
+      return false;
+  }
+}
+
 const char* RpcOpName(RpcOp op) {
   switch (op) {
     case RpcOp::kEstimate:
@@ -310,7 +321,9 @@ std::string MakeErrorPayload(uint64_t id, RpcError error,
   JsonValue::AppendNumber(&out, static_cast<double>(id));
   out += ",\"ok\":false,\"error\":\"";
   out += RpcErrorName(error);
-  out += "\",\"message\":";
+  out += "\",\"retryable\":";
+  out += RpcErrorRetryable(error) ? "true" : "false";
+  out += ",\"message\":";
   JsonValue::AppendQuoted(&out, message);
   out += "}";
   return out;

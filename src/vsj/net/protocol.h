@@ -74,6 +74,15 @@ enum class RpcError {
 /// Wire name of an error code ("bad_request", "timeout", ...).
 const char* RpcErrorName(RpcError error);
 
+/// True when a client may retry the identical request and reasonably
+/// expect success: transient server conditions (kOverloaded, kTimeout,
+/// kShuttingDown — another replica, or the same one post-restart, can
+/// serve it). False for request defects (bad_json, bad_request,
+/// unknown_*, unsupported) where a retry would fail identically, and for
+/// kTenantUnavailable, which needs operator intervention. Error payloads
+/// carry this as "retryable" so clients don't hard-code the taxonomy.
+bool RpcErrorRetryable(RpcError error);
+
 /// Wire name of an op ("estimate", "add_vector", ...).
 const char* RpcOpName(RpcOp op);
 

@@ -7,10 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "vsj/fault/fault.h"
 #include "vsj/net/wire.h"
 #include "vsj/obs/obs.h"
 
@@ -185,6 +187,13 @@ void Server::OnAcceptable() {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) break;  // EAGAIN, or a transient accept error
+    if (VSJ_FAULT_HIT("net.accept").fired()) {
+      // Injected accept failure: the client sees an immediate hangup, as
+      // with an accept() that ran out of descriptors.
+      VSJ_COUNTER_ADD("server.injected_accept_failures", 1);
+      ::close(fd);
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     const uint64_t id = next_conn_id_++;
@@ -261,6 +270,17 @@ void Server::OnConnectionEvent(uint64_t conn_id, uint32_t events) {
 }
 
 void Server::HandleFrame(Connection& conn, std::string_view payload) {
+  if (VSJ_FAULT_HIT("net.frame").fired()) {
+    // Injected connection reset mid-request: the frame is dropped with no
+    // response and the connection closes, exercising the client's
+    // reconnect/retry path. Must not CloseConnection here — the decode
+    // loop in OnConnectionEvent still holds `conn`.
+    VSJ_COUNTER_ADD("server.injected_resets", 1);
+    conn.out.clear();
+    conn.out_offset = 0;
+    conn.close_after_flush = true;
+    return;
+  }
   VSJ_COUNTER_ADD("server.requests", 1);
   JsonValue doc;
   std::string error;
@@ -333,11 +353,35 @@ void Server::Respond(Connection& conn, std::string payload) {
 }
 
 void Server::FlushWrites(Connection& conn) {
+  bool injected_short_write = false;
   while (conn.out_offset < conn.out.size()) {
+    size_t chunk = conn.out.size() - conn.out_offset;
+    bool short_write = false;
+    const fault::FaultHit hit = VSJ_FAULT_HIT("net.write");
+    if (hit.fired()) {
+      if (hit.kind == fault::FaultKind::kShortWrite) {
+        // Deliver at most `arg` bytes this round, then yield as if the
+        // socket buffer filled — the rest flushes on EPOLLOUT. Responses
+        // must still arrive intact (framing survives partial writes).
+        chunk = std::min<size_t>(chunk, hit.arg > 0 ? hit.arg : 1);
+        short_write = true;
+      } else {
+        // Anything else injected here behaves like EPIPE below.
+        VSJ_COUNTER_ADD("server.injected_resets", 1);
+        conn.out.clear();
+        conn.out_offset = 0;
+        conn.close_after_flush = true;
+        break;
+      }
+    }
     const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
-                              conn.out.size() - conn.out_offset);
+                              chunk);
     if (n > 0) {
       conn.out_offset += static_cast<size_t>(n);
+      if (short_write) {  // pretend the buffer filled
+        injected_short_write = true;
+        break;
+      }
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -355,7 +399,10 @@ void Server::FlushWrites(Connection& conn) {
       loop_.Modify(conn.fd, EPOLLIN | EPOLLRDHUP | EPOLLET);
       conn.want_write = false;
     }
-  } else if (!conn.want_write) {
+  } else if (!conn.want_write || injected_short_write) {
+    // On an injected short write the socket never actually blocked, so no
+    // EPOLLOUT edge is coming; EPOLL_CTL_MOD re-arms the edge-triggered
+    // state and redelivers the still-writable condition.
     loop_.Modify(conn.fd, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET);
     conn.want_write = true;
   }
@@ -585,6 +632,10 @@ void Server::ProcessRun(const std::string& tenant_name,
                JsonValue::Number(static_cast<double>(stats.cache_hits)));
         ok.Set("cache_misses",
                JsonValue::Number(static_cast<double>(stats.cache_misses)));
+        ok.Set("dirty", JsonValue::Bool(stats.dirty));
+        ok.Set("checkpoint_failures",
+               JsonValue::Number(
+                   static_cast<double>(stats.checkpoint_failures)));
         Complete(&out, pending, ok.Serialize());
         break;
       }

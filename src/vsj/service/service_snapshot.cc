@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "vsj/fault/fault.h"
+#include "vsj/io/atomic_file_writer.h"
 #include "vsj/io/dataset_io.h"
 #include "vsj/io/vsjb_format.h"
 #include "vsj/service/streaming_estimation_service.h"
@@ -97,12 +99,13 @@ IoStatus StreamingEstimationService::Checkpoint(
   writer.AddVectorSection(kSecIndexLiveOrder, index_live);
   writer.AddVectorSection(kSecTableReplay, replay_concat);
 
-  std::ofstream os(path, std::ios::binary);
-  if (!os) {
-    return IoStatus::Fail(IoError::kNotFound, "cannot open for writing", 0,
-                          path);
-  }
-  return writer.WriteTo(os).WithPath(path);
+  VSJ_FAULT_IO("service.checkpoint", path);
+  AtomicFileWriter file(path);
+  IoStatus status = file.Open();
+  if (!status.ok()) return status;
+  status = writer.WriteTo(file.stream()).WithPath(path);
+  if (!status.ok()) return status;  // dtor drops the tmp file
+  return file.Commit();
 }
 
 StreamingEstimationService::StreamingEstimationService(
@@ -130,6 +133,7 @@ IoStatus StreamingEstimationService::Restore(
     std::unique_ptr<StreamingEstimationService>* service,
     StreamingEstimationServiceOptions runtime_options) {
   service->reset();
+  VSJ_FAULT_IO("service.restore", path);
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     return IoStatus::Fail(IoError::kNotFound, "cannot open", 0, path);

@@ -1,5 +1,6 @@
 #include "vsj/service/tenant_registry.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <algorithm>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "vsj/core/estimator_registry.h"
+#include "vsj/fault/fault.h"
 #include "vsj/obs/obs.h"
 
 namespace vsj {
@@ -143,6 +145,9 @@ TenantStats Tenant::Stats() const {
     stats.cache_hits = cache.hits;
     stats.cache_misses = cache.misses;
   }
+  stats.dirty =
+      streaming_ != nullptr && streaming_->epoch() != persisted_epoch_;
+  stats.checkpoint_failures = checkpoint_failures_;
   return stats;
 }
 
@@ -156,18 +161,37 @@ IoStatus Tenant::WriteBack() {
   if (streaming_ == nullptr || streaming_->epoch() == persisted_epoch_) {
     return IoStatus::Ok();
   }
-  // tmp + rename: a crash mid-checkpoint leaves the old snapshot intact,
-  // and readers never observe a half-written file.
-  const std::string tmp = snapshot_path_ + ".tmp";
-  IoStatus status = streaming_->Checkpoint(tmp);
-  if (!status.ok()) return status;
-  if (std::rename(tmp.c_str(), snapshot_path_.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return IoStatus::Fail(IoError::kIoError, "rename of checkpoint failed", 0,
-                          snapshot_path_);
+  // The epoch to record as persisted is captured before the checkpoint:
+  // the engine is locked here, but being explicit keeps the invariant
+  // obvious — persisted_epoch_ must describe the bytes on disk.
+  const uint64_t epoch = streaming_->epoch();
+  IoStatus status = [&]() -> IoStatus {
+    VSJ_FAULT_IO("registry.writeback", snapshot_path_);
+    // Checkpoint writes through AtomicFileWriter: tmp + fsync + rename +
+    // dir fsync, so the snapshot is durably replaced or left untouched.
+    return streaming_->Checkpoint(snapshot_path_);
+  }();
+  if (!status.ok()) {
+    // Degraded mode: the tenant stays dirty and resident; callers retry
+    // on the next eviction pass / Flush.
+    ++checkpoint_failures_;
+    last_write_back_error_ = status.ToString();
+    VSJ_COUNTER_ADD("registry.checkpoint_failures", 1);
+    return status;
   }
-  persisted_epoch_ = streaming_->epoch();
+  persisted_epoch_ = epoch;
+  last_write_back_error_.clear();
   return IoStatus::Ok();
+}
+
+uint64_t Tenant::checkpoint_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return checkpoint_failures_;
+}
+
+std::string Tenant::last_write_back_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_write_back_error_;
 }
 
 bool ValidTenantName(const std::string& name) {
@@ -182,7 +206,31 @@ bool ValidTenantName(const std::string& name) {
 }
 
 TenantRegistry::TenantRegistry(TenantRegistryOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.sweep_tmp) SweepOrphanedTmpFiles();
+}
+
+void TenantRegistry::SweepOrphanedTmpFiles() {
+  DIR* dir = ::opendir(options_.root.c_str());
+  if (dir == nullptr) return;  // missing root surfaces on first Acquire
+  const std::string suffix = ".tmp";
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string path = options_.root + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (std::remove(path.c_str()) == 0) {
+      ++swept_tmp_files_;
+      VSJ_COUNTER_ADD("registry.tmp_swept", 1);
+    }
+  }
+  ::closedir(dir);
+}
 
 TenantRegistry::~TenantRegistry() {
   // Best effort: mutations held only in memory would otherwise vanish.
@@ -233,6 +281,7 @@ IoStatus TenantRegistry::Acquire(const std::string& name,
 IoStatus TenantRegistry::Open(const std::string& name,
                               std::shared_ptr<Tenant>* tenant) {
   const std::string stream_path = options_.root + "/" + name + ".vsjs";
+  VSJ_FAULT_IO("registry.open", stream_path);
   const std::string static_path = options_.root + "/" + name + ".vsjb";
   if (FileExists(stream_path)) {
     std::unique_ptr<StreamingEstimationService> engine;

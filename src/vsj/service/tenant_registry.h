@@ -19,10 +19,21 @@
 // handed out as shared_ptr, so an evicted tenant stays fully usable by
 // in-flight requests and is destroyed when the last holder drops it.
 // Dirty streaming tenants (mutated since load/last write-back) are
-// checkpointed back to their .vsjs on eviction (tmp + rename, so a crash
-// mid-write never corrupts the snapshot); a dirty tenant that is still
-// pinned by in-flight work is skipped and retried at the next eviction
-// pass rather than checkpointed under a live mutation stream.
+// checkpointed back to their .vsjs on eviction through AtomicFileWriter
+// (tmp + fsync + rename + dir fsync, so neither a crash mid-write nor
+// power loss after rename corrupts or loses the snapshot); a dirty
+// tenant that is still pinned by in-flight work is skipped and retried
+// at the next eviction pass rather than checkpointed under a live
+// mutation stream.
+//
+// Degraded mode: when write-back fails (disk full, injected fault), the
+// tenant is NOT dropped — it stays resident and dirty, even above the
+// residency cap, because evicting it would discard the only copy of its
+// mutations. The failure is counted (Tenant::checkpoint_failures,
+// surfaced per-tenant through Stats() and the stats RPC) and the last
+// error retained for diagnostics; the next eviction pass or Flush()
+// retries. Startup sweeps orphaned *.tmp files a killed checkpoint left
+// under the root (see TenantRegistryOptions::sweep_tmp).
 //
 // Thread safety: the registry is fully synchronized (one mutex for the
 // resident map + LRU). Tenant serializes its own engine access with a
@@ -82,6 +93,9 @@ struct TenantStats {
   size_t num_live = 0;     ///< Indexed vectors (streaming: live set).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  bool dirty = false;  ///< Mutations not yet written back (degraded if
+                       ///< checkpoint_failures > 0 as well).
+  uint64_t checkpoint_failures = 0;  ///< Failed write-back attempts.
 };
 
 /// One resident dataset with its estimation engine. All public methods
@@ -134,9 +148,18 @@ class Tenant {
   bool dirty() const;
 
   /// Writes the engine state back to the snapshot (streaming flavor;
-  /// no-op Ok on static/clean tenants). tmp + rename: the snapshot is
-  /// replaced atomically or not at all.
+  /// no-op Ok on static/clean tenants) through AtomicFileWriter: the
+  /// snapshot is durably replaced or not at all. On failure the tenant
+  /// stays dirty, checkpoint_failures() increments, and the error is
+  /// retained in last_write_back_error().
   IoStatus WriteBack();
+
+  /// Failed write-back attempts since load (degraded-mode signal).
+  uint64_t checkpoint_failures() const;
+
+  /// ToString() of the most recent write-back failure; empty after a
+  /// successful write-back (or none ever failed).
+  std::string last_write_back_error() const;
 
  private:
   const std::string name_;
@@ -149,6 +172,8 @@ class Tenant {
   std::unique_ptr<EstimationService> static_;
   /// Engine epoch the snapshot on disk reflects (streaming only).
   uint64_t persisted_epoch_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  std::string last_write_back_error_;
 };
 
 /// Configuration of a TenantRegistry.
@@ -166,6 +191,12 @@ struct TenantRegistryOptions {
   /// Runtime options applied to restored streaming tenants (format-
   /// critical fields come from the snapshot itself).
   StreamingEstimationServiceOptions streaming_options;
+
+  /// Remove orphaned *.tmp files under the root at construction. A
+  /// checkpoint killed between Open() and rename leaves its tmp file
+  /// behind; the bytes are by definition unreferenced (the rename never
+  /// happened, so the real snapshot is intact) and only waste space.
+  bool sweep_tmp = true;
 };
 
 /// True iff `name` is acceptable as a tenant name: 1–128 chars drawn from
@@ -203,6 +234,9 @@ class TenantRegistry {
 
   size_t num_resident() const;
 
+  /// Orphaned *.tmp files removed by the startup sweep.
+  size_t swept_tmp_files() const { return swept_tmp_files_; }
+
   const TenantRegistryOptions& options() const { return options_; }
 
  private:
@@ -214,7 +248,11 @@ class TenantRegistry {
   /// Registry lock held.
   void EvictLocked(const std::string& keep);
 
+  /// Removes `<root>/*.tmp` leftovers from killed checkpoints (ctor).
+  void SweepOrphanedTmpFiles();
+
   TenantRegistryOptions options_;
+  size_t swept_tmp_files_ = 0;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Tenant>> resident_;
   /// Recency list, most recent first; invariant: same keys as resident_.

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "vsj/fault/fault.h"
 #include "vsj/obs/obs.h"
 
 #if defined(_WIN32)
@@ -83,6 +84,14 @@ bool MappedFile::Open(const std::string& path, std::string* error) {
 
 bool MappedFile::Open(const std::string& path, std::string* error) {
   Reset();
+  {
+    const fault::FaultHit hit = VSJ_FAULT_HIT("io.mmap.open");
+    if (hit.fired()) {
+      if (hit.kind == fault::FaultKind::kNotFound) not_found_ = true;
+      *error = "injected fault at io.mmap.open";
+      return false;
+    }
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     not_found_ = true;

@@ -1,0 +1,114 @@
+#!/bin/sh
+# Client retry drill: an injected connection reset mid-run must be fatal
+# without --retries and invisible with them.
+#
+#   run_client_retry.sh <vsjoin_server> <vsjoin_client> <vsjoin_estimate>
+#
+# The server arms net.frame:nth=3:kind=reset — the third request frame is
+# dropped and its connection hung up, exactly once. Three legs:
+#
+#   golden  a fault-free server answers the 4-request probe; this output
+#           is the byte-exact contract for the retry leg.
+#   leg 1   same fault, no --retries: the client must fail (nonzero exit)
+#           and must not fabricate a response for the reset request.
+#   leg 2   same fault, --retries 3 --backoff-ms 20: the client
+#           reconnects, retransmits, and must exit 0 with output
+#           byte-identical to the golden — exactly one response per
+#           request, none duplicated, none lost (estimates are
+#           deterministic and read-only, so the replay is exact).
+set -u
+
+server="$1"
+client="$2"
+estimate="$3"
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/vsj_client_retry.XXXXXX")
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ]; then kill -9 "$server_pid" 2>/dev/null || true; fi
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "run_client_retry: $1" >&2
+  if [ -f "$work/server.log" ]; then
+    echo "--- server log ---" >&2
+    cat "$work/server.log" >&2
+  fi
+  exit 1
+}
+
+root="$work/root"
+mkdir -p "$root"
+"$estimate" --synthetic dblp --n 200 --seed 4 --k 8 --tau 0.8 --trials 1 \
+  --save-dataset "$root/wiki.vsjb" >/dev/null 2>&1 ||
+  fail "building wiki.vsjb failed"
+
+cat > "$work/requests.jsonl" <<EOF
+{"op":"estimate","id":1,"tenant":"wiki","estimator":"LSH-SS","tau":0.6,"trials":2,"seed":7}
+{"op":"estimate","id":2,"tenant":"wiki","estimator":"LSH-SS","tau":0.7,"trials":2,"seed":7}
+{"op":"estimate","id":3,"tenant":"wiki","estimator":"LSH-SS","tau":0.8,"trials":2,"seed":7}
+{"op":"estimate","id":4,"tenant":"wiki","estimator":"LSH-SS","tau":0.9,"trials":2,"seed":7}
+EOF
+
+start_server() {
+  rm -f "$work/port.txt"
+  "$server" --root "$root" --port 0 --port-file "$work/port.txt" \
+    --workers 2 --k 8 --tables 1 --seed 7 2> "$work/server.log" &
+  server_pid=$!
+  tries=0
+  while [ ! -s "$work/port.txt" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "server never published its port"
+    kill -0 "$server_pid" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+  done
+  port=$(cat "$work/port.txt")
+}
+
+stop_server() {
+  kill -TERM "$server_pid" 2>/dev/null
+  wait "$server_pid"
+  rc=$?
+  server_pid=""
+  [ "$rc" -eq 0 ] || fail "server exited nonzero ($rc)"
+}
+
+# ---- golden ------------------------------------------------------------
+unset VSJ_FAULTS || true
+start_server
+"$client" --port "$port" --ops "$work/requests.jsonl" \
+  > "$work/golden.out" || fail "golden run failed"
+stop_server
+[ "$(wc -l < "$work/golden.out")" -eq 4 ] || fail "golden is not 4 lines"
+
+# ---- leg 1: the fault is fatal without retries -------------------------
+export VSJ_FAULTS="net.frame:nth=3:kind=reset"
+start_server
+unset VSJ_FAULTS
+if "$client" --port "$port" --ops "$work/requests.jsonl" \
+    > "$work/noretry.out" 2> "$work/noretry.err"; then
+  fail "client without --retries survived the injected reset"
+fi
+grep -q '"id":3' "$work/noretry.out" &&
+  fail "a response for the reset request appeared without retries"
+stop_server
+
+# ---- leg 2: --retries recovers bit-identically -------------------------
+export VSJ_FAULTS="net.frame:nth=3:kind=reset"
+start_server
+unset VSJ_FAULTS
+"$client" --port "$port" --ops "$work/requests.jsonl" \
+  --retries 3 --backoff-ms 20 \
+  > "$work/retry.out" 2> "$work/retry.err" ||
+  fail "client with --retries failed (exit $?)"
+[ "$(wc -l < "$work/retry.out")" -eq 4 ] ||
+  fail "retry leg printed $(wc -l < "$work/retry.out") lines, wanted 4"
+diff -u "$work/golden.out" "$work/retry.out" >&2 ||
+  fail "retry output diverged from the golden (duplicate or lost response)"
+grep -q "retransmission" "$work/retry.err" ||
+  fail "client stderr does not mention the retransmission"
+stop_server
+
+echo "run_client_retry: OK (reset fatal without retries, invisible with)"

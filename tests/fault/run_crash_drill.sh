@@ -1,0 +1,313 @@
+#!/bin/sh
+# Crash-recovery drill: SIGKILL vsjoin_server at every injected fault
+# point under live client load, then prove the snapshot root survived.
+#
+#   run_crash_drill.sh <vsjoin_server> <vsjoin_client> <vsjoin_estimate>
+#
+# For each drill point the script arms VSJ_FAULTS="<point>:nth=N:kind=
+# crash" (the framework raises SIGKILL the moment the point fires — no
+# destructors, no flushes, exactly what a power cut leaves behind),
+# starts the server over a fresh copy of the root, drives background
+# load-mode traffic plus the trigger that reaches the point:
+#
+#   drain  a mutation dirties the churn tenant, then SIGTERM: the
+#          graceful drain's write-back walks the whole checkpoint path
+#          (service.checkpoint -> registry.writeback -> AtomicFileWriter
+#          open/section writes/commit/fsync/rename/dirsync);
+#   evict  same mutation under --max-resident 1, then a wiki request
+#          evicts the dirty tenant, write-back crashing mid-eviction;
+#   net    the load traffic itself reaches the accept/frame/write paths.
+#
+# After the kill (wait status 137) the drill asserts the crash contract:
+#
+#   S0  the prior snapshot is byte-intact (cmp against the pristine
+#       bytes) — the crash happened before the rename promoted anything;
+#   S1  the rename already happened (only io.atomic.dirsync), so the new
+#       checkpoint is in place and the post-mutation state is served.
+#
+# Then a clean restart (faults unset) must sweep every *.tmp orphan and
+# answer the probe requests bit-identically to a never-crashed server's
+# responses (golden_pre for S0, golden_post for S1).
+#
+# Two extra torn-write legs arm io.atomic.commit:kind=torn (truncate the
+# tmp file, skip fsync, rename anyway — the lying-disk case): the server
+# exits believing the checkpoint landed, and the restarted server must
+# answer churn requests with a clean named tenant_unavailable error while
+# wiki keeps serving.
+#
+# VSJ_DRILL_POINTS=N limits the sweep to the first N kill points (CI
+# smoke); unset runs all of them.
+set -u
+
+server="$1"
+client="$2"
+estimate="$3"
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/vsj_crash_drill.XXXXXX")
+server_pid=""
+load_pid=""
+cleanup() {
+  if [ -n "$server_pid" ]; then kill -9 "$server_pid" 2>/dev/null || true; fi
+  if [ -n "$load_pid" ]; then kill -9 "$load_pid" 2>/dev/null || true; fi
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "run_crash_drill: $1" >&2
+  if [ -f "$work/server.log" ]; then
+    echo "--- server log ---" >&2
+    cat "$work/server.log" >&2
+  fi
+  exit 1
+}
+
+# ---- pristine root -----------------------------------------------------
+pristine="$work/pristine"
+mkdir -p "$pristine"
+"$estimate" --synthetic dblp --n 300 --seed 4 --k 8 --tau 0.8 --trials 1 \
+  --save-dataset "$pristine/wiki.vsjb" >/dev/null 2>&1 ||
+  fail "building wiki.vsjb failed"
+cat > "$work/build_ops.txt" <<EOF
+insert 0 299
+checkpoint $pristine/churn.vsjs
+EOF
+"$estimate" --synthetic dblp --n 300 --seed 3 --k 8 --trials 2 \
+  --stream "$work/build_ops.txt" >/dev/null 2>&1 ||
+  fail "building churn.vsjs failed"
+
+cat > "$work/requests.jsonl" <<EOF
+{"op":"estimate","id":1,"tenant":"wiki","estimator":"LSH-SS","tau":0.6,"trials":2,"seed":7}
+{"op":"estimate","id":2,"tenant":"wiki","estimator":"LSH-SS","tau":0.8,"trials":2,"seed":7}
+{"op":"estimate","id":3,"tenant":"churn","estimator":"LSH-SS","tau":0.6,"trials":2,"seed":3}
+{"op":"estimate","id":4,"tenant":"churn","estimator":"LSH-SS","tau":0.8,"trials":2,"seed":3}
+EOF
+# The mutation that dirties churn before drain/evict triggers.
+cat > "$work/mut.jsonl" <<EOF
+{"op":"remove","id":90,"tenant":"churn","vector_id":5}
+{"op":"remove","id":91,"tenant":"churn","vector_id":6}
+EOF
+
+# start_server <root> <max_resident> [env VSJ_FAULTS already exported]
+start_server() {
+  rm -f "$work/port.txt"
+  "$server" --root "$1" --port 0 --port-file "$work/port.txt" \
+    --workers 2 --max-resident "$2" --k 8 --tables 1 --seed 7 \
+    2> "$work/server.log" &
+  server_pid=$!
+  tries=0
+  while [ ! -s "$work/port.txt" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "server never published its port"
+    kill -0 "$server_pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  port=$(cat "$work/port.txt")
+  return 0
+}
+
+stop_server_clean() {
+  kill -TERM "$server_pid" 2>/dev/null
+  wait "$server_pid"
+  rc=$?
+  server_pid=""
+  [ "$rc" -eq 0 ] || fail "clean server exited nonzero ($rc)"
+}
+
+# ---- goldens: what a never-crashed server answers ----------------------
+unset VSJ_FAULTS || true
+root="$work/root_pre"
+cp -r "$pristine" "$root"
+start_server "$root" 8 || fail "golden_pre server failed to start"
+"$client" --port "$port" --ops "$work/requests.jsonl" \
+  > "$work/golden_pre.out" || fail "golden_pre requests failed"
+stop_server_clean
+
+# Post-mutation root + golden: apply the mutation, drain (write-back
+# persists it), then probe the restarted state.
+root="$work/root_post"
+cp -r "$pristine" "$root"
+start_server "$root" 8 || fail "root_post server failed to start"
+"$client" --port "$port" --ops "$work/mut.jsonl" >/dev/null ||
+  fail "root_post mutation failed"
+stop_server_clean
+start_server "$root" 8 || fail "golden_post server failed to start"
+"$client" --port "$port" --ops "$work/requests.jsonl" \
+  > "$work/golden_post.out" || fail "golden_post requests failed"
+stop_server_clean
+cmp -s "$work/golden_pre.out" "$work/golden_post.out" &&
+  fail "mutation did not change the probe responses (drill is vacuous)"
+
+# ---- the kill points ---------------------------------------------------
+# point:nth:trigger:expect — expect S0 = prior snapshot byte-intact,
+# S1 = rename already promoted the new checkpoint (post-mutation state).
+points="
+service.checkpoint:1:drain:S0
+registry.writeback:1:drain:S0
+registry.writeback:1:evict:S0
+io.atomic.open:1:drain:S0
+io.vsjb.write_section:1:drain:S0
+io.vsjb.write_section:2:drain:S0
+io.vsjb.write_section:3:drain:S0
+io.vsjb.write_section:4:drain:S0
+io.vsjb.write_section:5:drain:S0
+io.vsjb.write_section:6:drain:S0
+io.vsjb.write_section:7:drain:S0
+io.vsjb.write_section:8:drain:S0
+io.vsjb.write_section:9:drain:S0
+io.atomic.commit:1:drain:S0
+io.atomic.fsync:1:drain:S0
+io.atomic.fsync:1:evict:S0
+io.atomic.rename:1:drain:S0
+io.atomic.dirsync:1:drain:S1
+net.frame:1:net:S0
+net.frame:3:net:S0
+net.accept:1:net:S0
+net.write:1:net:S0
+net.write:2:net:S0
+"
+
+limit="${VSJ_DRILL_POINTS:-0}"
+ran=0
+for entry in $points; do
+  [ -n "$entry" ] || continue
+  if [ "$limit" -gt 0 ] && [ "$ran" -ge "$limit" ]; then break; fi
+  ran=$((ran + 1))
+  point=${entry%%:*};  rest=${entry#*:}
+  nth=${rest%%:*};     rest=${rest#*:}
+  trigger=${rest%%:*}; expect=${rest##*:}
+
+  root="$work/root_drill"
+  rm -rf "$root"
+  cp -r "$pristine" "$root"
+
+  # Evict iterations keep the load off churn: in-flight churn requests
+  # pin the tenant, and eviction (correctly) refuses to write back a
+  # pinned engine, so a churn-heavy load would starve the fault point.
+  max_resident=8
+  load_tenants="churn,wiki"
+  if [ "$trigger" = "evict" ]; then
+    max_resident=1
+    load_tenants="wiki"
+  fi
+
+  export VSJ_FAULTS="$point:nth=$nth:kind=crash"
+  if ! start_server "$root" "$max_resident"; then
+    # net.accept & co can kill the server before the port probe loop
+    # finishes its first connection only if something connected — the
+    # port file exists before any accept, so startup must succeed.
+    fail "$entry: server died before serving"
+  fi
+  unset VSJ_FAULTS
+
+  grep -q "fault injection armed" "$work/server.log" ||
+    fail "$entry: server did not log the armed fault"
+
+  # Live background load under which the server gets killed; its exit
+  # status is irrelevant. Evict iterations order it AFTER the mutation:
+  # eviction runs on cold opens only, so the wiki load's first cold open
+  # must find churn already dirty and unpinned — load-before-mutation
+  # would race the one-shot eviction against the in-flight remove.
+  start_load() {
+    "$client" --port "$port" --load --connections 2 --duration-s 30 \
+      --tenants "$load_tenants" --taus 0.7 --trials 1 \
+      >/dev/null 2>&1 &
+    load_pid=$!
+  }
+
+  case "$trigger" in
+    drain)
+      start_load
+      "$client" --port "$port" --ops "$work/mut.jsonl" >/dev/null 2>&1 ||
+        fail "$entry: mutation failed before drain"
+      kill -TERM "$server_pid" 2>/dev/null
+      ;;
+    evict)
+      "$client" --port "$port" --ops "$work/mut.jsonl" >/dev/null 2>&1 ||
+        fail "$entry: mutation failed before eviction"
+      # First wiki request under --max-resident 1 cold-opens wiki and
+      # evicts the dirty churn tenant — write-back crashes mid-eviction
+      # with the load running.
+      start_load
+      ;;
+    net)
+      start_load
+      # The load client reaches accept/frame/write by itself; nudge with
+      # a request-mode probe too (ignore its failure).
+      "$client" --port "$port" --ops "$work/requests.jsonl" \
+        >/dev/null 2>&1 || true
+      ;;
+  esac
+
+  # The injected kind=crash raises SIGKILL -> wait status 137.
+  tries=0
+  while kill -0 "$server_pid" 2>/dev/null; do
+    tries=$((tries + 1))
+    [ "$tries" -le 150 ] || fail "$entry: server survived its fault point"
+    sleep 0.1
+  done
+  wait "$server_pid"
+  rc=$?
+  server_pid=""
+  [ "$rc" -eq 137 ] || fail "$entry: expected SIGKILL (137), got $rc"
+  kill -9 "$load_pid" 2>/dev/null || true
+  wait "$load_pid" 2>/dev/null || true
+  load_pid=""
+
+  # Crash contract on the bytes left behind.
+  cmp -s "$pristine/wiki.vsjb" "$root/wiki.vsjb" ||
+    fail "$entry: static snapshot corrupted by the crash"
+  if [ "$expect" = "S0" ]; then
+    cmp -s "$pristine/churn.vsjs" "$root/churn.vsjs" ||
+      fail "$entry: prior churn snapshot not byte-intact after crash"
+  else
+    cmp -s "$pristine/churn.vsjs" "$root/churn.vsjs" &&
+      fail "$entry: dirsync crash should have promoted the new snapshot"
+  fi
+
+  # Clean restart: sweeps orphans, serves the expected state.
+  start_server "$root" 8 || fail "$entry: restart failed"
+  leftover=$(find "$root" -name '*.tmp' | wc -l)
+  [ "$leftover" -eq 0 ] || fail "$entry: $leftover orphaned tmp file(s)"
+  "$client" --port "$port" --ops "$work/requests.jsonl" \
+    > "$work/drill.out" || fail "$entry: restarted server refused requests"
+  golden="$work/golden_pre.out"
+  [ "$expect" = "S1" ] && golden="$work/golden_post.out"
+  diff -u "$golden" "$work/drill.out" >&2 ||
+    fail "$entry: restarted responses diverged from golden ($expect)"
+  stop_server_clean
+done
+
+# ---- torn-write legs: the disk lies, the restart names the damage ------
+for torn_bytes in 64 1024; do
+  root="$work/root_torn"
+  rm -rf "$root"
+  cp -r "$pristine" "$root"
+
+  export VSJ_FAULTS="io.atomic.commit:kind=torn:arg=$torn_bytes"
+  start_server "$root" 8 || fail "torn($torn_bytes): server failed to start"
+  unset VSJ_FAULTS
+  "$client" --port "$port" --ops "$work/mut.jsonl" >/dev/null 2>&1 ||
+    fail "torn($torn_bytes): mutation failed"
+  # The torn commit reports success, so the drain exits 0 — the server
+  # honestly believes the checkpoint landed.
+  stop_server_clean
+  cmp -s "$pristine/churn.vsjs" "$root/churn.vsjs" &&
+    fail "torn($torn_bytes): snapshot unchanged — fault never fired"
+
+  start_server "$root" 8 || fail "torn($torn_bytes): restart failed"
+  "$client" --port "$port" --ops "$work/requests.jsonl" \
+    > "$work/torn.out" 2>/dev/null
+  # churn requests: a clean named failure, never a crash or a wrong
+  # answer; wiki keeps serving bit-identically.
+  churn_errors=$(grep -c '"error":"tenant_unavailable"' "$work/torn.out")
+  [ "$churn_errors" -eq 2 ] ||
+    fail "torn($torn_bytes): expected 2 tenant_unavailable, got $churn_errors"
+  head -2 "$work/torn.out" > "$work/torn_wiki.out"
+  head -2 "$work/golden_pre.out" > "$work/golden_wiki.out"
+  diff -u "$work/golden_wiki.out" "$work/torn_wiki.out" >&2 ||
+    fail "torn($torn_bytes): wiki responses diverged after torn churn"
+  stop_server_clean
+done
+
+echo "run_crash_drill: OK ($ran kill point(s) + 2 torn legs survived)"

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "test_util.h"
+#include "vsj/fault/fault.h"
 #include "vsj/io/vsjb_format.h"
 
 namespace vsj {
@@ -208,6 +209,46 @@ TEST(DatasetIoTest, CorruptFileReportsPathAndOffset) {
   EXPECT_NE(status.ToString().find(path), std::string::npos);
   std::remove(path.c_str());
 }
+
+TEST(DatasetIoTest, SaveLeavesNoTmpFileBehind) {
+  // SaveDatasetToFile goes through AtomicFileWriter: on success the
+  // <path>.tmp staging file must have been renamed away.
+  VectorDataset original = testing::SmallClusteredCorpus(40, 2);
+  const std::string path = ::testing::TempDir() + "/vsj_no_tmp_test.bin";
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(static_cast<bool>(tmp));
+  std::remove(path.c_str());
+}
+
+#if VSJ_FAULT_COMPILED
+
+TEST(DatasetIoTest, FailedSaveKeepsTheOldFileReadable) {
+  VectorDataset original = testing::SmallClusteredCorpus(40, 5);
+  const std::string path = ::testing::TempDir() + "/vsj_save_fault_test.bin";
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
+
+  // Every step of a replacement save can die; the original must survive
+  // each of them byte-readable, with no staging litter.
+  for (const char* point : {"io.atomic.open", "io.vsjb.write_section",
+                            "io.atomic.fsync", "io.atomic.rename"}) {
+    fault::FaultSpec spec;
+    spec.point = point;
+    fault::Arm(spec);
+    const IoStatus status =
+        SaveDatasetToFile(testing::SmallClusteredCorpus(10, 6), path);
+    fault::ClearAll();
+    ASSERT_FALSE(status.ok()) << point;
+    VectorDataset loaded;
+    ASSERT_TRUE(LoadDatasetFromFile(path, &loaded).ok()) << point;
+    ExpectEqualDatasets(original, loaded);
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(static_cast<bool>(tmp)) << point;
+  }
+  std::remove(path.c_str());
+}
+
+#endif  // VSJ_FAULT_COMPILED
 
 }  // namespace
 }  // namespace vsj

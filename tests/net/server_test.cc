@@ -33,6 +33,7 @@
 
 #include <gtest/gtest.h>
 
+#include "vsj/fault/fault.h"
 #include "vsj/gen/corpus_generator.h"
 #include "vsj/gen/workloads.h"
 #include "vsj/io/dataset_io.h"
@@ -141,6 +142,7 @@ std::string ErrorCode(const std::string& payload) {
 class ServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    fault::ClearAll();
     root_ = ::testing::TempDir() + "/server_test_" +
             ::testing::UnitTest::GetInstance()->current_test_info()->name();
     ::mkdir(root_.c_str(), 0755);
@@ -158,6 +160,7 @@ class ServerTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    fault::ClearAll();
     if (server_ != nullptr) {
       server_->Stop();
       server_->WaitUntilStopped();
@@ -526,6 +529,108 @@ TEST_F(ServerTest, GracefulDrainFinishesAdmittedWork) {
   TestClient late;
   EXPECT_FALSE(late.Connect(port()));
 }
+
+TEST_F(ServerTest, ErrorPayloadsCarryTheRetryableFlag) {
+  // The error taxonomy is explicit about what a client may replay:
+  // request defects are terminal, capacity/lifecycle refusals are not.
+  EXPECT_FALSE(RpcErrorRetryable(RpcError::kBadRequest));
+  EXPECT_FALSE(RpcErrorRetryable(RpcError::kUnknownTenant));
+  EXPECT_TRUE(RpcErrorRetryable(RpcError::kOverloaded));
+  EXPECT_TRUE(RpcErrorRetryable(RpcError::kTimeout));
+  EXPECT_TRUE(RpcErrorRetryable(RpcError::kShuttingDown));
+
+  StartServer(/*workers=*/1);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+
+  ASSERT_TRUE(client.Send("{\"id\":1,\"op\":\"frobnicate\"}"));
+  std::string payload = client.ReadPayload();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(payload, &doc, &error));
+  ASSERT_NE(doc.Find("retryable"), nullptr) << payload;
+  EXPECT_FALSE(doc.Find("retryable")->AsBool());
+
+  // Drain refusals are the canonical retry-me error.
+  ASSERT_TRUE(client.Send("{\"id\":2,\"op\":\"sleep\",\"sleep_ms\":100}"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server_->BeginDrain();
+  ASSERT_TRUE(client.Send("{\"id\":3,\"op\":\"ping\"}"));
+  const std::map<uint64_t, std::string> responses = client.ReadById(2);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(ErrorCode(responses.at(3)), "shutting_down");
+  ASSERT_TRUE(ParseJson(responses.at(3), &doc, &error));
+  ASSERT_NE(doc.Find("retryable"), nullptr);
+  EXPECT_TRUE(doc.Find("retryable")->AsBool());
+}
+
+#if VSJ_FAULT_COMPILED
+
+TEST_F(ServerTest, InjectedConnectionResetHangsUpOnlyThatConnection) {
+  StartServer();
+  fault::FaultSpec spec;
+  spec.point = "net.frame";
+  spec.kind = fault::FaultKind::kReset;
+  fault::Arm(spec);
+
+  TestClient doomed;
+  ASSERT_TRUE(doomed.Connect(port()));
+  ASSERT_TRUE(doomed.Send("{\"id\":1,\"op\":\"ping\"}"));
+  // The injected reset drops the frame and hangs up without a response.
+  EXPECT_EQ(doomed.ReadPayload(), "");
+
+  // One-shot fault: the server keeps serving fresh connections.
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":2,\"op\":\"ping\"}"));
+  EXPECT_EQ(ErrorCode(client.ReadPayload()), "");
+  EXPECT_EQ(fault::FiredCount("net.frame"), 1u);
+}
+
+TEST_F(ServerTest, ShortWritesNeverTearFrames) {
+  StartServer();
+  // Every flush moves at most 3 bytes; responses must still arrive
+  // byte-perfect via EPOLLOUT resumption.
+  fault::FaultSpec spec;
+  spec.point = "net.write";
+  spec.kind = fault::FaultKind::kShortWrite;
+  spec.repeat = true;
+  spec.arg = 3;
+  fault::Arm(spec);
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  for (uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(client.Send(EstimateJson(id, "churn", 0.7)));
+  }
+  const std::map<uint64_t, std::string> responses = client.ReadById(5);
+  ASSERT_EQ(responses.size(), 5u);
+  for (const auto& [id, payload] : responses) {
+    EXPECT_EQ(ErrorCode(payload), "") << payload;
+  }
+  EXPECT_GE(fault::FiredCount("net.write"), 5u);
+}
+
+TEST_F(ServerTest, InjectedAcceptFailureRefusesOneConnectionThenRecovers) {
+  StartServer();
+  fault::FaultSpec spec;
+  spec.point = "net.accept";
+  fault::Arm(spec);
+
+  // The kernel completes the handshake; the server closes the accepted
+  // fd immediately, so the first connection sees EOF without a response.
+  TestClient refused;
+  ASSERT_TRUE(refused.Connect(port()));
+  refused.Send("{\"id\":1,\"op\":\"ping\"}");
+  EXPECT_EQ(refused.ReadPayload(), "");
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  ASSERT_TRUE(client.Send("{\"id\":2,\"op\":\"ping\"}"));
+  EXPECT_EQ(ErrorCode(client.ReadPayload()), "");
+}
+
+#endif  // VSJ_FAULT_COMPILED
 
 }  // namespace
 }  // namespace vsj::net

@@ -6,15 +6,18 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "vsj/fault/fault.h"
 #include "vsj/gen/corpus_generator.h"
 #include "vsj/gen/workloads.h"
 #include "vsj/io/dataset_io.h"
@@ -25,6 +28,19 @@ namespace vsj {
 namespace {
 
 constexpr size_t kCorpusSize = 120;
+
+// Only the VSJ_FAULT-gated tests read snapshots back byte-for-byte.
+[[maybe_unused]] std::string ReadAll(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream out;
+  out << is.rdbuf();
+  return out.str();
+}
+
+bool FileExists(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
 
 EstimateRequest LshSsRequest(double tau = 0.7) {
   EstimateRequest request;
@@ -40,6 +56,7 @@ class TenantRegistryTest : public ::testing::Test {
   // One snapshot root per test, populated with a streaming tenant
   // ("churn", every vector live) and a static one ("wiki").
   void SetUp() override {
+    fault::ClearAll();
     root_ = ::testing::TempDir() + "/tenant_registry_" +
             ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::remove((root_ + "/churn.vsjs").c_str());
@@ -57,6 +74,8 @@ class TenantRegistryTest : public ::testing::Test {
     const VectorDataset dataset = GenerateCorpus(DblpLikeConfig(kCorpusSize, 4));
     ASSERT_TRUE(SaveDatasetToFile(dataset, root_ + "/wiki.vsjb").ok());
   }
+
+  void TearDown() override { fault::ClearAll(); }
 
   TenantRegistryOptions Options(size_t max_resident = 8) {
     TenantRegistryOptions options;
@@ -324,6 +343,109 @@ TEST_F(TenantRegistryTest, MutationTaxonomy) {
   EXPECT_NE(result.message.find("finite"), std::string::npos)
       << result.message;
 }
+
+TEST_F(TenantRegistryTest, StartupSweepRemovesOrphanedTmpFiles) {
+  // A crash between AtomicFileWriter::Open and Commit leaves *.tmp
+  // litter next to the snapshots; registry construction removes it.
+  for (const char* name : {"churn.vsjs.tmp", "wiki.vsjb.tmp", "junk.tmp"}) {
+    std::ofstream out(root_ + "/" + name, std::ios::trunc);
+    out << "half-written";
+  }
+  TenantRegistry registry(Options());
+  EXPECT_EQ(registry.swept_tmp_files(), 3u);
+  EXPECT_FALSE(FileExists(root_ + "/churn.vsjs.tmp"));
+  EXPECT_FALSE(FileExists(root_ + "/wiki.vsjb.tmp"));
+  EXPECT_FALSE(FileExists(root_ + "/junk.tmp"));
+  // The snapshots themselves survive the sweep.
+  std::shared_ptr<Tenant> churn;
+  EXPECT_TRUE(registry.Acquire("churn", &churn).ok());
+}
+
+TEST_F(TenantRegistryTest, SweepCanBeDisabled) {
+  {
+    std::ofstream out(root_ + "/keep.tmp", std::ios::trunc);
+    out << "forensics";
+  }
+  TenantRegistryOptions options = Options();
+  options.sweep_tmp = false;
+  TenantRegistry registry(options);
+  EXPECT_EQ(registry.swept_tmp_files(), 0u);
+  EXPECT_TRUE(FileExists(root_ + "/keep.tmp"));
+}
+
+#if VSJ_FAULT_COMPILED
+
+TEST_F(TenantRegistryTest, WriteBackFailureKeepsTenantResidentAndDirty) {
+  AddColdTenants(1);
+  const std::string snapshot = root_ + "/churn.vsjs";
+  const std::string intact = ReadAll(snapshot);
+
+  TenantRegistry registry(Options(/*max_resident=*/1));
+  std::shared_ptr<Tenant> churn;
+  ASSERT_TRUE(registry.Acquire("churn", &churn).ok());
+  ASSERT_TRUE(churn->Remove(5).ok());
+  EXPECT_TRUE(churn->dirty());
+  churn.reset();
+
+  // Every durable write-back now dies at the fsync step.
+  fault::FaultSpec spec;
+  spec.point = "io.atomic.fsync";
+  spec.repeat = true;
+  fault::Arm(spec);
+
+  // Eviction pressure: cold0 pushes churn past the cap, but the
+  // write-back fails — the registry must refuse to drop unpersisted
+  // state, running over the cap in degraded mode instead.
+  std::shared_ptr<Tenant> other;
+  ASSERT_TRUE(registry.Acquire("cold0", &other).ok());
+  other.reset();
+  const std::vector<std::string> resident = registry.ResidentNames();
+  EXPECT_NE(std::find(resident.begin(), resident.end(), "churn"),
+            resident.end())
+      << "dirty tenant dropped after a failed write-back";
+  EXPECT_EQ(registry.num_resident(), 2u);  // deliberately over the cap
+
+  // The degraded state is observable, and the mutation is still held.
+  ASSERT_TRUE(registry.Acquire("churn", &churn).ok());
+  EXPECT_TRUE(churn->dirty());
+  EXPECT_GE(churn->checkpoint_failures(), 1u);
+  EXPECT_NE(churn->last_write_back_error().find("io.atomic.fsync"),
+            std::string::npos)
+      << churn->last_write_back_error();
+  TenantStats stats = churn->Stats();
+  EXPECT_TRUE(stats.dirty);
+  EXPECT_GE(stats.checkpoint_failures, 1u);
+  EXPECT_EQ(stats.num_live, kCorpusSize - 1);
+  churn.reset();
+
+  // Failed write-backs never promoted a torn file over the snapshot.
+  EXPECT_EQ(ReadAll(snapshot), intact);
+  EXPECT_FALSE(FileExists(snapshot + ".tmp"));
+
+  // The disk recovers → the next flush persists and clears the flag.
+  fault::ClearAll();
+  ASSERT_TRUE(registry.Flush().ok());
+  ASSERT_TRUE(registry.Acquire("churn", &churn).ok());
+  EXPECT_FALSE(churn->dirty());
+  EXPECT_FALSE(churn->Stats().dirty);
+  EXPECT_NE(ReadAll(snapshot), intact);
+}
+
+TEST_F(TenantRegistryTest, InjectedOpenFailureSurfacesAndRecovers) {
+  TenantRegistry registry(Options());
+  fault::FaultSpec spec;
+  spec.point = "registry.open";
+  fault::Arm(spec);
+  std::shared_ptr<Tenant> churn;
+  const IoStatus status = registry.Acquire("churn", &churn);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.reason.find("registry.open"), std::string::npos);
+  EXPECT_EQ(registry.num_resident(), 0u);
+  // One-shot fault: the next acquire succeeds.
+  EXPECT_TRUE(registry.Acquire("churn", &churn).ok());
+}
+
+#endif  // VSJ_FAULT_COMPILED
 
 }  // namespace
 }  // namespace vsj

@@ -3,8 +3,8 @@
 // Request mode (default) — send JSON request lines, print responses:
 //
 //   vsjoin_client --port 7077 --ops requests.jsonl
-//   echo '{"op":"estimate","tenant":"wiki","tau":0.8}' | vsjoin_client \
-//       --port 7077
+//   echo '{"op":"estimate","tenant":"wiki","tau":0.8}' |
+//       vsjoin_client --port 7077
 //
 // Each input line is framed and sent on one connection, strictly in
 // order, one at a time; each response payload prints as one stdout line.
@@ -14,8 +14,8 @@
 //
 // Load mode (--load) — sustained traffic with latency accounting:
 //
-//   vsjoin_client --port 7077 --load --connections 64 --duration-s 10 \
-//       --tenants churn:3,archive:1 --taus 0.7,0.8,0.9 --trials 1 \
+//   vsjoin_client --port 7077 --load --connections 64 --duration-s 10
+//       --tenants churn:3,archive:1 --taus 0.7,0.8,0.9 --trials 1
 //       [--rate 20000] [--pipeline 4] [--json out.json]
 //
 // Opens --connections sockets driven by one nonblocking poll loop. With
@@ -51,6 +51,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -84,6 +85,13 @@ struct Args {
   uint64_t mix_seed = 42;
   uint64_t timeout_ms = 0;
   std::string json_path;
+
+  /// Request mode: extra attempts per request after a transport failure
+  /// (connection reset/refused) or a response the server flagged
+  /// "retryable":true. 0 = fail fast (the pre-retry behavior).
+  uint64_t retries = 0;
+  /// Base of the jittered exponential backoff between attempts.
+  uint64_t backoff_ms = 100;
 };
 
 uint64_t NowNs() {
@@ -145,6 +153,7 @@ bool ParseTaus(const std::string& spec, std::vector<double>* out) {
 void Usage() {
   std::cerr
       << "usage: vsjoin_client --port N [--host H] [--ops FILE]\n"
+         "                     [--retries N] [--backoff-ms N]\n"
          "       vsjoin_client --port N --load [--connections N]\n"
          "                     [--duration-s S] [--rate RPS] [--pipeline N]\n"
          "                     [--tenants a:3,b:1] [--taus 0.7,0.8]\n"
@@ -216,6 +225,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--timeout-ms") {
       const char* v = next();
       if (v == nullptr || !ParseU64(v, &args->timeout_ms)) return false;
+    } else if (flag == "--retries") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &args->retries)) return false;
+    } else if (flag == "--backoff-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseU64(v, &args->backoff_ms) ||
+          args->backoff_ms > 60'000) {
+        return false;
+      }
     } else if (flag == "--json") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -253,13 +271,19 @@ int Connect(const std::string& host, uint16_t port, bool nonblocking) {
 
 // ----------------------------------------------------------- request mode
 
+/// Jittered exponential backoff before retry `attempt` (1-based):
+/// backoff_ms · 2^(attempt-1), capped at 2^10, scaled by a uniform draw
+/// in [0.5, 1.5) so synchronized clients desynchronize.
+void BackoffSleep(const Args& args, uint64_t attempt, vsj::Rng* rng) {
+  const uint64_t shift = std::min<uint64_t>(attempt - 1, 10);
+  const double base =
+      static_cast<double>(args.backoff_ms) * static_cast<double>(1ull << shift);
+  const double jittered = base * (0.5 + rng->NextDouble());
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(jittered * 1e3)));
+}
+
 int RunRequestMode(const Args& args) {
-  const int fd = Connect(args.host, args.port, /*nonblocking=*/false);
-  if (fd < 0) {
-    std::cerr << "vsjoin_client: cannot connect to " << args.host << ":"
-              << args.port << "\n";
-    return 1;
-  }
   std::ifstream file;
   std::istream* in = &std::cin;
   if (!args.ops_path.empty()) {
@@ -270,39 +294,115 @@ int RunRequestMode(const Args& args) {
     }
     in = &file;
   }
+
+  vsj::Rng backoff_rng(args.mix_seed);
+  int fd = -1;
   vsj::net::FrameDecoder decoder;
+  uint64_t retransmits = 0;
+
+  // (Re)establishes the connection, itself retried with backoff: a
+  // server restarting after a crash briefly refuses connections.
+  const auto connect_with_retry = [&]() -> bool {
+    for (uint64_t attempt = 0;; ++attempt) {
+      fd = Connect(args.host, args.port, /*nonblocking=*/false);
+      if (fd >= 0) {
+        decoder = vsj::net::FrameDecoder();  // no carry-over bytes
+        return true;
+      }
+      if (attempt >= args.retries) return false;
+      BackoffSleep(args, attempt + 1, &backoff_rng);
+    }
+  };
+
+  if (!connect_with_retry()) {
+    std::cerr << "vsjoin_client: cannot connect to " << args.host << ":"
+              << args.port << "\n";
+    return 1;
+  }
+
   std::string line;
   int failures = 0;
   while (std::getline(*in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::string frame;
     vsj::net::AppendFrame(&frame, line);
-    size_t sent = 0;
-    while (sent < frame.size()) {
-      const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
-      if (n <= 0) {
-        std::cerr << "vsjoin_client: connection lost\n";
-        ::close(fd);
-        return 1;
+
+    // One attempt = send the frame, read exactly one response. A
+    // transport failure anywhere in the attempt tears the connection
+    // down and (with retries left) reconnects and resends — estimates
+    // are deterministic and read-only, so a replayed request returns the
+    // identical response and exactly one line prints either way.
+    bool delivered = false;
+    std::string response;
+    for (uint64_t attempt = 0; attempt <= args.retries; ++attempt) {
+      if (attempt > 0) {
+        ++retransmits;
+        BackoffSleep(args, attempt, &backoff_rng);
       }
-      sent += static_cast<size_t>(n);
-    }
-    // One response per request, in order.
-    std::string_view payload;
-    while (decoder.Next(&payload) != vsj::net::FrameDecoder::Status::kFrame) {
-      char buffer[65536];
-      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
-      if (n <= 0) {
-        std::cerr << "vsjoin_client: connection closed by server\n";
-        ::close(fd);
-        return 1;
+      if (fd < 0 && !connect_with_retry()) break;
+
+      bool transport_ok = true;
+      size_t sent = 0;
+      while (sent < frame.size()) {
+        const ssize_t n =
+            ::write(fd, frame.data() + sent, frame.size() - sent);
+        if (n <= 0) {
+          transport_ok = false;
+          break;
+        }
+        sent += static_cast<size_t>(n);
       }
-      decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      std::string_view payload;
+      if (transport_ok) {
+        while (decoder.Next(&payload) !=
+               vsj::net::FrameDecoder::Status::kFrame) {
+          char buffer[65536];
+          const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+          if (n <= 0) {
+            transport_ok = false;
+            break;
+          }
+          decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+        }
+      }
+      if (!transport_ok) {
+        ::close(fd);
+        fd = -1;
+        if (attempt == args.retries) {
+          std::cerr << "vsjoin_client: connection lost\n";
+        }
+        continue;
+      }
+
+      // A server-side error flagged retryable (overloaded, timeout,
+      // shutting_down) is retried on the same connection; anything else
+      // is the final answer.
+      if (attempt < args.retries &&
+          payload.find("\"ok\":false") != std::string_view::npos &&
+          payload.find("\"retryable\":true") != std::string_view::npos) {
+        continue;
+      }
+      response = std::string(payload);
+      delivered = true;
+      break;
     }
-    std::cout << payload << "\n";
-    if (payload.find("\"ok\":false") != std::string_view::npos) ++failures;
+
+    if (!delivered) {
+      if (fd >= 0) ::close(fd);
+      if (retransmits > 0) {
+        std::cerr << "vsjoin_client: " << retransmits
+                  << " retransmission(s) before giving up\n";
+      }
+      return 1;
+    }
+    std::cout << response << "\n";
+    if (response.find("\"ok\":false") != std::string::npos) ++failures;
   }
-  ::close(fd);
+  if (fd >= 0) ::close(fd);
+  if (retransmits > 0) {
+    std::cerr << "vsjoin_client: recovered via " << retransmits
+              << " retransmission(s)\n";
+  }
   return failures == 0 ? 0 : 3;
 }
 

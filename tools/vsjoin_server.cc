@@ -38,6 +38,7 @@
 #include <iostream>
 #include <string>
 
+#include "vsj/fault/fault.h"
 #include "vsj/net/server.h"
 #include "vsj/obs/obs.h"
 #include "vsj/obs/stat_reporter.h"
@@ -203,6 +204,22 @@ int main(int argc, char** argv) {
     vsj::obs::EnableMetrics(true);
   }
 
+  // Operators (and the crash drill) arm fault points via VSJ_FAULTS; a
+  // server that will fail on purpose must say so in its log, and a
+  // VSJ_FAULT=OFF build must not let a drill believe it armed anything.
+  if (std::getenv("VSJ_FAULTS") != nullptr) {
+    if (!VSJ_FAULT_COMPILED) {
+      std::cerr << "warning: built with VSJ_FAULT=OFF; VSJ_FAULTS is "
+                   "ignored and no faults will fire\n";
+    } else if (vsj::fault::Enabled()) {
+      const std::vector<std::string> points = vsj::fault::ArmedPoints();
+      std::cerr << "vsjoin_server: fault injection armed at "
+                << points.size() << " point(s):";
+      for (const std::string& point : points) std::cerr << " " << point;
+      std::cerr << "\n";
+    }
+  }
+
   vsj::TenantRegistryOptions registry_options;
   registry_options.root = args.root;
   registry_options.max_resident = args.max_resident;
@@ -212,6 +229,10 @@ int main(int argc, char** argv) {
   registry_options.static_options.family_seed = args.seed ^ 0x5eedULL;
   registry_options.streaming_options.num_threads = args.threads;
   vsj::TenantRegistry registry(registry_options);
+  if (registry.swept_tmp_files() > 0) {
+    std::cerr << "vsjoin_server: swept " << registry.swept_tmp_files()
+              << " orphaned tmp file(s) from " << args.root << "\n";
+  }
 
   vsj::net::ServerOptions server_options;
   server_options.port = args.port;
