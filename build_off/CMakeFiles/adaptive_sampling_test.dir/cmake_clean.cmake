@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_sampling_test.dir/tests/core/adaptive_sampling_test.cc.o"
+  "CMakeFiles/adaptive_sampling_test.dir/tests/core/adaptive_sampling_test.cc.o.d"
+  "adaptive_sampling_test"
+  "adaptive_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_table_test.dir/tests/util/alias_table_test.cc.o"
+  "CMakeFiles/alias_table_test.dir/tests/util/alias_table_test.cc.o.d"
+  "alias_table_test"
+  "alias_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_pairs_join_test.dir/tests/join/all_pairs_join_test.cc.o"
+  "CMakeFiles/all_pairs_join_test.dir/tests/join/all_pairs_join_test.cc.o.d"
+  "all_pairs_join_test"
+  "all_pairs_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_pairs_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_file_writer_test.dir/tests/fault/atomic_file_writer_test.cc.o"
+  "CMakeFiles/atomic_file_writer_test.dir/tests/fault/atomic_file_writer_test.cc.o.d"
+  "atomic_file_writer_test"
+  "atomic_file_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_file_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

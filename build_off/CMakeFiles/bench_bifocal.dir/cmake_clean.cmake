@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bifocal.dir/bench/bench_bifocal.cc.o"
+  "CMakeFiles/bench_bifocal.dir/bench/bench_bifocal.cc.o.d"
+  "bench_bifocal"
+  "bench_bifocal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bifocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cs_dampening.dir/bench/bench_cs_dampening.cc.o"
+  "CMakeFiles/bench_cs_dampening.dir/bench/bench_cs_dampening.cc.o.d"
+  "bench_cs_dampening"
+  "bench_cs_dampening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cs_dampening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

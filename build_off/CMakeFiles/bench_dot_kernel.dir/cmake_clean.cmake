@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dot_kernel.dir/bench/bench_dot_kernel.cc.o"
+  "CMakeFiles/bench_dot_kernel.dir/bench/bench_dot_kernel.cc.o.d"
+  "bench_dot_kernel"
+  "bench_dot_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dot_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

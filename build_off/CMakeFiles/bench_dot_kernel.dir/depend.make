@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dot_kernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dblp.dir/bench/bench_fig2_dblp.cc.o"
+  "CMakeFiles/bench_fig2_dblp.dir/bench/bench_fig2_dblp.cc.o.d"
+  "bench_fig2_dblp"
+  "bench_fig2_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

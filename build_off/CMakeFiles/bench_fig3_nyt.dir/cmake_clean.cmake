@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_nyt.dir/bench/bench_fig3_nyt.cc.o"
+  "CMakeFiles/bench_fig3_nyt.dir/bench/bench_fig3_nyt.cc.o.d"
+  "bench_fig3_nyt"
+  "bench_fig3_nyt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nyt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

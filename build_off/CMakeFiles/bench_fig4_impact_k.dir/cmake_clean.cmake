@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_impact_k.dir/bench/bench_fig4_impact_k.cc.o"
+  "CMakeFiles/bench_fig4_impact_k.dir/bench/bench_fig4_impact_k.cc.o.d"
+  "bench_fig4_impact_k"
+  "bench_fig4_impact_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_impact_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

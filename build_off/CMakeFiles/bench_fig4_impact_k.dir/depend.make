@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_impact_k.
+# This may be replaced when dependencies are built.

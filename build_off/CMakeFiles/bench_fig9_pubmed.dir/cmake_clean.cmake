@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_pubmed.dir/bench/bench_fig9_pubmed.cc.o"
+  "CMakeFiles/bench_fig9_pubmed.dir/bench/bench_fig9_pubmed.cc.o.d"
+  "bench_fig9_pubmed"
+  "bench_fig9_pubmed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pubmed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

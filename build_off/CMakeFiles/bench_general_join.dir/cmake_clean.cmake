@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general_join.dir/bench/bench_general_join.cc.o"
+  "CMakeFiles/bench_general_join.dir/bench/bench_general_join.cc.o.d"
+  "bench_general_join"
+  "bench_general_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

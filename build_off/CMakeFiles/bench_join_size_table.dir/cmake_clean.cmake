@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_size_table.dir/bench/bench_join_size_table.cc.o"
+  "CMakeFiles/bench_join_size_table.dir/bench/bench_join_size_table.cc.o.d"
+  "bench_join_size_table"
+  "bench_join_size_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_size_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsh_build.dir/bench/bench_lsh_build.cc.o"
+  "CMakeFiles/bench_lsh_build.dir/bench/bench_lsh_build.cc.o.d"
+  "bench_lsh_build"
+  "bench_lsh_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsh_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multitable.dir/bench/bench_multitable.cc.o"
+  "CMakeFiles/bench_multitable.dir/bench/bench_multitable.cc.o.d"
+  "bench_multitable"
+  "bench_multitable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

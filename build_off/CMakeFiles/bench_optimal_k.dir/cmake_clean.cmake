@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_k.dir/bench/bench_optimal_k.cc.o"
+  "CMakeFiles/bench_optimal_k.dir/bench/bench_optimal_k.cc.o.d"
+  "bench_optimal_k"
+  "bench_optimal_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

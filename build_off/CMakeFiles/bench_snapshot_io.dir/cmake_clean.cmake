@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot_io.dir/bench/bench_snapshot_io.cc.o"
+  "CMakeFiles/bench_snapshot_io.dir/bench/bench_snapshot_io.cc.o.d"
+  "bench_snapshot_io"
+  "bench_snapshot_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

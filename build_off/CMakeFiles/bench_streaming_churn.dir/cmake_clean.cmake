@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_streaming_churn.dir/bench/bench_streaming_churn.cc.o"
+  "CMakeFiles/bench_streaming_churn.dir/bench/bench_streaming_churn.cc.o.d"
+  "bench_streaming_churn"
+  "bench_streaming_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_streaming_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_probabilities.dir/bench/bench_table1_probabilities.cc.o"
+  "CMakeFiles/bench_table1_probabilities.dir/bench/bench_table1_probabilities.cc.o.d"
+  "bench_table1_probabilities"
+  "bench_table1_probabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_probabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

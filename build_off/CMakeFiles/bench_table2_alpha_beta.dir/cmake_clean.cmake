@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_alpha_beta.dir/bench/bench_table2_alpha_beta.cc.o"
+  "CMakeFiles/bench_table2_alpha_beta.dir/bench/bench_table2_alpha_beta.cc.o.d"
+  "bench_table2_alpha_beta"
+  "bench_table2_alpha_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_alpha_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

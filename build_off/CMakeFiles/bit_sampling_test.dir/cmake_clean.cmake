@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_sampling_test.dir/tests/lsh/bit_sampling_test.cc.o"
+  "CMakeFiles/bit_sampling_test.dir/tests/lsh/bit_sampling_test.cc.o.d"
+  "bit_sampling_test"
+  "bit_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

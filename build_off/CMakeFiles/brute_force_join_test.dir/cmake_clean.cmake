@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brute_force_join_test.dir/tests/join/brute_force_join_test.cc.o"
+  "CMakeFiles/brute_force_join_test.dir/tests/join/brute_force_join_test.cc.o.d"
+  "brute_force_join_test"
+  "brute_force_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brute_force_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

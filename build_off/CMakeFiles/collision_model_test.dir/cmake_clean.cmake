@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_model_test.dir/tests/core/collision_model_test.cc.o"
+  "CMakeFiles/collision_model_test.dir/tests/core/collision_model_test.cc.o.d"
+  "collision_model_test"
+  "collision_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

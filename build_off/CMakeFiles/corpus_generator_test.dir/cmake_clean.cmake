@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_generator_test.dir/tests/gen/corpus_generator_test.cc.o"
+  "CMakeFiles/corpus_generator_test.dir/tests/gen/corpus_generator_test.cc.o.d"
+  "corpus_generator_test"
+  "corpus_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_sampling_test.dir/tests/core/cross_sampling_test.cc.o"
+  "CMakeFiles/cross_sampling_test.dir/tests/core/cross_sampling_test.cc.o.d"
+  "cross_sampling_test"
+  "cross_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_storage_test.dir/tests/vector/csr_storage_test.cc.o"
+  "CMakeFiles/csr_storage_test.dir/tests/vector/csr_storage_test.cc.o.d"
+  "csr_storage_test"
+  "csr_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

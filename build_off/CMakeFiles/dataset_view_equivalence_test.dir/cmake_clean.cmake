@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_view_equivalence_test.dir/tests/vector/dataset_view_equivalence_test.cc.o"
+  "CMakeFiles/dataset_view_equivalence_test.dir/tests/vector/dataset_view_equivalence_test.cc.o.d"
+  "dataset_view_equivalence_test"
+  "dataset_view_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_view_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_sampling_test.dir/tests/core/degree_sampling_test.cc.o"
+  "CMakeFiles/degree_sampling_test.dir/tests/core/degree_sampling_test.cc.o.d"
+  "degree_sampling_test"
+  "degree_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

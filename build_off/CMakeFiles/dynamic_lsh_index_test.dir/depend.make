@@ -1,0 +1,2 @@
+# Empty dependencies file for dynamic_lsh_index_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_cache_test.dir/tests/service/estimate_cache_test.cc.o"
+  "CMakeFiles/estimate_cache_test.dir/tests/service/estimate_cache_test.cc.o.d"
+  "estimate_cache_test"
+  "estimate_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_request_test.dir/tests/service/estimate_request_test.cc.o"
+  "CMakeFiles/estimate_request_test.dir/tests/service/estimate_request_test.cc.o.d"
+  "estimate_request_test"
+  "estimate_request_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_request_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_service_test.dir/tests/service/estimation_service_test.cc.o"
+  "CMakeFiles/estimation_service_test.dir/tests/service/estimation_service_test.cc.o.d"
+  "estimation_service_test"
+  "estimation_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_error_bounds_test.dir/tests/acceptance/estimator_error_bounds_test.cc.o"
+  "CMakeFiles/estimator_error_bounds_test.dir/tests/acceptance/estimator_error_bounds_test.cc.o.d"
+  "estimator_error_bounds_test"
+  "estimator_error_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_error_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

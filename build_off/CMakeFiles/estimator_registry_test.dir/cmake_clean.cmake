@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_registry_test.dir/tests/core/estimator_registry_test.cc.o"
+  "CMakeFiles/estimator_registry_test.dir/tests/core/estimator_registry_test.cc.o.d"
+  "estimator_registry_test"
+  "estimator_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

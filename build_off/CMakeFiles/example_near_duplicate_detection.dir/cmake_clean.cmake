@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_near_duplicate_detection.dir/examples/near_duplicate_detection.cpp.o"
+  "CMakeFiles/example_near_duplicate_detection.dir/examples/near_duplicate_detection.cpp.o.d"
+  "example_near_duplicate_detection"
+  "example_near_duplicate_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_near_duplicate_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_query_optimizer.dir/examples/query_optimizer.cpp.o"
+  "CMakeFiles/example_query_optimizer.dir/examples/query_optimizer.cpp.o.d"
+  "example_query_optimizer"
+  "example_query_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_query_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

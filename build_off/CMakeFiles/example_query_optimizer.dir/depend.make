@@ -1,0 +1,2 @@
+# Empty dependencies file for example_query_optimizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_text_pipeline.dir/examples/text_pipeline.cpp.o"
+  "CMakeFiles/example_text_pipeline.dir/examples/text_pipeline.cpp.o.d"
+  "example_text_pipeline"
+  "example_text_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_text_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_threshold_explorer.dir/examples/threshold_explorer.cpp.o"
+  "CMakeFiles/example_threshold_explorer.dir/examples/threshold_explorer.cpp.o.d"
+  "example_threshold_explorer"
+  "example_threshold_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_threshold_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

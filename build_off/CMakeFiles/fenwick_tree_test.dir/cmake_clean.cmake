@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenwick_tree_test.dir/tests/util/fenwick_tree_test.cc.o"
+  "CMakeFiles/fenwick_tree_test.dir/tests/util/fenwick_tree_test.cc.o.d"
+  "fenwick_tree_test"
+  "fenwick_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenwick_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_compat_test.dir/tests/io/format_compat_test.cc.o"
+  "CMakeFiles/format_compat_test.dir/tests/io/format_compat_test.cc.o.d"
+  "format_compat_test"
+  "format_compat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

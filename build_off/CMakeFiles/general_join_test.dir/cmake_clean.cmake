@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_join_test.dir/tests/core/general_join_test.cc.o"
+  "CMakeFiles/general_join_test.dir/tests/core/general_join_test.cc.o.d"
+  "general_join_test"
+  "general_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ground_truth_test.dir/tests/eval/ground_truth_test.cc.o"
+  "CMakeFiles/ground_truth_test.dir/tests/eval/ground_truth_test.cc.o.d"
+  "ground_truth_test"
+  "ground_truth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_counting_test.dir/tests/core/lattice_counting_test.cc.o"
+  "CMakeFiles/lattice_counting_test.dir/tests/core/lattice_counting_test.cc.o.d"
+  "lattice_counting_test"
+  "lattice_counting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_index_test.dir/tests/lsh/lsh_index_test.cc.o"
+  "CMakeFiles/lsh_index_test.dir/tests/lsh/lsh_index_test.cc.o.d"
+  "lsh_index_test"
+  "lsh_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_s_estimator_test.dir/tests/core/lsh_s_estimator_test.cc.o"
+  "CMakeFiles/lsh_s_estimator_test.dir/tests/core/lsh_s_estimator_test.cc.o.d"
+  "lsh_s_estimator_test"
+  "lsh_s_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_s_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lsh_s_estimator_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_table_test.dir/tests/lsh/lsh_table_test.cc.o"
+  "CMakeFiles/lsh_table_test.dir/tests/lsh/lsh_table_test.cc.o.d"
+  "lsh_table_test"
+  "lsh_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

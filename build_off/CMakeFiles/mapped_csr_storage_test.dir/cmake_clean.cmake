@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapped_csr_storage_test.dir/tests/vector/mapped_csr_storage_test.cc.o"
+  "CMakeFiles/mapped_csr_storage_test.dir/tests/vector/mapped_csr_storage_test.cc.o.d"
+  "mapped_csr_storage_test"
+  "mapped_csr_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapped_csr_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

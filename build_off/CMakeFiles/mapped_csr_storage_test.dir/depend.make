@@ -1,0 +1,2 @@
+# Empty dependencies file for mapped_csr_storage_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/median_estimator_test.dir/tests/core/median_estimator_test.cc.o"
+  "CMakeFiles/median_estimator_test.dir/tests/core/median_estimator_test.cc.o.d"
+  "median_estimator_test"
+  "median_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/median_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_registry_test.dir/tests/obs/metric_registry_test.cc.o"
+  "CMakeFiles/metric_registry_test.dir/tests/obs/metric_registry_test.cc.o.d"
+  "metric_registry_test"
+  "metric_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_equivalence_test.dir/tests/obs/metrics_equivalence_test.cc.o"
+  "CMakeFiles/metrics_equivalence_test.dir/tests/obs/metrics_equivalence_test.cc.o.d"
+  "metrics_equivalence_test"
+  "metrics_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

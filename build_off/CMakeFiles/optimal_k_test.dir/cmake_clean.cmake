@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_k_test.dir/tests/core/optimal_k_test.cc.o"
+  "CMakeFiles/optimal_k_test.dir/tests/core/optimal_k_test.cc.o.d"
+  "optimal_k_test"
+  "optimal_k_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_eval_test.dir/tests/vector/pair_eval_test.cc.o"
+  "CMakeFiles/pair_eval_test.dir/tests/vector/pair_eval_test.cc.o.d"
+  "pair_eval_test"
+  "pair_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

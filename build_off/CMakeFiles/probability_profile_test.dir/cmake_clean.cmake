@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probability_profile_test.dir/tests/eval/probability_profile_test.cc.o"
+  "CMakeFiles/probability_profile_test.dir/tests/eval/probability_profile_test.cc.o.d"
+  "probability_profile_test"
+  "probability_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probability_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

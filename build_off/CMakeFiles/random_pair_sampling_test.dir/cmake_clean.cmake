@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_pair_sampling_test.dir/tests/core/random_pair_sampling_test.cc.o"
+  "CMakeFiles/random_pair_sampling_test.dir/tests/core/random_pair_sampling_test.cc.o.d"
+  "random_pair_sampling_test"
+  "random_pair_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_pair_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_snapshot_test.dir/tests/service/service_snapshot_test.cc.o"
+  "CMakeFiles/service_snapshot_test.dir/tests/service/service_snapshot_test.cc.o.d"
+  "service_snapshot_test"
+  "service_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

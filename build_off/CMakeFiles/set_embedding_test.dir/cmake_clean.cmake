@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_embedding_test.dir/tests/vector/set_embedding_test.cc.o"
+  "CMakeFiles/set_embedding_test.dir/tests/vector/set_embedding_test.cc.o.d"
+  "set_embedding_test"
+  "set_embedding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

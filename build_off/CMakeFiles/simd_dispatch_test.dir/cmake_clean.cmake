@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_dispatch_test.dir/tests/lsh/simd_dispatch_test.cc.o"
+  "CMakeFiles/simd_dispatch_test.dir/tests/lsh/simd_dispatch_test.cc.o.d"
+  "simd_dispatch_test"
+  "simd_dispatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simhash_test.dir/tests/lsh/simhash_test.cc.o"
+  "CMakeFiles/simhash_test.dir/tests/lsh/simhash_test.cc.o.d"
+  "simhash_test"
+  "simhash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_histogram_test.dir/tests/join/similarity_histogram_test.cc.o"
+  "CMakeFiles/similarity_histogram_test.dir/tests/join/similarity_histogram_test.cc.o.d"
+  "similarity_histogram_test"
+  "similarity_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

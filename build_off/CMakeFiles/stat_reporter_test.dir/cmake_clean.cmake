@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_reporter_test.dir/tests/obs/stat_reporter_test.cc.o"
+  "CMakeFiles/stat_reporter_test.dir/tests/obs/stat_reporter_test.cc.o.d"
+  "stat_reporter_test"
+  "stat_reporter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_reporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

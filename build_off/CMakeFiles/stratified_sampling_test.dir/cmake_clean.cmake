@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratified_sampling_test.dir/tests/core/stratified_sampling_test.cc.o"
+  "CMakeFiles/stratified_sampling_test.dir/tests/core/stratified_sampling_test.cc.o.d"
+  "stratified_sampling_test"
+  "stratified_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratified_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

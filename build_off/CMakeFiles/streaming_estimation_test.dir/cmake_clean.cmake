@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_estimation_test.dir/tests/integration/streaming_estimation_test.cc.o"
+  "CMakeFiles/streaming_estimation_test.dir/tests/integration/streaming_estimation_test.cc.o.d"
+  "streaming_estimation_test"
+  "streaming_estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

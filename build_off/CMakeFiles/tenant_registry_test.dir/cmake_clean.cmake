@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenant_registry_test.dir/tests/service/tenant_registry_test.cc.o"
+  "CMakeFiles/tenant_registry_test.dir/tests/service/tenant_registry_test.cc.o.d"
+  "tenant_registry_test"
+  "tenant_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenant_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_validation_test.dir/tests/integration/theory_validation_test.cc.o"
+  "CMakeFiles/theory_validation_test.dir/tests/integration/theory_validation_test.cc.o.d"
+  "theory_validation_test"
+  "theory_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torn_snapshot_test.dir/tests/fault/torn_snapshot_test.cc.o"
+  "CMakeFiles/torn_snapshot_test.dir/tests/fault/torn_snapshot_test.cc.o.d"
+  "torn_snapshot_test"
+  "torn_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torn_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniformity_estimator_test.dir/tests/core/uniformity_estimator_test.cc.o"
+  "CMakeFiles/uniformity_estimator_test.dir/tests/core/uniformity_estimator_test.cc.o.d"
+  "uniformity_estimator_test"
+  "uniformity_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniformity_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

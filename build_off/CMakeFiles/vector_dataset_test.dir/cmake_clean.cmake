@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_dataset_test.dir/tests/vector/vector_dataset_test.cc.o"
+  "CMakeFiles/vector_dataset_test.dir/tests/vector/vector_dataset_test.cc.o.d"
+  "vector_dataset_test"
+  "vector_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

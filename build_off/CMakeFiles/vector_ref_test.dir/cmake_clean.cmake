@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_ref_test.dir/tests/vector/vector_ref_test.cc.o"
+  "CMakeFiles/vector_ref_test.dir/tests/vector/vector_ref_test.cc.o.d"
+  "vector_ref_test"
+  "vector_ref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorizer_test.dir/tests/text/vectorizer_test.cc.o"
+  "CMakeFiles/vectorizer_test.dir/tests/text/vectorizer_test.cc.o.d"
+  "vectorizer_test"
+  "vectorizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_bucket_estimator_test.dir/tests/core/virtual_bucket_estimator_test.cc.o"
+  "CMakeFiles/virtual_bucket_estimator_test.dir/tests/core/virtual_bucket_estimator_test.cc.o.d"
+  "virtual_bucket_estimator_test"
+  "virtual_bucket_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_bucket_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

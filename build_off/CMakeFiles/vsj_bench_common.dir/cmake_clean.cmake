@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsj_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/vsj_bench_common.dir/bench/bench_common.cc.o.d"
+  "libvsj_bench_common.a"
+  "libvsj_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsj_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsj_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsjoin_client.dir/tools/vsjoin_client.cc.o"
+  "CMakeFiles/vsjoin_client.dir/tools/vsjoin_client.cc.o.d"
+  "vsjoin_client"
+  "vsjoin_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsjoin_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsjoin_estimate.dir/tools/vsjoin_estimate.cc.o"
+  "CMakeFiles/vsjoin_estimate.dir/tools/vsjoin_estimate.cc.o.d"
+  "vsjoin_estimate"
+  "vsjoin_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsjoin_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsjoin_server.dir/tools/vsjoin_server.cc.o"
+  "CMakeFiles/vsjoin_server.dir/tools/vsjoin_server.cc.o.d"
+  "vsjoin_server"
+  "vsjoin_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsjoin_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
